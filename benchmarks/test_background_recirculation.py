@@ -1,0 +1,82 @@
+"""Background (Section 2): the cost of the recirculation workaround.
+
+The paper motivates Mantis by quantifying the standard alternative:
+"Recirculating every packet twice, for instance, drops usable
+throughput of the switch to 38%; three times reduces throughput to
+just 16%" (numbers from [51]).
+
+An RMT switch is limited by packet-level pipeline bandwidth, so a
+packet that traverses the pipeline 1+R times consumes 1+R slots and
+usable throughput falls to ~1/(1+R).  We run the same workload through
+programs that recirculate each packet 0/1/2/3 times and measure the
+delivered-packets-per-pipeline-pass ratio -- the quantity Mantis's
+control-plane offload keeps at 1.0.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.packet import Packet
+
+
+def recirculating_program(times: int) -> str:
+    return STANDARD_METADATA_P4 + f"""
+header_type h_t {{ fields {{ passes : 8; }} }}
+header h_t hdr;
+action again() {{
+    add_to_field(hdr.passes, 1);
+    recirculate();
+    modify_field(standard_metadata.egress_spec, 1);
+}}
+action done() {{
+    modify_field(standard_metadata.egress_spec, 1);
+}}
+table bounce {{
+    reads {{ hdr.passes : exact; }}
+    actions {{ again; done; }}
+    default_action : done();
+    size : 8;
+}}
+control ingress {{ apply(bounce); }}
+"""
+
+
+def run_experiment():
+    rows = []
+    for recirculations in (0, 1, 2, 3):
+        asic = SwitchAsic(parse_p4(recirculating_program(recirculations)))
+        for pass_index in range(recirculations):
+            asic.tables["bounce"].add_entry([pass_index], "again")
+        delivered = 0
+        total = 500
+        for index in range(total):
+            result = asic.process(Packet({"hdr.passes": 0}))
+            if result is not None:
+                delivered += 1
+        throughput = delivered / asic.pipeline_passes
+        rows.append((recirculations, delivered, asic.pipeline_passes,
+                     throughput))
+    return rows
+
+
+def test_background_recirculation_throughput(bench_once):
+    rows = bench_once(run_experiment)
+    report(
+        "Background: usable throughput under per-packet recirculation",
+        ["recirculations", "delivered", "pipeline passes",
+         "usable throughput"],
+        [(r, d, p, f"{t:.2f}") for r, d, p, t in rows],
+    )
+    by_recirc = {r: t for r, _d, _p, t in rows}
+    assert by_recirc[0] == pytest.approx(1.0)
+    # One recirculation halves usable bandwidth; two cut it to ~1/3
+    # (the paper's 38% includes packet-size effects we don't model);
+    # three to ~1/4 (paper: 16%).
+    assert by_recirc[1] == pytest.approx(0.5, rel=0.02)
+    assert by_recirc[2] == pytest.approx(1 / 3, rel=0.02)
+    assert by_recirc[3] == pytest.approx(1 / 4, rel=0.02)
+    # Every packet still arrives -- the cost is bandwidth, not loss.
+    for _r, delivered, _p, _t in rows:
+        assert delivered == 500

@@ -1,0 +1,123 @@
+"""Figure 10b: latency of raw updates vs. number of updates.
+
+Paper series:
+- scalar malleable entities (values and fields): latency is constant
+  as long as everything fits in a single ``p4r_init_`` table (one
+  atomic default-action update, however many scalars changed);
+- malleable table entries: latency increases linearly with the number
+  of entries modified.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+UPDATE_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def scalars_program(n_values: int) -> str:
+    decls = "\n".join(
+        f"malleable value v{i} {{ width : 4; init : 0; }}"
+        for i in range(n_values)
+    )
+    uses = "\n".join(
+        f"    add_to_field(hdr.f, ${{v{i}}});" for i in range(n_values)
+    )
+    return STANDARD_METADATA_P4 + f"""
+header_type hdr_t {{ fields {{ f : 32; }} }}
+header hdr_t hdr;
+{decls}
+action bump() {{
+{uses}
+}}
+table t {{ actions {{ bump; }} default_action : bump(); }}
+control ingress {{ apply(t); }}
+"""
+
+
+TABLE_PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { key : 32; } }
+header hdr_t hdr;
+action set_key(v) { modify_field(hdr.key, v); }
+action nop() { no_op(); }
+malleable table big {
+    reads { hdr.key : exact; }
+    actions { set_key; nop; }
+    default_action : nop();
+    size : 1024;
+}
+control ingress { apply(big); }
+"""
+
+
+def measure_scalar_updates(n_values: int) -> float:
+    """Time from staging N scalar writes to commit completion."""
+    system = MantisSystem.from_source(scalars_program(n_values))
+    system.agent.prologue()
+    agent = system.agent
+    # Warm: one empty iteration.
+    agent.run_iteration()
+    clock = system.clock
+    start = clock.now
+    for index in range(n_values):
+        agent.write_malleable(f"v{index}", 1)
+    agent._commit()
+    return clock.now - start
+
+
+def measure_table_updates(n_entries: int) -> float:
+    """Time of the prepare phase for N entry modifications (the
+    commit is one more constant-cost op; mirroring doubles prepare)."""
+    system = MantisSystem.from_source(TABLE_PROGRAM)
+    system.agent.prologue()
+    handle = system.agent.table("big")
+    entry_ids = [handle.add([i], "set_key", [0]) for i in range(n_entries)]
+    system.agent.run_iteration()
+    clock = system.clock
+    start = clock.now
+    for entry_id in entry_ids:
+        handle.modify(entry_id, args=[7])
+    prepare = clock.now - start
+    system.agent.run_iteration()  # commit + mirror (not timed)
+    return prepare
+
+
+def run_experiment():
+    scalar_rows = [(n, measure_scalar_updates(n)) for n in UPDATE_COUNTS]
+    table_rows = [(n, measure_table_updates(n)) for n in UPDATE_COUNTS]
+    return scalar_rows, table_rows
+
+
+def test_fig10b_update_latency(bench_once):
+    scalar_rows, table_rows = bench_once(run_experiment)
+
+    report(
+        "Figure 10b: update latency vs number of updates",
+        ["updates", "scalar malleables (us)", "table entries (us)"],
+        [
+            (n, f"{s:.2f}", f"{t:.2f}")
+            for (n, s), (_n, t) in zip(scalar_rows, table_rows)
+        ],
+    )
+
+    scalars = dict(scalar_rows)
+    tables = dict(table_rows)
+
+    # Shape 1: scalar updates are constant in the number of scalars
+    # (one init-table write commits them all) -- up to the platform's
+    # single-init-action budget.  Past it (here 62 scalars + vv + mv),
+    # the Section 5.1.1 multi-init protocol kicks in, exactly as the
+    # paper's "after that point" caveat describes.
+    assert scalars[32] == pytest.approx(scalars[1], rel=0.05)
+    assert scalars[1] < scalars[64] <= 4 * scalars[1]
+
+    # Shape 2: table entry updates are linear.
+    per_entry = (tables[64] - tables[1]) / 63
+    assert per_entry > 0.5
+    assert tables[32] == pytest.approx(tables[1] + 31 * per_entry, rel=0.1)
+
+    # Shape 3 (crossover): updating 64 scalars is far cheaper than
+    # updating 64 table entries.
+    assert scalars[64] < tables[64] / 10

@@ -1,0 +1,194 @@
+"""Figure 13: TCAM usage of malleable-field transformations.
+
+The paper's microbenchmark: a K-bit malleable field ${X} with A
+alternatives, used by
+
+- ``tblWriteX``: matches the 5-tuple (ternary) and *writes* ${X} in an
+  action (the Figure 5 transform) -- TCAM grows linearly in A,
+  constant in K;
+- ``tblReadX``: matches the 5-tuple plus ${X} and *reads* ${X} in an
+  action (the Figure 6 transform) -- TCAM grows asymptotically
+  quadratically in A (A entries x A extra K-bit ternary columns) and
+  proportionally to K.
+
+Occupancies are user-level entry counts (512/1024), not concrete
+entries, exactly as the paper counts them.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.resources import tcam_bytes_for_table
+from repro.compiler import compile_p4r
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.driver import Driver
+from repro.agent.handles import MalleableTableHandle
+
+ALTS_SWEEP = [1, 2, 4, 6, 8]
+WIDTH_SWEEP = [8, 16, 32, 48, 64]
+
+
+def build_program(kind: str, width: int, n_alts: int) -> str:
+    """One of the paper's two microbenchmark tables."""
+    alt_fields = "\n".join(
+        f"        alt{i} : {width};" for i in range(n_alts)
+    )
+    alts = ", ".join(f"alts.alt{i}" for i in range(n_alts))
+    if kind == "write":
+        table = """
+action store(v) { modify_field(${X}, v); }
+action nop() { no_op(); }
+table tblWriteX {
+    reads {
+        five.src : ternary;
+        five.dst : ternary;
+        five.sport : ternary;
+        five.dport : ternary;
+        five.proto : ternary;
+    }
+    actions { store; nop; }
+    default_action : nop();
+    size : 32768;
+}
+control ingress { apply(tblWriteX); }
+"""
+    else:
+        table = """
+action consume() { modify_field(five.scratch, ${X}); }
+action nop() { no_op(); }
+table tblReadX {
+    reads {
+        five.src : ternary;
+        five.dst : ternary;
+        five.sport : ternary;
+        five.dport : ternary;
+        five.proto : ternary;
+        ${X} : ternary;
+    }
+    actions { consume; nop; }
+    default_action : nop();
+    size : 65536;
+}
+control ingress { apply(tblReadX); }
+"""
+    return STANDARD_METADATA_P4 + f"""
+header_type five_t {{
+    fields {{
+        src : 32; dst : 32; sport : 16; dport : 16; proto : 8;
+        scratch : {width};
+    }}
+}}
+header five_t five;
+header_type alts_t {{
+    fields {{
+{alt_fields}
+    }}
+}}
+header alts_t alts;
+
+malleable field X {{
+    width : {width}; init : alts.alt0;
+    alts {{ {alts} }}
+}}
+{table}
+"""
+
+
+def measure_tcam(kind: str, width: int, n_alts: int, occupancy: int) -> int:
+    """Install ``occupancy`` user entries and count installed TCAM."""
+    artifacts = compile_p4r(build_program(kind, width, n_alts))
+    asic = SwitchAsic(artifacts.p4)
+    driver = Driver(asic)
+    table_name = "tblWriteX" if kind == "write" else "tblReadX"
+    transform = artifacts.spec.tables[table_name]
+    alt_counts = {"X": n_alts}
+    handle = MalleableTableHandle(
+        driver, transform, active_version=lambda: 0,
+        field_alt_counts=alt_counts,
+    )
+    wildcard = (0, 0)
+    for index in range(occupancy):
+        if kind == "write":
+            key = [(index, 0xFFFFFFFF), wildcard, wildcard, wildcard, wildcard]
+            handle.add(key, "store", [1])
+        else:
+            key = [
+                (index, 0xFFFFFFFF), wildcard, wildcard, wildcard, wildcard,
+                (0, (1 << width) - 1),
+            ]
+            handle.add(key, "consume", [])
+    return tcam_bytes_for_table(artifacts.p4, asic, table_name)
+
+
+def run_alts_sweep():
+    rows = []
+    for n_alts in ALTS_SWEEP:
+        write_512 = measure_tcam("write", 32, n_alts, 512)
+        read_512 = measure_tcam("read", 32, n_alts, 512)
+        write_1024 = measure_tcam("write", 32, n_alts, 1024)
+        read_1024 = measure_tcam("read", 32, n_alts, 1024)
+        rows.append((n_alts, write_512, read_512, write_1024, read_1024))
+    return rows
+
+
+def run_width_sweep():
+    rows = []
+    for width in WIDTH_SWEEP:
+        rows.append(
+            (
+                width,
+                measure_tcam("write", width, 4, 512),
+                measure_tcam("read", width, 4, 512),
+            )
+        )
+    return rows
+
+
+def test_fig13a_tcam_vs_alternatives(bench_once):
+    rows = bench_once(run_alts_sweep)
+    report(
+        "Figure 13a: TCAM usage vs number of alternatives (K=32)",
+        ["A", "tblWriteX@512 (B)", "tblReadX@512 (B)",
+         "tblWriteX@1024 (B)", "tblReadX@1024 (B)"],
+        rows,
+    )
+    by_alts = {r[0]: r for r in rows}
+
+    # tblWriteX: linear in A (A action-specialized entries per user
+    # entry, fixed key width).
+    w1, w8 = by_alts[1][1], by_alts[8][1]
+    assert w8 == pytest.approx(8 * w1, rel=0.15)
+
+    # tblReadX: asymptotically quadratic in A (A entries x A extra
+    # ternary columns).  Doubling A should much-more-than-double the
+    # TCAM, and the doubling ratio should itself keep growing toward 4.
+    r2, r4, r8 = by_alts[2][2], by_alts[4][2], by_alts[8][2]
+    assert r8 / r4 > 2.5  # super-linear at the tail
+    assert r8 / r4 > r4 / r2  # accelerating (quadratic signature)
+    # ... while tblWriteX's doubling ratio stays ~2 (linear).
+    w2, w4, w8 = by_alts[2][1], by_alts[4][1], by_alts[8][1]
+    assert w8 / w4 == pytest.approx(2.0, rel=0.05)
+
+    # Occupancy scales everything proportionally.
+    assert by_alts[4][3] == pytest.approx(2 * by_alts[4][1], rel=0.01)
+    assert by_alts[4][4] == pytest.approx(2 * by_alts[4][2], rel=0.01)
+
+
+def test_fig13b_tcam_vs_field_width(bench_once):
+    rows = bench_once(run_width_sweep)
+    report(
+        "Figure 13b: TCAM usage vs field width K (A=4, 512 entries)",
+        ["K bits", "tblWriteX (B)", "tblReadX (B)"],
+        rows,
+    )
+    by_width = {r[0]: r for r in rows}
+    # tblWriteX constant in K (the key never contains X).
+    assert by_width[64][1] == by_width[8][1]
+    # tblReadX grows ~proportionally with K (A ternary columns of K).
+    r8, r64 = by_width[8][2], by_width[64][2]
+    assert r64 > 2 * r8
+    # Slope check: the K-dependent part is A columns of K bits per
+    # concrete entry (x2 for value+mask), on top of the fixed 5-tuple.
+    per_bit = (r64 - r8) / (64 - 8)
+    expected_per_bit = 512 * 4 * 4 * 2 / 8  # entries*A(alts)*A(cols)*2 /8
+    assert per_bit == pytest.approx(expected_per_bit, rel=0.1)

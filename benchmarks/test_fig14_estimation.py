@@ -1,0 +1,116 @@
+"""Figure 14: average flow-size estimation error, Mantis vs.
+alternatives.
+
+Paper setup: CAIDA backbone trace chunks (~8.9 M packets, ~370 K flows
+per 20 s), estimators configured as:
+
+- Mantis: ~10 us sampling loop == ~1 in 5 packets;
+- sFlow: 1:30000 sampling (the Facebook production rate);
+- data plane: hash table and 2-stage count-min sketch with 8192
+  entries (also 16 K; "Mantis's performance was unchanged").
+
+Substitution: we use a synthetic heavy-tailed trace at 1/100 scale
+(90 K packets / 3.7 K flows) and scale the *ratios* that drive the
+result -- Mantis-vs-sFlow sampling rate ratio, and the sketches'
+flows-per-slot collision load.  Scale up via TraceConfig to the full
+size if desired.
+
+Expected shape (paper): Mantis beats sFlow by orders of magnitude;
+vs. data plane structures, Mantis is comparable for large flows and
+orders of magnitude better for small flows; the trend holds across
+table sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps.sketch import (
+    CountMinSketch,
+    HashTableEstimator,
+    MantisSamplingEstimator,
+    SFlowEstimator,
+    estimation_errors,
+)
+from repro.net.flows import TraceConfig, synthetic_trace
+
+# 1/100 scale of the paper's 20s CAIDA chunk.
+TRACE = TraceConfig(packets=90_000, flows=3_700, seed=2020)
+# Paper: 1:30000 on the full trace; keep the Mantis:sFlow rate ratio
+# (5 : 30000 = 1 : 6000) at reduced scale by shrinking both by 3x.
+SFLOW_RATE = 2000
+MANTIS_POLL = 5
+# Paper: 8192-entry tables against 370K flows (~45 flows/slot); match
+# the collision load at our flow count, and also run the "bigger
+# table" variant (paper's 16K analogue).
+FLOWS_PER_SLOT = 45
+
+
+def run_experiment():
+    trace = synthetic_trace(TRACE)
+    flows = len(trace.true_flow_sizes())
+    matched = max(64, flows // FLOWS_PER_SLOT)
+
+    estimators = {
+        "mantis": MantisSamplingEstimator(poll_every=MANTIS_POLL),
+        "sflow": SFlowEstimator(sample_rate=SFLOW_RATE, seed=5),
+        "hash_table": HashTableEstimator(entries=matched),
+        "cms_2stage": CountMinSketch(entries=matched, stages=2),
+        "hash_table_2x": HashTableEstimator(entries=2 * matched),
+        "cms_2stage_2x": CountMinSketch(entries=2 * matched, stages=2),
+    }
+    buckets = {}
+    for name, estimator in estimators.items():
+        estimator.process(trace)
+        buckets[name] = estimation_errors(estimator, trace)
+    return trace, buckets
+
+
+def test_fig14_estimation_error(bench_once):
+    trace, buckets = bench_once(run_experiment)
+
+    bucket_labels = [
+        f"[{b.lo_bytes}-{b.hi_bytes})" for b in buckets["mantis"]
+    ]
+    rows = []
+    for name, series in buckets.items():
+        rows.append(
+            [name] + [f"{b.avg_rel_error:.3f}" for b in series]
+        )
+    report(
+        "Figure 14: avg relative estimation error by true flow size",
+        ["estimator"] + bucket_labels,
+        rows,
+    )
+
+    def series(name):
+        return [b.avg_rel_error for b in buckets[name]]
+
+    mantis = series("mantis")
+    sflow = series("sflow")
+    cms = series("cms_2stage")
+    hash_table = series("hash_table")
+    cms_2x = series("cms_2stage_2x")
+
+    # Claim 1: Mantis beats sFlow wherever sFlow has signal at all
+    # (large flows), by more than an order of magnitude.
+    for m, s in zip(mantis[-2:], sflow[-2:]):
+        assert m < s / 10
+
+    # Claim 2: vs data plane structures -- orders of magnitude better
+    # for small flows (collision-dominated)...
+    assert mantis[0] < cms[0] / 50
+    assert mantis[0] < hash_table[0] / 50
+
+    # ... and comparable for large flows.
+    assert mantis[-1] < 0.1
+    assert abs(mantis[-1] - cms[-1]) < 0.5
+
+    # Claim 3: the trend holds across table sizes (bigger tables help
+    # the sketch but the small-flow gap persists).
+    assert mantis[0] < cms_2x[0] / 10
+
+    # Claim 4: sketch error decreases with flow size (collisions
+    # misattribute a ~constant byte mass); Mantis error does too
+    # (sampling error amortizes) -- both monotone trends in the data.
+    assert cms[0] > cms[-1]
+    assert mantis[0] > mantis[-1]

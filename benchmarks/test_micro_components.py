@@ -1,0 +1,101 @@
+"""Component micro-benchmarks (wall-clock, via pytest-benchmark).
+
+Unlike the figure benchmarks (which measure *simulated* time on the
+calibrated cost model), these measure the reproduction's own Python
+performance: table lookup throughput, compile time, and dialogue
+iteration rate.  They exist to keep the emulator fast enough for the
+packet-level experiments and to catch performance regressions.
+"""
+
+import pytest
+
+from repro.compiler import compile_p4r
+from repro.p4 import ast
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.switch.tables import TableRuntime
+from repro.system import MantisSystem
+
+FIGURE1 = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 32; bar : 32; baz : 32; qux : 32; } }
+header hdr_t hdr;
+register qdepths { width : 32; instance_count : 16; }
+malleable value value_var { width : 16; init : 1; }
+malleable field field_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+malleable table table_var {
+    reads { ${field_var} : exact; }
+    actions { my_action; mark; }
+    default_action : mark();
+}
+action my_action() { add(hdr.qux, hdr.baz, ${value_var}); }
+action mark() { modify_field(hdr.qux, 0xdead); }
+control ingress { apply(table_var); }
+reaction my_reaction(reg qdepths[1:10]) {
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+}
+"""
+
+
+def test_bench_exact_lookup(benchmark):
+    decl = ast.TableDecl(
+        "t",
+        reads=[ast.TableRead(ast.FieldRef("h", "f"), ast.MatchType.EXACT)],
+        action_names=["nop"],
+        default_action=("nop", []),
+    )
+    table = TableRuntime(decl, [32])
+    for key in range(4096):
+        table.add_entry([key], "nop")
+    packet = Packet({"h.f": 2048})
+    result = benchmark(table.lookup, packet)
+    assert result == ("nop", [])
+
+
+def test_bench_ternary_scan(benchmark):
+    decl = ast.TableDecl(
+        "t",
+        reads=[ast.TableRead(ast.FieldRef("h", "f"), ast.MatchType.TERNARY)],
+        action_names=["nop"],
+        default_action=("nop", []),
+    )
+    table = TableRuntime(decl, [32])
+    for key in range(256):
+        table.add_entry([(key, 0xFFFFFFFF)], "nop")
+    packet = Packet({"h.f": 255})
+    result = benchmark(table.lookup, packet)
+    assert result == ("nop", [])
+
+
+def test_bench_compile_figure1(benchmark):
+    artifacts = benchmark(compile_p4r, FIGURE1)
+    assert "table_var" in artifacts.spec.tables
+
+
+def test_bench_packet_through_pipeline(benchmark):
+    system = MantisSystem.from_source(FIGURE1)
+    system.agent.prologue()
+    system.agent.table("table_var").add([7], "my_action")
+    system.agent.run_iteration()
+
+    def shoot():
+        packet = Packet({"hdr.foo": 7, "hdr.baz": 1})
+        system.asic.process(packet)
+        return packet
+
+    packet = benchmark(shoot)
+    assert packet.get("hdr.qux") != 0
+
+
+def test_bench_dialogue_iteration(benchmark):
+    system = MantisSystem.from_source(FIGURE1)
+    system.agent.prologue()
+    benchmark(system.agent.run_iteration)
+    assert system.agent.iterations > 0

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Use case #1 demo: DoS detection and mitigation (paper Section 8.3.1
+/ Figure 15).
+
+Benign paced TCP flows share a bottleneck with a 25 Gbps UDP flood.
+The Mantis reaction estimates per-sender rates from (sampled source,
+total byte counter) measurements and installs a drop rule for the
+flooder within a few hundred microseconds, after which the benign
+flows recover.
+
+Run:  python examples/dos_mitigation.py
+"""
+
+from repro.apps.dos import build_dos_scenario
+
+WARMUP_US = 3_000.0
+ATTACK_US = 2_000.0
+RECOVERY_US = 3_000.0
+ATTACKER = 0x0AFF0001
+
+
+def main() -> None:
+    app, sim, flows, sink, attacker = build_dos_scenario(
+        n_benign=12,
+        benign_rate_gbps=0.04,
+        attack_rate_gbps=25.0,
+        bottleneck_gbps=5.0,
+        threshold_gbps=2.0,
+        min_duration_us=100.0,
+    )
+    app.prologue()
+    print(f"{len(flows)} benign TCP flows -> 5 Gbps bottleneck; "
+          f"attacker at 25 Gbps; block threshold 2 Gbps")
+
+    for flow in flows:
+        flow.start(at_us=10.0)
+    sim.run_until(WARMUP_US)
+    before = sum(f.acked for f in flows)
+    print(f"\n[t={sim.clock.now:8.1f}us] warmed up: {before} benign acks")
+
+    attack_start = sim.clock.now
+    attacker.start()
+    print(f"[t={attack_start:8.1f}us] ATTACK: UDP flood begins")
+    sim.run_until(attack_start + ATTACK_US)
+
+    block_time = app.block_times.get(ATTACKER)
+    if block_time is None:
+        print("attacker was NOT blocked (unexpected)")
+        return
+    print(f"[t={block_time:8.1f}us] MITIGATED: drop rule installed "
+          f"({block_time - attack_start:.1f}us after the first "
+          "malicious packet)")
+    during = sum(f.acked for f in flows) - before
+
+    sim.run_until(sim.clock.now + RECOVERY_US)
+    after = sum(f.acked for f in flows) - before - during
+
+    print("\nBenign goodput (acks per 1000us):")
+    print(f"  before attack : {before / WARMUP_US * 1000:6.1f}")
+    print(f"  attack window : {during / ATTACK_US * 1000:6.1f}")
+    print(f"  after block   : {after / RECOVERY_US * 1000:6.1f}")
+
+    print("\nPer-sender estimates held by the reaction:")
+    shown = 0
+    for src, stats in sorted(app.senders.items()):
+        flag = "BLOCKED" if stats.blocked else "ok"
+        print(f"  src={src:#010x} bytes~{stats.bytes_attributed:>9} {flag}")
+        shown += 1
+        if shown >= 6:
+            remaining = len(app.senders) - shown
+            if remaining > 0:
+                print(f"  ... and {remaining} more")
+            break
+    print(f"\nDialogue iterations: {app.system.agent.iterations}, "
+          f"avg {app.system.agent.avg_reaction_time_us:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

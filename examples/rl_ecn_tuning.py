@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Use case #4 demo: reinforcement learning in the reaction loop
+(paper Section 8.3.4).
+
+The DCTCP ECN marking threshold is a malleable value.  Every dialogue
+iteration the agent observes (queue depth, packet counter), computes
+a reward (utilization minus a queue-length penalty), performs an
+off-policy Q-learning update, and writes the epsilon-greedy threshold
+choice back to the data plane.
+
+Run:  python examples/rl_ecn_tuning.py
+"""
+
+from collections import Counter
+
+from repro.apps.rl import THRESHOLD_ACTIONS, build_rl_scenario
+
+
+def main() -> None:
+    app, sim, flows, sink = build_rl_scenario(
+        n_flows=6, bottleneck_gbps=1.5, queue_pkts=96
+    )
+    app.prologue()
+    for flow in flows:
+        flow.start(at_us=5.0)
+
+    print("6 DCTCP flows -> 1.5 Gbps bottleneck; RL tunes the ECN "
+          "threshold\n")
+    print(f"candidate thresholds: {THRESHOLD_ACTIONS} (pkts of queue)")
+
+    horizon_us = 10_000.0
+    step = 2_000.0
+    t = 0.0
+    while t < horizon_us:
+        t += step
+        sim.run_until(t)
+        recent = app.rewards[-200:]
+        avg_reward = sum(recent) / len(recent) if recent else 0.0
+        picks = Counter(
+            THRESHOLD_ACTIONS[a] for a in app.action_history[-200:]
+        )
+        common = picks.most_common(2)
+        print(f"t={t:8.0f}us  reward(avg/200)={avg_reward:7.3f}  "
+              f"qdepth={sim.queue_depth(0):3d}  "
+              f"top thresholds={common}")
+
+    print(f"\nIterations: {app.system.agent.iterations}; "
+          f"explorations: {app.explorations} "
+          f"({app.explorations / max(1, len(app.action_history)):.0%})")
+    print(f"Learned greedy threshold (empty queue state): "
+          f"{app.greedy_threshold(0)} pkts")
+    acked = sum(f.acked for f in flows)
+    marked = any(f.dctcp_alpha > 0 for f in flows)
+    print(f"TCP progress: {acked} acks; ECN feedback active: {marked}")
+    print("\nWhy Mantis: the feedback loop needs state, multiplication, "
+          "argmax, and randomness -- none of which fit a switch ALU; "
+          "the reaction abstraction gives the loop a CPU and can host "
+          "arbitrary models (the paper notes even neural networks).")
+
+
+if __name__ == "__main__":
+    main()

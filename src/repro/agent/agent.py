@@ -1,0 +1,564 @@
+"""The Mantis agent: prologue + high-frequency dialogue loop.
+
+Follows the control flow of Section 6::
+
+    // prologue
+    helper_state = precompute_metadata();
+    memo = setup_cache(helper_state);
+    run_user_initialization(helper_state, memo);
+    // dialogue
+    while (!stopped) {
+        updateTable(memo, "p4r_init_", {measure_ver : mv ^ 1});
+        read_measurements(memo, mv); mv ^= 1;
+        run_user_reaction(memo, helper_state, vv ^ 1);
+        updateTable(memo, "p4r_init_", {config_ver : vv ^ 1});
+        fill_shadow_tables(memo, vv); vv ^= 1;
+    }
+
+Reactions may be the compiled C-like bodies from the P4R source
+(interpreted by :mod:`repro.p4r.creaction`) or Python callables
+attached at runtime -- the reproduction's equivalent of the paper's
+dynamically loaded ``.so`` files, including hot swap between dialogue
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import AgentError
+from repro.agent.handles import MalleableTableHandle
+from repro.compiler.spec import (
+    CompiledArtifacts,
+    ControlPlaneSpec,
+    InitTableSpec,
+    RegisterMirror,
+    ReactionSpec,
+)
+from repro.p4r.creaction import CReaction, ReactionEnv
+from repro.switch.driver import Driver, MemoHandle
+
+
+class ReactionContext:
+    """What a Python reaction sees each dialogue iteration.
+
+    - ``args``: the polled parameter values (field args as ints,
+      register slices as ``{index: value}`` dicts, malleable args as
+      their last-written values);
+    - ``state``: a dict persisting across iterations (the C reactions'
+      ``static`` variables);
+    - ``read``/``write``: malleable access (`write` stages the change;
+      it commits atomically at this iteration's vv flip);
+    - ``table``: malleable-table handles exposing
+      ``add``/``modify``/``delete``/``addEntry``/... ;
+    - ``now``: the simulated time in microseconds.
+    """
+
+    def __init__(self, agent: "MantisAgent", args: Dict[str, object],
+                 state: dict):
+        self._agent = agent
+        self.args = args
+        self.state = state
+
+    @property
+    def now(self) -> float:
+        return self._agent.driver.clock.now
+
+    def read(self, name: str) -> int:
+        return self._agent.read_malleable(name)
+
+    def write(self, name: str, value: int) -> None:
+        self._agent.write_malleable(name, value)
+
+    def table(self, name: str) -> MalleableTableHandle:
+        return self._agent.table(name)
+
+
+@dataclass
+class _InitShadow:
+    """Shadow bookkeeping for a non-master init table (Section 5.1.1:
+    'all other init tables will contain two entries, one for each
+    version, just like a malleable table')."""
+
+    spec: InitTableSpec
+    entry_ids: Dict[int, int] = dataclass_field(default_factory=dict)
+    args: List[int] = dataclass_field(default_factory=list)
+    staged: Dict[int, int] = dataclass_field(default_factory=dict)
+    dirty: bool = False
+
+
+class _MirrorReader:
+    """Timestamp-cached reader for one duplicated register
+    (Section 5.2): rejects stale checkpoint values so the agent always
+    sees the most recently committed contents."""
+
+    def __init__(self, driver: Driver, mirror: RegisterMirror):
+        self.driver = driver
+        self.mirror = mirror
+        self.memo_dup = driver.memoize("register", mirror.duplicate)
+        self.memo_ts = driver.memoize("register", mirror.ts)
+        self.cache_values = [0] * mirror.count
+        self.cache_ts = [0] * mirror.count
+
+    def poll(self, checkpoint: int, lo: int, hi: int) -> Dict[int, int]:
+        offset = checkpoint * self.mirror.padded_count
+        with self.driver.batch():
+            stamps = self.driver.read_registers(
+                self.mirror.ts, offset + lo, offset + hi, memo=self.memo_ts
+            )
+            values = self.driver.read_registers(
+                self.mirror.duplicate, offset + lo, offset + hi,
+                memo=self.memo_dup,
+            )
+        for position, index in enumerate(range(lo, hi + 1)):
+            if stamps[position] > self.cache_ts[index]:
+                self.cache_ts[index] = stamps[position]
+                self.cache_values[index] = values[position]
+        return {index: self.cache_values[index] for index in range(lo, hi + 1)}
+
+
+class _ReactionRuntime:
+    """One registered reaction: spec + implementation + static state."""
+
+    def __init__(self, spec: ReactionSpec):
+        self.spec = spec
+        self.c_impl: Optional[CReaction] = None
+        self.py_impl: Optional[Callable[[ReactionContext], None]] = None
+        if spec.decl.body_source.strip():
+            self.c_impl = CReaction(spec.decl.body_source, spec.name)
+        self.statics: dict = {}
+        self.state: dict = {}
+
+
+class MantisAgent:
+    """A per-pipeline Mantis agent bound to one driver.
+
+    ``pacing_sleep_us`` trades CPU utilization for reaction time
+    (Figure 11's ``nanosleep`` knob).
+    """
+
+    def __init__(
+        self,
+        artifacts: CompiledArtifacts,
+        driver: Driver,
+        pacing_sleep_us: float = 0.0,
+    ):
+        self.spec: ControlPlaneSpec = artifacts.spec
+        self.artifacts = artifacts
+        self.driver = driver
+        self.pacing_sleep_us = pacing_sleep_us
+        self.vv = 0
+        self.mv = 0
+        # Simulated cost per interpreted C expression (Section 8.1's C).
+        self.c_op_cost_us = 0.002
+        self.iterations = 0
+        # Phase breakdown of the most recent iteration.
+        self.last_breakdown: Dict[str, float] = {}
+        self.total_busy_us = 0.0
+        self.total_idle_us = 0.0
+        self.iteration_durations: List[float] = []
+        self.externs: Dict[str, Callable] = {}
+
+        self._prologue_done = False
+        self._user_init: Optional[Callable[["ReactionContext"], None]] = None
+        # Pending hot swaps: (reaction name, impl, rerun_user_init).
+        self._pending_swaps: List[Tuple[str, Callable, bool]] = []
+        self._reactions: List[_ReactionRuntime] = [
+            _ReactionRuntime(r) for r in self.spec.reactions.values()
+        ]
+        self._master: Optional[InitTableSpec] = None
+        for init in self.spec.init_tables:
+            if init.master:
+                self._master = init
+        self._master_memo: Optional[MemoHandle] = None
+        self._master_args: List[int] = []
+        self._master_staged: Dict[int, int] = {}
+        self._init_shadows: Dict[str, _InitShadow] = {}
+        self._param_values: Dict[str, int] = {}
+        self._param_width: Dict[str, int] = {}
+        self._param_home: Dict[str, Tuple[str, int]] = {}
+        self._container_memos: Dict[str, MemoHandle] = {}
+        self._mirror_readers: Dict[str, _MirrorReader] = {}
+        self._tables: Dict[str, MalleableTableHandle] = {}
+        self._has_measurements = bool(self.spec.containers or self.spec.mirrors)
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register_extern(self, name: str, fn: Callable) -> None:
+        """Expose a host function to C reaction bodies."""
+        self.externs[name] = fn
+
+    def attach_python(
+        self, reaction_name: str, fn: Callable[[ReactionContext], None]
+    ) -> None:
+        """Replace a reaction's implementation with a Python callable
+        (the paper's dynamic ``.so`` reload).  Takes effect at the next
+        dialogue iteration."""
+        for runtime in self._reactions:
+            if runtime.spec.name == reaction_name:
+                runtime.py_impl = fn
+                return
+        if reaction_name not in self.spec.reactions:
+            # Allow purely host-defined reactions for programs whose
+            # P4R source declared the args but no body, or for tests.
+            raise AgentError(f"unknown reaction {reaction_name!r}")
+
+    def request_swap(
+        self,
+        reaction_name: str,
+        fn: Callable[[ReactionContext], None],
+        rerun_user_init: bool = False,
+    ) -> None:
+        """Section 7's dynamic-loading protocol: queue a reaction swap
+        that takes effect only *after the current dialogue completes*
+        (the "transition flag" breaking out of the loop), optionally
+        re-running the prologue's user initialization."""
+        if reaction_name not in self.spec.reactions:
+            raise AgentError(f"unknown reaction {reaction_name!r}")
+        self._pending_swaps.append((reaction_name, fn, rerun_user_init))
+
+    def _apply_pending_swaps(self) -> None:
+        if not self._pending_swaps:
+            return
+        swaps, self._pending_swaps = self._pending_swaps, []
+        rerun = False
+        for name, fn, rerun_init in swaps:
+            for runtime in self._reactions:
+                if runtime.spec.name == name:
+                    runtime.py_impl = fn
+                    runtime.statics.clear()  # fresh module DATA segment
+                    runtime.state.clear()
+            rerun = rerun or rerun_init
+        if rerun and self._user_init is not None:
+            context = ReactionContext(self, {}, {})
+            self._user_init(context)
+            self._commit()
+
+    # ------------------------------------------------------------------
+    # Prologue
+
+    def prologue(
+        self, user_init: Optional[Callable[[ReactionContext], None]] = None
+    ) -> None:
+        """Precompute metadata, set up memoization, install initial
+        entries, and run optional user initialization."""
+        if self._prologue_done:
+            raise AgentError("prologue already executed")
+        driver = self.driver
+
+        for init in self.spec.init_tables:
+            memo = driver.memoize("table", init.table)
+            for param in init.params:
+                self._param_values[param.name] = param.init
+                self._param_width[param.name] = param.width
+                self._param_home[param.name] = (init.table, init.master)
+            if init.master:
+                self._master_memo = memo
+                self._master_args = [p.init for p in init.params]
+                driver.set_default(
+                    init.table, init.action, self._master_args, memo=memo
+                )
+            else:
+                shadow = _InitShadow(init, args=[p.init for p in init.params])
+                for version in (0, 1):
+                    shadow.entry_ids[version] = driver.add_entry(
+                        init.table, [version], init.action, shadow.args,
+                        memo=memo,
+                    )
+                self._init_shadows[init.table] = shadow
+
+        for load in self.spec.load_tables:
+            memo = driver.memoize("table", load.table)
+            for alt_index, action in enumerate(load.actions):
+                driver.add_entry(load.table, [alt_index], action, [], memo=memo)
+
+        for container in self.spec.containers:
+            self._container_memos[container.register] = driver.memoize(
+                "register", container.register
+            )
+        for mirror in self.spec.mirrors.values():
+            self._mirror_readers[mirror.original] = _MirrorReader(
+                driver, mirror
+            )
+
+        alt_counts = {
+            name: len(fld.alts) for name, fld in self.spec.fields.items()
+        }
+        for name, transform in self.spec.tables.items():
+            if name in self._init_shadows:
+                continue  # managed as init shadows, not user tables
+            self._tables[name] = MalleableTableHandle(
+                driver,
+                transform,
+                active_version=lambda: self.vv,
+                memo=driver.memoize("table", name),
+                field_alt_counts=alt_counts,
+            )
+
+        self._prologue_done = True
+        self._user_init = user_init
+        if user_init is not None:
+            context = ReactionContext(self, {}, {})
+            user_init(context)
+            # Fold any user-staged configuration in atomically.
+            self._commit()
+
+    def table(self, name: str) -> MalleableTableHandle:
+        if not self._prologue_done:
+            raise AgentError("run prologue() before accessing tables")
+        if name not in self._tables:
+            raise AgentError(f"no malleable/transformed table {name!r}")
+        return self._tables[name]
+
+    # ------------------------------------------------------------------
+    # Malleable access
+
+    def _resolve_param(self, name: str) -> str:
+        if name in self.spec.values:
+            return self.spec.values[name].param
+        if name in self.spec.fields:
+            return self.spec.fields[name].param
+        raise AgentError(f"unknown malleable {name!r}")
+
+    def read_malleable(self, name: str) -> int:
+        """Last-written (staged or committed) value of a malleable.
+
+        For malleable fields this is the current alt *index*.
+        """
+        return self._param_values[self._resolve_param(name)]
+
+    def write_malleable(self, name: str, value: int) -> None:
+        """Stage a malleable update; commits at the next vv flip."""
+        param = self._resolve_param(name)
+        if name in self.spec.fields:
+            alts = self.spec.fields[name].alts
+            if not 0 <= value < len(alts):
+                raise AgentError(
+                    f"malleable field {name}: alt index {value} out of "
+                    f"range (has {len(alts)} alts)"
+                )
+        value &= (1 << self._param_width[param]) - 1
+        self._param_values[param] = value
+        table, is_master = self._param_home[param]
+        if is_master:
+            index = self._master.param_index(param)
+            self._master_staged[index] = value
+        else:
+            # Staged; the prepare write happens once per dirty init
+            # table at commit time (all staged params in one entry
+            # update, like the master's single default-action write).
+            shadow = self._init_shadows[table]
+            shadow.staged[shadow.spec.param_index(param)] = value
+            shadow.dirty = True
+
+    def shift_field(self, name: str, alt: Union[int, str]) -> None:
+        """Shift a malleable field to an alt, by index or by name."""
+        if isinstance(alt, str):
+            alts = self.spec.fields[name].alts
+            if alt not in alts:
+                raise AgentError(f"{alt!r} is not an alt of field {name!r}")
+            alt = alts.index(alt)
+        self.write_malleable(name, alt)
+
+    # ------------------------------------------------------------------
+    # Dialogue
+
+    def run_iteration(self, commit: bool = True) -> float:
+        """One dialogue iteration; returns its duration (busy time).
+
+        ``commit=False`` stops before the vv flip -- used by the
+        multi-pipeline synchronized-commit extension, which performs
+        the commits of all pipelines back to back.
+        """
+        if not self._prologue_done:
+            raise AgentError("run prologue() before the dialogue loop")
+        clock = self.driver.clock
+        start = clock.now
+
+        if self._has_measurements and self._master is not None:
+            self._write_master(mv=self.mv ^ 1)
+            self.mv ^= 1
+        checkpoint = self.mv ^ 1
+        after_flip = clock.now
+
+        poll_time = 0.0
+        for runtime in self._reactions:
+            poll_start = clock.now
+            args = self._poll_args(runtime, checkpoint)
+            poll_time += clock.now - poll_start
+            self._execute(runtime, args)
+        before_commit = clock.now
+
+        if commit:
+            self._commit()
+        self._apply_pending_swaps()
+
+        busy = clock.now - start
+        # Per-phase breakdown of this iteration (the terms of the
+        # Section 8.1 formula), for observability and the benchmarks.
+        self.last_breakdown = {
+            "mv_flip_us": after_flip - start,
+            "poll_us": poll_time,
+            "react_us": before_commit - after_flip - poll_time,
+            "commit_us": clock.now - before_commit,
+            "total_us": busy,
+        }
+        self.iterations += 1
+        self.total_busy_us += busy
+        self.iteration_durations.append(busy + self.pacing_sleep_us)
+        if len(self.iteration_durations) > 100_000:
+            del self.iteration_durations[:50_000]
+        if self.pacing_sleep_us:
+            clock.advance(self.pacing_sleep_us)
+            self.total_idle_us += self.pacing_sleep_us
+        return busy
+
+    def run(self, iterations: int) -> None:
+        for _ in range(iterations):
+            self.run_iteration()
+
+    def run_until(self, time_us: float, max_iterations: int = 10_000_000) -> int:
+        """Run dialogue iterations until the simulated clock passes
+        ``time_us``; returns the number of iterations executed."""
+        count = 0
+        while self.driver.clock.now < time_us and count < max_iterations:
+            self.run_iteration()
+            count += 1
+        return count
+
+    def commit(self) -> None:
+        """Public commit: fold staged configuration in atomically
+        (prepare + vv flip + mirror).  Used together with
+        ``run_iteration(commit=False)`` for externally coordinated
+        commit points."""
+        self._commit()
+
+    # ---- internals -----------------------------------------------------
+
+    def _write_master(
+        self,
+        vv: Optional[int] = None,
+        mv: Optional[int] = None,
+        fold_staged: bool = False,
+    ) -> None:
+        """Atomic single-entry update of the master init table.
+
+        Staged malleable values are folded in only when
+        ``fold_staged`` is set (the vv commit); the mv flip must not
+        leak configuration changes early.
+        """
+        master = self._master
+        args = list(self._master_args)
+        if fold_staged:
+            for index, value in self._master_staged.items():
+                args[index] = value
+            self._master_staged.clear()
+        args[master.param_index("vv")] = self.vv if vv is None else vv
+        args[master.param_index("mv")] = self.mv if mv is None else mv
+        self.driver.set_default(
+            master.table, master.action, args, memo=self._master_memo
+        )
+        self._master_args = args
+
+    def _commit(self) -> None:
+        """Prepare (non-master inits) + vv flip (commit) + mirror."""
+        if self._master is None:
+            return
+        # Prepare: one shadow-entry write per dirty non-master init.
+        for shadow in self._init_shadows.values():
+            if not shadow.dirty:
+                continue
+            new_args = list(shadow.args)
+            for position, value in shadow.staged.items():
+                new_args[position] = value
+            self.driver.modify_entry(
+                shadow.spec.table,
+                shadow.entry_ids[self.vv ^ 1],
+                args=new_args,
+            )
+        old_vv = self.vv
+        self._write_master(vv=self.vv ^ 1, fold_staged=True)
+        self.vv ^= 1
+        for handle in self._tables.values():
+            handle.fill_shadow(old_vv)
+        for shadow in self._init_shadows.values():
+            if not shadow.dirty:
+                continue
+            for position, value in shadow.staged.items():
+                shadow.args[position] = value
+            shadow.staged.clear()
+            shadow.dirty = False
+            self.driver.modify_entry(
+                shadow.spec.table,
+                shadow.entry_ids[old_vv],
+                args=list(shadow.args),
+            )
+
+    def _poll_args(
+        self, runtime: _ReactionRuntime, checkpoint: int
+    ) -> Dict[str, object]:
+        """Poll one reaction's parameters from the checkpoint copies."""
+        args: Dict[str, object] = {}
+        decl_args = runtime.spec.decl.args
+        container_words: Dict[str, int] = {}
+        with self.driver.batch():
+            for arg, (source, _key) in zip(decl_args, runtime.spec.arg_sources):
+                if source != "container":
+                    continue
+                container, slot = self.spec.container_for(
+                    runtime.spec.name, arg.c_name
+                )
+                if container.register not in container_words:
+                    words = self.driver.read_registers(
+                        container.register, checkpoint, checkpoint,
+                        memo=self._container_memos[container.register],
+                    )
+                    container_words[container.register] = words[0]
+                word = container_words[container.register]
+                args[arg.c_name] = (word >> slot.shift) & ((1 << slot.width) - 1)
+        for arg, (source, key) in zip(decl_args, runtime.spec.arg_sources):
+            if source == "mirror":
+                reader = self._mirror_readers[key]
+                args[arg.c_name] = reader.poll(checkpoint, arg.lo, arg.hi)
+            elif source == "mbl":
+                args[arg.c_name] = self.read_malleable(key)
+        return args
+
+    def _execute(self, runtime: _ReactionRuntime, args: Dict[str, object]) -> None:
+        if runtime.py_impl is not None:
+            context = ReactionContext(self, args, runtime.state)
+            runtime.py_impl(context)
+            return
+        if runtime.c_impl is None:
+            return
+        env = ReactionEnv(
+            args=args,
+            read_malleable=self.read_malleable,
+            write_malleable=self.write_malleable,
+            tables=self._tables,
+            externs=self.externs,
+            statics=runtime.statics,
+        )
+        runtime.c_impl.run(env)
+        # Charge simulated CPU time for the reaction logic (the "C"
+        # term of the Section 8.1 formula): ~2 ns per interpreted
+        # expression, a CPU-scale per-instruction cost.
+        self.driver.clock.advance(
+            runtime.c_impl.last_op_count * self.c_op_cost_us
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (Figure 11)
+
+    @property
+    def avg_reaction_time_us(self) -> float:
+        if not self.iteration_durations:
+            return 0.0
+        return sum(self.iteration_durations) / len(self.iteration_durations)
+
+    @property
+    def cpu_utilization(self) -> float:
+        total = self.total_busy_us + self.total_idle_us
+        return self.total_busy_us / total if total else 0.0

@@ -1,0 +1,323 @@
+"""Runtime handles for malleable entities.
+
+The compiler's generated C exposes per-malleable setter functions and
+per-table entry functions (``table_var.addEntry(...)``); these classes
+are their runtime equivalents.  The table handle owns the *user-level*
+view of a transformed table: one logical entry fans out to the
+``prod(|alts|)`` specialized concrete entries of Section 4.1, doubled
+across the two vv versions by the three-phase protocol of
+Section 5.1.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AgentError
+from repro.compiler.spec import TableTransformSpec
+from repro.switch.driver import Driver, MemoHandle
+
+
+def _full_mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _wildcard(match_type: str, width: int):
+    if match_type == "ternary":
+        return (0, 0)
+    if match_type == "lpm":
+        return (0, 0)
+    if match_type == "range":
+        return (0, _full_mask(width))
+    raise AgentError(f"cannot wildcard a {match_type} match")
+
+
+def _as_pattern(match_type: str, width: int, user_part):
+    """Convert a user key part to a concrete pattern of ``match_type``.
+
+    Exact reads that were widened to ternary accept a plain int.
+    """
+    if match_type == "exact":
+        return int(user_part)
+    if match_type == "ternary":
+        if isinstance(user_part, tuple):
+            return user_part
+        return (int(user_part), _full_mask(width))
+    if match_type in ("lpm", "range"):
+        if not isinstance(user_part, tuple):
+            if match_type == "lpm":
+                return (int(user_part), width)  # host match
+            raise AgentError("range key part must be a (lo, hi) tuple")
+        return user_part
+    if match_type == "valid":
+        return bool(user_part)
+    raise AgentError(f"unknown match type {match_type!r}")
+
+
+@dataclass
+class _UserEntry:
+    """One logical entry and its concrete handles, per vv version."""
+
+    user_id: int
+    key: Tuple
+    action: str
+    args: List[int]
+    priority: int
+    # version (0/1) -> list of concrete entry ids
+    concrete: Dict[int, List[int]] = field(default_factory=dict)
+
+
+class MalleableTableHandle:
+    """User-facing handle for a malleable (or transformed) table.
+
+    All mutating methods follow the three-phase protocol: they
+    immediately *prepare* the change against the inactive (shadow)
+    version; the agent's vv flip *commits*; :meth:`fill_shadow` then
+    *mirrors* the change into the now-inactive copy.
+
+    ``selector()`` callbacks let the handle ask the agent for the
+    current alt index of each malleable field -- needed because the
+    paper installs entries for *every* combination, so the handle
+    enumerates combinations rather than asking.
+    """
+
+    def __init__(
+        self,
+        driver: Driver,
+        transform: TableTransformSpec,
+        active_version,  # callable () -> int, the agent's committed vv
+        memo: Optional[MemoHandle] = None,
+        field_alt_counts: Optional[Dict[str, int]] = None,
+    ):
+        self.driver = driver
+        self.transform = transform
+        self.name = transform.name
+        self._active_version = active_version
+        self.memo = memo
+        self._alt_counts = dict(field_alt_counts or {})
+        self._users: Dict[int, _UserEntry] = {}
+        self._next_user_id = itertools.count(1)
+        # (op, user_id, payload) list replayed against the old copy.
+        self._pending_mirror: List[Tuple[str, int, tuple]] = []
+
+    # ---- public API (callable from C reaction bodies) ---------------------
+
+    def addEntry(self, *flat_args, **kwargs):
+        """C-style flat call: key parts, then action name, then args.
+
+        From Python, prefer :meth:`add` with explicit arguments.
+        """
+        key, action, args, priority = self._split_flat(flat_args, kwargs)
+        return self.add(key, action, args, priority)
+
+    def modEntry(self, user_id: int, *action_args, **kwargs):
+        action = kwargs.pop("action", None)
+        return self.modify(user_id, action=action, args=list(action_args) or None)
+
+    def delEntry(self, user_id: int):
+        return self.delete(user_id)
+
+    def setDefault(self, action: str, *args):
+        """Default-action updates are single atomic ops; applied directly."""
+        self.driver.set_default(self.name, action, list(args), memo=self.memo)
+
+    # ---- python API -------------------------------------------------------
+
+    def add(
+        self,
+        key: Sequence,
+        action: str,
+        args: Sequence[int] = (),
+        priority: int = 0,
+    ) -> int:
+        """Prepare a logical entry; visible after the next vv commit."""
+        expected = len(self.transform.reads)
+        if len(key) != expected:
+            raise AgentError(
+                f"table {self.name}: expected {expected} user key parts, "
+                f"got {len(key)}"
+            )
+        user = _UserEntry(
+            next(self._next_user_id), tuple(key), action, list(args), priority
+        )
+        shadow = self._shadow_version()
+        user.concrete[shadow] = self._install(user, shadow)
+        self._users[user.user_id] = user
+        self._pending_mirror.append(("add", user.user_id, ()))
+        return user.user_id
+
+    def modify(
+        self,
+        user_id: int,
+        action: Optional[str] = None,
+        args: Optional[Sequence[int]] = None,
+    ) -> None:
+        user = self._get(user_id)
+        if action is not None and action != user.action:
+            # Changing the action can change specialization; reinstall.
+            shadow = self._shadow_version()
+            for concrete_id in user.concrete.get(shadow, []):
+                self.driver.delete_entry(self.name, concrete_id, memo=self.memo)
+            user.action = action
+            if args is not None:
+                user.args = list(args)
+            user.concrete[shadow] = self._install(user, shadow)
+            self._pending_mirror.append(("reinstall", user_id, ()))
+            return
+        if args is not None:
+            user.args = list(args)
+        shadow = self._shadow_version()
+        resolved_args = list(user.args)
+        for concrete_id in user.concrete.get(shadow, []):
+            self.driver.modify_entry(
+                self.name, concrete_id, args=resolved_args, memo=self.memo
+            )
+        self._pending_mirror.append(("modify", user_id, ()))
+
+    def delete(self, user_id: int) -> None:
+        user = self._get(user_id)
+        shadow = self._shadow_version()
+        for concrete_id in user.concrete.pop(shadow, []):
+            self.driver.delete_entry(self.name, concrete_id, memo=self.memo)
+        self._pending_mirror.append(("delete", user_id, ()))
+
+    def fill_shadow(self, old_version: int) -> None:
+        """Mirror phase: replay committed changes onto the now-shadow
+        ``old_version`` copies.  Called by the agent after the vv flip."""
+        for op, user_id, _payload in self._pending_mirror:
+            user = self._users.get(user_id)
+            if op == "add":
+                user.concrete[old_version] = self._install(user, old_version)
+            elif op == "modify":
+                for concrete_id in user.concrete.get(old_version, []):
+                    self.driver.modify_entry(
+                        self.name, concrete_id, args=list(user.args),
+                        memo=self.memo,
+                    )
+            elif op == "reinstall":
+                for concrete_id in user.concrete.get(old_version, []):
+                    self.driver.delete_entry(
+                        self.name, concrete_id, memo=self.memo
+                    )
+                user.concrete[old_version] = self._install(user, old_version)
+            elif op == "delete":
+                for concrete_id in user.concrete.pop(old_version, []):
+                    self.driver.delete_entry(
+                        self.name, concrete_id, memo=self.memo
+                    )
+                if not user.concrete:
+                    self._users.pop(user_id, None)
+        self._pending_mirror.clear()
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._pending_mirror)
+
+    def user_entry_count(self) -> int:
+        return len(self._users)
+
+    # ---- concrete-entry expansion -----------------------------------------
+
+    def _shadow_version(self) -> int:
+        return self._active_version() ^ 1
+
+    def _get(self, user_id: int) -> _UserEntry:
+        if user_id not in self._users:
+            raise AgentError(f"table {self.name}: no user entry #{user_id}")
+        return self._users[user_id]
+
+    def _involved_fields(self, action: str) -> List[str]:
+        """Malleable fields whose alts this entry must enumerate."""
+        fields = [
+            r.field_name for r in self.transform.reads if r.kind == "mbl"
+        ]
+        specialization = self.transform.actions.get(action)
+        if specialization:
+            for name in specialization.fields:
+                if name not in fields:
+                    fields.append(name)
+        return fields
+
+    def _alt_count(self, field_name: str) -> int:
+        for read in self.transform.reads:
+            if read.kind == "mbl" and read.field_name == field_name:
+                return read.alt_count
+        if field_name in self._alt_counts:
+            return self._alt_counts[field_name]
+        raise AgentError(
+            f"table {self.name}: unknown alt count for field {field_name!r}"
+        )
+
+    def _install(self, user: _UserEntry, version: int) -> List[int]:
+        """Install all concrete entries for one user entry at ``version``."""
+        fields = self._involved_fields(user.action)
+        combos = itertools.product(
+            *[range(self._alt_count(name)) for name in fields]
+        ) if fields else [()]
+        concrete_ids = []
+        for combo in combos:
+            assignment = dict(zip(fields, combo))
+            key, action = self._concrete_key(user, assignment, version)
+            concrete_ids.append(
+                self.driver.add_entry(
+                    self.name, key, action, user.args,
+                    priority=user.priority, memo=self.memo,
+                )
+            )
+        return concrete_ids
+
+    def _concrete_key(
+        self, user: _UserEntry, assignment: Dict[str, int], version: int
+    ) -> Tuple[List, str]:
+        total = self.transform.total_key_parts
+        key: List = [None] * total
+        for read, user_part in zip(self.transform.reads, user.key):
+            if read.kind == "plain":
+                key[read.positions[0]] = _as_pattern(
+                    read.match_type, read.width, user_part
+                )
+            else:
+                chosen = assignment[read.field_name]
+                for alt_index, position in enumerate(read.positions):
+                    if alt_index == chosen:
+                        key[position] = _as_pattern(
+                            read.match_type, read.width, user_part
+                        )
+                    else:
+                        key[position] = _wildcard(read.match_type, read.width)
+                key[read.selector_position] = chosen
+        for field_name, position in self.transform.action_selectors.items():
+            key[position] = assignment[field_name]
+        if self.transform.vv_position >= 0:
+            key[self.transform.vv_position] = version
+        if any(part is None for part in key):
+            raise AgentError(
+                f"table {self.name}: incomplete concrete key {key}"
+            )
+        action = user.action
+        specialization = self.transform.actions.get(user.action)
+        if specialization:
+            combo = tuple(assignment[f] for f in specialization.fields)
+            action = specialization.variant(combo)
+        return key, action
+
+    def _split_flat(self, flat_args, kwargs):
+        """Split a C-style flat argument list into (key, action, args)."""
+        key_len = len(self.transform.reads)
+        if len(flat_args) < key_len + 1:
+            raise AgentError(
+                f"table {self.name}.addEntry: need {key_len} key parts "
+                "plus an action name"
+            )
+        key = flat_args[:key_len]
+        action = flat_args[key_len]
+        if not isinstance(action, str):
+            raise AgentError(
+                f"table {self.name}.addEntry: argument {key_len} must be "
+                "the action name"
+            )
+        args = list(flat_args[key_len + 1 :])
+        priority = kwargs.pop("priority", 0)
+        return key, action, args, priority

@@ -1,0 +1,120 @@
+"""Concurrent legacy control-plane model (Figure 12).
+
+Section 6: "due to the poll-based and single-threaded nature of the
+Mantis agent, at most one reaction is active at any time.  Thus, the
+CPU-ASIC interactions of a legacy application will only need to queue
+behind at most one set of operations from Mantis."
+
+The driver serializes all operations, so legacy interference is a
+queueing effect.  :class:`LegacyClient` computes legacy update
+latencies offline from the recorded Mantis operation timeline: each
+legacy update arriving at time ``t`` waits for any in-flight Mantis
+operation, then executes.  This keeps the main dialogue loop single
+threaded (as in the paper) while still reproducing the bimodal
+distribution of Figure 12.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.switch.driver import Driver, DriverCostModel, OpRecord
+
+
+def legacy_latencies(
+    timeline: Sequence[OpRecord],
+    arrival_times: Sequence[float],
+    op_cost_us: float,
+) -> List[float]:
+    """Latency of each legacy update given the Mantis op timeline.
+
+    A legacy op arriving at ``t`` starts at the later of ``t``, the end
+    of any Mantis op whose *device-exclusive* window is open at ``t``,
+    and the completion of the previous legacy op; it then runs for
+    ``op_cost_us``.  (Software prep and PCIe transfers are pipelined
+    per requester, so only the device window blocks.)
+    """
+    starts = [op.excl_start_us for op in timeline]
+    previous_done = 0.0
+    latencies: List[float] = []
+    for arrival in arrival_times:
+        begin = max(arrival, previous_done)
+        # Find the Mantis op (if any) holding the device at `begin`.
+        index = bisect.bisect_right(starts, begin) - 1
+        if index >= 0 and timeline[index].excl_end_us > begin:
+            begin = timeline[index].excl_end_us
+        done = begin + op_cost_us
+        previous_done = done
+        latencies.append(done - arrival)
+    return latencies
+
+
+@dataclass
+class LegacyStats:
+    median_us: float
+    p99_us: float
+    mean_us: float
+
+    @staticmethod
+    def from_latencies(latencies: Sequence[float]) -> "LegacyStats":
+        ordered = sorted(latencies)
+        count = len(ordered)
+        if count == 0:
+            return LegacyStats(0.0, 0.0, 0.0)
+        return LegacyStats(
+            median_us=ordered[count // 2],
+            p99_us=ordered[min(count - 1, int(count * 0.99))],
+            mean_us=sum(ordered) / count,
+        )
+
+
+class LegacyClient:
+    """A legacy control-plane application submitting a continuous
+    stream of table entry updates (the Figure 12 workload)."""
+
+    def __init__(
+        self,
+        driver: Driver,
+        interval_us: float,
+        model: DriverCostModel = None,
+    ):
+        self.driver = driver
+        self.interval_us = interval_us
+        model = model or driver.model
+        # A legacy update is an un-memoized single table modify.
+        self.op_cost_us = (
+            model.pcie_rtt_us + model.op_prep_us + model.table_modify_us
+        )
+
+    def arrivals(self, start_us: float, end_us: float) -> List[float]:
+        """Deterministic arrival schedule over a window."""
+        times = []
+        t = start_us
+        while t < end_us:
+            times.append(t)
+            t += self.interval_us
+        return times
+
+    def latencies_with_mantis(
+        self, start_us: float, end_us: float
+    ) -> List[float]:
+        """Latencies when contending with the recorded Mantis ops."""
+        window = [
+            op
+            for op in self.driver.timeline
+            if op.channel == "mantis" and op.end_us > start_us
+            and op.start_us < end_us
+        ]
+        return legacy_latencies(
+            window, self.arrivals(start_us, end_us), self.op_cost_us
+        )
+
+    def latencies_without_mantis(
+        self, start_us: float, end_us: float
+    ) -> List[float]:
+        """Baseline: the same schedule with no Mantis contention."""
+        return legacy_latencies(
+            [], self.arrivals(start_us, end_us), self.op_cost_us
+        )

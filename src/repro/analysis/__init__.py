@@ -1,0 +1,21 @@
+"""Analysis helpers: resource accounting, the Section 8.1 cost model,
+and small statistics used by the use cases and benchmarks."""
+
+from repro.analysis.costmodel import (
+    predict_measurement_us,
+    predict_reaction_time_us,
+    predict_update_us,
+)
+from repro.analysis.resources import ResourceReport, resource_report
+from repro.analysis.stats import mad, median, percentile
+
+__all__ = [
+    "ResourceReport",
+    "mad",
+    "median",
+    "percentile",
+    "predict_measurement_us",
+    "predict_reaction_time_us",
+    "predict_update_us",
+    "resource_report",
+]

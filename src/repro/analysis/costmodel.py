@@ -1,0 +1,117 @@
+"""The Section 8.1 reaction-time cost model.
+
+The paper models total reaction latency as::
+
+    F_10b(1 tblMod) + sum_args F_10a(a) + C
+      + sum_tblMods 2 * F_10b(t) + 2 * F_10b(N_init - 1) + F_10b(1 tblMod)
+
+where ``F_10a``/``F_10b`` are the measurement/update latency curves of
+Figure 10, ``C`` is the reaction body's execution time, and ``N_init``
+the number of init tables.  The terms are: the mv flip, argument
+polling, reaction logic, prepare+mirror for each table modification,
+prepare+mirror for the extra init tables, and the vv commit.
+
+These predictors are exercised against the *measured* latencies of the
+agent in ``benchmarks/test_fig10_*`` -- the model and the
+implementation must agree, as they do in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.spec import ControlPlaneSpec
+from repro.switch.driver import DriverCostModel
+
+
+def predict_measurement_us(
+    model: DriverCostModel,
+    containers: int = 0,
+    register_entries: int = 0,
+    register_width_bits: int = 32,
+    register_arrays: int = 0,
+    memoized: bool = True,
+) -> float:
+    """F_10a: latency of polling reaction arguments.
+
+    ``containers`` packed field-argument registers (one op each, they
+    are distinct arrays), plus ``register_arrays`` user register
+    mirrors each burst-reading ``register_entries`` entries of value +
+    timestamp.
+    """
+    prep = model.memoized_prep_us if memoized else model.op_prep_us
+    total = 0.0
+    if containers:
+        # One batched PCIe transaction for all containers.
+        total += model.pcie_rtt_us
+        total += containers * (prep + model.register_read_cost(1, 32))
+    for _ in range(register_arrays):
+        total += model.pcie_rtt_us  # value + ts reads share a batch
+        total += 2 * (
+            prep
+            + model.register_read_cost(register_entries, register_width_bits)
+        )
+    return total
+
+
+def predict_update_us(
+    model: DriverCostModel,
+    scalar_updates: int = 0,
+    table_entry_mods: int = 0,
+    memoized: bool = True,
+) -> float:
+    """F_10b: latency of applying updates (no isolation protocol).
+
+    Any number of scalar malleable updates cost one init-table write;
+    table entry modifications are linear.
+    """
+    prep = model.memoized_prep_us if memoized else model.op_prep_us
+    total = 0.0
+    if scalar_updates:
+        total += model.pcie_rtt_us + prep + model.table_set_default_us
+    total += table_entry_mods * (
+        model.pcie_rtt_us + prep + model.table_modify_us
+    )
+    return total
+
+
+def predict_reaction_time_us(
+    model: DriverCostModel,
+    spec: ControlPlaneSpec,
+    reaction_name: str,
+    reaction_logic_us: float = 0.0,
+    table_entry_mods: int = 0,
+) -> float:
+    """End-to-end iteration latency for one reaction, per the
+    Section 8.1 formula."""
+    reaction = spec.reactions[reaction_name]
+    containers = set()
+    register_terms = 0.0
+    for arg, (source, key) in zip(reaction.decl.args, reaction.arg_sources):
+        if source == "container":
+            container, _slot = spec.container_for(reaction_name, arg.c_name)
+            containers.add(container.register)
+        elif source == "mirror":
+            mirror = spec.mirrors[key]
+            register_terms += predict_measurement_us(
+                model,
+                register_entries=arg.entry_count,
+                register_width_bits=mirror.width,
+                register_arrays=1,
+            )
+    measurement = predict_measurement_us(model, containers=len(containers))
+    measurement += register_terms
+
+    n_init = max(1, len(spec.init_tables))
+    mv_flip = predict_update_us(model, scalar_updates=1)
+    vv_commit = predict_update_us(model, scalar_updates=1)
+    table_mods = 2 * predict_update_us(model, table_entry_mods=table_entry_mods)
+    extra_inits = 2 * predict_update_us(model, table_entry_mods=n_init - 1)
+    return (
+        mv_flip
+        + measurement
+        + reaction_logic_us
+        + table_mods
+        + extra_inits
+        + vv_commit
+    )

@@ -1,0 +1,201 @@
+"""Switch resource accounting (Table 1 and Figure 13).
+
+Computes, for a compiled program (optionally with installed entries):
+
+- **stages**: a greedy dependency-based stage assignment -- a table
+  must be in a later stage than any earlier table that writes a field
+  it reads or writes (the RMT constraint);
+- **tables** / **registers** counts;
+- **SRAM**: exact-match table capacity (key + action bits) plus
+  register storage;
+- **TCAM**: capacity of tables with ternary/lpm/range reads;
+- **metadata bits**: width of the generated ``p4r_meta_t_`` fields.
+
+Table 1 reports *marginal* numbers over a basic router; use
+:func:`resource_report` on both programs and subtract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.p4 import ast
+from repro.switch.asic import SwitchAsic
+
+# Primitives whose first argument is a written field.
+_WRITES_FIRST = {
+    "modify_field", "add", "subtract", "bit_and", "bit_or", "bit_xor",
+    "shift_left", "shift_right", "min", "max", "add_to_field",
+    "subtract_from_field", "register_read",
+    "modify_field_with_hash_based_offset", "modify_field_rng_uniform",
+}
+
+
+@dataclass
+class ResourceReport:
+    stages: int = 0
+    tables: int = 0
+    registers: int = 0
+    sram_bytes: int = 0
+    tcam_bytes: int = 0
+    metadata_bits: int = 0
+    actions: int = 0
+
+    def minus(self, baseline: "ResourceReport") -> "ResourceReport":
+        """Marginal cost over a baseline program (Table 1 style)."""
+        return ResourceReport(
+            stages=self.stages - baseline.stages,
+            tables=self.tables - baseline.tables,
+            registers=self.registers - baseline.registers,
+            sram_bytes=self.sram_bytes - baseline.sram_bytes,
+            tcam_bytes=self.tcam_bytes - baseline.tcam_bytes,
+            metadata_bits=self.metadata_bits - baseline.metadata_bits,
+            actions=self.actions - baseline.actions,
+        )
+
+    def row(self) -> str:
+        """Formatted like a Table 1 row."""
+        return (
+            f"stages={self.stages} tables={self.tables} "
+            f"regs={self.registers} SRAM={self.sram_bytes / 1024:.2f}KB "
+            f"TCAM={self.tcam_bytes / 1024:.2f}KB "
+            f"metadata={self.metadata_bits}b"
+        )
+
+
+def _fields_written_by_action(
+    program: ast.Program, action: ast.ActionDecl
+) -> Set[str]:
+    written = set()
+    for call in action.body:
+        if call.name in _WRITES_FIRST and call.args:
+            dst = call.args[0]
+            if isinstance(dst, ast.FieldRef):
+                written.add(str(dst))
+    return written
+
+
+def _fields_read_by_table(
+    program: ast.Program, table: ast.TableDecl
+) -> Set[str]:
+    reads = set()
+    for read in table.reads:
+        if isinstance(read.ref, ast.FieldRef):
+            reads.add(str(read.ref))
+    for action_name in table.action_names:
+        action = program.actions.get(action_name)
+        if action is None:
+            continue
+        for call in action.body:
+            for arg in call.args:
+                if isinstance(arg, ast.FieldRef):
+                    reads.add(str(arg))
+    return reads
+
+
+def _stage_assignment(program: ast.Program, control_name: str) -> int:
+    """Greedy per-control stage count with write->read dependencies."""
+    if control_name not in program.controls:
+        return 0
+    table_stage: Dict[str, int] = {}
+    # field -> latest stage in which it is written
+    last_write_stage: Dict[str, int] = {}
+    max_stage = 0
+    for table_name in program.controls[control_name].applied_tables():
+        table = program.tables[table_name]
+        if table_name in table_stage:
+            continue  # re-application shares the earlier placement
+        reads = _fields_read_by_table(program, table)
+        writes: Set[str] = set()
+        for action_name in table.action_names:
+            action = program.actions.get(action_name)
+            if action is not None:
+                writes |= _fields_written_by_action(program, action)
+        depends_on = max(
+            (
+                last_write_stage.get(field_name, 0)
+                for field_name in reads | writes
+            ),
+            default=0,
+        )
+        stage = depends_on + 1
+        table_stage[table_name] = stage
+        for field_name in writes:
+            last_write_stage[field_name] = stage
+        max_stage = max(max_stage, stage)
+    return max_stage
+
+
+def _table_capacity(table: ast.TableDecl, installed: Optional[int]) -> int:
+    if table.size is not None:
+        return table.size
+    if installed:
+        return installed
+    return 1
+
+
+def resource_report(
+    program: ast.Program,
+    asic: Optional[SwitchAsic] = None,
+    action_data_bits: int = 32,
+) -> ResourceReport:
+    """Account one (compiled, plain-P4) program's resource usage.
+
+    Pass the running ``asic`` to use live entry counts for tables
+    without a declared ``size``.
+    """
+    report = ResourceReport()
+    report.tables = len(program.tables)
+    report.registers = len(program.registers) + len(program.counters)
+    report.actions = len(program.actions)
+
+    for register in program.registers.values():
+        report.sram_bytes += (
+            (register.width + 7) // 8 * register.instance_count
+        )
+    for counter in program.counters.values():
+        report.sram_bytes += 8 * counter.instance_count
+
+    for table in program.tables.values():
+        installed = None
+        if asic is not None and table.name in asic.tables:
+            installed = asic.tables[table.name].entry_count
+        capacity = _table_capacity(table, installed)
+        key_bits = 0
+        for read in table.reads:
+            if read.match_type is ast.MatchType.VALID:
+                key_bits += 1
+            elif isinstance(read.ref, ast.FieldRef):
+                key_bits += program.field_width(read.ref)
+        entry_bits = key_bits + action_data_bits
+        if table.is_ternary():
+            # TCAM stores value+mask per key bit.
+            report.tcam_bytes += capacity * (2 * key_bits + action_data_bits) // 8
+        else:
+            report.sram_bytes += capacity * entry_bits // 8
+
+    meta = program.header_types.get("p4r_meta_t_")
+    if meta is not None:
+        report.metadata_bits = meta.total_width
+
+    report.stages = _stage_assignment(program, "ingress") + _stage_assignment(
+        program, "egress"
+    )
+    return report
+
+
+def tcam_bytes_for_table(
+    program: ast.Program, asic: SwitchAsic, table_name: str
+) -> int:
+    """TCAM bytes of one table with its *installed* entries (used by
+    the Figure 13 sweep, where occupancy is the independent variable)."""
+    table = program.tables[table_name]
+    runtime = asic.tables[table_name]
+    key_bits = 0
+    for read in table.reads:
+        if read.match_type is ast.MatchType.VALID:
+            key_bits += 1
+        elif isinstance(read.ref, ast.FieldRef):
+            key_bits += program.field_width(read.ref)
+    return runtime.entry_count * (2 * key_bits) // 8

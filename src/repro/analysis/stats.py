@@ -1,0 +1,57 @@
+"""Small statistics used by use cases and benchmarks.
+
+The hash-polarization use case computes the Median Absolute Deviation
+(MAD) of port utilizations -- cheap on a CPU, notoriously hard in a
+switch pipeline (Section 8.3.3's motivation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; the average of the middle pair for even lengths."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median Absolute Deviation: median(|x - median(x)|)."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def mean_absolute_deviation(values: Sequence[float]) -> float:
+    """Mean absolute deviation around the median.
+
+    The paper calls its imbalance statistic "MAD" but cites an online
+    *mean*-absolute-deviation algorithm [38]; for small port counts the
+    median-of-deviations degenerates (one hot port out of four gives
+    exactly 0), so the mean-of-deviations is the usable robust spread.
+    """
+    center = median(values)
+    deviations = [abs(v - center) for v in values]
+    return sum(deviations) / len(deviations)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,218 @@
+"""Use case #1: flow-size estimation and DoS mitigation (Section 8.3.1).
+
+The setup mirrors Poseidon's per-sender statistics and rate-limiting
+defense:
+
+- the data plane exports the current packet's source IP (an ``ing``
+  field argument) and a running total byte counter (a ``reg``
+  argument);
+- the reaction attributes the marginal byte-count increase to the
+  sampled source, estimates its rate as (bytes so far) / (now - first
+  seen), and blocks senders exceeding a threshold after a minimum
+  observation duration;
+- blocking installs a drop rule into the malleable ``blocklist``
+  table through the three-phase protocol, so mitigation is atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.agent.agent import ReactionContext
+from repro.net.sim import NetworkSim, PortConfig
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+DOS_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; proto : 8; }
+}
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; } }
+header tcp_t tcp;
+header_type acct_t { fields { total : 32; } }
+metadata acct_t acct;
+
+register total_bytes { width : 32; instance_count : 1; }
+
+action allow() { no_op(); }
+action block() { drop(); }
+
+malleable table blocklist {
+    reads { ipv4.srcAddr : exact; }
+    actions { allow; block; }
+    default_action : allow();
+    size : 1024;
+}
+
+action account() {
+    register_read(acct.total, total_bytes, 0);
+    add(acct.total, acct.total, standard_metadata.packet_length);
+    register_write(total_bytes, 0, acct.total);
+}
+table accounting {
+    actions { account; }
+    default_action : account();
+}
+
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 256;
+}
+
+control ingress {
+    apply(blocklist);
+    apply(accounting);
+    apply(route);
+}
+
+reaction estimate_and_block(ing ipv4.srcAddr, reg total_bytes[0:0]) {
+    // Body implemented host-side (attached as a Python callable, the
+    // reproduction's equivalent of the paper's dynamically loaded C):
+    // it needs a growable hash table of sources.
+}
+"""
+
+
+@dataclass
+class SenderStats:
+    first_seen_us: float
+    bytes_attributed: int = 0
+    blocked: bool = False
+
+    def rate_gbps(self, now_us: float) -> float:
+        elapsed = now_us - self.first_seen_us
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_attributed * 8 / (elapsed * 1000.0)
+
+
+class DosMitigationApp:
+    """Wires the DoS P4R program to its reaction and exposes the
+    per-sender estimates."""
+
+    def __init__(
+        self,
+        system: Optional[MantisSystem] = None,
+        threshold_gbps: float = 1.0,
+        min_duration_us: float = 20.0,
+        num_ports: int = 64,
+    ):
+        self.system = system or MantisSystem.from_source(
+            DOS_P4R, num_ports=num_ports
+        )
+        self.threshold_gbps = threshold_gbps
+        self.min_duration_us = min_duration_us
+        self.senders: Dict[int, SenderStats] = {}
+        self.block_times: Dict[int, float] = {}
+        self._prev_total = 0
+        self._wrap_mask = (1 << 32) - 1
+        self.samples = 0
+
+        self.system.agent.attach_python(
+            "estimate_and_block", self._reaction
+        )
+
+    def prologue(self) -> None:
+        self.system.agent.prologue()
+
+    def add_route(self, dst_addr: int, port: int) -> None:
+        self.system.driver.add_entry("route", [dst_addr], "forward", [port])
+
+    def estimate(self, src_addr: int) -> int:
+        stats = self.senders.get(src_addr)
+        return stats.bytes_attributed if stats else 0
+
+    def is_blocked(self, src_addr: int) -> bool:
+        stats = self.senders.get(src_addr)
+        return bool(stats and stats.blocked)
+
+    # ---- the reaction ------------------------------------------------------
+
+    def _reaction(self, ctx: ReactionContext) -> None:
+        src = ctx.args["ipv4_srcAddr"]
+        total = ctx.args["total_bytes"][0]
+        self.samples += 1
+        marginal = (total - self._prev_total) & self._wrap_mask
+        self._prev_total = total
+        if src == 0 or marginal == 0:
+            return
+        stats = self.senders.get(src)
+        if stats is None:
+            stats = SenderStats(first_seen_us=ctx.now)
+            self.senders[src] = stats
+        stats.bytes_attributed += marginal
+        if stats.blocked:
+            return
+        age = ctx.now - stats.first_seen_us
+        if age < self.min_duration_us:
+            return
+        if stats.rate_gbps(ctx.now) > self.threshold_gbps:
+            ctx.table("blocklist").add([src], "block")
+            stats.blocked = True
+            self.block_times[src] = ctx.now
+
+
+def build_dos_scenario(
+    n_benign: int = 25,
+    benign_rate_gbps: float = 0.08,
+    attack_rate_gbps: float = 25.0,
+    bottleneck_gbps: float = 10.0,
+    threshold_gbps: float = 1.0,
+    queue_pkts: int = 96,
+    min_duration_us: float = 300.0,
+):
+    """Build the Figure 15 topology: ``n_benign`` TCP senders plus one
+    UDP flooder sharing a bottleneck to a common destination.
+
+    Benign flows are application-paced to ``benign_rate_gbps`` each
+    (low-rate flows at microsecond RTTs cannot be window-limited below
+    one packet per RTT).  The paper uses 250 flows at 20% of 10 Gbps;
+    scale ``n_benign`` up for the full-size run.
+    """
+    from repro.net.hosts import UdpSender
+    from repro.net.tcp import TcpFlow, TcpSink
+
+    app = DosMitigationApp(
+        threshold_gbps=threshold_gbps,
+        min_duration_us=min_duration_us,
+        num_ports=n_benign + 8,
+    )
+    sim = NetworkSim(app.system)
+    dst_port = 1
+    sim.configure_port(
+        dst_port,
+        PortConfig(bandwidth_gbps=bottleneck_gbps, queue_capacity_pkts=queue_pkts),
+    )
+    dst_addr = 0x0A00FFFF
+    app.add_route(dst_addr, dst_port)
+
+    sink = TcpSink("victim")
+    sim.attach_host(sink, dst_port)
+
+    flows = []
+    for index in range(n_benign):
+        src_addr = 0x0A000001 + index
+        # One 1500 B packet per pace interval = the target flow rate.
+        pace_us = 1500 * 8 / (benign_rate_gbps * 1000.0)
+        flow = TcpFlow(
+            f"benign{index}",
+            {"ipv4.srcAddr": src_addr, "ipv4.dstAddr": dst_addr},
+            pace_interval_us=pace_us,
+        )
+        sink.register_flow(src_addr, flow)
+        sim.attach_host(flow, 2 + index)
+        flows.append(flow)
+
+    attacker = UdpSender(
+        "attacker",
+        {"ipv4.srcAddr": 0x0AFF0001, "ipv4.dstAddr": dst_addr},
+        rate_gbps=attack_rate_gbps,
+    )
+    sim.attach_host(attacker, 2 + n_benign)
+    return app, sim, flows, sink, attacker

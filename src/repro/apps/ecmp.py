@@ -1,0 +1,219 @@
+"""Use case #3: hash-polarization mitigation (Section 8.3.3).
+
+The ECMP hash inputs are malleable fields, each a runtime-shiftable
+reference into the packet headers (the compiler lowers them with the
+load-in-prior-stage optimization since they feed a ``field_list``).
+The reaction polls per-egress packet counters, computes the Median
+Absolute Deviation (MAD) of the per-port loads -- cheap on the CPU,
+painful in a pipeline -- and, when imbalance persists, shifts the hash
+inputs to the next configuration.
+
+The demonstration workload is adversarially polarized: the initial
+hash input is a header field that is constant across flows, so every
+flow lands in one bucket; shifting to a varying field restores balance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.agent.agent import ReactionContext
+from repro.analysis.stats import mean, mean_absolute_deviation
+from repro.net.sim import NetworkSim
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+NUM_PATHS = 4
+
+ECMP_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; proto : 8; }
+}
+header ipv4_t ipv4;
+header_type l4_t { fields { sport : 16; dport : 16; } }
+header l4_t l4;
+header_type lb_t { fields { bucket : 16; cnt : 32; } }
+metadata lb_t lb;
+
+register egr_count { width : 32; instance_count : 16; }
+
+malleable field hash_in1 {
+    width : 32; init : ipv4.dstAddr;
+    alts { ipv4.dstAddr, ipv4.srcAddr }
+}
+malleable field hash_in2 {
+    width : 32; init : ipv4.proto;
+    alts { ipv4.proto, l4.sport, l4.dport }
+}
+
+field_list lb_fl { ${hash_in1}; ${hash_in2}; }
+field_list_calculation lb_hash {
+    input { lb_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+action pick_path() {
+    modify_field_with_hash_based_offset(lb.bucket, 0, lb_hash, 4);
+}
+table ecmp_hash {
+    actions { pick_path; }
+    default_action : pick_path();
+}
+
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table ecmp_select {
+    reads { lb.bucket : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 8;
+}
+
+action count_egress() {
+    register_read(lb.cnt, egr_count, standard_metadata.egress_port);
+    add(lb.cnt, lb.cnt, 1);
+    register_write(egr_count, standard_metadata.egress_port, lb.cnt);
+}
+table egress_counter {
+    actions { count_egress; }
+    default_action : count_egress();
+}
+
+control ingress {
+    apply(ecmp_hash);
+    apply(ecmp_select);
+}
+control egress {
+    apply(egress_counter);
+}
+
+reaction lb_watch(reg egr_count[0:15]) {
+    // Host-side implementation: MAD over port marginals + shifting.
+}
+"""
+
+
+@dataclass
+class BalanceSample:
+    time_us: float
+    marginals: List[int]
+    imbalance: float
+
+
+class HashPolarizationApp:
+    """MAD-driven runtime reconfiguration of the ECMP hash inputs."""
+
+    def __init__(
+        self,
+        imbalance_threshold: float = 0.5,
+        persistence: int = 3,
+        min_window_packets: int = 8,
+        system: Optional[MantisSystem] = None,
+        num_ports: int = 64,
+    ):
+        self.system = system or MantisSystem.from_source(
+            ECMP_P4R, num_ports=num_ports
+        )
+        self.imbalance_threshold = imbalance_threshold
+        self.persistence = persistence
+        self.min_window_packets = min_window_packets
+        self.watched_ports = list(range(NUM_PATHS))
+        self._prev_counts: Dict[int, int] = {}
+        self._bad_iterations = 0
+        self.samples: List[BalanceSample] = []
+        self.shift_times: List[float] = []
+        spec = self.system.spec
+        alts1 = len(spec.fields["hash_in1"].alts)
+        alts2 = len(spec.fields["hash_in2"].alts)
+        self.configs = list(itertools.product(range(alts1), range(alts2)))
+        self.config_index = 0
+        self.system.agent.attach_python("lb_watch", self._reaction)
+
+    def prologue(self) -> None:
+        agent = self.system.agent
+        agent.prologue()
+        for bucket in range(NUM_PATHS):
+            self.system.driver.add_entry(
+                "ecmp_select", [bucket], "forward", [self.watched_ports[bucket]]
+            )
+        agent.run_iteration()
+
+    # ---- the reaction ---------------------------------------------------------
+
+    def _reaction(self, ctx: ReactionContext) -> None:
+        counts = ctx.args["egr_count"]
+        marginals = []
+        for port in self.watched_ports:
+            current = counts.get(port, 0)
+            marginals.append(
+                (current - self._prev_counts.get(port, 0)) & 0xFFFFFFFF
+            )
+            self._prev_counts[port] = current
+        window_total = sum(marginals)
+        if window_total < self.min_window_packets:
+            return
+        average = mean(marginals)
+        imbalance = (
+            mean_absolute_deviation(marginals) / average if average else 0.0
+        )
+        self.samples.append(BalanceSample(ctx.now, marginals, imbalance))
+        if imbalance > self.imbalance_threshold:
+            self._bad_iterations += 1
+        else:
+            self._bad_iterations = 0
+        if self._bad_iterations >= self.persistence:
+            self._shift(ctx)
+            self._bad_iterations = 0
+
+    def _shift(self, ctx: ReactionContext) -> None:
+        """Advance to the next hash-input configuration."""
+        self.config_index = (self.config_index + 1) % len(self.configs)
+        alt1, alt2 = self.configs[self.config_index]
+        ctx.write("hash_in1", alt1)
+        ctx.write("hash_in2", alt2)
+        self.shift_times.append(ctx.now)
+
+    # ---- metrics -----------------------------------------------------------------
+
+    def recent_imbalance(self, samples: int = 5) -> float:
+        if not self.samples:
+            return 0.0
+        window = self.samples[-samples:]
+        return mean([s.imbalance for s in window])
+
+
+def build_polarized_scenario(
+    n_flows: int = 32, rate_gbps_per_flow: float = 0.4
+):
+    """Flows with varying srcAddr/sport but a single dstAddr -- the
+    initial (dstAddr, proto) hash config polarizes them all onto one
+    path."""
+    from repro.net.hosts import SinkHost, UdpSender
+
+    app = HashPolarizationApp()
+    sim = NetworkSim(app.system)
+    sinks = []
+    for path in range(NUM_PATHS):
+        sink = SinkHost(f"path{path}")
+        sim.attach_host(sink, path)
+        sinks.append(sink)
+    senders = []
+    for index in range(n_flows):
+        sender = UdpSender(
+            f"flow{index}",
+            {
+                "ipv4.srcAddr": 0x0A000001 + index * 7919,
+                "ipv4.dstAddr": 0x0B000001,
+                "ipv4.proto": 6,
+                "l4.sport": 1000 + index * 13,
+                "l4.dport": 443,
+            },
+            rate_gbps=rate_gbps_per_flow,
+            size_bytes=1000,
+        )
+        sim.attach_host(sender, NUM_PATHS + index)
+        senders.append(sender)
+    return app, sim, senders, sinks

@@ -1,0 +1,212 @@
+"""Use case #4: reinforcement learning in the reaction loop
+(Section 8.3.4).
+
+The DCTCP ECN marking threshold is a malleable value; the egress
+pipeline marks packets whose queue depth exceeds it.  Each dialogue
+iteration the agent:
+
+1. measures state ``s_i`` (discretized queue depth) from polled
+   registers,
+2. receives reward ``r_i = utilization - lambda * queue_depth``
+   computed from a per-port packet counter and the depth register,
+3. updates ``Q(s, a)`` with off-policy TD (Q-learning, per Sutton &
+   Barto), and
+4. picks the next threshold with an epsilon-greedy policy and writes
+   it to the malleable value.
+
+As the paper notes, the point is not this particular model but that a
+feedback loop with arbitrary CPU-side computation (here a Q table;
+easily a neural network) fits the reaction abstraction directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.agent.agent import ReactionContext
+from repro.net.sim import NetworkSim, PortConfig
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+RL_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; } }
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; } }
+header tcp_t tcp;
+header_type obs_t { fields { cnt : 32; } }
+metadata obs_t obs;
+
+register egr_pkts { width : 32; instance_count : 4; }
+register egr_depth { width : 32; instance_count : 4; }
+
+malleable value ecn_thresh { width : 16; init : 20; }
+
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 16;
+}
+control ingress { apply(route); }
+
+action observe() {
+    register_read(obs.cnt, egr_pkts, 0);
+    add(obs.cnt, obs.cnt, 1);
+    register_write(egr_pkts, 0, obs.cnt);
+    register_write(egr_depth, 0, standard_metadata.deq_qdepth);
+}
+action mark() { mark_ecn(); }
+table observer {
+    actions { observe; }
+    default_action : observe();
+}
+table marker {
+    actions { mark; }
+    default_action : mark();
+}
+control egress {
+    apply(observer);
+    if (standard_metadata.deq_qdepth > ${ecn_thresh}) {
+        apply(marker);
+    }
+}
+
+reaction q_learn(reg egr_pkts[0:0], reg egr_depth[0:0]) {
+    // Host-side implementation: the Q table lives on the CPU.
+}
+"""
+
+# Candidate marking thresholds (packets of queue depth).
+THRESHOLD_ACTIONS = [2, 5, 10, 20, 40, 80]
+
+
+@dataclass
+class QLearningConfig:
+    alpha: float = 0.3  # learning rate
+    gamma: float = 0.8  # discount
+    epsilon: float = 0.1  # exploration
+    depth_penalty: float = 0.04  # lambda in the reward
+    depth_buckets: int = 8
+    depth_bucket_width: int = 8  # packets per state bucket
+    seed: int = 7
+
+
+class QLearningEcnApp:
+    """epsilon-greedy Q-learning over the ECN threshold."""
+
+    def __init__(
+        self,
+        config: Optional[QLearningConfig] = None,
+        system: Optional[MantisSystem] = None,
+    ):
+        self.system = system or MantisSystem.from_source(RL_P4R)
+        self.config = config or QLearningConfig()
+        self.rng = random.Random(self.config.seed)
+        self.q = np.zeros(
+            (self.config.depth_buckets, len(THRESHOLD_ACTIONS))
+        )
+        self._prev_pkts = 0
+        self._prev_state: Optional[int] = None
+        self._prev_action: Optional[int] = None
+        self._prev_time: Optional[float] = None
+        self.rewards: List[float] = []
+        self.action_history: List[int] = []
+        self.explorations = 0
+        self.system.agent.attach_python("q_learn", self._reaction)
+
+    def prologue(self) -> None:
+        self.system.agent.prologue()
+
+    def add_route(self, dst_addr: int, port: int) -> None:
+        self.system.driver.add_entry("route", [dst_addr], "forward", [port])
+
+    # ---- RL machinery ----------------------------------------------------------
+
+    def _discretize(self, depth: int) -> int:
+        bucket = depth // self.config.depth_bucket_width
+        return min(self.config.depth_buckets - 1, bucket)
+
+    def _reward(self, pkts_delta: int, elapsed_us: float, depth: int) -> float:
+        rate = pkts_delta / elapsed_us if elapsed_us > 0 else 0.0
+        return rate - self.config.depth_penalty * depth
+
+    def _reaction(self, ctx: ReactionContext) -> None:
+        pkts = ctx.args["egr_pkts"][0]
+        depth = ctx.args["egr_depth"][0]
+        now = ctx.now
+        state = self._discretize(depth)
+
+        if self._prev_state is not None:
+            elapsed = now - (self._prev_time or now)
+            pkts_delta = (pkts - self._prev_pkts) & 0xFFFFFFFF
+            reward = self._reward(pkts_delta, elapsed, depth)
+            self.rewards.append(reward)
+            # Off-policy TD update (Q-learning).
+            best_next = float(np.max(self.q[state]))
+            q_prev = self.q[self._prev_state][self._prev_action]
+            self.q[self._prev_state][self._prev_action] = q_prev + (
+                self.config.alpha * (reward + self.config.gamma * best_next - q_prev)
+            )
+
+        # epsilon-greedy action selection.
+        if self.rng.random() < self.config.epsilon:
+            action = self.rng.randrange(len(THRESHOLD_ACTIONS))
+            self.explorations += 1
+        else:
+            action = int(np.argmax(self.q[state]))
+        ctx.write("ecn_thresh", THRESHOLD_ACTIONS[action])
+        self.action_history.append(action)
+
+        self._prev_pkts = pkts
+        self._prev_state = state
+        self._prev_action = action
+        self._prev_time = now
+
+    @property
+    def current_threshold(self) -> int:
+        return self.system.agent.read_malleable("ecn_thresh")
+
+    def greedy_threshold(self, depth: int = 0) -> int:
+        """The currently learned best threshold for a queue state."""
+        state = self._discretize(depth)
+        return THRESHOLD_ACTIONS[int(np.argmax(self.q[state]))]
+
+
+def build_rl_scenario(
+    n_flows: int = 8,
+    bottleneck_gbps: float = 2.0,
+    queue_pkts: int = 128,
+):
+    """DCTCP flows sharing one bottleneck, marking governed by the
+    malleable threshold."""
+    from repro.net.tcp import TcpFlow, TcpSink
+
+    app = QLearningEcnApp()
+    sim = NetworkSim(app.system)
+    dst_port = 0
+    sim.configure_port(
+        dst_port,
+        PortConfig(bandwidth_gbps=bottleneck_gbps, queue_capacity_pkts=queue_pkts),
+    )
+    dst_addr = 0x0B0000FF
+    app.add_route(dst_addr, dst_port)
+    sink = TcpSink("receiver")
+    sim.attach_host(sink, dst_port)
+    flows = []
+    for index in range(n_flows):
+        src = 0x0A000001 + index
+        flow = TcpFlow(
+            f"dctcp{index}",
+            {"ipv4.srcAddr": src, "ipv4.dstAddr": dst_addr},
+            use_dctcp=True,
+        )
+        sink.register_flow(src, flow)
+        sim.attach_host(flow, 1 + index)
+        flows.append(flow)
+    return app, sim, flows, sink

@@ -1,0 +1,75 @@
+"""Saving and loading compiled artifacts.
+
+The paper's compiler writes a ``.p4`` file and builds the reaction C
+into a shared object.  This reproduction's equivalent bundle is:
+
+- ``<name>.p4``        -- the malleable P4-14 program (printable text);
+- ``<name>.spec.json`` -- the control-plane specification;
+- ``<name>.p4r``       -- the original source (for provenance).
+
+``save_artifacts`` writes the bundle; ``load_artifacts`` reconstructs
+a full :class:`~repro.compiler.spec.CompiledArtifacts` by re-compiling
+the stored P4R source and verifying the outputs match the stored ones
+(the spec JSON alone is not round-trippable because it embeds live
+reaction declarations; recompiling the P4R is both simpler and safer).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.compiler.spec import CompiledArtifacts
+from repro.compiler.transform import CompilerOptions, compile_p4r
+from repro.errors import CompileError
+
+
+def save_artifacts(
+    artifacts: CompiledArtifacts,
+    directory: str,
+    name: str = "program",
+    p4r_source: Optional[str] = None,
+) -> dict:
+    """Write the artifact bundle; returns the written paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "p4": os.path.join(directory, f"{name}.p4"),
+        "spec": os.path.join(directory, f"{name}.spec.json"),
+    }
+    with open(paths["p4"], "w") as handle:
+        handle.write(artifacts.p4_source)
+    with open(paths["spec"], "w") as handle:
+        json.dump(artifacts.spec.to_dict(), handle, indent=2, default=str)
+    if p4r_source is not None:
+        paths["p4r"] = os.path.join(directory, f"{name}.p4r")
+        with open(paths["p4r"], "w") as handle:
+            handle.write(p4r_source)
+    return paths
+
+
+def load_artifacts(
+    directory: str,
+    name: str = "program",
+    options: Optional[CompilerOptions] = None,
+) -> CompiledArtifacts:
+    """Rebuild artifacts from a saved bundle (requires the ``.p4r``)."""
+    p4r_path = os.path.join(directory, f"{name}.p4r")
+    if not os.path.exists(p4r_path):
+        raise CompileError(
+            f"no {name}.p4r in {directory}; artifacts are rebuilt from "
+            "the stored P4R source"
+        )
+    with open(p4r_path) as handle:
+        source = handle.read()
+    artifacts = compile_p4r(source, options)
+    stored_p4 = os.path.join(directory, f"{name}.p4")
+    if os.path.exists(stored_p4):
+        with open(stored_p4) as handle:
+            if handle.read() != artifacts.p4_source:
+                raise CompileError(
+                    f"stored {name}.p4 does not match a fresh compile; "
+                    "the bundle was produced by a different compiler "
+                    "version or options"
+                )
+    return artifacts

@@ -1,0 +1,176 @@
+"""Command-line interface: the reproduction's ``mantis`` tool.
+
+Subcommands mirror the workflow of the paper's toolchain:
+
+- ``compile``  -- P4R in, malleable P4 + control-plane spec out
+  (the Mantis compiler front door);
+- ``inspect``  -- summarize a P4R program: malleables, reactions,
+  generated init/measurement layout, resource accounting;
+- ``run``      -- bring up the full emulated stack on a P4R program
+  and run the dialogue loop for a simulated duration, reporting
+  iteration statistics.
+
+Usage:  python -m repro.cli compile prog.p4r -o build/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.resources import resource_report
+from repro.artifacts import save_artifacts
+from repro.compiler.transform import CompilerOptions, compile_p4r
+from repro.errors import ReproError
+from repro.system import MantisSystem
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _compiler_options(args) -> CompilerOptions:
+    return CompilerOptions(
+        max_init_action_bits=args.init_bits,
+        max_init_action_params=args.init_params,
+        load_fields=frozenset(args.load_field or ()),
+    )
+
+
+def cmd_compile(args) -> int:
+    source = _read(args.source)
+    artifacts = compile_p4r(source, _compiler_options(args))
+    name = args.name
+    paths = save_artifacts(artifacts, args.output, name, p4r_source=source)
+    for kind, path in sorted(paths.items()):
+        print(f"wrote {kind:5s} {path}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    source = _read(args.source)
+    artifacts = compile_p4r(source, _compiler_options(args))
+    spec = artifacts.spec
+
+    print("== Malleables ==")
+    for name, value in spec.values.items():
+        print(f"  value {name}: width={value.width} init={value.init} "
+              f"@ {value.init_table}.{value.param}")
+    for name, fld in spec.fields.items():
+        print(f"  field {name}: width={fld.width} alts={fld.alts} "
+              f"strategy={fld.strategy}")
+    malleable_tables = [
+        n for n, t in spec.tables.items()
+        if t.malleable and not n.startswith("p4r_init")
+    ]
+    for name in malleable_tables:
+        transform = spec.tables[name]
+        print(f"  table {name}: key parts={transform.total_key_parts} "
+              f"vv@{transform.vv_position}")
+
+    print("\n== Init tables ==")
+    for init in spec.init_tables:
+        params = ", ".join(f"{p.name}:{p.width}" for p in init.params)
+        role = "master" if init.master else "shadowed"
+        print(f"  {init.table} ({role}): {params}")
+
+    print("\n== Measurements ==")
+    for container in spec.containers:
+        slots = ", ".join(
+            f"{s.c_name}@{s.shift}+{s.width}" for s in container.slots
+        )
+        print(f"  {container.register} ({container.pipeline}): {slots}")
+    for mirror in spec.mirrors.values():
+        suffix = " (original eliminated)" if mirror.original_eliminated else ""
+        print(f"  mirror {mirror.original} -> {mirror.duplicate} "
+              f"[{mirror.count} entries, ts={mirror.ts}]{suffix}")
+
+    print("\n== Reactions ==")
+    for reaction in spec.reactions.values():
+        arg_list = ", ".join(
+            f"{a.kind} {a.c_name}" for a in reaction.decl.args
+        )
+        print(f"  {reaction.name}({arg_list})")
+
+    print("\n== Resources (compiled program) ==")
+    print(" ", resource_report(artifacts.p4).row())
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _read(args.source)
+    system = MantisSystem.from_source(
+        source, _compiler_options(args), pacing_sleep_us=args.pacing,
+    )
+    system.agent.prologue()
+    iterations = system.agent.run_until(args.duration)
+    print(f"simulated {system.clock.now:.1f} us, "
+          f"{iterations} dialogue iterations")
+    print(f"avg reaction time : {system.agent.avg_reaction_time_us:.2f} us")
+    print(f"cpu utilization   : {system.agent.cpu_utilization:.1%}")
+    print(f"driver operations : {system.driver.ops_issued}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mantis",
+        description="Mantis (SIGCOMM 2020) reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("source", help="P4R source file")
+        p.add_argument("--init-bits", type=int, default=512,
+                       help="init-action parameter bit budget")
+        p.add_argument("--init-params", type=int, default=64,
+                       help="max parameters per init action")
+        p.add_argument("--load-field", action="append",
+                       help="force a malleable field to the "
+                            "load-in-prior-stage strategy")
+
+    p_compile = sub.add_parser(
+        "compile", help="compile P4R to malleable P4 + spec"
+    )
+    common(p_compile)
+    p_compile.add_argument("-o", "--output", default="build",
+                           help="output directory")
+    p_compile.add_argument("--name", default="program",
+                           help="artifact base name")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="summarize a P4R program's compiled layout"
+    )
+    common(p_inspect)
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_run = sub.add_parser(
+        "run", help="run the dialogue loop on the emulated stack"
+    )
+    common(p_run)
+    p_run.add_argument("--duration", type=float, default=1000.0,
+                       help="simulated microseconds to run")
+    p_run.add_argument("--pacing", type=float, default=0.0,
+                       help="pacing sleep per iteration (us)")
+    p_run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

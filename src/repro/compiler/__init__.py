@@ -1,0 +1,41 @@
+"""The Mantis compiler.
+
+Transforms a P4R program into the paper's pair of artifacts:
+
+1. a valid, *malleable* P4-14 program (Section 4.1's transformations
+   plus the Section 5 isolation instrumentation), and
+2. a :class:`~repro.compiler.spec.ControlPlaneSpec` -- the structured
+   equivalent of the generated C code: where every malleable lives in
+   the init tables, how measurement registers are packed, how malleable
+   tables were expanded, and the reaction definitions themselves.
+
+Entry point: :func:`compile_p4r`.
+"""
+
+from repro.compiler.packing import first_fit_decreasing
+from repro.compiler.spec import (
+    CompiledArtifacts,
+    ControlPlaneSpec,
+    FieldSlot,
+    InitParam,
+    InitTableSpec,
+    MeasureContainer,
+    RegisterMirror,
+    TableTransformSpec,
+)
+from repro.compiler.transform import CompilerOptions, MantisCompiler, compile_p4r
+
+__all__ = [
+    "CompiledArtifacts",
+    "CompilerOptions",
+    "ControlPlaneSpec",
+    "FieldSlot",
+    "InitParam",
+    "InitTableSpec",
+    "MantisCompiler",
+    "MeasureContainer",
+    "RegisterMirror",
+    "TableTransformSpec",
+    "compile_p4r",
+    "first_fit_decreasing",
+]

@@ -1,0 +1,912 @@
+"""The Mantis compiler's transformation passes.
+
+Implements Section 4 and Section 5 of the paper:
+
+- malleable values -> ``p4r_meta_`` metadata loaded by an init table
+  (Figure 4);
+- malleable fields -> alt-selector metadata plus *action
+  specialization* (Figures 5 and 6), or the end-of-Section-4.1
+  "load in a prior stage" optimization for read-only fields;
+- malleable tables -> an appended 1-bit ``vv`` exact match (the
+  three-phase update protocol of Section 5.1.2 is driven by the agent);
+- measurement collection -> packed 32-bit registers double-buffered on
+  ``mv`` for field arguments, and mirrored/timestamped duplicates for
+  register arguments (Sections 4.2 and 5.2);
+- init tables -> sorted-first-fit packing of all configuration
+  parameters, with the first table acting as the atomic serialization
+  point (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.errors import CompileError
+from repro.p4 import ast
+from repro.p4.printer import print_program
+from repro.p4.validate import validate_program
+from repro.p4r.ast import P4RProgram
+from repro.compiler.packing import first_fit_decreasing
+from repro.compiler import spec as cpspec
+
+META_TYPE = "p4r_meta_t_"
+META_INSTANCE = "p4r_meta_"
+
+# Primitives whose first argument is written (L-value position).
+_WRITE_PRIMITIVES = frozenset(
+    {
+        "modify_field",
+        "add",
+        "subtract",
+        "bit_and",
+        "bit_or",
+        "bit_xor",
+        "shift_left",
+        "shift_right",
+        "min",
+        "max",
+        "add_to_field",
+        "subtract_from_field",
+        "register_read",
+        "modify_field_with_hash_based_offset",
+        "modify_field_rng_uniform",
+    }
+)
+
+
+@dataclass
+class CompilerOptions:
+    """Platform parameters and optimization toggles."""
+
+    # Action parameter budget of the init tables (platform dependent;
+    # "very large in today's switches" per Section 8.1).
+    max_init_action_bits: int = 512
+    max_init_action_params: int = 64
+    # Width of generated measurement containers.
+    container_bits: int = 32
+    # Malleable fields forced to the load-in-prior-stage strategy.
+    load_fields: FrozenSet[str] = frozenset()
+    ingress_control: str = "ingress"
+    egress_control: str = "egress"
+
+
+@dataclass
+class _FieldUsage:
+    """Where one malleable field is referenced."""
+
+    actions: Set[str] = dataclass_field(default_factory=set)
+    written_in: Set[str] = dataclass_field(default_factory=set)
+    table_reads: Set[str] = dataclass_field(default_factory=set)
+    field_lists: Set[str] = dataclass_field(default_factory=set)
+    conditions: bool = False
+
+
+class MantisCompiler:
+    """Compile one P4R program into the paper's artifact pair."""
+
+    def __init__(self, program: P4RProgram, options: Optional[CompilerOptions] = None):
+        self.source_program = program
+        self.options = options or CompilerOptions()
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def compile(self) -> cpspec.CompiledArtifacts:
+        self.work = self.source_program.clone()
+        self.spec = cpspec.ControlPlaneSpec(meta_instance=META_INSTANCE)
+        self.meta_fields: Dict[str, int] = {}
+        self._measure_counter = 0
+
+        self._analyze_field_usage()
+        self._assign_field_strategies()
+        self._declare_malleable_meta()
+        self._replace_value_refs()
+        self._build_load_tables()
+        self._specialize_actions()
+        self._transform_tables()
+        self._generate_measurements()
+        self._build_init_tables()
+        self._materialize_meta()
+        self._insert_applies()
+        self._record_reactions()
+
+        plain = self._emit_plain()
+        validate_program(plain)
+        return cpspec.CompiledArtifacts(
+            p4r=self.source_program,
+            p4=plain,
+            p4_source=print_program(plain),
+            spec=self.spec,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+
+    def _analyze_field_usage(self) -> None:
+        self.usage: Dict[str, _FieldUsage] = {
+            name: _FieldUsage() for name in self.work.malleable_fields
+        }
+
+        def note(name: str) -> Optional[_FieldUsage]:
+            return self.usage.get(name)
+
+        for action in self.work.actions.values():
+            for call in action.body:
+                for position, arg in enumerate(call.args):
+                    if isinstance(arg, ast.MalleableRef):
+                        usage = note(arg.name)
+                        if usage is None:
+                            continue
+                        usage.actions.add(action.name)
+                        if position == 0 and call.name in _WRITE_PRIMITIVES:
+                            usage.written_in.add(action.name)
+        for table in self.work.tables.values():
+            for read in table.reads:
+                if isinstance(read.ref, ast.MalleableRef):
+                    usage = note(read.ref.name)
+                    if usage is not None:
+                        usage.table_reads.add(table.name)
+        for field_list in self.work.field_lists.values():
+            for ref in field_list.entries:
+                if isinstance(ref, ast.MalleableRef):
+                    usage = note(ref.name)
+                    if usage is not None:
+                        usage.field_lists.add(field_list.name)
+        for control in self.work.controls.values():
+            for stmt in ast.walk_statements(control.body):
+                if isinstance(stmt, ast.IfBlock):
+                    for name in _malleables_in_expr(stmt.cond):
+                        usage = note(name)
+                        if usage is not None:
+                            usage.conditions = True
+
+    def _assign_field_strategies(self) -> None:
+        """Pick specialize vs. load per malleable field.
+
+        Load is mandatory for field-list and condition uses (there is
+        no table to specialize); it requires the field to be read-only.
+        """
+        self.field_strategy: Dict[str, str] = {}
+        for name, fld in self.work.malleable_fields.items():
+            usage = self.usage[name]
+            wants_load = (
+                name in self.options.load_fields
+                or usage.field_lists
+                or usage.conditions
+            )
+            if wants_load and usage.written_in:
+                raise CompileError(
+                    f"malleable field {name!r} is written in "
+                    f"{sorted(usage.written_in)} and cannot use the "
+                    "load-in-prior-stage strategy"
+                )
+            self.field_strategy[name] = "load" if wants_load else "specialize"
+
+    # ------------------------------------------------------------------
+    # Metadata and value replacement
+
+    def _declare_malleable_meta(self) -> None:
+        for value in self.work.malleable_values.values():
+            self._add_meta(value.name, value.width)
+        for fld in self.work.malleable_fields.values():
+            self._add_meta(f"{fld.name}_alt", fld.selector_width)
+            if self.field_strategy[fld.name] == "load":
+                self._add_meta(f"{fld.name}_val", fld.width)
+        self._add_meta("vv", 1)
+        self._add_meta("mv", 1)
+
+    def _add_meta(self, name: str, width: int) -> None:
+        if name in self.meta_fields:
+            raise CompileError(f"generated metadata field {name!r} collides")
+        self.meta_fields[name] = width
+
+    def _meta_ref(self, name: str) -> ast.FieldRef:
+        return ast.FieldRef(META_INSTANCE, name)
+
+    def _replace_value_refs(self) -> None:
+        """Figure 4: every ``${value}`` becomes a ``p4r_meta_`` field."""
+        values = self.work.malleable_values
+
+        def replace(ref):
+            if isinstance(ref, ast.MalleableRef) and ref.name in values:
+                return self._meta_ref(ref.name)
+            return ref
+
+        for action in self.work.actions.values():
+            for call in action.body:
+                call.args = [replace(a) for a in call.args]
+        for field_list in self.work.field_lists.values():
+            field_list.entries = [replace(r) for r in field_list.entries]
+        for table in self.work.tables.values():
+            for read in table.reads:
+                if (
+                    isinstance(read.ref, ast.MalleableRef)
+                    and read.ref.name in values
+                ):
+                    raise CompileError(
+                        f"table {table.name}: cannot match on malleable "
+                        f"value {read.ref}"
+                    )
+        for control in self.work.controls.values():
+            for stmt in ast.walk_statements(control.body):
+                if isinstance(stmt, ast.IfBlock):
+                    stmt.cond = _rewrite_expr(stmt.cond, replace)
+
+    # ------------------------------------------------------------------
+    # Load strategy (end-of-Section-4.1 optimization)
+
+    def _build_load_tables(self) -> None:
+        self.load_tables: List[str] = []
+        load_specs: List[cpspec.LoadTableSpec] = []
+        for name, strategy in self.field_strategy.items():
+            if strategy != "load":
+                continue
+            fld = self.work.malleable_fields[name]
+            table_name = f"p4r_load_{name}_"
+            action_names = []
+            for index, alt in enumerate(fld.alts):
+                action_name = f"p4r_load_{name}_{index}_"
+                self.work.add(
+                    ast.ActionDecl(
+                        action_name,
+                        [],
+                        [
+                            ast.PrimitiveCall(
+                                "modify_field",
+                                [self._meta_ref(f"{name}_val"), alt],
+                            )
+                        ],
+                    )
+                )
+                action_names.append(action_name)
+            self.work.add(
+                ast.TableDecl(
+                    table_name,
+                    reads=[
+                        ast.TableRead(
+                            self._meta_ref(f"{name}_alt"), ast.MatchType.EXACT
+                        )
+                    ],
+                    action_names=action_names,
+                    default_action=(action_names[fld.init_index], []),
+                    size=len(fld.alts),
+                )
+            )
+            self.load_tables.append(table_name)
+            load_specs.append(
+                cpspec.LoadTableSpec(table_name, name, action_names)
+            )
+
+            # Replace every read use of ${name} with the loaded value.
+            replacement = self._meta_ref(f"{name}_val")
+
+            def replace(ref, _name=name, _repl=replacement):
+                if isinstance(ref, ast.MalleableRef) and ref.name == _name:
+                    return _repl
+                return ref
+
+            for action in self.work.actions.values():
+                for call in action.body:
+                    call.args = [replace(a) for a in call.args]
+            for field_list in self.work.field_lists.values():
+                field_list.entries = [replace(r) for r in field_list.entries]
+            for table in self.work.tables.values():
+                for read in table.reads:
+                    read.ref = replace(read.ref)
+            for control in self.work.controls.values():
+                for stmt in ast.walk_statements(control.body):
+                    if isinstance(stmt, ast.IfBlock):
+                        stmt.cond = _rewrite_expr(stmt.cond, replace)
+        self.spec.load_tables = load_specs
+
+    # ------------------------------------------------------------------
+    # Action specialization (Figures 5 and 6)
+
+    def _specialize_actions(self) -> None:
+        self.action_specs: Dict[str, cpspec.ActionSpecialization] = {}
+        for action_name in list(self.work.actions):
+            action = self.work.actions[action_name]
+            used = _ordered_unique(
+                arg.name
+                for call in action.body
+                for arg in call.args
+                if isinstance(arg, ast.MalleableRef)
+                and arg.name in self.work.malleable_fields
+                and self.field_strategy[arg.name] == "specialize"
+            )
+            if not used:
+                continue
+            fields = [self.work.malleable_fields[n] for n in used]
+            specialization = cpspec.ActionSpecialization(fields=list(used))
+            alt_ranges = [range(len(f.alts)) for f in fields]
+            for combo in itertools.product(*alt_ranges):
+                suffix = "_".join(str(i) for i in combo)
+                variant_name = f"{action_name}_p4r_{suffix}"
+                mapping = {
+                    fld.name: fld.alts[alt_index]
+                    for fld, alt_index in zip(fields, combo)
+                }
+
+                def replace(ref, _mapping=mapping):
+                    if (
+                        isinstance(ref, ast.MalleableRef)
+                        and ref.name in _mapping
+                    ):
+                        return _mapping[ref.name]
+                    return ref
+
+                body = [
+                    ast.PrimitiveCall(
+                        call.name, [replace(a) for a in call.args]
+                    )
+                    for call in action.body
+                ]
+                self.work.add(
+                    ast.ActionDecl(variant_name, list(action.params), body)
+                )
+                specialization.variants[
+                    ",".join(str(i) for i in combo)
+                ] = variant_name
+            self.action_specs[action_name] = specialization
+            self.work.remove(action)
+            # Rewrite the action lists of every table applying it.
+            for table in self.work.tables.values():
+                if action_name in table.action_names:
+                    index = table.action_names.index(action_name)
+                    table.action_names[index : index + 1] = list(
+                        specialization.variants.values()
+                    )
+                if (
+                    table.default_action is not None
+                    and table.default_action[0] == action_name
+                ):
+                    raise CompileError(
+                        f"table {table.name}: default action "
+                        f"{action_name!r} uses malleable fields "
+                        f"{used}; default actions cannot be specialized"
+                    )
+
+    # ------------------------------------------------------------------
+    # Table reads transformation + vv
+
+    def _transform_tables(self) -> None:
+        for table in self.work.tables.values():
+            if table.name.startswith("p4r_load_"):
+                continue
+            transform = self._transform_one_table(table)
+            if transform is not None:
+                self.spec.tables[table.name] = transform
+
+    def _transform_one_table(
+        self, table: ast.TableDecl
+    ) -> Optional[cpspec.TableTransformSpec]:
+        # Which specialize-strategy fields appear in this table's reads?
+        read_fields: List[str] = []
+        for read in table.reads:
+            if isinstance(read.ref, ast.MalleableRef):
+                name = read.ref.name
+                if name not in self.work.malleable_fields:
+                    raise CompileError(
+                        f"table {table.name}: unknown malleable {read.ref}"
+                    )
+                read_fields.append(name)
+        # Which fields require selector matches due to its actions?
+        action_fields = _ordered_unique(
+            fld
+            for action_name in table.action_names
+            for fld in self._specialization_fields(action_name)
+        )
+        touched = bool(read_fields or action_fields or table.malleable)
+        if not touched:
+            return None
+
+        transform = cpspec.TableTransformSpec(
+            name=table.name, malleable=table.malleable
+        )
+        new_reads: List[ast.TableRead] = []
+        for read in table.reads:
+            if isinstance(read.ref, ast.MalleableRef):
+                fld = self.work.malleable_fields[read.ref.name]
+                match_type = (
+                    ast.MatchType.TERNARY
+                    if read.match_type is ast.MatchType.EXACT
+                    else read.match_type
+                )
+                positions = []
+                for alt in fld.alts:
+                    positions.append(len(new_reads))
+                    new_reads.append(ast.TableRead(alt, match_type, read.mask))
+                transform.reads.append(
+                    cpspec.ReadSpec(
+                        kind="mbl",
+                        match_type=match_type.value,
+                        width=fld.width,
+                        positions=positions,
+                        field_name=fld.name,
+                        alt_count=len(fld.alts),
+                    )
+                )
+            else:
+                width = (
+                    1
+                    if read.match_type is ast.MatchType.VALID
+                    else self.work.field_width(read.ref)
+                )
+                transform.reads.append(
+                    cpspec.ReadSpec(
+                        kind="plain",
+                        match_type=read.match_type.value,
+                        width=width,
+                        positions=[len(new_reads)],
+                    )
+                )
+                new_reads.append(read)
+
+        # Selector reads: first for read-expanded fields, then for
+        # action specialization (deduplicated).
+        selector_positions: Dict[str, int] = {}
+        for name in _ordered_unique(read_fields + action_fields):
+            selector_positions[name] = len(new_reads)
+            new_reads.append(
+                ast.TableRead(
+                    self._meta_ref(f"{name}_alt"), ast.MatchType.EXACT
+                )
+            )
+        for read_spec in transform.reads:
+            if read_spec.kind == "mbl":
+                read_spec.selector_position = selector_positions[
+                    read_spec.field_name
+                ]
+        transform.action_selectors = {
+            name: selector_positions[name] for name in action_fields
+        }
+
+        if table.malleable:
+            transform.vv_position = len(new_reads)
+            new_reads.append(
+                ast.TableRead(self._meta_ref("vv"), ast.MatchType.EXACT)
+            )
+            # Shadow copies double the table (Section 8.2 accounting).
+            if table.size is not None:
+                table.size *= 2
+
+        table.reads = new_reads
+        transform.total_key_parts = len(new_reads)
+        for action_name, specialization in self.action_specs.items():
+            if any(
+                variant in table.action_names
+                for variant in specialization.variants.values()
+            ):
+                transform.actions[action_name] = specialization
+        return transform
+
+    def _specialization_fields(self, action_name: str) -> List[str]:
+        for user_action, specialization in self.action_specs.items():
+            if action_name in specialization.variants.values():
+                return specialization.fields
+        return []
+
+    # ------------------------------------------------------------------
+    # Measurements (Sections 4.2 and 5.2)
+
+    def _generate_measurements(self) -> None:
+        self.collect_tables: Dict[str, str] = {}  # pipeline -> table name
+        mirrored: Set[str] = set()
+        for reaction in self.work.reactions.values():
+            for pipeline in ("ing", "egr"):
+                args = [a for a in reaction.args if a.kind == pipeline]
+                if args:
+                    self._pack_field_args(reaction.name, pipeline, args)
+            for arg in reaction.args:
+                if arg.kind == "reg" and arg.ref not in mirrored:
+                    self._mirror_register(arg.ref)
+                    mirrored.add(arg.ref)
+        if self.spec.containers:
+            self._add_meta("scratch_", self.options.container_bits)
+            self._add_meta("tmp_", self.options.container_bits)
+            for pipeline in ("ing", "egr"):
+                containers = [
+                    c for c in self.spec.containers if c.pipeline == pipeline
+                ]
+                if containers:
+                    self._build_collect_table(pipeline, containers)
+
+    def _pack_field_args(self, reaction: str, pipeline: str, args) -> None:
+        sized = [
+            (arg, self.work.field_width(arg.ref)) for arg in args
+        ]
+        for arg, width in sized:
+            if width > self.options.container_bits:
+                raise CompileError(
+                    f"reaction {reaction}: argument {arg.c_name} is wider "
+                    f"({width}b) than a measurement container "
+                    f"({self.options.container_bits}b)"
+                )
+        bins = first_fit_decreasing(
+            sized, lambda item: item[1], self.options.container_bits
+        )
+        for packed in bins:
+            register_name = f"p4r_measure_{self._measure_counter}_"
+            self._measure_counter += 1
+            self.work.add(
+                ast.RegisterDecl(register_name, self.options.container_bits, 2)
+            )
+            container = cpspec.MeasureContainer(register_name, pipeline)
+            shift = 0
+            for arg, width in packed:
+                container.slots.append(
+                    cpspec.FieldSlot(
+                        c_name=arg.c_name,
+                        ref=str(arg.ref),
+                        width=width,
+                        shift=shift,
+                        reaction=reaction,
+                    )
+                )
+                shift += width
+            self.spec.containers.append(container)
+
+    def _build_collect_table(
+        self, pipeline: str, containers: List[cpspec.MeasureContainer]
+    ) -> None:
+        action_name = f"p4r_collect_{pipeline}_action_"
+        body: List[ast.PrimitiveCall] = []
+        mv = self._meta_ref("mv")
+        for container in containers:
+            if len(container.slots) == 1 and container.slots[0].shift == 0:
+                ref = _parse_ref(container.slots[0].ref)
+                body.append(
+                    ast.PrimitiveCall(
+                        "register_write", [container.register, mv, ref]
+                    )
+                )
+                continue
+            scratch = self._meta_ref("scratch_")
+            tmp = self._meta_ref("tmp_")
+            body.append(ast.PrimitiveCall("modify_field", [scratch, 0]))
+            for slot in container.slots:
+                ref = _parse_ref(slot.ref)
+                if slot.shift == 0:
+                    body.append(
+                        ast.PrimitiveCall("bit_or", [scratch, scratch, ref])
+                    )
+                else:
+                    body.append(
+                        ast.PrimitiveCall(
+                            "shift_left", [tmp, ref, slot.shift]
+                        )
+                    )
+                    body.append(
+                        ast.PrimitiveCall("bit_or", [scratch, scratch, tmp])
+                    )
+            body.append(
+                ast.PrimitiveCall(
+                    "register_write", [container.register, mv, scratch]
+                )
+            )
+        self.work.add(ast.ActionDecl(action_name, [], body))
+        table_name = f"p4r_collect_{pipeline}_"
+        self.work.add(
+            ast.TableDecl(
+                table_name,
+                reads=[],
+                action_names=[action_name],
+                default_action=(action_name, []),
+                size=1,
+            )
+        )
+        self.collect_tables[pipeline] = table_name
+
+    def _mirror_register(self, register_name: str) -> None:
+        if register_name not in self.work.registers:
+            raise CompileError(f"reaction polls unknown register {register_name!r}")
+        original = self.work.registers[register_name]
+        padded = 1 << max(0, (original.instance_count - 1).bit_length())
+        dup = f"{register_name}_p4r_dup_"
+        ts = f"{register_name}_p4r_ts_"
+        seq = f"{register_name}_p4r_seq_"
+        self.work.add(ast.RegisterDecl(dup, original.width, 2 * padded))
+        self.work.add(ast.RegisterDecl(ts, 32, 2 * padded))
+        self.work.add(ast.RegisterDecl(seq, 32, padded))
+        if "ridx_" not in self.meta_fields:
+            self._add_meta("ridx_", 32)
+            self._add_meta("rseq_", 32)
+        ridx = self._meta_ref("ridx_")
+        rseq = self._meta_ref("rseq_")
+        mv = self._meta_ref("mv")
+        log2 = padded.bit_length() - 1
+
+        reads_original = False
+        for action in self.work.actions.values():
+            new_body: List[ast.PrimitiveCall] = []
+            for call in action.body:
+                if (
+                    call.name == "register_read"
+                    and call.args[1] == register_name
+                ):
+                    reads_original = True
+                if not (
+                    call.name == "register_write"
+                    and call.args[0] == register_name
+                ):
+                    new_body.append(call)
+                    continue
+                index_arg, value_arg = call.args[1], call.args[2]
+                new_body.append(call)  # original write (maybe elided later)
+                new_body.extend(
+                    [
+                        ast.PrimitiveCall("shift_left", [ridx, mv, log2]),
+                        ast.PrimitiveCall("bit_or", [ridx, ridx, index_arg]),
+                        ast.PrimitiveCall(
+                            "register_write", [dup, ridx, value_arg]
+                        ),
+                        ast.PrimitiveCall(
+                            "register_read", [rseq, seq, index_arg]
+                        ),
+                        ast.PrimitiveCall("add_to_field", [rseq, 1]),
+                        ast.PrimitiveCall(
+                            "register_write", [seq, index_arg, rseq]
+                        ),
+                        ast.PrimitiveCall("register_write", [ts, ridx, rseq]),
+                    ]
+                )
+            action.body = new_body
+
+        eliminated = False
+        if not reads_original:
+            # Section 5.2 optimization: the original register is never
+            # read in the data plane, so it can be eliminated.
+            eliminated = True
+            for action in self.work.actions.values():
+                action.body = [
+                    call
+                    for call in action.body
+                    if not (
+                        call.name == "register_write"
+                        and call.args[0] == register_name
+                    )
+                ]
+            self.work.remove(original)
+
+        self.spec.mirrors[register_name] = cpspec.RegisterMirror(
+            original=register_name,
+            duplicate=dup,
+            ts=ts,
+            seq=seq,
+            count=original.instance_count,
+            padded_count=padded,
+            width=original.width,
+            original_eliminated=eliminated,
+        )
+
+    # ------------------------------------------------------------------
+    # Init tables (Section 5.1.1)
+
+    def _build_init_tables(self) -> None:
+        params: List[cpspec.InitParam] = []
+        for value in self.work.malleable_values.values():
+            params.append(
+                cpspec.InitParam(
+                    value.name, value.width, "value", value.name, value.init
+                )
+            )
+        for fld in self.work.malleable_fields.values():
+            params.append(
+                cpspec.InitParam(
+                    f"{fld.name}_alt",
+                    fld.selector_width,
+                    "field_alt",
+                    fld.name,
+                    fld.init_index,
+                )
+            )
+        needs_init = bool(
+            params
+            or self.spec.containers
+            or self.spec.mirrors
+            or any(t.malleable for t in self.spec.tables.values())
+            or self.work.reactions
+        )
+        if not needs_init:
+            return
+
+        budget = self.options.max_init_action_bits - 2  # vv + mv in bin 0
+        bins = first_fit_decreasing(
+            params,
+            lambda p: p.width,
+            budget,
+            max_items_per_bin=self.options.max_init_action_params - 2,
+        ) or [[]]
+        version_params = [
+            cpspec.InitParam("vv", 1, "vv"),
+            cpspec.InitParam("mv", 1, "mv"),
+        ]
+        bins[0] = version_params + bins[0]
+
+        for bin_index, bin_params in enumerate(bins):
+            master = bin_index == 0
+            table_name = "p4r_init_" if master else f"p4r_init{bin_index}_"
+            action_name = (
+                "p4r_init_action_"
+                if master
+                else f"p4r_init{bin_index}_action_"
+            )
+            body = [
+                ast.PrimitiveCall(
+                    "modify_field", [self._meta_ref(param.name), param.name]
+                )
+                for param in bin_params
+            ]
+            self.work.add(
+                ast.ActionDecl(
+                    action_name, [param.name for param in bin_params], body
+                )
+            )
+            reads: List[ast.TableRead] = []
+            if not master:
+                reads.append(
+                    ast.TableRead(self._meta_ref("vv"), ast.MatchType.EXACT)
+                )
+            default_args = [param.init for param in bin_params]
+            self.work.add(
+                ast.TableDecl(
+                    table_name,
+                    reads=reads,
+                    action_names=[action_name],
+                    default_action=(action_name, default_args),
+                    size=1 if master else 2,
+                )
+            )
+            init_spec = cpspec.InitTableSpec(
+                table_name, action_name, list(bin_params), master=master
+            )
+            self.spec.init_tables.append(init_spec)
+            for param in bin_params:
+                if param.kind == "value":
+                    value = self.work.malleable_values[param.malleable]
+                    self.spec.values[param.malleable] = cpspec.MalleableValueSpec(
+                        param.malleable, value.width, value.init,
+                        table_name, param.name,
+                    )
+                elif param.kind == "field_alt":
+                    fld = self.work.malleable_fields[param.malleable]
+                    self.spec.fields[param.malleable] = cpspec.MalleableFieldSpec(
+                        name=param.malleable,
+                        width=fld.width,
+                        alts=[str(a) for a in fld.alts],
+                        init_index=fld.init_index,
+                        selector_width=fld.selector_width,
+                        init_table=table_name,
+                        param=param.name,
+                        strategy=self.field_strategy[param.malleable],
+                    )
+            if not master:
+                # Later init tables are maintained like malleable
+                # tables: one entry per vv value (Section 5.1.1).
+                self.spec.tables[table_name] = cpspec.TableTransformSpec(
+                    name=table_name,
+                    malleable=True,
+                    reads=[],
+                    vv_position=0,
+                    total_key_parts=1,
+                )
+
+    # ------------------------------------------------------------------
+    # Final assembly
+
+    def _materialize_meta(self) -> None:
+        if not self.spec.init_tables:
+            # Pure P4 program: nothing loads the metadata, so do not
+            # emit the (vestigial vv/mv) header at all.
+            return
+        if not self.meta_fields:
+            return
+        header_type = ast.HeaderType(
+            META_TYPE,
+            [ast.FieldDecl(name, width) for name, width in self.meta_fields.items()],
+        )
+        self.work.add(header_type, front=True)
+        instance = ast.HeaderInstance(META_INSTANCE, META_TYPE, is_metadata=True)
+        # Insert the instance right after the type (front-inserts reverse).
+        self.work.add(instance)
+        self.work.declarations.remove(instance)
+        self.work.declarations.insert(1, instance)
+
+    def _insert_applies(self) -> None:
+        ingress_name = self.options.ingress_control
+        if ingress_name not in self.work.controls:
+            if self.spec.init_tables:
+                raise CompileError(
+                    f"program has no {ingress_name!r} control to host the "
+                    "init tables"
+                )
+            return
+        ingress = self.work.controls[ingress_name]
+        prefix = [
+            ast.ApplyCall(init.table) for init in self.spec.init_tables
+        ] + [ast.ApplyCall(name) for name in self.load_tables]
+        ingress.body[:0] = prefix
+        if "ing" in self.collect_tables:
+            ingress.body.append(ast.ApplyCall(self.collect_tables["ing"]))
+        if "egr" in self.collect_tables:
+            egress_name = self.options.egress_control
+            if egress_name not in self.work.controls:
+                self.work.add(ast.ControlDecl(egress_name, []))
+            self.work.controls[egress_name].body.append(
+                ast.ApplyCall(self.collect_tables["egr"])
+            )
+
+    def _record_reactions(self) -> None:
+        for reaction in self.work.reactions.values():
+            sources: List[Tuple[str, str]] = []
+            for arg in reaction.args:
+                if arg.kind in ("ing", "egr"):
+                    sources.append(("container", arg.c_name))
+                elif arg.kind == "reg":
+                    sources.append(("mirror", arg.ref))
+                else:
+                    sources.append(("mbl", arg.ref))
+            self.spec.reactions[reaction.name] = cpspec.ReactionSpec(
+                reaction.name, reaction, sources
+            )
+
+    def _emit_plain(self) -> ast.Program:
+        plain = ast.Program()
+        for decl in self.work.declarations:
+            if isinstance(decl, ast.TableDecl):
+                decl.malleable = False
+            plain.add(decl)
+        return plain
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+
+
+def _ordered_unique(items) -> List:
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _malleables_in_expr(expr) -> List[str]:
+    if isinstance(expr, ast.MalleableRef):
+        return [expr.name]
+    if isinstance(expr, ast.BinOp):
+        return _malleables_in_expr(expr.left) + _malleables_in_expr(expr.right)
+    return []
+
+
+def _rewrite_expr(expr, replace):
+    if isinstance(expr, ast.MalleableRef):
+        return replace(expr)
+    if isinstance(expr, ast.BinOp):
+        expr.left = _rewrite_expr(expr.left, replace)
+        expr.right = _rewrite_expr(expr.right, replace)
+    return expr
+
+
+def _parse_ref(text: str) -> ast.FieldRef:
+    header, field_name = text.split(".", 1)
+    return ast.FieldRef(header, field_name)
+
+
+def compile_p4r(
+    source_or_program: Union[str, P4RProgram],
+    options: Optional[CompilerOptions] = None,
+) -> cpspec.CompiledArtifacts:
+    """Compile P4R source text (or a parsed program) into the paper's
+    artifact pair."""
+    if isinstance(source_or_program, str):
+        from repro.p4r.parser import parse_p4r
+
+        program = parse_p4r(source_or_program)
+    else:
+        program = source_or_program
+    return MantisCompiler(program, options).compile()

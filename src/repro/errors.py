@@ -1,0 +1,65 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Subsystems
+raise the most specific subclass that applies; messages always name the
+offending entity (table, field, malleable, ...) so that failures in a
+multi-pass compile are attributable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class P4SyntaxError(ReproError):
+    """Raised by the P4/P4R lexer or parser on malformed source.
+
+    Carries the source line/column when known so tooling can point at
+    the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, col {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class P4SemanticError(ReproError):
+    """Raised when a parsed program violates a static rule.
+
+    Examples: a table referencing an undeclared action, a field
+    reference into an unknown header, a malleable field whose ``init``
+    is not a member of its ``alts`` set.
+    """
+
+
+class CompileError(ReproError):
+    """Raised by the Mantis compiler when a transformation cannot be
+    applied, e.g. a ``${var}`` reference to an undeclared malleable."""
+
+
+class SwitchError(ReproError):
+    """Raised by the RMT switch emulator on illegal runtime operations,
+    e.g. writing a table entry whose key arity mismatches the reads."""
+
+
+class DriverError(SwitchError):
+    """Raised by the driver model, e.g. for accesses to objects that
+    were not declared in the loaded program."""
+
+
+class AgentError(ReproError):
+    """Raised by the Mantis control-plane agent, e.g. when a reaction
+    references an argument that was never registered for polling."""
+
+
+class ReactionError(AgentError):
+    """Raised while interpreting a C-like reaction body."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event network simulator."""

@@ -1,0 +1,152 @@
+"""Multi-pipeline switches.
+
+Section 4: "if there are multiple line cards with distinct register
+state, a separate instance of the Mantis agent will run for each";
+Section 6: "if the switch contains multiple disjoint linecards or
+pipelines, these can be handled by spawning multiple Mantis agent
+threads, each handling its own component."
+
+:class:`MultiPipelineSwitch` instantiates one compiled program N times
+-- each pipeline gets its own ASIC state (tables, registers, ports),
+driver, and agent -- on a single shared simulated clock.  Agent
+"threads" are modelled by interleaving dialogue iterations round-robin
+(each iteration advances the shared clock by its own cost; with a real
+multicore CPU they would overlap, so the interleaved model is a
+conservative latency bound).
+
+Mantis deliberately provides no cross-pipeline isolation (Section 5);
+the tests demonstrate both the per-pipeline guarantees and the absence
+of cross-pipeline ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.agent.agent import MantisAgent, ReactionContext
+from repro.compiler.spec import CompiledArtifacts
+from repro.compiler.transform import CompilerOptions, compile_p4r
+from repro.errors import AgentError
+from repro.p4r.ast import P4RProgram
+from repro.switch.asic import SwitchAsic
+from repro.switch.clock import SimClock
+from repro.switch.driver import Driver, DriverCostModel
+
+
+class Pipeline:
+    """One pipeline: private ASIC + driver + agent."""
+
+    def __init__(
+        self,
+        index: int,
+        artifacts: CompiledArtifacts,
+        clock: SimClock,
+        num_ports: int,
+        cost_model: Optional[DriverCostModel],
+        pacing_sleep_us: float,
+    ):
+        self.index = index
+        # Each pipeline owns its program instance so runtime state
+        # (entries, registers) is fully disjoint.
+        program = artifacts.p4.clone()
+        self.asic = SwitchAsic(
+            program, clock=clock, num_ports=num_ports, seed=index
+        )
+        self.driver = Driver(self.asic, model=cost_model)
+        self.agent = MantisAgent(
+            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us
+        )
+
+
+class MultiPipelineSwitch:
+    """N pipelines of one program on a shared clock."""
+
+    def __init__(
+        self,
+        artifacts: CompiledArtifacts,
+        n_pipelines: int = 2,
+        num_ports: int = 32,
+        cost_model: Optional[DriverCostModel] = None,
+        pacing_sleep_us: float = 0.0,
+        clock: Optional[SimClock] = None,
+    ):
+        if n_pipelines < 1:
+            raise AgentError("need at least one pipeline")
+        self.artifacts = artifacts
+        self.clock = clock or SimClock()
+        self.pipelines: List[Pipeline] = [
+            Pipeline(
+                index, artifacts, self.clock, num_ports,
+                cost_model, pacing_sleep_us,
+            )
+            for index in range(n_pipelines)
+        ]
+
+    @classmethod
+    def from_source(
+        cls,
+        source_or_program: Union[str, P4RProgram],
+        n_pipelines: int = 2,
+        options: Optional[CompilerOptions] = None,
+        **kwargs,
+    ) -> "MultiPipelineSwitch":
+        artifacts = compile_p4r(source_or_program, options)
+        return cls(artifacts, n_pipelines=n_pipelines, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.pipelines)
+
+    def __getitem__(self, index: int) -> Pipeline:
+        return self.pipelines[index]
+
+    def prologue(self) -> None:
+        """Run every pipeline's agent prologue."""
+        for pipeline in self.pipelines:
+            pipeline.agent.prologue()
+
+    def attach_python(
+        self,
+        reaction_name: str,
+        factory: Callable[[Pipeline], Callable[[ReactionContext], None]],
+    ) -> None:
+        """Attach per-pipeline reaction implementations.
+
+        ``factory(pipeline)`` builds one callable per pipeline, so each
+        agent instance carries its own closure state (the per-line-card
+        agent instances of Section 4).
+        """
+        for pipeline in self.pipelines:
+            pipeline.agent.attach_python(reaction_name, factory(pipeline))
+
+    def run_round(self) -> float:
+        """One round-robin pass: each agent runs one dialogue
+        iteration.  Returns the total busy time of the round."""
+        total = 0.0
+        for pipeline in self.pipelines:
+            total += pipeline.agent.run_iteration()
+        return total
+
+    def run_rounds(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    # ---- cross-pipeline synchronization (the paper's future work) ----
+
+    def run_round_synchronized(self) -> float:
+        """One round with *approximately synchronized* commits across
+        pipelines -- an exploration of the cross-pipeline consistency
+        the paper explicitly leaves as future work (Section 5).
+
+        Measurement and reaction execution run per pipeline as usual,
+        but every vv commit is deferred and then issued back to back,
+        shrinking the cross-pipeline inconsistency window from a full
+        round (many tens of microseconds) to roughly one master-init
+        write per pipeline.  Returns the skew window: the simulated
+        time between the first and the last commit.
+        """
+        for pipeline in self.pipelines:
+            pipeline.agent.run_iteration(commit=False)
+        first_commit = self.clock.now
+        for pipeline in self.pipelines:
+            pipeline.agent.commit()
+        return self.clock.now - first_commit

@@ -1,0 +1,197 @@
+"""The network simulator: switch + ports + links + hosts.
+
+One :class:`NetworkSim` owns the event queue and wires it to a
+:class:`~repro.system.MantisSystem` switch.  Per-port output queues
+have finite capacity and a service rate derived from the port's link
+bandwidth; their instantaneous depth is exported to the ASIC so that
+``standard_metadata.deq_qdepth`` (the signal several use cases poll)
+is live.
+
+Concurrency model: the Mantis agent busy-loops on the shared clock;
+every clock advance drains due packet events, so data-plane activity
+interleaves with control-plane driver operations exactly as on a real
+switch (the ASIC never blocks on the CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.net.events import EventQueue
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+
+@dataclass
+class PortConfig:
+    """Link parameters of one switch port."""
+
+    bandwidth_gbps: float = 25.0
+    latency_us: float = 1.0
+    queue_capacity_pkts: int = 256
+
+    def serialization_us(self, size_bytes: int) -> float:
+        return size_bytes * 8 / (self.bandwidth_gbps * 1000.0)
+
+
+@dataclass
+class _PortState:
+    config: PortConfig
+    busy_until: float = 0.0
+    queued: int = 0
+    up: bool = True
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    dropped: int = 0
+
+
+class NetworkSim:
+    """Hosts and links around one emulated Mantis switch."""
+
+    def __init__(
+        self,
+        system: MantisSystem,
+        default_port: Optional[PortConfig] = None,
+    ):
+        self.system = system
+        self.clock = system.clock
+        self.events = EventQueue()
+        self.clock.add_listener(self._on_clock)
+        self.default_port = default_port or PortConfig()
+        self.ports: Dict[int, _PortState] = {}
+        self.hosts: Dict[int, "HostLike"] = {}
+        self.switch_drops = 0
+        self.delivered = 0
+
+    # ---- wiring ----------------------------------------------------------
+
+    def configure_port(self, port: int, config: PortConfig) -> None:
+        self.ports[port] = _PortState(config)
+
+    def _port(self, port: int) -> _PortState:
+        if port not in self.ports:
+            self.ports[port] = _PortState(self.default_port)
+        return self.ports[port]
+
+    def attach_host(self, host: "HostLike", port: int) -> None:
+        if port in self.hosts:
+            raise SimulationError(f"port {port} already has a host")
+        self.hosts[port] = host
+        host.bind(self, port)
+
+    def set_link_up(self, port: int, up: bool) -> None:
+        """Fault injection: disable/enable a port's link (the
+        Figure 16 experiment's 'switch API that disables ports')."""
+        self._port(port).up = up
+
+    # ---- packet path -------------------------------------------------------
+
+    def send_to_switch(
+        self, packet: Packet, ingress_port: int, delay_us: float = 0.0
+    ) -> None:
+        """A host puts a packet on the wire toward the switch."""
+        port = self._port(ingress_port)
+        if not port.up:
+            return  # link down: the packet never arrives
+        arrival = (
+            self.clock.now
+            + delay_us
+            + port.config.latency_us
+            + port.config.serialization_us(packet.size_bytes)
+        )
+        packet.fields["standard_metadata.ingress_port"] = ingress_port
+        self.events.schedule(arrival, lambda now, p=packet: self._ingress(p, now))
+
+    def _ingress(self, packet: Packet, now: float) -> None:
+        result = self.system.asic.process(packet)
+        if result is None:
+            self.switch_drops += 1
+            return
+        egress_port, packet = result
+        self._enqueue(egress_port, packet, now)
+
+    def _enqueue(self, egress_port: int, packet: Packet, now: float) -> None:
+        port = self._port(egress_port)
+        if not port.up:
+            port.dropped += 1
+            return
+        if port.queued >= port.config.queue_capacity_pkts:
+            port.dropped += 1
+            return
+        serialization = port.config.serialization_us(packet.size_bytes)
+        depart = max(now, port.busy_until) + serialization
+        port.busy_until = depart
+        port.queued += 1
+        self._sync_depth(egress_port)
+        arrival = depart + port.config.latency_us
+        self.events.schedule(
+            depart, lambda _t, p=egress_port: self._departed(p)
+        )
+        self.events.schedule(
+            arrival, lambda now2, p=packet, port_=egress_port: self._deliver(
+                port_, p, now2
+            )
+        )
+        port.tx_packets += 1
+        port.tx_bytes += packet.size_bytes
+
+    def _departed(self, port_index: int) -> None:
+        port = self._port(port_index)
+        port.queued -= 1
+        self._sync_depth(port_index)
+
+    def _sync_depth(self, port_index: int) -> None:
+        """Expose the queue depth to the ASIC's standard_metadata."""
+        asic_ports = self.system.asic.ports
+        if port_index < len(asic_ports):
+            asic_ports[port_index].queue_depth = self._port(port_index).queued
+
+    def _deliver(self, port_index: int, packet: Packet, now: float) -> None:
+        self.delivered += 1
+        host = self.hosts.get(port_index)
+        if host is not None:
+            host.receive(packet, now)
+
+    # ---- time ------------------------------------------------------------------
+
+    def _on_clock(self, now: float) -> None:
+        self.events.drain(now)
+
+    def run_until(self, time_us: float, agent: bool = True) -> None:
+        """Advance the simulation to ``time_us``.
+
+        With ``agent=True`` the Mantis agent busy-loops (each dialogue
+        iteration advances the clock, draining packet events as it
+        goes).  With ``agent=False`` only packet events run -- the
+        baseline "no reactive control plane" configuration.
+        """
+        if agent:
+            self.system.agent.run_until(time_us)
+            # The agent may stop short if iterations are long; finish
+            # the tail with pure event processing.
+        while self.clock.now < time_us:
+            self.events.drain(self.clock.now)
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > time_us:
+                self.clock.advance_to(time_us)
+                break
+            self.clock.advance_to(max(next_time, self.clock.now))
+        self.events.drain(self.clock.now)
+
+    def queue_depth(self, port: int) -> int:
+        return self._port(port).queued
+
+    def port_stats(self, port: int) -> _PortState:
+        return self._port(port)
+
+
+class HostLike:
+    """Interface for simulation endpoints (see :mod:`repro.net.hosts`)."""
+
+    def bind(self, sim: NetworkSim, port: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def receive(self, packet: Packet, now: float) -> None:  # pragma: no cover
+        raise NotImplementedError

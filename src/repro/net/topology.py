@@ -1,0 +1,93 @@
+"""Topology builders for use-case scenarios.
+
+Thin wrappers over networkx graphs that also carry the mapping from
+the Mantis switch's ports to neighbor nodes and from destination
+addresses to nodes -- the inputs of
+:class:`repro.apps.failover.RouteManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import networkx as nx
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class SwitchTopology:
+    """A topology as seen from one Mantis switch (``switch_node``)."""
+
+    graph: nx.Graph
+    switch_node: str
+    port_map: Dict[str, int] = field(default_factory=dict)  # neighbor -> port
+    dest_map: Dict[int, str] = field(default_factory=dict)  # addr -> node
+
+    def neighbors(self) -> Dict[str, int]:
+        return dict(self.port_map)
+
+    def validate(self) -> None:
+        for neighbor in self.port_map:
+            if not self.graph.has_edge(self.switch_node, neighbor):
+                raise SimulationError(
+                    f"port map names non-adjacent neighbor {neighbor!r}"
+                )
+        for node in self.dest_map.values():
+            if node not in self.graph:
+                raise SimulationError(f"destination node {node!r} not in graph")
+
+
+def star(n_neighbors: int, base_addr: int = 0x0A000100) -> SwitchTopology:
+    """A switch with ``n_neighbors`` leaves and no detours."""
+    graph = nx.Graph()
+    graph.add_node("s0")
+    topology = SwitchTopology(graph, "s0")
+    for index in range(n_neighbors):
+        node = f"n{index}"
+        graph.add_edge("s0", node)
+        topology.port_map[node] = index
+        topology.dest_map[base_addr + index] = node
+    topology.validate()
+    return topology
+
+
+def ring_of_neighbors(
+    n_neighbors: int, base_addr: int = 0x0A000100
+) -> SwitchTopology:
+    """A star whose leaves also form a ring, so every destination has
+    a one-hop detour when its direct link fails (the Figure 16
+    topology)."""
+    topology = star(n_neighbors, base_addr)
+    for index in range(n_neighbors):
+        topology.graph.add_edge(
+            f"n{index}", f"n{(index + 1) % n_neighbors}"
+        )
+    topology.validate()
+    return topology
+
+
+def leaf_spine(
+    n_leaves: int, n_spines: int, base_addr: int = 0x0A000100
+) -> SwitchTopology:
+    """The Mantis switch as one leaf of a leaf-spine fabric.
+
+    Ports 0..n_spines-1 face the spines; destinations live under the
+    *other* leaves and are reachable through any spine.
+    """
+    if n_leaves < 2:
+        raise SimulationError("leaf_spine needs at least 2 leaves")
+    graph = nx.Graph()
+    spines = [f"sp{index}" for index in range(n_spines)]
+    leaves = ["s0"] + [f"leaf{index}" for index in range(1, n_leaves)]
+    for leaf in leaves:
+        for spine in spines:
+            graph.add_edge(leaf, spine)
+    topology = SwitchTopology(graph, "s0")
+    for index, spine in enumerate(spines):
+        topology.port_map[spine] = index
+    for index, leaf in enumerate(leaves[1:]):
+        topology.dest_map[base_addr + index] = leaf
+    topology.validate()
+    return topology

@@ -1,0 +1,68 @@
+"""P4-14 language substrate.
+
+This package models the subset of P4-14 v1.0.5 that Mantis touches:
+
+- :mod:`repro.p4.ast` -- typed AST nodes plus the :class:`Program`
+  container with name-resolution helpers.
+- :mod:`repro.p4.lexer` -- a hand-written tokenizer shared with the P4R
+  front end.
+- :mod:`repro.p4.parser` -- recursive-descent parser producing a
+  :class:`~repro.p4.ast.Program`.
+- :mod:`repro.p4.printer` -- emits valid P4-14 source from an AST, used
+  by the Mantis compiler to produce its "malleable P4" artifact.
+- :mod:`repro.p4.validate` -- static semantic checks.
+"""
+
+from repro.p4.ast import (
+    ActionDecl,
+    ApplyCall,
+    BinOp,
+    ControlDecl,
+    FieldDecl,
+    FieldList,
+    FieldListCalculation,
+    FieldRef,
+    HeaderInstance,
+    HeaderType,
+    IfBlock,
+    MatchType,
+    ParserStateDecl,
+    PrimitiveCall,
+    Program,
+    RegisterDecl,
+    TableDecl,
+    TableRead,
+    ValidRef,
+)
+from repro.p4.lexer import Lexer, Token
+from repro.p4.parser import P4Parser, parse_p4
+from repro.p4.printer import print_program
+from repro.p4.validate import validate_program
+
+__all__ = [
+    "ActionDecl",
+    "ApplyCall",
+    "BinOp",
+    "ControlDecl",
+    "FieldDecl",
+    "FieldList",
+    "FieldListCalculation",
+    "FieldRef",
+    "HeaderInstance",
+    "HeaderType",
+    "IfBlock",
+    "Lexer",
+    "MatchType",
+    "P4Parser",
+    "ParserStateDecl",
+    "PrimitiveCall",
+    "Program",
+    "RegisterDecl",
+    "TableDecl",
+    "TableRead",
+    "Token",
+    "ValidRef",
+    "parse_p4",
+    "print_program",
+    "validate_program",
+]

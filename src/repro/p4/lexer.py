@@ -1,0 +1,200 @@
+"""Tokenizer shared by the P4-14 and P4R parsers.
+
+A deliberately small hand-written lexer (the paper's compiler used
+Flex); it produces a flat token list with source offsets so the P4R
+parser can slice raw reaction bodies (C-like code) straight out of the
+source text by brace matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import P4SyntaxError
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",
+    "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "^=", "|=", "&=", "++", "--", "${",
+    "{", "}", "(", ")", "[", "]", ";", ":", ",", ".", "<", ">", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", "$",
+]
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``"ident"``, ``"number"``, ``"op"`` or ``"eof"``.
+    ``offset`` is the character offset of the token start in the source,
+    used for raw-slicing reaction bodies.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+    offset: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+class Lexer:
+    """Tokenize P4/P4R source into a list of :class:`Token`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+    # ---- internals ----------------------------------------------------
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self.source) and self.source[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and ``//`` / ``/* */`` comments."""
+        src = self.source
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self._pos):
+                while self._pos < len(src) and src[self._pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self._pos):
+                end = src.find("*/", self._pos + 2)
+                if end < 0:
+                    raise P4SyntaxError(
+                        "unterminated block comment", self._line, self._col
+                    )
+                self._advance(end + 2 - self._pos)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        src = self.source
+        if self._pos >= len(src):
+            return Token("eof", "", self._line, self._col, self._pos)
+
+        line, col, offset = self._line, self._col, self._pos
+        ch = src[self._pos]
+
+        if ch.isalpha() or ch == "_":
+            end = self._pos
+            while end < len(src) and (src[end].isalnum() or src[end] == "_"):
+                end += 1
+            value = src[self._pos:end]
+            self._advance(end - self._pos)
+            return Token("ident", value, line, col, offset)
+
+        if ch == '"':
+            # String literal (used by C reaction bodies for action
+            # names, e.g. acl.addEntry(..., "block")).
+            end = self._pos + 1
+            while end < len(src) and src[end] != '"':
+                if src[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= len(src):
+                raise P4SyntaxError("unterminated string literal", line, col)
+            value = src[self._pos + 1:end].replace('\\"', '"')
+            self._advance(end + 1 - self._pos)
+            return Token("string", value, line, col, offset)
+
+        if ch.isdigit():
+            end = self._pos
+            if src.startswith("0x", end) or src.startswith("0X", end):
+                end += 2
+                while end < len(src) and src[end] in "0123456789abcdefABCDEF":
+                    end += 1
+            else:
+                while end < len(src) and src[end].isdigit():
+                    end += 1
+            value = src[self._pos:end]
+            self._advance(end - self._pos)
+            return Token("number", value, line, col, offset)
+
+        for op in _OPERATORS:
+            if src.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token("op", op, line, col, offset)
+
+        raise P4SyntaxError(f"unexpected character {ch!r}", line, col)
+
+
+def match_brace_block(source: str, open_offset: int) -> int:
+    """Return the offset just past the ``}`` matching ``{`` at
+    ``open_offset``, skipping braces inside comments.
+
+    Used to slice raw C reaction bodies out of P4R source.
+    """
+    if source[open_offset] != "{":
+        raise P4SyntaxError("expected '{' at reaction body start")
+    depth = 0
+    pos = open_offset
+    while pos < len(source):
+        if source.startswith("//", pos):
+            newline = source.find("\n", pos)
+            pos = len(source) if newline < 0 else newline + 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise P4SyntaxError("unterminated comment in reaction body")
+            pos = end + 2
+            continue
+        ch = source[pos]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return pos + 1
+        pos += 1
+    raise P4SyntaxError("unterminated reaction body (missing '}')")
+
+
+def parse_int(text: str) -> int:
+    """Parse a P4 integer literal (decimal or ``0x`` hex)."""
+    return int(text, 0)
+
+
+def token_at_or_after(tokens: List[Token], offset: int, start: int = 0) -> int:
+    """Index of the first token whose offset is >= ``offset``.
+
+    The P4R parser uses this to resynchronize the token stream after
+    slicing a raw reaction body out of the source.
+    """
+    index = start
+    while index < len(tokens) - 1 and tokens[index].offset < offset:
+        index += 1
+    return index
+
+
+def expected(token: Token, what: str) -> Optional[P4SyntaxError]:
+    """Build a uniform 'expected X, got Y' syntax error."""
+    return P4SyntaxError(
+        f"expected {what}, got {token.kind} {token.value!r}",
+        token.line,
+        token.column,
+    )

@@ -1,0 +1,431 @@
+"""Recursive-descent parser for the P4-14 subset.
+
+Covers the declarations Mantis's transformations and use cases rely on:
+header types, header/metadata instances, field lists, field-list
+calculations, registers, counters, actions, tables, control blocks with
+``apply``/``if``/``else``, and simplified parser states.
+
+The P4R front end (:mod:`repro.p4r.parser`) subclasses
+:class:`P4Parser`, adding the ``malleable`` and ``reaction``
+declarations of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import P4SyntaxError
+from repro.p4 import ast
+from repro.p4.lexer import Lexer, Token, expected, parse_int
+
+# P4-14 primitive actions the emulator implements.  Kept here so the
+# parser can warn early instead of failing at packet-processing time.
+KNOWN_PRIMITIVES = frozenset(
+    {
+        "modify_field",
+        "add",
+        "subtract",
+        "add_to_field",
+        "subtract_from_field",
+        "bit_and",
+        "bit_or",
+        "bit_xor",
+        "shift_left",
+        "shift_right",
+        "min",
+        "max",
+        "drop",
+        "no_op",
+        "count",
+        "register_read",
+        "register_write",
+        "modify_field_with_hash_based_offset",
+        "modify_field_rng_uniform",
+        "recirculate",
+        "clone_ingress_pkt_to_egress",
+        "mark_ecn",
+    }
+)
+
+
+class P4Parser:
+    """Parse P4-14 source text into a :class:`~repro.p4.ast.Program`."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens: List[Token] = Lexer(source).tokenize()
+        self.index = 0
+        self.program = ast.Program()
+
+    # ---- token-stream helpers -----------------------------------------
+
+    def peek(self, lookahead: int = 0) -> Token:
+        index = min(self.index + lookahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise expected(token, value if value is not None else kind)
+        return token
+
+    def expect_ident(self, value: Optional[str] = None) -> str:
+        return self.expect("ident", value).value
+
+    def expect_op(self, value: str) -> Token:
+        return self.expect("op", value)
+
+    def expect_number(self) -> int:
+        return parse_int(self.expect("number").value)
+
+    def accept(self, kind: str, value: str) -> bool:
+        token = self.peek()
+        if token.kind == kind and token.value == value:
+            self.next()
+            return True
+        return False
+
+    # ---- entry point ---------------------------------------------------
+
+    def parse(self) -> ast.Program:
+        while self.peek().kind != "eof":
+            self.parse_declaration()
+        return self.program
+
+    def parse_declaration(self) -> None:
+        token = self.peek()
+        if token.kind != "ident":
+            raise expected(token, "a declaration keyword")
+        handler = getattr(self, f"_parse_{token.value}", None)
+        if handler is None:
+            raise P4SyntaxError(
+                f"unknown declaration {token.value!r}", token.line, token.column
+            )
+        self.next()
+        handler()
+
+    # ---- declarations ---------------------------------------------------
+
+    def _parse_header_type(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        self.expect_ident("fields")
+        self.expect_op("{")
+        fields: List[ast.FieldDecl] = []
+        while not self.accept("op", "}"):
+            field_name = self.expect_ident()
+            self.expect_op(":")
+            width = self.expect_number()
+            self.expect_op(";")
+            fields.append(ast.FieldDecl(field_name, width))
+        self.expect_op("}")
+        self.program.add(ast.HeaderType(name, fields))
+
+    def _parse_header(self) -> None:
+        self._parse_instance(is_metadata=False)
+
+    def _parse_metadata(self) -> None:
+        self._parse_instance(is_metadata=True)
+
+    def _parse_instance(self, is_metadata: bool) -> None:
+        type_name = self.expect_ident()
+        name = self.expect_ident()
+        initializer = {}
+        if self.accept("op", "{"):
+            while not self.accept("op", "}"):
+                field_name = self.expect_ident()
+                self.expect_op(":")
+                initializer[field_name] = self.expect_number()
+                self.expect_op(";")
+        self.expect_op(";")
+        self.program.add(
+            ast.HeaderInstance(name, type_name, is_metadata, initializer)
+        )
+
+    def _parse_field_list(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        entries: List[Union[ast.FieldRef, ast.MalleableRef]] = []
+        while not self.accept("op", "}"):
+            entries.append(self.parse_ref())
+            self.expect_op(";")
+        self.program.add(ast.FieldList(name, entries))
+
+    def _parse_field_list_calculation(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        inputs: List[str] = []
+        algorithm = "crc16"
+        output_width = 16
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            if key == "input":
+                self.expect_op("{")
+                while not self.accept("op", "}"):
+                    inputs.append(self.expect_ident())
+                    self.expect_op(";")
+            elif key == "algorithm":
+                self.expect_op(":")
+                algorithm = self.expect_ident()
+                self.expect_op(";")
+            elif key == "output_width":
+                self.expect_op(":")
+                output_width = self.expect_number()
+                self.expect_op(";")
+            else:
+                raise P4SyntaxError(f"unknown field_list_calculation key {key!r}")
+        self.program.add(
+            ast.FieldListCalculation(name, inputs, algorithm, output_width)
+        )
+
+    def _parse_register(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        width, instance_count = 32, 1
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            self.expect_op(":")
+            value = self.expect_number()
+            self.expect_op(";")
+            if key == "width":
+                width = value
+            elif key == "instance_count":
+                instance_count = value
+            else:
+                raise P4SyntaxError(f"unknown register attribute {key!r}")
+        self.program.add(ast.RegisterDecl(name, width, instance_count))
+
+    def _parse_counter(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        counter_type, instance_count = "packets", 1
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            self.expect_op(":")
+            if key == "type":
+                counter_type = self.expect_ident()
+            elif key == "instance_count":
+                instance_count = self.expect_number()
+            else:
+                raise P4SyntaxError(f"unknown counter attribute {key!r}")
+            self.expect_op(";")
+        self.program.add(ast.CounterDecl(name, counter_type, instance_count))
+
+    def _parse_action(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("(")
+        params: List[str] = []
+        if not self.accept("op", ")"):
+            params.append(self.expect_ident())
+            while self.accept("op", ","):
+                params.append(self.expect_ident())
+            self.expect_op(")")
+        self.expect_op("{")
+        body: List[ast.PrimitiveCall] = []
+        while not self.accept("op", "}"):
+            body.append(self.parse_primitive_call())
+        self.program.add(ast.ActionDecl(name, params, body))
+
+    def parse_primitive_call(self) -> ast.PrimitiveCall:
+        name = self.expect_ident()
+        self.expect_op("(")
+        args: List[ast.Arg] = []
+        if not self.accept("op", ")"):
+            args.append(self.parse_arg())
+            while self.accept("op", ","):
+                args.append(self.parse_arg())
+            self.expect_op(")")
+        self.expect_op(";")
+        return ast.PrimitiveCall(name, args)
+
+    def parse_arg(self) -> ast.Arg:
+        token = self.peek()
+        if token.kind == "number":
+            return parse_int(self.next().value)
+        if token.kind == "op" and token.value == "${":
+            return self.parse_ref()
+        if token.kind == "ident":
+            # `a.b` is a field reference, a bare ident names an action
+            # parameter, register, field list, or calculation.
+            if self.peek(1).kind == "op" and self.peek(1).value == ".":
+                return self.parse_ref()
+            return self.next().value
+        raise expected(token, "an argument")
+
+    def parse_ref(self) -> Union[ast.FieldRef, ast.MalleableRef]:
+        token = self.peek()
+        if token.kind == "op" and token.value == "${":
+            self.next()
+            name = self.expect_ident()
+            self.expect_op("}")
+            return ast.MalleableRef(name)
+        header = self.expect_ident()
+        self.expect_op(".")
+        field = self.expect_ident()
+        return ast.FieldRef(header, field)
+
+    def _parse_table(self, malleable: bool = False) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        table = ast.TableDecl(name, malleable=malleable)
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            if key == "reads":
+                self.expect_op("{")
+                while not self.accept("op", "}"):
+                    table.reads.append(self.parse_table_read())
+            elif key == "actions":
+                self.expect_op("{")
+                while not self.accept("op", "}"):
+                    table.action_names.append(self.expect_ident())
+                    self.expect_op(";")
+            elif key == "default_action":
+                self.expect_op(":")
+                action = self.expect_ident()
+                args: List[int] = []
+                if self.accept("op", "("):
+                    if not self.accept("op", ")"):
+                        args.append(self.expect_number())
+                        while self.accept("op", ","):
+                            args.append(self.expect_number())
+                        self.expect_op(")")
+                self.expect_op(";")
+                table.default_action = (action, args)
+            elif key == "size":
+                self.expect_op(":")
+                table.size = self.expect_number()
+                self.expect_op(";")
+            else:
+                raise P4SyntaxError(f"unknown table attribute {key!r}")
+        self.program.add(table)
+
+    def parse_table_read(self) -> ast.TableRead:
+        token = self.peek()
+        if token.kind == "ident" and token.value == "valid":
+            self.next()
+            self.expect_op("(")
+            header = self.expect_ident()
+            self.expect_op(")")
+            self.expect_op(":")
+            self.expect_ident("exact")
+            self.expect_op(";")
+            return ast.TableRead(ast.ValidRef(header), ast.MatchType.VALID)
+        ref = self.parse_ref()
+        mask = None
+        if self.peek().kind == "ident" and self.peek().value == "mask":
+            self.next()
+            mask = self.expect_number()
+        self.expect_op(":")
+        match_type = ast.MatchType(self.expect_ident())
+        self.expect_op(";")
+        return ast.TableRead(ref, match_type, mask)
+
+    def _parse_control(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        body = self.parse_statements()
+        self.program.add(ast.ControlDecl(name, body))
+
+    def parse_statements(self) -> List[ast.Statement]:
+        """Parse statements until the closing ``}`` (consumed)."""
+        statements: List[ast.Statement] = []
+        while not self.accept("op", "}"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        keyword = self.expect_ident()
+        if keyword == "apply":
+            self.expect_op("(")
+            table = self.expect_ident()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.ApplyCall(table)
+        if keyword == "if":
+            self.expect_op("(")
+            cond = self.parse_condition()
+            self.expect_op(")")
+            self.expect_op("{")
+            then_body = self.parse_statements()
+            else_body: List[ast.Statement] = []
+            if self.peek().kind == "ident" and self.peek().value == "else":
+                self.next()
+                self.expect_op("{")
+                else_body = self.parse_statements()
+            return ast.IfBlock(cond, then_body, else_body)
+        raise P4SyntaxError(f"unknown statement {keyword!r}")
+
+    # ---- condition expressions (precedence climbing) -------------------
+
+    _PRECEDENCE = [
+        ("or", ["||", "or"]),
+        ("and", ["&&", "and"]),
+        ("cmp", ["==", "!=", "<", "<=", ">", ">="]),
+        ("bits", ["&", "|", "^"]),
+        ("add", ["+", "-"]),
+        ("shift", ["<<", ">>"]),
+    ]
+
+    def parse_condition(self, level: int = 0) -> ast.Operand:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_cond_atom()
+        _, ops = self._PRECEDENCE[level]
+        left = self.parse_condition(level + 1)
+        while True:
+            token = self.peek()
+            matched = (token.kind == "op" and token.value in ops) or (
+                token.kind == "ident" and token.value in ops
+            )
+            if not matched:
+                return left
+            self.next()
+            right = self.parse_condition(level + 1)
+            op = {"or": "||", "and": "&&"}.get(token.value, token.value)
+            left = ast.BinOp(op, left, right)
+
+    def parse_cond_atom(self) -> ast.Operand:
+        token = self.peek()
+        if token.kind == "op" and token.value == "(":
+            self.next()
+            inner = self.parse_condition()
+            self.expect_op(")")
+            return inner
+        if token.kind == "number":
+            return parse_int(self.next().value)
+        if token.kind == "ident" and token.value == "valid":
+            self.next()
+            self.expect_op("(")
+            header = self.expect_ident()
+            self.expect_op(")")
+            return ast.ValidRef(header)
+        return self.parse_ref()
+
+    def _parse_parser(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        extracts: List[str] = []
+        return_target = "ingress"
+        while not self.accept("op", "}"):
+            keyword = self.expect_ident()
+            if keyword == "extract":
+                self.expect_op("(")
+                extracts.append(self.expect_ident())
+                self.expect_op(")")
+                self.expect_op(";")
+            elif keyword == "return":
+                return_target = self.expect_ident()
+                self.expect_op(";")
+            else:
+                raise P4SyntaxError(f"unknown parser statement {keyword!r}")
+        self.program.add(ast.ParserStateDecl(name, extracts, return_target))
+
+
+def parse_p4(source: str) -> ast.Program:
+    """Parse P4-14 source text and return the program AST."""
+    return P4Parser(source).parse()

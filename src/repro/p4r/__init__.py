@@ -1,0 +1,37 @@
+"""P4R language front end.
+
+P4R is the paper's extension of P4-14 (Figure 3): ``malleable``
+declarations for values, fields and tables, ``${var}`` references in
+ordinary P4 positions, and ``reaction`` declarations whose bodies are
+C-like control-plane code.
+
+- :mod:`repro.p4r.ast` -- the P4R-specific nodes and the
+  :class:`P4RProgram` container.
+- :mod:`repro.p4r.parser` -- extends the P4-14 parser with the Figure 3
+  grammar.
+- :mod:`repro.p4r.creaction` -- parser + interpreter for the C-like
+  reaction bodies (the reproduction's stand-in for the compiled ``.so``
+  reactions of the paper's Section 7).
+"""
+
+from repro.p4r.ast import (
+    MalleableField,
+    MalleableValue,
+    P4RProgram,
+    ReactionArg,
+    ReactionDecl,
+)
+from repro.p4r.creaction import CReaction, ReactionEnv
+from repro.p4r.parser import P4RParser, parse_p4r
+
+__all__ = [
+    "CReaction",
+    "MalleableField",
+    "MalleableValue",
+    "P4RParser",
+    "P4RProgram",
+    "ReactionArg",
+    "ReactionDecl",
+    "ReactionEnv",
+    "parse_p4r",
+]

@@ -1,0 +1,211 @@
+"""AST nodes specific to P4R (the paper's Figure 3 grammar).
+
+Malleable *tables* are plain :class:`~repro.p4.ast.TableDecl` nodes with
+``malleable=True``; only values, fields and reactions need new node
+types.  :class:`P4RProgram` extends the P4 :class:`Program` container
+with indexes for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import P4SemanticError
+from repro.p4.ast import FieldRef, Program
+
+
+@dataclass
+class MalleableValue:
+    """``malleable value name { width : W; init : V; }``
+
+    A runtime-configurable constant used inside action expressions.
+    """
+
+    name: str
+    width: int
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise P4SemanticError(f"malleable value {self.name}: width must be > 0")
+        if self.init >= (1 << self.width) or self.init < 0:
+            raise P4SemanticError(
+                f"malleable value {self.name}: init {self.init} does not fit "
+                f"in {self.width} bits"
+            )
+
+
+@dataclass
+class MalleableField:
+    """``malleable field name { width; init; alts {...} }``
+
+    A runtime-shiftable reference to one of a fixed set of header or
+    metadata fields (the ``alts``).
+    """
+
+    name: str
+    width: int
+    init: FieldRef = None
+    alts: List[FieldRef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.init is not None and self.init not in self.alts:
+            # The paper's grammar lists init separately; we follow the
+            # compiler's requirement that init be one of the alts.
+            self.alts.insert(0, self.init)
+
+    @property
+    def selector_width(self) -> int:
+        """Width of the generated alt-selector metadata bit(s):
+        ceil(log2(|alts|)) per Section 4.1."""
+        return max(1, math.ceil(math.log2(max(2, len(self.alts)))))
+
+    def alt_index(self, ref: FieldRef) -> int:
+        for index, alt in enumerate(self.alts):
+            if alt == ref:
+                return index
+        raise P4SemanticError(
+            f"{ref} is not an alternative of malleable field {self.name}"
+        )
+
+    @property
+    def init_index(self) -> int:
+        return self.alt_index(self.init) if self.init is not None else 0
+
+
+@dataclass
+class ReactionArg:
+    """One parameter of a reaction (Figure 3 ``reaction_args``).
+
+    ``kind`` is one of:
+
+    - ``"ing"`` / ``"egr"`` -- a header/metadata field collected from
+      every passing packet at the end of that pipeline,
+    - ``"reg"`` -- a user register (array) slice read directly,
+    - ``"mbl"`` -- the last-written value of a malleable.
+
+    ``c_name`` is the identifier the reaction body uses.
+    """
+
+    kind: str
+    ref: object  # FieldRef for ing/egr, str register name for reg, str for mbl
+    lo: int = 0
+    hi: int = 0
+    c_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ing", "egr", "reg", "mbl"):
+            raise P4SemanticError(f"unknown reaction arg kind {self.kind!r}")
+        if not self.c_name:
+            if self.kind == "reg":
+                self.c_name = str(self.ref)
+            elif self.kind == "mbl":
+                self.c_name = str(self.ref)
+            else:
+                self.c_name = f"{self.ref.header}_{self.ref.field}"
+
+    @property
+    def entry_count(self) -> int:
+        """Number of polled values (1 for scalars, slice len for regs)."""
+        if self.kind == "reg":
+            return self.hi - self.lo + 1
+        return 1
+
+
+@dataclass
+class ReactionDecl:
+    """``reaction name(args) { C-like body }``.
+
+    ``body_source`` is the raw C-like text between the braces; it is
+    parsed lazily by :mod:`repro.p4r.creaction` (users may alternatively
+    attach a Python callable at agent-registration time, mirroring the
+    paper's dynamically loaded ``.so`` reactions).
+    """
+
+    name: str
+    args: List[ReactionArg] = field(default_factory=list)
+    body_source: str = ""
+
+    def arg(self, c_name: str) -> ReactionArg:
+        for arg in self.args:
+            if arg.c_name == c_name:
+                return arg
+        raise P4SemanticError(
+            f"reaction {self.name} has no argument {c_name!r}"
+        )
+
+
+class P4RProgram(Program):
+    """A parsed P4R program: a P4 program plus malleables + reactions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.malleable_values: Dict[str, MalleableValue] = {}
+        self.malleable_fields: Dict[str, MalleableField] = {}
+        self.reactions: Dict[str, ReactionDecl] = {}
+
+    def add_malleable_value(self, value: MalleableValue) -> None:
+        self._check_malleable_name(value.name)
+        self.malleable_values[value.name] = value
+
+    def add_malleable_field(self, fld: MalleableField) -> None:
+        self._check_malleable_name(fld.name)
+        self.malleable_fields[fld.name] = fld
+
+    def add_reaction(self, reaction: ReactionDecl) -> None:
+        if reaction.name in self.reactions:
+            raise P4SemanticError(f"duplicate reaction {reaction.name!r}")
+        self.reactions[reaction.name] = reaction
+
+    def _check_malleable_name(self, name: str) -> None:
+        if name in self.malleable_values or name in self.malleable_fields:
+            raise P4SemanticError(f"duplicate malleable {name!r}")
+
+    def malleable(self, name: str):
+        """Look up a malleable value or field by name."""
+        if name in self.malleable_values:
+            return self.malleable_values[name]
+        if name in self.malleable_fields:
+            return self.malleable_fields[name]
+        raise P4SemanticError(f"unknown malleable {name!r}")
+
+    def malleable_tables(self) -> List[str]:
+        return [t.name for t in self.tables.values() if t.malleable]
+
+    def validate_p4r(self) -> None:
+        """P4R-specific semantic checks (on top of the base validator)."""
+        for fld in self.malleable_fields.values():
+            for alt in fld.alts:
+                if not self.has_field(alt):
+                    raise P4SemanticError(
+                        f"malleable field {fld.name}: alt {alt} is not a "
+                        f"declared field"
+                    )
+                if self.field_width(alt) > fld.width:
+                    raise P4SemanticError(
+                        f"malleable field {fld.name}: alt {alt} is wider "
+                        f"than the declared width {fld.width}"
+                    )
+        for reaction in self.reactions.values():
+            for arg in reaction.args:
+                if arg.kind in ("ing", "egr") and not self.has_field(arg.ref):
+                    raise P4SemanticError(
+                        f"reaction {reaction.name}: unknown field {arg.ref}"
+                    )
+                if arg.kind == "reg":
+                    if arg.ref not in self.registers:
+                        raise P4SemanticError(
+                            f"reaction {reaction.name}: unknown register "
+                            f"{arg.ref!r}"
+                        )
+                    register = self.registers[arg.ref]
+                    if not (0 <= arg.lo <= arg.hi < register.instance_count):
+                        raise P4SemanticError(
+                            f"reaction {reaction.name}: register slice "
+                            f"[{arg.lo}:{arg.hi}] out of bounds for "
+                            f"{arg.ref} ({register.instance_count} entries)"
+                        )
+                if arg.kind == "mbl":
+                    self.malleable(arg.ref)

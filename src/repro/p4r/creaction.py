@@ -1,0 +1,718 @@
+"""Parser and interpreter for C-like reaction bodies.
+
+The paper's compiler emits C reaction functions that are built with gcc
+and dynamically loaded into the Mantis agent.  This reproduction
+interprets the same C-like language directly:
+
+- fixed-width unsigned/signed integer types (``uint16_t`` ...), ``int``,
+  ``float``/``double``, ``bool``;
+- ``static`` variables that persist across dialogue iterations (the
+  paper's Section 6 "stateful dialogue");
+- arrays, ``for``/``while``/``if``/``else``/``break``/``continue``/
+  ``return``, the usual C operators including ``?:`` and compound
+  assignment;
+- ``${var}`` reads and writes of malleable values/fields (lowered by
+  the real compiler to generated setter functions);
+- method calls on malleable tables, e.g. ``t.addEntry(...)``;
+- host "extern" functions registered by the embedding application
+  (e.g. ``recompute_routes()`` in the gray-failure use case).
+
+Execution environments are supplied by the Mantis agent, which binds
+polled reaction arguments and malleable/table handles before each run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReactionError
+from repro.p4.lexer import Lexer, Token, parse_int
+
+# ---------------------------------------------------------------------------
+# Types
+
+_UNSIGNED_WIDTHS = {
+    "uint8_t": 8,
+    "uint16_t": 16,
+    "uint32_t": 32,
+    "uint64_t": 64,
+    "unsigned": 32,
+    "bool": 1,
+}
+_SIGNED_WIDTHS = {
+    "int8_t": 8,
+    "int16_t": 16,
+    "int32_t": 32,
+    "int64_t": 64,
+    "int": 64,  # interpreted ints are arbitrary precision; no wrap
+    "long": 64,
+}
+_FLOAT_TYPES = {"float", "double"}
+TYPE_KEYWORDS = frozenset(_UNSIGNED_WIDTHS) | frozenset(_SIGNED_WIDTHS) | _FLOAT_TYPES
+
+
+class _CVar:
+    """A declared C variable: value plus the mask implied by its type."""
+
+    __slots__ = ("value", "ctype")
+
+    def __init__(self, value, ctype: str):
+        self.ctype = ctype
+        self.value = value
+
+    def coerce(self, value):
+        if self.ctype in _FLOAT_TYPES:
+            return float(value)
+        value = int(value)
+        width = _UNSIGNED_WIDTHS.get(self.ctype)
+        if width is not None:
+            return value & ((1 << width) - 1)
+        return value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Environment
+
+
+class ReactionEnv:
+    """Execution environment a reaction body runs against.
+
+    The Mantis agent builds one per dialogue iteration; tests may build
+    them directly.  ``args`` maps parameter names to ints or lists of
+    ints (register slices are exposed as dicts ``{index: value}`` so
+    that ``qdepths[i]`` uses the original register indices).
+    """
+
+    def __init__(
+        self,
+        args: Optional[Dict[str, object]] = None,
+        read_malleable: Optional[Callable[[str], int]] = None,
+        write_malleable: Optional[Callable[[str, int], None]] = None,
+        tables: Optional[Dict[str, object]] = None,
+        externs: Optional[Dict[str, Callable]] = None,
+        statics: Optional[Dict[str, object]] = None,
+    ):
+        self.args = dict(args or {})
+        self.read_malleable = read_malleable or self._no_malleables
+        self.write_malleable = write_malleable or self._no_malleables
+        self.tables = dict(tables or {})
+        self.externs = dict(externs or {})
+        # statics persist across runs; the caller owns the dict.
+        self.statics = statics if statics is not None else {}
+
+    @staticmethod
+    def _no_malleables(*_args):
+        raise ReactionError("no malleable handles bound in this environment")
+
+
+_BUILTINS: Dict[str, Callable] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+# ---------------------------------------------------------------------------
+# Parser
+
+
+class _CParser:
+    """Recursive-descent parser for the reaction language.
+
+    Produces a tuple-based AST evaluated by :class:`CReaction`.
+    """
+
+    def __init__(self, source: str):
+        self.tokens: List[Token] = Lexer(source).tokenize()
+        self.index = 0
+
+    def peek(self, lookahead: int = 0) -> Token:
+        index = min(self.index + lookahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str) -> bool:
+        token = self.peek()
+        if token.kind == kind and token.value == value:
+            self.next()
+            return True
+        return False
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ReactionError(
+                f"reaction syntax: expected {value or kind}, got "
+                f"{token.value!r} (line {token.line})"
+            )
+        return token
+
+    # ---- statements ----------------------------------------------------
+
+    def parse_body(self) -> list:
+        statements = []
+        while self.peek().kind != "eof":
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.kind == "op" and token.value == "{":
+            self.next()
+            block = []
+            while not self.accept("op", "}"):
+                block.append(self.parse_statement())
+            return ("block", block)
+        if token.kind == "ident":
+            keyword = token.value
+            if keyword == "static" or keyword in TYPE_KEYWORDS:
+                return self.parse_declaration()
+            if keyword == "if":
+                return self.parse_if()
+            if keyword == "for":
+                return self.parse_for()
+            if keyword == "while":
+                return self.parse_while()
+            if keyword == "return":
+                self.next()
+                value = None
+                if not self.accept("op", ";"):
+                    value = self.parse_expression()
+                    self.expect("op", ";")
+                return ("return", value)
+            if keyword == "break":
+                self.next()
+                self.expect("op", ";")
+                return ("break",)
+            if keyword == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ("continue",)
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ("expr", expr)
+
+    def parse_declaration(self):
+        static = self.accept("ident", "static")
+        type_token = self.expect("ident")
+        if type_token.value not in TYPE_KEYWORDS:
+            raise ReactionError(f"unknown type {type_token.value!r}")
+        ctype = type_token.value
+        declarators = [self.parse_declarator()]
+        while self.accept("op", ","):
+            declarators.append(self.parse_declarator())
+        self.expect("op", ";")
+        return ("decl", static, ctype, declarators)
+
+    def parse_declarator(self):
+        name = self.expect("ident").value
+        array_size = None
+        if self.accept("op", "["):
+            array_size = parse_int(self.expect("number").value)
+            self.expect("op", "]")
+        init = None
+        if self.accept("op", "="):
+            if self.peek().kind == "op" and self.peek().value == "{":
+                self.next()
+                items = []
+                if not self.accept("op", "}"):
+                    items.append(self.parse_assignment())
+                    while self.accept("op", ","):
+                        items.append(self.parse_assignment())
+                    self.expect("op", "}")
+                init = ("initlist", items)
+            else:
+                init = self.parse_assignment()
+        return (name, array_size, init)
+
+    def parse_if(self):
+        self.expect("ident", "if")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then_stmt = self.parse_statement()
+        else_stmt = None
+        if self.accept("ident", "else"):
+            else_stmt = self.parse_statement()
+        return ("if", cond, then_stmt, else_stmt)
+
+    def parse_for(self):
+        self.expect("ident", "for")
+        self.expect("op", "(")
+        if self.accept("op", ";"):
+            init = None
+        elif self.peek().kind == "ident" and self.peek().value in TYPE_KEYWORDS:
+            init = self.parse_declaration()
+        else:
+            init = ("expr", self.parse_expression())
+            self.expect("op", ";")
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self.parse_expression()
+            self.expect("op", ";")
+        step = None
+        if not self.accept("op", ")"):
+            step = self.parse_expression()
+            self.expect("op", ")")
+        body = self.parse_statement()
+        return ("for", init, cond, step, body)
+
+    def parse_while(self):
+        self.expect("ident", "while")
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ("while", cond, body)
+
+    # ---- expressions ----------------------------------------------------
+
+    _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=",
+                   "<<=", ">>="}
+    _BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_expression(self):
+        return self.parse_assignment()
+
+    def parse_assignment(self):
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.value in self._ASSIGN_OPS:
+            self.next()
+            right = self.parse_assignment()
+            return ("assign", token.value, left, right)
+        return left
+
+    def parse_ternary(self):
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then_value = self.parse_expression()
+            self.expect("op", ":")
+            else_value = self.parse_ternary()
+            return ("ternary", cond, then_value, else_value)
+        return cond
+
+    def parse_binary(self, level: int):
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self.parse_binary(level + 1)
+        while self.peek().kind == "op" and self.peek().value in ops:
+            op = self.next().value
+            right = self.parse_binary(level + 1)
+            left = ("bin", op, left, right)
+        return left
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "op" and token.value in ("!", "~", "-", "+"):
+            self.next()
+            return ("un", token.value, self.parse_unary())
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.next()
+            delta = 1 if token.value == "++" else -1
+            return ("preinc", self.parse_unary(), delta)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ("index", expr, index)
+            elif token.kind == "op" and token.value == "(":
+                if expr[0] != "var":
+                    raise ReactionError("only named functions can be called")
+                self.next()
+                args = self.parse_call_args()
+                expr = ("call", expr[1], args)
+            elif token.kind == "op" and token.value == ".":
+                self.next()
+                method = self.expect("ident").value
+                self.expect("op", "(")
+                args = self.parse_call_args()
+                if expr[0] != "var":
+                    raise ReactionError("method calls require a table name")
+                expr = ("method", expr[1], method, args)
+            elif token.kind == "op" and token.value in ("++", "--"):
+                self.next()
+                delta = 1 if token.value == "++" else -1
+                expr = ("postinc", expr, delta)
+            else:
+                return expr
+
+    def parse_call_args(self):
+        args = []
+        if not self.accept("op", ")"):
+            args.append(self.parse_assignment())
+            while self.accept("op", ","):
+                args.append(self.parse_assignment())
+            self.expect("op", ")")
+        return args
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "number":
+            return ("num", parse_int(self.next().value))
+        if token.kind == "string":
+            return ("str", self.next().value)
+        if token.kind == "op" and token.value == "(":
+            self.next()
+            inner = self.parse_expression()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "op" and token.value == "${":
+            self.next()
+            name = self.expect("ident").value
+            self.expect("op", "}")
+            return ("mbl", name)
+        if token.kind == "ident":
+            return ("var", self.next().value)
+        raise ReactionError(
+            f"reaction syntax: unexpected {token.value!r} (line {token.line})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+
+
+class CReaction:
+    """A parsed, executable reaction body.
+
+    ``run(env)`` executes the body against a :class:`ReactionEnv` and
+    returns the value of an executed ``return`` (or ``None``).
+    """
+
+    def __init__(self, source: str, name: str = "reaction"):
+        self.name = name
+        self.source = source
+        self.body = _CParser(source).parse_body()
+        # Expression evaluations of the most recent run -- the agent
+        # charges simulated CPU time proportional to this (the "C"
+        # term of the Section 8.1 cost formula).
+        self.last_op_count = 0
+
+    def run(self, env: ReactionEnv):
+        self.last_op_count = 0
+        scopes: List[Dict[str, _CVar]] = [{}]
+        try:
+            for stmt in self.body:
+                self._exec(stmt, env, scopes)
+        except _Return as ret:
+            return ret.value
+        except (_Break, _Continue):
+            raise ReactionError("break/continue outside a loop")
+        return None
+
+    # ---- statement execution -------------------------------------------
+
+    def _exec(self, stmt, env: ReactionEnv, scopes) -> None:
+        kind = stmt[0]
+        if kind == "expr":
+            self._eval(stmt[1], env, scopes)
+        elif kind == "decl":
+            self._exec_decl(stmt, env, scopes)
+        elif kind == "block":
+            scopes.append({})
+            try:
+                for inner in stmt[1]:
+                    self._exec(inner, env, scopes)
+            finally:
+                scopes.pop()
+        elif kind == "if":
+            _, cond, then_stmt, else_stmt = stmt
+            if self._truthy(self._eval(cond, env, scopes)):
+                self._exec(then_stmt, env, scopes)
+            elif else_stmt is not None:
+                self._exec(else_stmt, env, scopes)
+        elif kind == "for":
+            self._exec_for(stmt, env, scopes)
+        elif kind == "while":
+            _, cond, body = stmt
+            while self._truthy(self._eval(cond, env, scopes)):
+                try:
+                    self._exec(body, env, scopes)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif kind == "return":
+            value = None if stmt[1] is None else self._eval(stmt[1], env, scopes)
+            raise _Return(value)
+        elif kind == "break":
+            raise _Break()
+        elif kind == "continue":
+            raise _Continue()
+        else:  # pragma: no cover - parser emits only the kinds above
+            raise ReactionError(f"unknown statement kind {kind!r}")
+
+    def _exec_decl(self, stmt, env: ReactionEnv, scopes) -> None:
+        _, static, ctype, declarators = stmt
+        for name, array_size, init in declarators:
+            if static:
+                key = f"{self.name}::{name}"
+                if key in env.statics:
+                    scopes[-1][name] = env.statics[key]
+                    continue
+            var = self._make_var(ctype, array_size, init, env, scopes)
+            scopes[-1][name] = var
+            if static:
+                env.statics[f"{self.name}::{name}"] = var
+
+    def _make_var(self, ctype, array_size, init, env, scopes) -> _CVar:
+        if array_size is not None:
+            values = [0] * array_size
+            if init is not None:
+                if init[0] != "initlist":
+                    raise ReactionError("array initializer must be a {...} list")
+                for position, item in enumerate(init[1][:array_size]):
+                    values[position] = self._eval(item, env, scopes)
+            var = _CVar(values, ctype)
+            return var
+        var = _CVar(0, ctype)
+        if init is not None:
+            if init[0] == "initlist":
+                raise ReactionError("scalar initializer cannot be a {...} list")
+            var.value = var.coerce(self._eval(init, env, scopes))
+        elif ctype in _FLOAT_TYPES:
+            var.value = 0.0
+        return var
+
+    def _exec_for(self, stmt, env: ReactionEnv, scopes) -> None:
+        _, init, cond, step, body = stmt
+        scopes.append({})
+        try:
+            if init is not None:
+                self._exec(init, env, scopes)
+            while cond is None or self._truthy(self._eval(cond, env, scopes)):
+                try:
+                    self._exec(body, env, scopes)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if step is not None:
+                    self._eval(step, env, scopes)
+        finally:
+            scopes.pop()
+
+    # ---- expression evaluation -------------------------------------------
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+    def _lookup(self, name: str, scopes) -> Optional[_CVar]:
+        for scope in reversed(scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _eval(self, expr, env: ReactionEnv, scopes):
+        self.last_op_count += 1
+        kind = expr[0]
+        if kind == "num":
+            return expr[1]
+        if kind == "str":
+            return expr[1]
+        if kind == "var":
+            return self._eval_var(expr[1], env, scopes)
+        if kind == "mbl":
+            return env.read_malleable(expr[1])
+        if kind == "bin":
+            return self._eval_bin(expr, env, scopes)
+        if kind == "un":
+            return self._eval_un(expr, env, scopes)
+        if kind == "ternary":
+            _, cond, then_value, else_value = expr
+            if self._truthy(self._eval(cond, env, scopes)):
+                return self._eval(then_value, env, scopes)
+            return self._eval(else_value, env, scopes)
+        if kind == "index":
+            container = self._eval(expr[1], env, scopes)
+            index = self._eval(expr[2], env, scopes)
+            try:
+                return container[index]
+            except (KeyError, IndexError, TypeError) as exc:
+                raise ReactionError(f"bad array access [{index}]: {exc}") from exc
+        if kind == "assign":
+            return self._eval_assign(expr, env, scopes)
+        if kind in ("preinc", "postinc"):
+            _, target, delta = expr
+            old = self._eval(target, env, scopes)
+            self._store(target, old + delta, env, scopes)
+            return old + delta if kind == "preinc" else old
+        if kind == "call":
+            return self._eval_call(expr, env, scopes)
+        if kind == "method":
+            return self._eval_method(expr, env, scopes)
+        raise ReactionError(f"unknown expression kind {kind!r}")
+
+    def _eval_var(self, name: str, env: ReactionEnv, scopes):
+        var = self._lookup(name, scopes)
+        if var is not None:
+            return var.value
+        if name in env.args:
+            return env.args[name]
+        if name in env.tables:
+            return env.tables[name]
+        raise ReactionError(f"undefined identifier {name!r}")
+
+    def _eval_bin(self, expr, env: ReactionEnv, scopes):
+        _, op, left_expr, right_expr = expr
+        if op == "&&":
+            return 1 if (
+                self._truthy(self._eval(left_expr, env, scopes))
+                and self._truthy(self._eval(right_expr, env, scopes))
+            ) else 0
+        if op == "||":
+            return 1 if (
+                self._truthy(self._eval(left_expr, env, scopes))
+                or self._truthy(self._eval(right_expr, env, scopes))
+            ) else 0
+        left = self._eval(left_expr, env, scopes)
+        right = self._eval(right_expr, env, scopes)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if isinstance(left, float) or isinstance(right, float):
+                    return left / right
+                # C integer division truncates toward zero.
+                quotient = abs(left) // abs(right)
+                return quotient if (left >= 0) == (right >= 0) else -quotient
+            if op == "%":
+                remainder = abs(left) % abs(right)
+                return remainder if left >= 0 else -remainder
+            if op == "<<":
+                return left << right
+            if op == ">>":
+                return left >> right
+            if op == "&":
+                return left & right
+            if op == "|":
+                return left | right
+            if op == "^":
+                return left ^ right
+            if op == "==":
+                return 1 if left == right else 0
+            if op == "!=":
+                return 1 if left != right else 0
+            if op == "<":
+                return 1 if left < right else 0
+            if op == "<=":
+                return 1 if left <= right else 0
+            if op == ">":
+                return 1 if left > right else 0
+            if op == ">=":
+                return 1 if left >= right else 0
+        except ZeroDivisionError as exc:
+            raise ReactionError("division by zero in reaction") from exc
+        raise ReactionError(f"unknown operator {op!r}")
+
+    def _eval_un(self, expr, env: ReactionEnv, scopes):
+        _, op, operand_expr = expr
+        operand = self._eval(operand_expr, env, scopes)
+        if op == "!":
+            return 0 if self._truthy(operand) else 1
+        if op == "~":
+            return ~operand
+        if op == "-":
+            return -operand
+        return operand
+
+    def _eval_assign(self, expr, env: ReactionEnv, scopes):
+        _, op, target, value_expr = expr
+        value = self._eval(value_expr, env, scopes)
+        if op != "=":
+            current = self._eval(target, env, scopes)
+            delta_op = op[:-1]  # "+=" -> "+", "<<=" -> "<<"
+            value = self._eval_bin(
+                ("bin", delta_op, ("num", current), ("num", value)), env, scopes
+            )
+        self._store(target, value, env, scopes)
+        return value
+
+    def _store(self, target, value, env: ReactionEnv, scopes) -> None:
+        kind = target[0]
+        if kind == "var":
+            var = self._lookup(target[1], scopes)
+            if var is None:
+                raise ReactionError(
+                    f"assignment to undeclared variable {target[1]!r}"
+                )
+            var.value = var.coerce(value)
+            return
+        if kind == "mbl":
+            env.write_malleable(target[1], int(value))
+            return
+        if kind == "index":
+            container = self._eval(target[1], env, scopes)
+            index = self._eval(target[2], env, scopes)
+            try:
+                container[index] = value
+            except (KeyError, IndexError, TypeError) as exc:
+                raise ReactionError(
+                    f"bad array store [{index}]: {exc}"
+                ) from exc
+            return
+        raise ReactionError("invalid assignment target")
+
+    def _eval_call(self, expr, env: ReactionEnv, scopes):
+        _, name, arg_exprs = expr
+        args = [self._eval(a, env, scopes) for a in arg_exprs]
+        if name in env.externs:
+            return env.externs[name](*args)
+        if name in _BUILTINS:
+            return _BUILTINS[name](*args)
+        raise ReactionError(f"call to unknown function {name!r}")
+
+    def _eval_method(self, expr, env: ReactionEnv, scopes):
+        _, table_name, method, arg_exprs = expr
+        if table_name not in env.tables:
+            raise ReactionError(f"unknown table handle {table_name!r}")
+        handle = env.tables[table_name]
+        args = [self._eval(a, env, scopes) for a in arg_exprs]
+        bound = getattr(handle, method, None)
+        if bound is None or not callable(bound):
+            raise ReactionError(
+                f"table {table_name!r} has no method {method!r}"
+            )
+        return bound(*args)

@@ -1,0 +1,146 @@
+"""Parser for P4R: the P4-14 grammar plus the Figure 3 extensions.
+
+Subclasses :class:`~repro.p4.parser.P4Parser`, adding:
+
+- ``malleable value NAME { width : W; init : V; }``
+- ``malleable field NAME { width : W; init : ref; alts { ref, ... }; }``
+- ``malleable table NAME { ... }``
+- ``reaction NAME ( args ) { C-like body }``
+
+Reaction bodies are sliced verbatim out of the source by brace matching
+and stored on the :class:`~repro.p4r.ast.ReactionDecl`; the token
+stream is resynchronised afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import P4SyntaxError
+from repro.p4 import ast as p4ast
+from repro.p4.lexer import match_brace_block, token_at_or_after
+from repro.p4.parser import P4Parser
+from repro.p4r import ast as p4rast
+
+
+class P4RParser(P4Parser):
+    """Parse P4R source into a :class:`~repro.p4r.ast.P4RProgram`."""
+
+    def __init__(self, source: str):
+        super().__init__(source)
+        self.program = p4rast.P4RProgram()
+
+    # ---- new declarations ----------------------------------------------
+
+    def _parse_malleable(self) -> None:
+        kind = self.expect_ident()
+        if kind == "value":
+            self._parse_malleable_value()
+        elif kind == "field":
+            self._parse_malleable_field()
+        elif kind == "table":
+            self._parse_table(malleable=True)
+        else:
+            raise P4SyntaxError(
+                f"malleable must be followed by value/field/table, got {kind!r}"
+            )
+
+    def _parse_malleable_value(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        width, init = None, 0
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            self.expect_op(":")
+            if key == "width":
+                width = self.expect_number()
+            elif key == "init":
+                init = self.expect_number()
+            else:
+                raise P4SyntaxError(f"unknown malleable value attribute {key!r}")
+            self.expect_op(";")
+        if width is None:
+            raise P4SyntaxError(f"malleable value {name!r} missing width")
+        self.program.add_malleable_value(
+            p4rast.MalleableValue(name, width, init)
+        )
+
+    def _parse_malleable_field(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("{")
+        width, init, alts = None, None, []
+        while not self.accept("op", "}"):
+            key = self.expect_ident()
+            if key == "width":
+                self.expect_op(":")
+                width = self.expect_number()
+                self.expect_op(";")
+            elif key == "init":
+                self.expect_op(":")
+                init = self.parse_ref()
+                self.expect_op(";")
+            elif key == "alts":
+                self.expect_op("{")
+                alts.append(self.parse_ref())
+                while self.accept("op", ","):
+                    alts.append(self.parse_ref())
+                self.expect_op("}")
+                # Trailing ';' after the alts block is optional in the
+                # paper's examples; accept both styles.
+                self.accept("op", ";")
+            else:
+                raise P4SyntaxError(f"unknown malleable field attribute {key!r}")
+        if width is None:
+            raise P4SyntaxError(f"malleable field {name!r} missing width")
+        if not alts and init is None:
+            raise P4SyntaxError(f"malleable field {name!r} has no alternatives")
+        self.program.add_malleable_field(
+            p4rast.MalleableField(name, width, init, alts)
+        )
+
+    def _parse_reaction(self) -> None:
+        name = self.expect_ident()
+        self.expect_op("(")
+        args = []
+        if not self.accept("op", ")"):
+            args.append(self._parse_reaction_arg())
+            while self.accept("op", ","):
+                args.append(self._parse_reaction_arg())
+            self.expect_op(")")
+        open_brace = self.expect_op("{")
+        end_offset = match_brace_block(self.source, open_brace.offset)
+        body = self.source[open_brace.offset + 1 : end_offset - 1]
+        self.index = token_at_or_after(self.tokens, end_offset, self.index)
+        self.program.add_reaction(p4rast.ReactionDecl(name, args, body))
+
+    def _parse_reaction_arg(self) -> p4rast.ReactionArg:
+        token = self.peek()
+        if token.kind == "ident" and token.value in ("ing", "egr"):
+            kind = self.next().value
+            ref = self.parse_ref()
+            if isinstance(ref, p4ast.MalleableRef):
+                return p4rast.ReactionArg("mbl", ref.name)
+            return p4rast.ReactionArg(kind, ref)
+        if token.kind == "ident" and token.value == "reg":
+            self.next()
+            register = self.expect_ident()
+            lo, hi = 0, 0
+            if self.accept("op", "["):
+                lo = self.expect_number()
+                self.expect_op(":")
+                hi = self.expect_number()
+                self.expect_op("]")
+            return p4rast.ReactionArg("reg", register, lo, hi)
+        if token.kind == "op" and token.value == "${":
+            ref = self.parse_ref()
+            return p4rast.ReactionArg("mbl", ref.name)
+        # Bare field ref defaults to an ingress-collected parameter.
+        ref = self.parse_ref()
+        if isinstance(ref, p4ast.MalleableRef):
+            return p4rast.ReactionArg("mbl", ref.name)
+        return p4rast.ReactionArg("ing", ref)
+
+
+def parse_p4r(source: str) -> p4rast.P4RProgram:
+    """Parse P4R source text and return the P4R program AST."""
+    program = P4RParser(source).parse()
+    program.validate_p4r()
+    return program

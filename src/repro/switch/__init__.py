@@ -1,0 +1,40 @@
+"""RMT switch emulator (the bmv2-style substrate).
+
+This package stands in for the paper's Wedge100BF-32X Tofino switch.
+It executes the P4-14 AST directly:
+
+- :mod:`repro.switch.clock` -- simulated microsecond clock shared by
+  the data plane, the driver, and the network simulator.
+- :mod:`repro.switch.packet` -- symbolic packets (named header fields).
+- :mod:`repro.switch.registers` -- stateful register arrays.
+- :mod:`repro.switch.hashing` -- hash algorithms for
+  ``field_list_calculation`` (crc16/crc32/xor/identity).
+- :mod:`repro.switch.tables` -- match-action table runtime with
+  exact/ternary/lpm/range/valid matching and priorities.
+- :mod:`repro.switch.pipeline` -- interpreter for actions and control
+  blocks.
+- :mod:`repro.switch.asic` -- the assembled switch: ports, queues,
+  ingress/egress pipelines, recirculation, stepped execution for
+  isolation experiments.
+- :mod:`repro.switch.driver` -- the control-plane driver with the
+  calibrated PCIe latency cost model (Figures 10-12).
+"""
+
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.clock import SimClock
+from repro.switch.driver import Driver, DriverCostModel
+from repro.switch.packet import Packet
+from repro.switch.registers import RegisterArray
+from repro.switch.tables import TableEntry, TableRuntime
+
+__all__ = [
+    "Driver",
+    "DriverCostModel",
+    "Packet",
+    "RegisterArray",
+    "STANDARD_METADATA_P4",
+    "SimClock",
+    "SwitchAsic",
+    "TableEntry",
+    "TableRuntime",
+]

@@ -1,0 +1,222 @@
+"""The assembled switch ASIC.
+
+Loads a (plain, post-Mantis-compile) P4 program and provides:
+
+- packet processing through ingress -> traffic manager -> egress,
+- stepped execution that yields between table applications so
+  isolation experiments can interleave control-plane writes mid-packet,
+- recirculation (bounded),
+- per-port queue statistics surfaced in ``standard_metadata``,
+- access to tables/registers/counters for the driver.
+
+All per-packet state lives on the packet; all cross-packet state lives
+in registers/counters/tables, exactly as on the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SwitchError
+from repro.p4 import ast
+from repro.p4.validate import validate_program
+from repro.switch.clock import SimClock
+from repro.switch.packet import Packet, STANDARD_METADATA_FIELDS
+from repro.switch.pipeline import PipelineExecutor
+from repro.switch.registers import RegisterArray
+from repro.switch.tables import TableRuntime
+
+# P4-14 source for the intrinsic metadata; programs that reference
+# standard_metadata fields should prepend this snippet.
+STANDARD_METADATA_P4 = (
+    "header_type standard_metadata_t {\n    fields {\n"
+    + "".join(
+        f"        {name} : {width};\n"
+        for name, width in STANDARD_METADATA_FIELDS.items()
+    )
+    + "    }\n}\nmetadata standard_metadata_t standard_metadata;\n"
+)
+
+MAX_RECIRCULATIONS = 4
+
+
+@dataclass
+class CounterRuntime:
+    """A P4 counter: a register array plus its counting mode."""
+
+    counter_type: str
+    array: RegisterArray
+
+
+@dataclass
+class PortStats:
+    """Per-port transmit statistics and a queue-depth signal.
+
+    ``queue_depth`` is set by whoever owns the queueing model (the
+    network simulator); standalone ASIC tests leave it at 0.
+    """
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    queue_depth: int = 0
+
+
+class SwitchAsic:
+    """A software RMT switch executing one P4 program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        clock: Optional[SimClock] = None,
+        num_ports: int = 32,
+        pipeline_latency_us: float = 0.4,
+        seed: int = 0,
+    ):
+        self.clock = clock or SimClock()
+        self.num_ports = num_ports
+        self.pipeline_latency_us = pipeline_latency_us
+        self.program = program
+        self._ensure_standard_metadata()
+        validate_program(program)
+
+        self.field_masks: Dict[str, int] = {}
+        for instance in program.headers.values():
+            header_type = program.header_types[instance.header_type]
+            for fld in header_type.fields:
+                self.field_masks[f"{instance.name}.{fld.name}"] = (
+                    (1 << fld.width) - 1
+                )
+
+        self.registers: Dict[str, RegisterArray] = {
+            name: RegisterArray(name, decl.width, decl.instance_count)
+            for name, decl in program.registers.items()
+        }
+        self.counters: Dict[str, CounterRuntime] = {
+            name: CounterRuntime(
+                decl.counter_type, RegisterArray(name, 64, decl.instance_count)
+            )
+            for name, decl in program.counters.items()
+        }
+        self.tables: Dict[str, TableRuntime] = {
+            name: TableRuntime(decl, self._key_widths(decl))
+            for name, decl in program.tables.items()
+        }
+        self.ports: List[PortStats] = [PortStats() for _ in range(num_ports)]
+        self.executor = PipelineExecutor(self, seed=seed)
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        # Total pipeline passes, including recirculations: the unit of
+        # the switch's packet-level bandwidth (Section 2's point that
+        # recirculation divides usable throughput).
+        self.pipeline_passes = 0
+
+    def _ensure_standard_metadata(self) -> None:
+        if "standard_metadata" in self.program.headers:
+            return
+        header_type = ast.HeaderType(
+            "standard_metadata_t",
+            [
+                ast.FieldDecl(name, width)
+                for name, width in STANDARD_METADATA_FIELDS.items()
+            ],
+        )
+        if "standard_metadata_t" not in self.program.header_types:
+            self.program.add(header_type, front=True)
+        self.program.add(
+            ast.HeaderInstance(
+                "standard_metadata", "standard_metadata_t", is_metadata=True
+            ),
+            front=True,
+        )
+
+    def _key_widths(self, decl: ast.TableDecl) -> List[int]:
+        widths = []
+        for read in decl.reads:
+            if read.match_type is ast.MatchType.VALID:
+                widths.append(1)
+            elif isinstance(read.ref, ast.MalleableRef):
+                raise SwitchError(
+                    f"table {decl.name} still reads malleable {read.ref}; "
+                    "run the Mantis compiler before loading"
+                )
+            else:
+                widths.append(self.program.field_width(read.ref))
+        return widths
+
+    # ---- lookups used by the driver ---------------------------------------
+
+    def get_register(self, name: str) -> RegisterArray:
+        if name not in self.registers:
+            raise SwitchError(f"unknown register {name!r}")
+        return self.registers[name]
+
+    def get_counter(self, name: str) -> CounterRuntime:
+        if name not in self.counters:
+            raise SwitchError(f"unknown counter {name!r}")
+        return self.counters[name]
+
+    def get_table(self, name: str) -> TableRuntime:
+        if name not in self.tables:
+            raise SwitchError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    # ---- packet processing --------------------------------------------------
+
+    def _stamp_ingress(self, packet: Packet) -> None:
+        packet.fields["standard_metadata.ingress_global_timestamp"] = int(
+            self.clock.now
+        )
+
+    def _traffic_manager(self, packet: Packet) -> None:
+        """Between ingress and egress: resolve the egress port and
+        expose its queue depth (the signal Mantis polls)."""
+        port = packet.egress_spec
+        if not 0 <= port < self.num_ports:
+            raise SwitchError(f"egress_spec {port} out of range")
+        packet.fields["standard_metadata.egress_port"] = port
+        depth = self.ports[port].queue_depth
+        packet.fields["standard_metadata.enq_qdepth"] = depth
+        packet.fields["standard_metadata.deq_qdepth"] = depth
+        packet.fields["standard_metadata.egress_global_timestamp"] = int(
+            self.clock.now
+        )
+
+    def process(self, packet: Packet) -> Optional[Tuple[int, Packet]]:
+        """Run a packet through the full pipeline.
+
+        Returns ``(egress_port, packet)`` or ``None`` if dropped.
+        Recirculated packets re-enter ingress up to
+        ``MAX_RECIRCULATIONS`` times (each pass costs pipeline latency,
+        modelling the paper's recirculation bandwidth concern).
+        """
+        for step in self.process_stepped(packet):
+            pass
+        return self._result(packet)
+
+    def process_stepped(self, packet: Packet) -> Iterator[Tuple[str, str]]:
+        """Stepped variant of :meth:`process`; yields
+        ``("apply", table)`` before every table application."""
+        self.packets_processed += 1
+        for _pass in range(1 + MAX_RECIRCULATIONS):
+            self.pipeline_passes += 1
+            self._stamp_ingress(packet)
+            yield from self.executor.iter_control("ingress", packet)
+            if packet.dropped:
+                break
+            self._traffic_manager(packet)
+            yield from self.executor.iter_control("egress", packet)
+            if packet.dropped or not packet.recirculated:
+                break
+            packet.fields["standard_metadata.recirculate_flag"] = 0
+        if packet.dropped:
+            self.packets_dropped += 1
+        else:
+            port = self.ports[packet.fields["standard_metadata.egress_port"]]
+            port.tx_packets += 1
+            port.tx_bytes += packet.size_bytes
+
+    def _result(self, packet: Packet) -> Optional[Tuple[int, Packet]]:
+        if packet.dropped:
+            return None
+        return packet.fields["standard_metadata.egress_port"], packet

@@ -1,0 +1,103 @@
+"""Symbolic packets.
+
+The emulator operates on pre-parsed packets: a flat mapping from
+``"instance.field"`` to integer values plus a set of valid headers.
+This matches how the Mantis transformations interact with packets
+(field reads/writes, table matches) without modelling wire formats.
+
+Intrinsic per-packet state (ingress port, egress spec, queue depths,
+timestamps, drop flag) lives in the ``standard_metadata`` instance,
+mirroring bmv2's v1model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Set
+
+_packet_ids = itertools.count()
+
+# Fields of the built-in standard_metadata instance.
+STANDARD_METADATA_FIELDS = {
+    "ingress_port": 9,
+    "egress_spec": 9,
+    "egress_port": 9,
+    "packet_length": 32,
+    "enq_qdepth": 19,
+    "deq_qdepth": 19,
+    "ingress_global_timestamp": 48,
+    "egress_global_timestamp": 48,
+    "recirculate_flag": 1,
+    "clone_flag": 1,
+    "drop_flag": 1,
+    "ecn_marked": 1,
+}
+
+
+class Packet:
+    """A symbolic packet processed by the emulated pipeline."""
+
+    __slots__ = ("packet_id", "fields", "valid_headers", "size_bytes")
+
+    def __init__(
+        self,
+        fields: Optional[Dict[str, int]] = None,
+        valid_headers: Optional[Iterable[str]] = None,
+        size_bytes: int = 1500,
+        ingress_port: int = 0,
+    ):
+        self.packet_id = next(_packet_ids)
+        self.fields: Dict[str, int] = {}
+        self.valid_headers: Set[str] = set(valid_headers or ())
+        self.size_bytes = size_bytes
+        for key, width in STANDARD_METADATA_FIELDS.items():
+            self.fields[f"standard_metadata.{key}"] = 0
+        self.fields["standard_metadata.ingress_port"] = ingress_port
+        self.fields["standard_metadata.packet_length"] = size_bytes
+        if fields:
+            for key, value in fields.items():
+                self.fields[key] = value
+                self.valid_headers.add(key.split(".", 1)[0])
+
+    # ---- field access ---------------------------------------------------
+
+    def get(self, key: str) -> int:
+        """Read ``"instance.field"``; unset fields read as 0 (bmv2
+        semantics for uninitialized metadata)."""
+        return self.fields.get(key, 0)
+
+    def set(self, key: str, value: int, mask: Optional[int] = None) -> None:
+        if mask is not None:
+            value &= mask
+        self.fields[key] = value
+
+    # ---- intrinsic helpers ------------------------------------------------
+
+    @property
+    def ingress_port(self) -> int:
+        return self.fields["standard_metadata.ingress_port"]
+
+    @property
+    def egress_spec(self) -> int:
+        return self.fields["standard_metadata.egress_spec"]
+
+    @egress_spec.setter
+    def egress_spec(self, port: int) -> None:
+        self.fields["standard_metadata.egress_spec"] = port
+
+    @property
+    def dropped(self) -> bool:
+        return bool(self.fields["standard_metadata.drop_flag"])
+
+    def mark_dropped(self) -> None:
+        self.fields["standard_metadata.drop_flag"] = 1
+
+    @property
+    def recirculated(self) -> bool:
+        return bool(self.fields["standard_metadata.recirculate_flag"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(id={self.packet_id}, in={self.ingress_port}, "
+            f"out={self.egress_spec}, drop={self.dropped})"
+        )

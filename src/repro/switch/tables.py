@@ -1,0 +1,250 @@
+"""Match-action table runtime.
+
+Implements the lookup semantics Mantis relies on:
+
+- exact matches via a hash index (SRAM),
+- ternary/lpm/range matches via a priority-ordered scan (TCAM),
+- atomic single-entry add/modify/delete (the hardware guarantee that
+  Section 5.1.1 builds its serialization point on).
+
+Entries are referenced by handles (integers) as with real switch SDKs,
+so the Mantis agent's three-phase update engine can mirror and flip
+shadow copies deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SwitchError
+from repro.p4 import ast
+from repro.switch.packet import Packet
+
+# One key component, by match kind:
+#   exact:   int
+#   ternary: (value, mask)      -- mask 0 means wildcard
+#   lpm:     (value, prefix_len)
+#   range:   (lo, hi)
+#   valid:   bool
+KeyPart = Union[int, Tuple[int, int], bool]
+
+
+@dataclass
+class TableEntry:
+    """One installed entry."""
+
+    entry_id: int
+    key: Tuple[KeyPart, ...]
+    action_name: str
+    action_args: List[int] = field(default_factory=list)
+    priority: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableEntry(#{self.entry_id}, key={self.key}, "
+            f"{self.action_name}{tuple(self.action_args)}, prio={self.priority})"
+        )
+
+
+class TableRuntime:
+    """Runtime state and matching logic for one table."""
+
+    def __init__(self, decl: ast.TableDecl, key_widths: Sequence[int]):
+        self.decl = decl
+        self.name = decl.name
+        self.key_widths = list(key_widths)
+        self.entries: Dict[int, TableEntry] = {}
+        self.default_action: Optional[Tuple[str, List[int]]] = (
+            (decl.default_action[0], list(decl.default_action[1]))
+            if decl.default_action
+            else None
+        )
+        self._ids = itertools.count(1)
+        self._exact_only = all(
+            r.match_type in (ast.MatchType.EXACT, ast.MatchType.VALID)
+            for r in decl.reads
+        )
+        self._exact_index: Dict[Tuple[KeyPart, ...], TableEntry] = {}
+        # hit/miss counters for observability and resource benches
+        self.hits = 0
+        self.misses = 0
+
+    # ---- entry management (atomic per call) -----------------------------
+
+    def _check_key(self, key: Sequence[KeyPart]) -> Tuple[KeyPart, ...]:
+        if len(key) != len(self.decl.reads):
+            raise SwitchError(
+                f"table {self.name}: key arity {len(key)} != "
+                f"{len(self.decl.reads)} reads"
+            )
+        normalized: List[KeyPart] = []
+        for part, read in zip(key, self.decl.reads):
+            if read.match_type in (ast.MatchType.EXACT,):
+                if not isinstance(part, int):
+                    raise SwitchError(
+                        f"table {self.name}: exact key part must be int, "
+                        f"got {part!r}"
+                    )
+            elif read.match_type is ast.MatchType.VALID:
+                part = bool(part)
+            elif not (isinstance(part, tuple) and len(part) == 2):
+                raise SwitchError(
+                    f"table {self.name}: {read.match_type.value} key part "
+                    f"must be a 2-tuple, got {part!r}"
+                )
+            normalized.append(part)
+        return tuple(normalized)
+
+    def add_entry(
+        self,
+        key: Sequence[KeyPart],
+        action_name: str,
+        action_args: Optional[Sequence[int]] = None,
+        priority: int = 0,
+    ) -> int:
+        """Install an entry; returns its handle.  Atomic."""
+        if action_name not in self.decl.action_names:
+            raise SwitchError(
+                f"table {self.name}: action {action_name!r} not in table's "
+                f"action list {self.decl.action_names}"
+            )
+        normalized = self._check_key(key)
+        if self.decl.size is not None and len(self.entries) >= self.decl.size:
+            raise SwitchError(f"table {self.name}: full ({self.decl.size})")
+        entry = TableEntry(
+            next(self._ids), normalized, action_name,
+            list(action_args or []), priority,
+        )
+        self.entries[entry.entry_id] = entry
+        if self._exact_only:
+            self._exact_index[normalized] = entry
+        return entry.entry_id
+
+    def modify_entry(
+        self,
+        entry_id: int,
+        action_name: Optional[str] = None,
+        action_args: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Change an entry's action/args in place.  Atomic."""
+        entry = self._get(entry_id)
+        if action_name is not None:
+            if action_name not in self.decl.action_names:
+                raise SwitchError(
+                    f"table {self.name}: action {action_name!r} not allowed"
+                )
+            entry.action_name = action_name
+        if action_args is not None:
+            entry.action_args = list(action_args)
+
+    def delete_entry(self, entry_id: int) -> None:
+        entry = self._get(entry_id)
+        del self.entries[entry_id]
+        if self._exact_only and self._exact_index.get(entry.key) is entry:
+            del self._exact_index[entry.key]
+
+    def set_default(self, action_name: str, action_args: Sequence[int] = ()) -> None:
+        if action_name not in self.decl.action_names:
+            raise SwitchError(
+                f"table {self.name}: default action {action_name!r} not allowed"
+            )
+        self.default_action = (action_name, list(action_args))
+
+    def find_entry(self, key: Sequence[KeyPart]) -> Optional[TableEntry]:
+        """Find an installed entry with exactly this key (not a lookup)."""
+        normalized = self._check_key(key)
+        for entry in self.entries.values():
+            if entry.key == normalized:
+                return entry
+        return None
+
+    def _get(self, entry_id: int) -> TableEntry:
+        if entry_id not in self.entries:
+            raise SwitchError(f"table {self.name}: no entry #{entry_id}")
+        return self.entries[entry_id]
+
+    # ---- lookup -----------------------------------------------------------
+
+    def build_lookup_key(self, packet: Packet) -> Tuple[KeyPart, ...]:
+        parts: List[KeyPart] = []
+        for read in self.decl.reads:
+            if read.match_type is ast.MatchType.VALID:
+                parts.append(read.ref.header in packet.valid_headers)
+            else:
+                ref = read.ref
+                value = packet.get(f"{ref.header}.{ref.field}")
+                if read.mask is not None:
+                    value &= read.mask
+                parts.append(value)
+        return tuple(parts)
+
+    def lookup(self, packet: Packet) -> Optional[Tuple[str, List[int]]]:
+        """Match the packet; returns ``(action, args)`` or the default.
+
+        Returns ``None`` when the table misses and has no default.
+        """
+        key = self.build_lookup_key(packet)
+        entry = self._match(key)
+        if entry is not None:
+            self.hits += 1
+            return entry.action_name, entry.action_args
+        self.misses += 1
+        return self.default_action
+
+    def _match(self, key: Tuple[KeyPart, ...]) -> Optional[TableEntry]:
+        if self._exact_only:
+            return self._exact_index.get(key)
+        best: Optional[TableEntry] = None
+        best_rank: Tuple[int, int] = (0, 0)
+        for entry in self.entries.values():
+            rank = self._entry_matches(entry, key)
+            if rank is None:
+                continue
+            if best is None or rank > best_rank:
+                best, best_rank = entry, rank
+        return best
+
+    def _entry_matches(
+        self, entry: TableEntry, key: Tuple[KeyPart, ...]
+    ) -> Optional[Tuple[int, int]]:
+        """Return a comparable rank (higher wins) or None on mismatch.
+
+        Rank is ``(priority, total_lpm_prefix)`` so explicit priorities
+        dominate and longest-prefix breaks ties among lpm entries.
+        """
+        prefix_total = 0
+        for part, pattern, read, width in zip(
+            key, entry.key, self.decl.reads, self.key_widths
+        ):
+            match_type = read.match_type
+            if match_type in (ast.MatchType.EXACT, ast.MatchType.VALID):
+                if part != pattern:
+                    return None
+            elif match_type is ast.MatchType.TERNARY:
+                value, mask = pattern
+                if (part & mask) != (value & mask):
+                    return None
+            elif match_type is ast.MatchType.LPM:
+                value, prefix_len = pattern
+                if prefix_len:
+                    mask = ((1 << prefix_len) - 1) << (width - prefix_len)
+                    if (part & mask) != (value & mask):
+                        return None
+                prefix_total += prefix_len
+            elif match_type is ast.MatchType.RANGE:
+                lo, hi = pattern
+                if not lo <= part <= hi:
+                    return None
+        return (entry.priority, prefix_total)
+
+    # ---- accounting ---------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+    def key_bits(self) -> int:
+        """Total key width in bits (for SRAM/TCAM accounting)."""
+        return sum(self.key_widths)

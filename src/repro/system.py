@@ -1,0 +1,66 @@
+"""High-level wiring: compile a P4R program and bring up the full
+Mantis stack (emulated ASIC + driver + agent) on one shared clock.
+
+This is the reproduction's equivalent of "flash the compiler output
+onto the Wedge100BF and start the agent":
+
+    from repro import MantisSystem
+
+    system = MantisSystem.from_source(P4R_SOURCE)
+    system.agent.prologue()
+    system.asic.process(packet)
+    system.agent.run_iteration()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.agent.agent import MantisAgent
+from repro.compiler.spec import CompiledArtifacts
+from repro.compiler.transform import CompilerOptions, compile_p4r
+from repro.p4r.ast import P4RProgram
+from repro.switch.asic import SwitchAsic
+from repro.switch.clock import SimClock
+from repro.switch.driver import Driver, DriverCostModel
+
+
+class MantisSystem:
+    """One switch: compiled artifacts, ASIC, driver, and agent."""
+
+    def __init__(
+        self,
+        artifacts: CompiledArtifacts,
+        clock: Optional[SimClock] = None,
+        num_ports: int = 32,
+        cost_model: Optional[DriverCostModel] = None,
+        pacing_sleep_us: float = 0.0,
+        record_timeline: bool = False,
+        seed: int = 0,
+    ):
+        self.artifacts = artifacts
+        self.clock = clock or SimClock()
+        self.asic = SwitchAsic(
+            artifacts.p4, clock=self.clock, num_ports=num_ports, seed=seed
+        )
+        self.driver = Driver(
+            self.asic, model=cost_model, record_timeline=record_timeline
+        )
+        self.agent = MantisAgent(
+            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us
+        )
+
+    @classmethod
+    def from_source(
+        cls,
+        source_or_program: Union[str, P4RProgram],
+        options: Optional[CompilerOptions] = None,
+        **kwargs,
+    ) -> "MantisSystem":
+        """Compile P4R source (or a parsed program) and build the stack."""
+        artifacts = compile_p4r(source_or_program, options)
+        return cls(artifacts, **kwargs)
+
+    @property
+    def spec(self):
+        return self.artifacts.spec

@@ -1,0 +1,300 @@
+"""End-to-end Mantis agent tests: the Figure 1 program running against
+the emulated switch, plus the dialogue-loop mechanics."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+FIGURE1 = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 32; bar : 32; baz : 32; qux : 32; } }
+header hdr_t hdr;
+
+register qdepths { width : 32; instance_count : 16; }
+
+malleable value value_var { width : 16; init : 1; }
+malleable field field_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+malleable table table_var {
+    reads { ${field_var} : exact; }
+    actions { my_action; mark; }
+    default_action : mark();
+}
+action my_action() {
+    add(hdr.qux, hdr.baz, ${value_var});
+}
+action mark() { modify_field(hdr.qux, 0xdead); }
+action track() {
+    register_write(qdepths, standard_metadata.ingress_port, hdr.baz);
+}
+table tracker { actions { track; } default_action : track(); }
+control ingress {
+    apply(table_var);
+    apply(tracker);
+}
+
+reaction my_reaction(reg qdepths[1:10]) {
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+}
+"""
+
+
+@pytest.fixture
+def system():
+    sys_ = MantisSystem.from_source(FIGURE1)
+    sys_.agent.prologue()
+    return sys_
+
+
+@pytest.fixture
+def quiet_system(system):
+    """Figure 1's C reaction overwrites value_var every iteration
+    (max-qdepth port, 0 with no traffic); neutralize it for tests
+    that exercise other mechanics."""
+    system.agent.attach_python("my_reaction", lambda ctx: None)
+    return system
+
+
+class TestPrologue:
+    def test_master_init_default_installed(self, system):
+        init = system.asic.tables["p4r_init_"]
+        # vv=0, mv=0, value_var=1, field_var_alt=0
+        assert init.default_action[1][:2] == [0, 0]
+
+    def test_prologue_runs_once(self, system):
+        with pytest.raises(AgentError):
+            system.agent.prologue()
+
+    def test_requires_prologue_before_dialogue(self):
+        fresh = MantisSystem.from_source(FIGURE1)
+        with pytest.raises(AgentError):
+            fresh.agent.run_iteration()
+
+    def test_user_init_runs_with_context(self):
+        fresh = MantisSystem.from_source(FIGURE1)
+        seen = {}
+
+        def init(ctx):
+            seen["value"] = ctx.read("value_var")
+            ctx.write("value_var", 5)
+
+        fresh.agent.prologue(user_init=init)
+        fresh.agent.attach_python("my_reaction", lambda ctx: None)
+        assert seen["value"] == 1
+        # User-staged config was committed by the prologue.
+        packet = Packet({"hdr.foo": 0, "hdr.baz": 100})
+        fresh.agent.table("table_var").add([0], "my_action")
+        fresh.agent.run_iteration()
+        fresh.asic.process(packet)
+        assert packet.get("hdr.qux") == 105
+
+
+class TestMalleableValueFlow:
+    def test_init_value_reaches_data_plane(self, quiet_system):
+        quiet_system.agent.table("table_var").add([7], "my_action")
+        quiet_system.agent.run_iteration()  # commit the entry
+        packet = Packet({"hdr.foo": 7, "hdr.baz": 10})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 11  # baz + init value 1
+
+    def test_reaction_updates_value_from_register(self, system):
+        system.agent.table("table_var").add([7], "my_action")
+        # Data plane records per-port "queue depths" via tracker.
+        deep = Packet({"hdr.foo": 0, "hdr.baz": 42}, ingress_port=6)
+        system.asic.process(deep)
+        system.agent.run_iteration()  # polls mirror, writes value_var
+        assert system.agent.read_malleable("value_var") == 6
+        packet = Packet({"hdr.foo": 7, "hdr.baz": 100})
+        system.asic.process(packet)
+        assert packet.get("hdr.qux") == 106  # baz + max_port
+
+    def test_write_commits_only_at_vv_flip(self, quiet_system):
+        quiet_system.agent.table("table_var").add([7], "my_action")
+        quiet_system.agent.run_iteration()
+        quiet_system.agent.write_malleable("value_var", 9)
+        # Staged, not yet committed: the data plane still sees 1.
+        packet = Packet({"hdr.foo": 7, "hdr.baz": 0})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 1
+        quiet_system.agent.run_iteration()
+        packet = Packet({"hdr.foo": 7, "hdr.baz": 0})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 9
+
+
+class TestMalleableFieldFlow:
+    def test_shift_changes_matched_field(self, quiet_system):
+        agent = quiet_system.agent
+        agent.table("table_var").add([5], "my_action")
+        agent.run_iteration()
+        # Initially ${field_var} = hdr.foo.
+        hit = Packet({"hdr.foo": 5, "hdr.bar": 0, "hdr.baz": 1})
+        quiet_system.asic.process(hit)
+        assert hit.get("hdr.qux") == 2
+        # Shift to hdr.bar; now matching is on bar.
+        agent.shift_field("field_var", "hdr.bar")
+        agent.run_iteration()
+        miss = Packet({"hdr.foo": 5, "hdr.bar": 0, "hdr.baz": 1})
+        quiet_system.asic.process(miss)
+        assert miss.get("hdr.qux") == 0xDEAD  # default action
+        hit2 = Packet({"hdr.foo": 0, "hdr.bar": 5, "hdr.baz": 1})
+        quiet_system.asic.process(hit2)
+        assert hit2.get("hdr.qux") == 2
+
+    def test_shift_by_index(self, system):
+        system.agent.shift_field("field_var", 1)
+        assert system.agent.read_malleable("field_var") == 1
+        with pytest.raises(AgentError):
+            system.agent.shift_field("field_var", 5)
+        with pytest.raises(AgentError):
+            system.agent.shift_field("field_var", "hdr.nope")
+
+
+class TestThreePhaseTables:
+    def test_add_invisible_until_commit(self, quiet_system):
+        handle = quiet_system.agent.table("table_var")
+        handle.add([3], "my_action")
+        packet = Packet({"hdr.foo": 3, "hdr.baz": 1})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 0xDEAD  # prepare only: still miss
+        quiet_system.agent.run_iteration()  # commit + mirror
+        packet = Packet({"hdr.foo": 3, "hdr.baz": 1})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 2
+
+    def test_entry_survives_subsequent_flips(self, quiet_system):
+        handle = quiet_system.agent.table("table_var")
+        handle.add([3], "my_action")
+        for _ in range(5):
+            quiet_system.agent.run_iteration()
+        packet = Packet({"hdr.foo": 3, "hdr.baz": 1})
+        quiet_system.asic.process(packet)
+        assert packet.get("hdr.qux") == 2
+
+    def test_group_of_updates_commits_atomically(self, quiet_system):
+        handle = quiet_system.agent.table("table_var")
+        first = handle.add([1], "my_action")
+        quiet_system.agent.run_iteration()
+
+        def reaction(ctx):
+            ctx.table("table_var").delete(first)
+            ctx.table("table_var").add([2], "my_action")
+
+        quiet_system.agent.attach_python("my_reaction", reaction)
+        quiet_system.agent.run_iteration()
+        miss = Packet({"hdr.foo": 1, "hdr.baz": 1})
+        quiet_system.asic.process(miss)
+        assert miss.get("hdr.qux") == 0xDEAD
+        hit = Packet({"hdr.foo": 2, "hdr.baz": 1})
+        quiet_system.asic.process(hit)
+        assert hit.get("hdr.qux") == 2
+
+    def test_modify_entry_args(self, system):
+        # table_var's actions take no args; test modify via action swap.
+        handle = system.agent.table("table_var")
+        entry = handle.add([4], "my_action")
+        system.agent.run_iteration()
+        handle.modify(entry, action="mark")
+        system.agent.run_iteration()
+        packet = Packet({"hdr.foo": 4, "hdr.baz": 1})
+        system.asic.process(packet)
+        assert packet.get("hdr.qux") == 0xDEAD
+
+    def test_shadow_doubles_concrete_entries(self, system):
+        handle = system.agent.table("table_var")
+        handle.add([3], "my_action")
+        system.agent.run_iteration()
+        # 1 user entry x 2 alts (field_var in reads+action) x 2 versions
+        assert system.asic.tables["table_var"].entry_count == 4
+        assert handle.user_entry_count() == 1
+
+
+class TestDialogueMechanics:
+    def test_vv_and_mv_flip_each_iteration(self, system):
+        assert (system.agent.vv, system.agent.mv) == (0, 0)
+        system.agent.run_iteration()
+        assert (system.agent.vv, system.agent.mv) == (1, 1)
+        system.agent.run_iteration()
+        assert (system.agent.vv, system.agent.mv) == (0, 0)
+
+    def test_iteration_advances_clock(self, system):
+        before = system.clock.now
+        system.agent.run_iteration()
+        assert system.clock.now > before
+
+    def test_reaction_time_tens_of_us(self, system):
+        """The paper's headline: reaction granularity of 10s of us."""
+        system.agent.run(100)
+        assert 1.0 < system.agent.avg_reaction_time_us < 100.0
+
+    def test_pacing_trades_cpu_for_latency(self):
+        fast = MantisSystem.from_source(FIGURE1)
+        fast.agent.prologue()
+        fast.agent.run(200)
+        slow = MantisSystem.from_source(FIGURE1, pacing_sleep_us=50.0)
+        slow.agent.prologue()
+        slow.agent.run(200)
+        assert fast.agent.cpu_utilization == pytest.approx(1.0)
+        assert slow.agent.cpu_utilization < 0.5
+        assert slow.agent.avg_reaction_time_us > fast.agent.avg_reaction_time_us
+
+    def test_run_until(self, system):
+        iterations = system.agent.run_until(system.clock.now + 500.0)
+        assert iterations > 1
+        assert system.clock.now >= 500.0
+
+    def test_static_state_persists_in_c_reaction(self):
+        source = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+malleable value counter { width : 32; init : 0; }
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); }
+reaction tick() {
+    static uint32_t n = 0;
+    n++;
+    ${counter} = n;
+}
+"""
+        system = MantisSystem.from_source(source)
+        system.agent.prologue()
+        system.agent.run(3)
+        assert system.agent.read_malleable("counter") == 3
+
+    def test_attach_python_hot_swap(self, system):
+        calls = []
+        system.agent.attach_python(
+            "my_reaction", lambda ctx: calls.append(ctx.now)
+        )
+        system.agent.run(2)
+        assert len(calls) == 2
+        with pytest.raises(AgentError):
+            system.agent.attach_python("ghost", lambda ctx: None)
+
+    def test_extern_callable_from_c(self):
+        source = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+malleable value v { width : 32; init : 0; }
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); }
+reaction callout() {
+    ${v} = host_decision(${v});
+}
+"""
+        system = MantisSystem.from_source(source)
+        system.agent.register_extern("host_decision", lambda v: v + 10)
+        system.agent.prologue()
+        system.agent.run(2)
+        assert system.agent.read_malleable("v") == 20

@@ -1,0 +1,76 @@
+"""Tests for the per-iteration phase breakdown (the Section 8.1
+formula's terms, exposed for observability)."""
+
+import pytest
+
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+register r { width : 32; instance_count : 8; }
+malleable value v { width : 32; init : 0; }
+action keep() { register_write(r, 0, hdr.f); }
+table t { actions { keep; } default_action : keep(); }
+control ingress { apply(t); }
+reaction tick(ing hdr.f, reg r[0:7]) {
+    ${v} = ${v} + hdr_f;
+}
+"""
+
+
+@pytest.fixture
+def agent():
+    system = MantisSystem.from_source(PROGRAM)
+    system.agent.prologue()
+    return system.agent
+
+
+def test_breakdown_sums_to_total(agent):
+    agent.run_iteration()
+    breakdown = agent.last_breakdown
+    parts = (
+        breakdown["mv_flip_us"]
+        + breakdown["poll_us"]
+        + breakdown["react_us"]
+        + breakdown["commit_us"]
+    )
+    assert parts == pytest.approx(breakdown["total_us"])
+
+
+def test_breakdown_phases_nonzero(agent):
+    agent.run_iteration()
+    breakdown = agent.last_breakdown
+    assert breakdown["mv_flip_us"] > 0  # one init write
+    assert breakdown["poll_us"] > 0  # container + mirror reads
+    assert breakdown["react_us"] > 0  # interpreted C cost
+    assert breakdown["commit_us"] > 0  # vv flip
+
+
+def test_poll_dominates_for_wide_measurements():
+    """Figure 16's observation: 'the majority of the reaction time is
+    due to measuring all of the ports and ensuring isolation'."""
+    wide = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+register big { width : 32; instance_count : 256; }
+malleable value v { width : 32; init : 0; }
+action keep() { register_write(big, 0, hdr.f); }
+table t { actions { keep; } default_action : keep(); }
+control ingress { apply(t); }
+reaction tick(reg big[0:255]) {
+    ${v} = big[0];
+}
+"""
+    system = MantisSystem.from_source(wide)
+    system.agent.prologue()
+    system.agent.run_iteration()
+    breakdown = system.agent.last_breakdown
+    assert breakdown["poll_us"] > breakdown["total_us"] / 2
+
+
+def test_deferred_commit_has_zero_commit_phase(agent):
+    agent.run_iteration(commit=False)
+    assert agent.last_breakdown["commit_us"] == 0.0
+    agent.commit()

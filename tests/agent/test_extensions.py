@@ -1,0 +1,139 @@
+"""Tests for the Section 7 hot-swap protocol and the future-work
+synchronized cross-pipeline commit extension."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.multipipe import MultiPipelineSwitch
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; out : 32; } }
+header h_t hdr;
+register seen { width : 32; instance_count : 2; }
+malleable value scale { width : 16; init : 1; }
+action work() {
+    register_write(seen, 0, hdr.f);
+    modify_field(hdr.out, ${scale});
+}
+table t { actions { work; } default_action : work(); }
+control ingress { apply(t); }
+reaction adapt(reg seen[0:1]) {
+    ${scale} = ${scale} + 1;
+}
+"""
+
+
+class TestHotSwap:
+    def _system(self, user_init=None):
+        system = MantisSystem.from_source(PROGRAM)
+        system.agent.prologue(user_init=user_init)
+        return system
+
+    def test_swap_takes_effect_after_current_dialogue(self):
+        system = self._system()
+        order = []
+
+        def old(ctx):
+            order.append("old")
+            # Request the swap mid-dialogue: the paper's transition
+            # flag only breaks the loop AFTER this dialogue completes.
+            system.agent.request_swap("adapt", new)
+
+        def new(ctx):
+            order.append("new")
+
+        system.agent.attach_python("adapt", old)
+        system.agent.run_iteration()
+        assert order == ["old"]
+        system.agent.run_iteration()
+        assert order == ["old", "new"]
+
+    def test_swap_clears_module_state(self):
+        """Unloading the old .so drops its DATA segment: statics and
+        Python state start fresh in the new module."""
+        system = self._system()
+
+        def counting(ctx):
+            ctx.state["n"] = ctx.state.get("n", 0) + 1
+
+        system.agent.attach_python("adapt", counting)
+        system.agent.run(3)
+        runtime = system.agent._reactions[0]
+        assert runtime.state["n"] == 3
+        system.agent.request_swap("adapt", counting)
+        system.agent.run_iteration()  # applies swap at iteration end
+        system.agent.run_iteration()
+        assert runtime.state["n"] == 1  # fresh module state
+
+    def test_swap_can_rerun_user_init(self):
+        inits = []
+
+        def user_init(ctx):
+            inits.append(ctx.now)
+            ctx.write("scale", 9)
+
+        system = self._system(user_init=user_init)
+        assert len(inits) == 1
+        system.agent.attach_python("adapt", lambda ctx: None)
+        system.agent.run_iteration()
+        # Drift the value away, then swap with rerun_user_init=True.
+        system.agent.write_malleable("scale", 2)
+        system.agent.run_iteration()
+        assert system.agent.read_malleable("scale") == 2
+        system.agent.request_swap(
+            "adapt", lambda ctx: None, rerun_user_init=True
+        )
+        system.agent.run_iteration()
+        assert len(inits) == 2
+        assert system.agent.read_malleable("scale") == 9
+
+    def test_swap_unknown_reaction_rejected(self):
+        system = self._system()
+        with pytest.raises(AgentError):
+            system.agent.request_swap("ghost", lambda ctx: None)
+
+
+class TestSynchronizedCommit:
+    def _switch(self):
+        switch = MultiPipelineSwitch.from_source(PROGRAM, n_pipelines=4)
+        switch.prologue()
+        return switch
+
+    def test_skew_much_smaller_than_round(self):
+        switch = self._switch()
+        # Baseline: unsynchronized round -- commits are spread across
+        # the whole round.
+        start = switch.clock.now
+        switch.run_round()
+        round_duration = switch.clock.now - start
+
+        skew = switch.run_round_synchronized()
+        assert skew < round_duration / 3
+
+    def test_all_pipelines_commit(self):
+        switch = self._switch()
+        switch.run_round_synchronized()
+        # The C reaction bumps scale by 1 per iteration on each pipe;
+        # after the synchronized round, every data plane shows it.
+        for pipeline in switch.pipelines:
+            packet = Packet({"hdr.f": 0})
+            pipeline.asic.process(packet)
+            assert packet.get("hdr.out") == 2  # init 1 + one bump
+
+    def test_deferred_commit_really_defers(self):
+        system = MantisSystem.from_source(PROGRAM)
+        system.agent.prologue()
+        system.agent.attach_python(
+            "adapt", lambda ctx: ctx.write("scale", 7)
+        )
+        system.agent.run_iteration(commit=False)
+        packet = Packet({"hdr.f": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 1  # still the old config
+        system.agent.commit()
+        packet = Packet({"hdr.f": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 7

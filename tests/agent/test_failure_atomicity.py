@@ -1,0 +1,116 @@
+"""Failure injection: a crashing reaction must not leave the data
+plane in a partially updated state."""
+
+import pytest
+
+from repro.errors import ReactionError, SwitchError
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { key : 16; out1 : 16; out2 : 16; } }
+header h_t hdr;
+malleable value a { width : 16; init : 1; }
+malleable value b { width : 16; init : 1; }
+action stamp() {
+    modify_field(hdr.out1, ${a});
+    modify_field(hdr.out2, ${b});
+}
+table t { actions { stamp; } default_action : stamp(); }
+action set_out(v) { modify_field(hdr.out1, v); }
+action nop() { no_op(); }
+malleable table m {
+    reads { hdr.key : exact; }
+    actions { set_out; nop; }
+    default_action : nop();
+    size : 32;
+}
+control ingress { apply(t); apply(m); }
+reaction r() {
+    int x = 0;
+}
+"""
+
+
+def observe(system):
+    packet = Packet({"hdr.key": 0})
+    system.asic.process(packet)
+    return packet.get("hdr.out1"), packet.get("hdr.out2")
+
+
+class TestCrashingReactions:
+    def _system(self):
+        system = MantisSystem.from_source(PROGRAM)
+        system.agent.prologue()
+        return system
+
+    def test_python_exception_propagates_without_partial_commit(self):
+        system = self._system()
+
+        def crasher(ctx):
+            ctx.write("a", 50)
+            raise RuntimeError("boom")
+
+        system.agent.attach_python("r", crasher)
+        with pytest.raises(RuntimeError):
+            system.agent.run_iteration()
+        # Nothing committed: both values still at init.
+        assert observe(system) == (1, 1)
+
+    def test_c_reaction_error_propagates_without_partial_commit(self):
+        system = self._system()
+        # Replace the body with one that writes then divides by zero.
+        from repro.p4r.creaction import CReaction
+
+        runtime = system.agent._reactions[0]
+        runtime.c_impl = CReaction("${a} = 50; int x = 1 / 0;", "r")
+        with pytest.raises(ReactionError):
+            system.agent.run_iteration()
+        assert observe(system) == (1, 1)
+
+    def test_recovery_after_crash(self):
+        """The loop can continue after a failed iteration; staged
+        state from the crashed reaction commits with the next
+        successful one (the agent does not roll staging back -- as
+        with the paper's C, a crashed reaction's prior writes are
+        already staged in agent memory)."""
+        system = self._system()
+        calls = {"n": 0}
+
+        def flaky(ctx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                ctx.write("a", 50)
+                raise RuntimeError("boom")
+            ctx.write("b", 60)
+
+        system.agent.attach_python("r", flaky)
+        with pytest.raises(RuntimeError):
+            system.agent.run_iteration()
+        system.agent.run_iteration()
+        # Both staged writes are in, committed atomically together.
+        assert observe(system) == (50, 60)
+
+    def test_driver_error_mid_reaction_keeps_old_config(self):
+        system = self._system()
+        handle = system.agent.table("m")
+        # Fill to capacity: the declared size 32 doubles to 64 for the
+        # shadow copies, so 32 user entries x 2 versions fill it.
+        for key in range(32):
+            handle.add([key], "set_out", [key])
+        system.agent.run_iteration()
+        before = system.asic.tables["m"].entry_count
+
+        def overflower(ctx):
+            ctx.table("m").add([99], "set_out", [99])  # table full
+
+        system.agent.attach_python("r", overflower := overflower)
+        with pytest.raises(SwitchError):
+            system.agent.run_iteration()
+        # The failed prepare added nothing visible; committed entries
+        # are intact and lookups still work.
+        packet = Packet({"hdr.key": 3})
+        system.asic.process(packet)
+        assert packet.get("hdr.out1") == 3
+        assert system.asic.tables["m"].entry_count >= before

@@ -1,0 +1,158 @@
+"""Unit tests for the malleable table handle's user-facing API,
+including the C-style flat-call convention reaction bodies use."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { src : 32; port : 16; out : 16; } }
+header h_t hdr;
+action set_out(v) { modify_field(hdr.out, v); }
+action block() { drop(); }
+action nop() { no_op(); }
+malleable table acl {
+    reads { hdr.src : exact; hdr.port : range; }
+    actions { set_out; block; nop; }
+    default_action : nop();
+    size : 64;
+}
+control ingress { apply(acl); }
+"""
+
+
+@pytest.fixture
+def system():
+    sys_ = MantisSystem.from_source(PROGRAM)
+    sys_.agent.prologue()
+    return sys_
+
+
+class TestFlatCallConvention:
+    def test_addEntry_flat(self, system):
+        handle = system.agent.table("acl")
+        user_id = handle.addEntry(7, (10, 20), "set_out", 99)
+        system.agent.run_iteration()
+        packet = Packet({"hdr.src": 7, "hdr.port": 15})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 99
+        assert isinstance(user_id, int)
+
+    def test_modEntry_flat(self, system):
+        handle = system.agent.table("acl")
+        user_id = handle.addEntry(7, (10, 20), "set_out", 99)
+        system.agent.run_iteration()
+        handle.modEntry(user_id, 111)
+        system.agent.run_iteration()
+        packet = Packet({"hdr.src": 7, "hdr.port": 15})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 111
+
+    def test_delEntry_flat(self, system):
+        handle = system.agent.table("acl")
+        user_id = handle.addEntry(7, (10, 20), "block")
+        system.agent.run_iteration()
+        handle.delEntry(user_id)
+        system.agent.run_iteration()
+        packet = Packet({"hdr.src": 7, "hdr.port": 15})
+        assert system.asic.process(packet) is not None  # no longer blocked
+
+    def test_setDefault_immediate(self, system):
+        handle = system.agent.table("acl")
+        handle.setDefault("set_out", 5)
+        # Default updates are single atomic ops, visible immediately.
+        packet = Packet({"hdr.src": 1, "hdr.port": 1})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 5
+
+    def test_flat_call_arity_checked(self, system):
+        handle = system.agent.table("acl")
+        with pytest.raises(AgentError):
+            handle.addEntry(7, "set_out", 99)  # missing range key part
+        with pytest.raises(AgentError):
+            handle.addEntry(7, (1, 2), 99)  # action name not a string
+
+    def test_from_c_reaction_body_bad_key_kind(self, system):
+        """A C body can call acl.addEntry with a string action name,
+        but an int for a range key part is rejected by the handle."""
+        from repro.errors import AgentError
+        from repro.p4r.creaction import CReaction, ReactionEnv
+
+        body = CReaction('return acl.addEntry(7, 0, "block");', "x")
+        with pytest.raises(AgentError):
+            body.run(ReactionEnv(tables={"acl": system.agent.table("acl")}))
+
+    def test_from_c_reaction_body_exact_table(self):
+        """Positive path: a C reaction installs a drop rule through a
+        malleable exact-match table (the DoS use case's C shape)."""
+        source = STANDARD_METADATA_P4 + """
+header_type h_t { fields { src : 32; } }
+header h_t hdr;
+action allow() { no_op(); }
+action block() { drop(); }
+malleable table blocklist {
+    reads { hdr.src : exact; }
+    actions { allow; block; }
+    default_action : allow();
+    size : 32;
+}
+control ingress { apply(blocklist); }
+reaction guard(ing hdr.src) {
+    if (hdr_src == 666) {
+        blocklist.addEntry(hdr_src, "block");
+    }
+}
+"""
+        system = MantisSystem.from_source(source)
+        system.agent.prologue()
+        system.asic.process(Packet({"hdr.src": 666}))
+        system.agent.run_iteration()  # reaction installs the rule
+        system.agent.run_iteration()  # commit already happened; settle
+        assert system.asic.process(Packet({"hdr.src": 666})) is None
+        assert system.asic.process(Packet({"hdr.src": 5})) is not None
+
+
+class TestRangeKeys:
+    def test_range_match_and_wildcard(self, system):
+        handle = system.agent.table("acl")
+        handle.add([5, (100, 200)], "set_out", [1])
+        system.agent.run_iteration()
+        hit = Packet({"hdr.src": 5, "hdr.port": 150})
+        system.asic.process(hit)
+        assert hit.get("hdr.out") == 1
+        miss = Packet({"hdr.src": 5, "hdr.port": 300})
+        system.asic.process(miss)
+        assert miss.get("hdr.out") == 0
+
+    def test_bad_range_key_rejected(self, system):
+        handle = system.agent.table("acl")
+        with pytest.raises(AgentError):
+            handle.add([5, 100], "set_out", [1])  # int for a range read
+
+
+class TestHandleErrors:
+    def test_wrong_key_arity(self, system):
+        with pytest.raises(AgentError):
+            system.agent.table("acl").add([5], "block")
+
+    def test_unknown_user_entry(self, system):
+        handle = system.agent.table("acl")
+        with pytest.raises(AgentError):
+            handle.modify(12345, args=[1])
+        with pytest.raises(AgentError):
+            handle.delete(12345)
+
+    def test_unknown_table(self, system):
+        with pytest.raises(AgentError):
+            system.agent.table("ghost")
+
+    def test_pending_ops_counter(self, system):
+        handle = system.agent.table("acl")
+        assert handle.pending_ops == 0
+        handle.add([5, (1, 2)], "block")
+        assert handle.pending_ops == 1
+        system.agent.run_iteration()
+        assert handle.pending_ops == 0

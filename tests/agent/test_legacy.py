@@ -1,0 +1,86 @@
+"""Unit tests for the legacy-interference queueing model (Figure 12's
+machinery)."""
+
+import pytest
+
+from repro.agent.legacy import LegacyClient, LegacyStats, legacy_latencies
+from repro.switch.driver import OpRecord
+
+
+def op(excl_start, excl_end, channel="mantis"):
+    return OpRecord(
+        start_us=excl_start - 0.3,
+        end_us=excl_end + 0.3,
+        kind="table_modify",
+        target="t",
+        channel=channel,
+        excl_start_us=excl_start,
+        excl_end_us=excl_end,
+    )
+
+
+class TestLegacyLatencies:
+    def test_no_contention(self):
+        latencies = legacy_latencies([], [0.0, 10.0, 20.0], op_cost_us=2.0)
+        assert latencies == [2.0, 2.0, 2.0]
+
+    def test_arrival_inside_exclusive_window_waits(self):
+        timeline = [op(5.0, 7.0)]
+        (latency,) = legacy_latencies(timeline, [6.0], op_cost_us=2.0)
+        # Waits until 7.0, runs 2.0 -> completes 9.0, latency 3.0.
+        assert latency == pytest.approx(3.0)
+
+    def test_arrival_outside_window_unaffected(self):
+        timeline = [op(5.0, 7.0)]
+        (latency,) = legacy_latencies(timeline, [8.0], op_cost_us=2.0)
+        assert latency == pytest.approx(2.0)
+
+    def test_arrival_during_prep_not_blocked(self):
+        # Exclusive window is only the device portion.
+        timeline = [op(5.0, 7.0)]
+        (latency,) = legacy_latencies(timeline, [4.8], op_cost_us=2.0)
+        assert latency == pytest.approx(2.0)
+
+    def test_back_to_back_legacy_ops_queue_on_each_other(self):
+        latencies = legacy_latencies([], [0.0, 0.5], op_cost_us=2.0)
+        assert latencies[0] == pytest.approx(2.0)
+        # Second waits for the first: starts at 2.0, done 4.0.
+        assert latencies[1] == pytest.approx(3.5)
+
+    def test_queue_behind_at_most_one_mantis_op(self):
+        """Section 6's claim: a legacy op waits for at most the one
+        in-flight Mantis op, never a chain of them."""
+        timeline = [op(5.0, 7.0), op(9.0, 11.0)]
+        (latency,) = legacy_latencies(timeline, [6.0], op_cost_us=2.0)
+        # Starts at 7.0 (not 11.0): only the in-flight op blocks.
+        assert latency == pytest.approx(3.0)
+
+
+class TestLegacyStats:
+    def test_percentiles(self):
+        stats = LegacyStats.from_latencies([1.0] * 99 + [10.0])
+        assert stats.median_us == 1.0
+        assert stats.p99_us == 10.0
+        assert stats.mean_us == pytest.approx(1.09)
+
+    def test_empty(self):
+        stats = LegacyStats.from_latencies([])
+        assert stats.median_us == 0.0
+
+
+class TestLegacyClient:
+    def test_arrival_schedule(self):
+        from repro.p4.parser import parse_p4
+        from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+        from repro.switch.driver import Driver
+
+        asic = SwitchAsic(parse_p4(
+            STANDARD_METADATA_P4
+            + "header_type h_t { fields { f : 8; } }\nheader h_t hdr;\n"
+        ))
+        driver = Driver(asic, record_timeline=True)
+        client = LegacyClient(driver, interval_us=10.0)
+        arrivals = client.arrivals(0.0, 35.0)
+        assert arrivals == [0.0, 10.0, 20.0, 30.0]
+        baseline = client.latencies_without_mantis(0.0, 35.0)
+        assert all(l == pytest.approx(client.op_cost_us) for l in baseline)

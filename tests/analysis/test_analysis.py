@@ -1,0 +1,171 @@
+"""Tests for stats, resource accounting, and the cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.costmodel import (
+    predict_measurement_us,
+    predict_reaction_time_us,
+    predict_update_us,
+)
+from repro.analysis.resources import resource_report
+from repro.analysis.stats import mad, mean, median, percentile
+from repro.compiler import compile_p4r
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.driver import DriverCostModel
+
+
+class TestStats:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_mad(self):
+        # Values 1..9: median 5, deviations 0..4 -> MAD 2.
+        assert mad(list(range(1, 10))) == 2
+
+    def test_mad_robust_to_outlier(self):
+        balanced = [10, 10, 10, 10, 10]
+        skewed = [10, 10, 10, 10, 1000]
+        assert mad(balanced) == 0
+        assert mad(skewed) == 0  # MAD ignores a single outlier
+        assert mad([10, 11, 30, 50, 90]) > 0
+
+    def test_percentile(self):
+        values = list(range(100))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 99
+        assert percentile(values, 50) == pytest.approx(50, abs=1)
+
+    def test_empty_rejected(self):
+        for fn in (median, mad, mean):
+            with pytest.raises(ValueError):
+                fn([])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_median_bounded_by_extremes(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1),
+           st.floats(min_value=-100, max_value=100))
+    def test_mad_translation_invariant(self, values, shift):
+        assert mad([v + shift for v in values]) == pytest.approx(
+            mad(values), abs=1e-6
+        )
+
+
+BASIC_ROUTER = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { dstAddr : 32; } }
+header ipv4_t ipv4;
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : lpm; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 1024;
+}
+control ingress { apply(route); }
+"""
+
+
+class TestResourceReport:
+    def test_basic_router(self):
+        report = resource_report(parse_p4(BASIC_ROUTER))
+        assert report.tables == 1
+        assert report.stages == 1
+        assert report.tcam_bytes > 0  # lpm table in TCAM
+        assert report.metadata_bits == 0
+
+    def test_dependent_tables_stack_stages(self):
+        program = parse_p4(
+            BASIC_ROUTER
+            + """
+header_type m_t { fields { x : 16; } }
+metadata m_t m;
+action set_x() { modify_field(m.x, 1); }
+action use_x() { modify_field(ipv4.dstAddr, m.x); }
+table t1 { actions { set_x; } default_action : set_x(); }
+table t2 { actions { use_x; } default_action : use_x(); }
+control egress { apply(t1); apply(t2); }
+"""
+        )
+        report = resource_report(program)
+        # ingress(1) + egress(t1=1, t2 depends on t1 -> 2) = 3
+        assert report.stages == 3
+
+    def test_mantis_overhead_is_marginal(self):
+        source = BASIC_ROUTER + """
+malleable value threshold { width : 32; init : 100; }
+action mark() { modify_field(ipv4.dstAddr, ${threshold}); }
+table marker { actions { mark; } default_action : mark(); }
+control egress { apply(marker); }
+
+reaction tune(ing ipv4.dstAddr) {
+    ${threshold} = ipv4_dstAddr;
+}
+"""
+        baseline = resource_report(parse_p4(BASIC_ROUTER))
+        compiled = compile_p4r(source)
+        full = resource_report(compiled.p4)
+        marginal = full.minus(baseline)
+        assert marginal.tables >= 2  # init + collect + marker
+        assert marginal.metadata_bits >= 32 + 2  # threshold + vv + mv
+        assert marginal.registers >= 1  # measurement container
+        assert "stages=" in marginal.row()
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = DriverCostModel()
+
+    def test_scalar_updates_constant(self):
+        one = predict_update_us(self.model, scalar_updates=1)
+        many = predict_update_us(self.model, scalar_updates=64)
+        assert one == many
+
+    def test_table_mods_linear(self):
+        one = predict_update_us(self.model, table_entry_mods=1)
+        ten = predict_update_us(self.model, table_entry_mods=10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_register_burst_sublinear(self):
+        small = predict_measurement_us(
+            self.model, register_entries=1, register_arrays=1
+        )
+        large = predict_measurement_us(
+            self.model, register_entries=64, register_arrays=1
+        )
+        assert large < 64 * small
+        assert large > small
+
+    def test_reaction_formula_matches_agent(self):
+        """The formula predicts the measured dialogue latency within a
+        reasonable envelope (it omits interpreter overhead C)."""
+        from repro.system import MantisSystem
+
+        source = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+register r { width : 32; instance_count : 8; }
+malleable value v { width : 32; init : 0; }
+action keep() { register_write(r, 0, hdr.f); }
+table t { actions { keep; } default_action : keep(); }
+control ingress { apply(t); }
+reaction fast(ing hdr.f, reg r[0:7]) {
+    ${v} = hdr_f;
+}
+"""
+        system = MantisSystem.from_source(source)
+        system.agent.prologue()
+        system.agent.run(50)
+        measured = system.agent.avg_reaction_time_us
+        predicted = predict_reaction_time_us(
+            system.driver.model, system.spec, "fast"
+        )
+        assert predicted == pytest.approx(measured, rel=0.35)

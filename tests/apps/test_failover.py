@@ -1,0 +1,113 @@
+"""Use case #2 integration tests: gray-failure detection and reroute."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.failover import (
+    GrayFailureApp,
+    RouteManager,
+    build_failover_scenario,
+)
+from repro.switch.packet import Packet
+
+
+class TestRouteManager:
+    def _manager(self):
+        graph = nx.Graph()
+        graph.add_edges_from(
+            [("s0", "n0"), ("s0", "n1"), ("n0", "n1")]
+        )
+        return RouteManager(
+            graph, "s0", {"n0": 0, "n1": 1}, {100: "n0", 101: "n1"}
+        )
+
+    def test_direct_routes(self):
+        routes = self._manager().compute_routes()
+        assert routes == {100: 0, 101: 1}
+
+    def test_detour_after_failure(self):
+        manager = self._manager()
+        manager.fail_port(0)
+        routes = manager.compute_routes()
+        assert routes[100] == 1  # via n1 -> n0
+        assert routes[101] == 1
+
+    def test_unreachable(self):
+        manager = self._manager()
+        manager.graph.remove_edge("n0", "n1")
+        manager.fail_port(0)
+        assert manager.compute_routes()[100] is None
+
+
+class TestGrayFailureDetection:
+    def _scenario(self, **kwargs):
+        app, sim, generators = build_failover_scenario(**kwargs)
+        app.prologue()
+        for generator in generators.values():
+            generator.start(at_us=0.0)
+        return app, sim, generators
+
+    def test_no_false_positives_on_healthy_links(self):
+        app, sim, _ = self._scenario()
+        sim.run_until(1_000.0)
+        assert not app.detected_ports
+        assert app.recomputations == 0
+
+    def test_hard_failure_detected_and_rerouted(self):
+        app, sim, generators = self._scenario()
+        sim.run_until(500.0)
+        fail_time = sim.clock.now
+        generators[2].stop()  # neighbor 2's heartbeats stop cold
+        sim.run_until(fail_time + 1_000.0)
+        assert 2 in app.detected_ports
+        reaction_time = app.reroute_times[2] - fail_time
+        # Paper: 100-200us end-to-end (Figure 16a).
+        assert reaction_time < 400.0
+        # Traffic to the failed neighbor's destination takes a detour.
+        packet = Packet({"ipv4.dstAddr": 0x0A000102, "ipv4.proto": 6})
+        result = app.system.asic.process(packet)
+        assert result is not None
+        port, _ = result
+        assert port != 2
+
+    def test_gray_failure_detected(self):
+        """A lossy-but-up link (the gray failure of [28]) is detected
+        when heartbeat delivery dips below eta."""
+        app, sim, generators = self._scenario(eta=0.5)
+        sim.run_until(500.0)
+        generators[1].set_gray_loss(0.9)  # 10% delivery < eta = 50%
+        fail_time = sim.clock.now
+        sim.run_until(fail_time + 2_000.0)
+        assert 1 in app.detected_ports
+
+    def test_moderate_loss_below_eta_tolerated(self):
+        app, sim, generators = self._scenario(eta=0.5)
+        sim.run_until(500.0)
+        generators[1].set_gray_loss(0.2)  # 80% delivery > eta = 50%
+        sim.run_until(sim.clock.now + 2_000.0)
+        assert 1 not in app.detected_ports
+
+    def test_higher_eta_detects_faster(self):
+        times = {}
+        for eta in (0.2, 0.8):
+            app, sim, generators = self._scenario(eta=eta)
+            sim.run_until(500.0)
+            fail_time = sim.clock.now
+            generators[0].stop()
+            sim.run_until(fail_time + 2_000.0)
+            times[eta] = app.detected_ports[0] - fail_time
+        # Both detect; impact of eta is low (Figure 16b) but monotone.
+        assert times[0.8] <= times[0.2] + 50.0
+
+    def test_routes_installed_atomically(self):
+        """Reroute rules land via the three-phase protocol: after the
+        reaction's iteration, every destination has a valid route."""
+        app, sim, generators = self._scenario()
+        sim.run_until(500.0)
+        generators[0].stop()
+        sim.run_until(sim.clock.now + 1_000.0)
+        for dst in (0x0A000100, 0x0A000101, 0x0A000102, 0x0A000103):
+            packet = Packet({"ipv4.dstAddr": dst, "ipv4.proto": 6})
+            result = app.system.asic.process(packet)
+            assert result is not None
+            assert result[0] != 0

@@ -1,0 +1,122 @@
+"""Use case #4 integration tests: Q-learning over the ECN threshold."""
+
+import pytest
+
+from repro.apps.rl import (
+    THRESHOLD_ACTIONS,
+    QLearningConfig,
+    QLearningEcnApp,
+    build_rl_scenario,
+)
+from repro.switch.packet import Packet
+
+
+class TestMarkingDataPlane:
+    def test_marks_above_threshold_only(self):
+        app = QLearningEcnApp()
+        app.prologue()
+        app.add_route(0x0B0000FF, 0)
+        asic = app.system.asic
+        # Below the init threshold (20): no mark.
+        asic.ports[0].queue_depth = 5
+        packet = Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 0x0B0000FF})
+        asic.process(packet)
+        assert packet.get("standard_metadata.ecn_marked") == 0
+        # Above: marked.
+        asic.ports[0].queue_depth = 50
+        packet = Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 0x0B0000FF})
+        asic.process(packet)
+        assert packet.get("standard_metadata.ecn_marked") == 1
+
+    def test_threshold_is_malleable(self):
+        app = QLearningEcnApp()
+        app.prologue()
+        app.add_route(0x0B0000FF, 0)
+        agent = app.system.agent
+        agent.attach_python("q_learn", lambda ctx: None)
+        agent.write_malleable("ecn_thresh", 2)
+        agent.run_iteration()
+        app.system.asic.ports[0].queue_depth = 5
+        packet = Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 0x0B0000FF})
+        app.system.asic.process(packet)
+        assert packet.get("standard_metadata.ecn_marked") == 1
+
+
+class TestQLearning:
+    def test_observation_and_update_cycle(self):
+        app = QLearningEcnApp()
+        app.prologue()
+        app.add_route(0x0B0000FF, 0)
+        for _ in range(10):
+            packet = Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 0x0B0000FF})
+            app.system.asic.process(packet)
+            app.system.agent.run_iteration()
+        assert len(app.action_history) == 10
+        assert len(app.rewards) == 9  # first iteration only observes
+        # The written threshold is always one of the discrete actions.
+        assert app.current_threshold in THRESHOLD_ACTIONS
+
+    def test_epsilon_controls_exploration(self):
+        greedy = QLearningEcnApp(QLearningConfig(epsilon=0.0))
+        greedy.prologue()
+        for _ in range(30):
+            greedy.system.agent.run_iteration()
+        assert greedy.explorations == 0
+
+        explorer = QLearningEcnApp(QLearningConfig(epsilon=1.0))
+        explorer.prologue()
+        for _ in range(30):
+            explorer.system.agent.run_iteration()
+        assert explorer.explorations == 30
+
+    def test_reward_prefers_throughput_and_short_queues(self):
+        app = QLearningEcnApp()
+        busy_short = app._reward(pkts_delta=100, elapsed_us=10.0, depth=0)
+        busy_long = app._reward(pkts_delta=100, elapsed_us=10.0, depth=100)
+        idle_short = app._reward(pkts_delta=0, elapsed_us=10.0, depth=0)
+        assert busy_short > busy_long
+        assert busy_short > idle_short
+
+    def test_q_learning_latches_rewarded_action(self):
+        """Synthetic environment check: if one threshold yields reward
+        and the others do not, the greedy policy converges to it."""
+        app = QLearningEcnApp(QLearningConfig(epsilon=0.3, seed=3))
+        app.prologue()
+        good_action = 2
+
+        def fake_env(ctx):
+            # Reward is delivered through the polled counters: give
+            # packet progress only when the last action was `good`.
+            app._reaction(ctx)
+            if app.action_history[-1] == good_action:
+                pkts = app.system.asic.registers["egr_pkts_p4r_dup_"]
+                for index in range(pkts.instance_count):
+                    pkts.write(index, (pkts.read(index) + 50) & 0xFFFFFFFF)
+                ts = app.system.asic.registers["egr_pkts_p4r_ts_"]
+                seq = app.system.asic.registers["egr_pkts_p4r_seq_"]
+                seq.write(0, seq.read(0) + 1)
+                for index in range(ts.instance_count):
+                    ts.write(index, seq.read(0))
+
+        app.system.agent.attach_python("q_learn", fake_env)
+        for _ in range(300):
+            app.system.agent.run_iteration()
+        assert app.greedy_threshold(0) == THRESHOLD_ACTIONS[good_action]
+
+
+class TestRlScenario:
+    def test_learning_loop_with_dctcp_traffic(self):
+        app, sim, flows, sink = build_rl_scenario(
+            n_flows=4, bottleneck_gbps=1.0, queue_pkts=64
+        )
+        app.prologue()
+        for flow in flows:
+            flow.start(at_us=5.0)
+        sim.run_until(5_000.0)
+        # The loop ran, learned something, and traffic flowed.
+        assert len(app.rewards) > 100
+        assert sum(f.acked for f in flows) > 50
+        # ECN marks actually influenced senders (DCTCP alpha moved)
+        # OR the queue never exceeded any candidate threshold.
+        marked_any = any(f.dctcp_alpha > 0 for f in flows)
+        assert marked_any or sim.queue_depth(0) < max(THRESHOLD_ACTIONS)

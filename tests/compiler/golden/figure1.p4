@@ -1,0 +1,99 @@
+header_type p4r_meta_t_ {
+    fields {
+        value_var : 16;
+        field_var_alt : 1;
+        vv : 1;
+        mv : 1;
+        ridx_ : 32;
+        rseq_ : 32;
+    }
+}
+
+metadata p4r_meta_t_ p4r_meta_;
+
+header_type standard_metadata_t {
+    fields {
+        ingress_port : 9;
+        egress_spec : 9;
+        egress_port : 9;
+        packet_length : 32;
+        enq_qdepth : 19;
+        deq_qdepth : 19;
+        ingress_global_timestamp : 48;
+        egress_global_timestamp : 48;
+        recirculate_flag : 1;
+        clone_flag : 1;
+        drop_flag : 1;
+        ecn_marked : 1;
+    }
+}
+
+metadata standard_metadata_t standard_metadata;
+
+header_type hdr_t {
+    fields {
+        foo : 32;
+        bar : 32;
+        baz : 32;
+        qux : 32;
+    }
+}
+
+header hdr_t hdr;
+
+table table_var {
+    reads {
+        hdr.foo : ternary;
+        hdr.bar : ternary;
+        p4r_meta_.field_var_alt : exact;
+        p4r_meta_.vv : exact;
+    }
+    actions {
+        my_action;
+        drop_action;
+    }
+    default_action : drop_action();
+}
+
+action my_action() {
+    add(hdr.qux, hdr.baz, p4r_meta_.value_var);
+}
+
+action drop_action() {
+    drop();
+}
+
+control ingress {
+    apply(p4r_init_);
+    apply(table_var);
+}
+
+register qdepths_p4r_dup_ {
+    width : 32;
+    instance_count : 32;
+}
+
+register qdepths_p4r_ts_ {
+    width : 32;
+    instance_count : 32;
+}
+
+register qdepths_p4r_seq_ {
+    width : 32;
+    instance_count : 16;
+}
+
+action p4r_init_action_(vv, mv, value_var, field_var_alt) {
+    modify_field(p4r_meta_.vv, vv);
+    modify_field(p4r_meta_.mv, mv);
+    modify_field(p4r_meta_.value_var, value_var);
+    modify_field(p4r_meta_.field_var_alt, field_var_alt);
+}
+
+table p4r_init_ {
+    actions {
+        p4r_init_action_;
+    }
+    default_action : p4r_init_action_(0, 0, 1, 0);
+    size : 1;
+}

@@ -1,0 +1,145 @@
+"""Property-based compiler tests.
+
+For randomly shaped malleable declarations, the compiler must always
+produce valid plain P4, pack every configuration parameter exactly
+once, and keep the spec consistent with the emitted program.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.compiler import CompilerOptions, compile_p4r
+from repro.p4.validate import validate_program
+from repro.switch.asic import STANDARD_METADATA_P4
+
+
+@st.composite
+def malleable_program(draw):
+    """A program with random malleable values/fields and reactions."""
+    n_values = draw(st.integers(min_value=0, max_value=6))
+    n_fields = draw(st.integers(min_value=0, max_value=3))
+    n_alts = draw(st.integers(min_value=2, max_value=4))
+
+    header_fields = "\n".join(
+        f"        h{i} : 16;" for i in range(max(2, n_alts + 1))
+    )
+    parts = [STANDARD_METADATA_P4, f"""
+header_type hdr_t {{
+    fields {{
+{header_fields}
+        out : 32;
+    }}
+}}
+header hdr_t hdr;
+"""]
+    for index in range(n_values):
+        width = draw(st.integers(min_value=1, max_value=32))
+        init = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        parts.append(
+            f"malleable value v{index} {{ width : {width}; "
+            f"init : {init}; }}"
+        )
+    for index in range(n_fields):
+        alts = ", ".join(f"hdr.h{a}" for a in range(n_alts))
+        parts.append(
+            f"malleable field f{index} {{ width : 16; "
+            f"init : hdr.h0; alts {{ {alts} }} }}"
+        )
+
+    uses = []
+    for index in range(n_values):
+        uses.append(f"    add_to_field(hdr.out, ${{v{index}}});")
+    for index in range(n_fields):
+        uses.append(f"    add(hdr.out, hdr.out, ${{f{index}}});")
+    body = "\n".join(uses) if uses else "    no_op();"
+    parts.append(f"action work() {{\n{body}\n}}")
+    parts.append(
+        "table t { actions { work; } }"
+    )
+    parts.append("control ingress { apply(t); }")
+    if draw(st.booleans()) and n_values:
+        parts.append(
+            "reaction r0(ing hdr.out) {\n    ${v0} = hdr_out;\n}"
+        )
+    return "\n".join(parts), n_values, n_fields
+
+
+@settings(max_examples=40, deadline=None)
+@given(malleable_program(), st.integers(min_value=40, max_value=512))
+def test_compiled_output_always_validates(case, budget):
+    source, _nv, _nf = case
+    artifacts = compile_p4r(
+        source, CompilerOptions(max_init_action_bits=budget)
+    )
+    validate_program(artifacts.p4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(malleable_program(), st.integers(min_value=40, max_value=512))
+def test_every_param_packed_exactly_once(case, budget):
+    source, n_values, n_fields = case
+    artifacts = compile_p4r(
+        source, CompilerOptions(max_init_action_bits=budget)
+    )
+    spec = artifacts.spec
+    if not spec.init_tables:
+        assert n_values == 0 and n_fields == 0
+        return
+    packed = [
+        p.name for init in spec.init_tables for p in init.params
+    ]
+    # No duplicates, and everything accounted for.
+    assert len(packed) == len(set(packed))
+    expected = (
+        {f"v{i}" for i in range(n_values)}
+        | {f"f{i}_alt" for i in range(n_fields)}
+        | {"vv", "mv"}
+    )
+    assert set(packed) == expected
+    # vv and mv live in the master.
+    master = spec.master_init
+    master_params = {p.name for p in master.params}
+    assert {"vv", "mv"} <= master_params
+    # Bin capacity respected.
+    for init in spec.init_tables:
+        assert sum(p.width for p in init.params) <= budget
+
+
+@settings(max_examples=25, deadline=None)
+@given(malleable_program())
+def test_spec_references_exist_in_emitted_program(case):
+    source, _nv, _nf = case
+    artifacts = compile_p4r(source)
+    program = artifacts.p4
+    spec = artifacts.spec
+    for init in spec.init_tables:
+        assert init.table in program.tables
+        assert init.action in program.actions
+        action = program.actions[init.action]
+        assert action.params == [p.name for p in init.params]
+    meta = program.header_types.get("p4r_meta_t_")
+    if spec.init_tables:
+        for init in spec.init_tables:
+            for param in init.params:
+                assert meta.has_field(param.name)
+    for container in spec.containers:
+        assert container.register in program.registers
+    for mirror in spec.mirrors.values():
+        assert mirror.duplicate in program.registers
+        assert mirror.ts in program.registers
+
+
+@settings(max_examples=20, deadline=None)
+@given(malleable_program())
+def test_compiled_program_boots_and_iterates(case):
+    """Every random program must run one full dialogue iteration."""
+    from repro.system import MantisSystem
+
+    source, _nv, _nf = case
+    system = MantisSystem.from_source(source)
+    system.agent.prologue()
+    system.agent.run_iteration()
+    from repro.switch.packet import Packet
+
+    system.asic.process(Packet({"hdr.h0": 1}))
+    system.agent.run_iteration()

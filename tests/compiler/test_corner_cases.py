@@ -1,0 +1,175 @@
+"""Compiler corner cases: the full combinatorial interaction of
+malleable tables, read-expanded fields, and action specialization."""
+
+import pytest
+
+from repro.compiler import compile_p4r
+from repro.errors import CompileError
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+# A malleable table whose reads use one malleable field and whose
+# action uses ANOTHER: concrete entries = |alts_r| x |alts_w| x 2 (vv).
+TRIPLE_PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t {
+    fields { a : 16; b : 16; x : 16; y : 16; out : 16; }
+}
+header h_t hdr;
+
+malleable field rsel {
+    width : 16; init : hdr.a;
+    alts { hdr.a, hdr.b }
+}
+malleable field wsel {
+    width : 16; init : hdr.x;
+    alts { hdr.x, hdr.y }
+}
+
+action store(v) { modify_field(${wsel}, v); }
+action nop() { no_op(); }
+malleable table combo {
+    reads { ${rsel} : exact; }
+    actions { store; nop; }
+    default_action : nop();
+    size : 64;
+}
+control ingress { apply(combo); }
+"""
+
+
+class TestTripleProduct:
+    def _system(self):
+        system = MantisSystem.from_source(TRIPLE_PROGRAM)
+        system.agent.prologue()
+        return system
+
+    def test_concrete_entry_count(self):
+        system = self._system()
+        handle = system.agent.table("combo")
+        handle.add([5], "store", [77])
+        system.agent.run_iteration()
+        # 2 read alts x 2 write alts x 2 versions = 8 concrete entries.
+        assert system.asic.tables["combo"].entry_count == 8
+
+    def test_reads_layout(self):
+        artifacts = compile_p4r(TRIPLE_PROGRAM)
+        table = artifacts.p4.tables["combo"]
+        refs = [str(r.ref) for r in table.reads]
+        assert refs == [
+            "hdr.a", "hdr.b",            # expanded read alts (ternary)
+            "p4r_meta_.rsel_alt",        # read selector
+            "p4r_meta_.wsel_alt",        # action-specialization selector
+            "p4r_meta_.vv",              # version bit
+        ]
+
+    def test_all_four_configurations_behave(self):
+        system = self._system()
+        handle = system.agent.table("combo")
+        handle.add([5], "store", [77])
+        system.agent.run_iteration()
+        for r_alt, r_field in enumerate(("hdr.a", "hdr.b")):
+            for w_alt, w_field in enumerate(("hdr.x", "hdr.y")):
+                system.agent.write_malleable("rsel", r_alt)
+                system.agent.write_malleable("wsel", w_alt)
+                system.agent.run_iteration()
+                packet = Packet({r_field: 5})
+                system.asic.process(packet)
+                assert packet.get(w_field) == 77, (r_field, w_field)
+                other = "hdr.y" if w_field == "hdr.x" else "hdr.x"
+                assert packet.get(other) == 0
+
+    def test_delete_removes_all_concrete_entries(self):
+        system = self._system()
+        handle = system.agent.table("combo")
+        user_id = handle.add([5], "store", [77])
+        system.agent.run_iteration()
+        handle.delete(user_id)
+        system.agent.run_iteration()
+        assert system.asic.tables["combo"].entry_count == 0
+
+
+class TestCompileErrors:
+    def test_unknown_malleable_in_action(self):
+        with pytest.raises(Exception):
+            compile_p4r(
+                STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 16; } }
+header h_t hdr;
+action bad() { modify_field(hdr.f, ${ghost}); }
+table t { actions { bad; } default_action : bad(); }
+control ingress { apply(t); }
+"""
+            )
+
+    def test_unknown_malleable_in_table_read(self):
+        with pytest.raises(CompileError):
+            compile_p4r(
+                STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 16; } }
+header h_t hdr;
+action nop() { no_op(); }
+table t { reads { ${ghost} : exact; } actions { nop; } }
+control ingress { apply(t); }
+"""
+            )
+
+    def test_field_in_condition_requires_load(self):
+        """A specialize-strategy field in an if-condition is silently
+        promoted to the load strategy by the usage analysis."""
+        artifacts = compile_p4r(
+            STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 16; b : 16; out : 16; } }
+header h_t hdr;
+malleable field sel { width : 16; init : hdr.a; alts { hdr.a, hdr.b } }
+action nop() { no_op(); }
+action hit() { modify_field(hdr.out, 1); }
+table t1 { actions { nop; } default_action : nop(); }
+table t2 { actions { hit; } default_action : hit(); }
+control ingress {
+    apply(t1);
+    if (${sel} > 10) {
+        apply(t2);
+    }
+}
+"""
+        )
+        assert artifacts.spec.fields["sel"].strategy == "load"
+        # End to end: the condition tracks the shifted alternative.
+        system = MantisSystem(artifacts)
+        system.agent.prologue()
+        system.agent.run_iteration()
+        packet = Packet({"hdr.a": 50, "hdr.b": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 1
+        system.agent.shift_field("sel", "hdr.b")
+        system.agent.run_iteration()
+        packet = Packet({"hdr.a": 50, "hdr.b": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 0
+
+    def test_no_ingress_control_with_malleables(self):
+        with pytest.raises(CompileError):
+            compile_p4r(
+                STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 16; } }
+header h_t hdr;
+malleable value v { width : 8; init : 0; }
+action use() { modify_field(hdr.f, ${v}); }
+table t { actions { use; } default_action : use(); }
+control egress_only { apply(t); }
+"""
+            )
+
+    def test_oversized_measurement_arg_rejected(self):
+        with pytest.raises(CompileError):
+            compile_p4r(
+                STANDARD_METADATA_P4 + """
+header_type h_t { fields { wide : 48; } }
+header h_t hdr;
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); }
+reaction r(ing hdr.wide) { int x = 0; }
+"""
+            )

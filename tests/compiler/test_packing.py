@@ -1,0 +1,79 @@
+"""Bin-packing tests (sorted first-fit, Section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler.packing import (
+    first_fit_decreasing,
+    naive_one_per_bin,
+    pack_stats,
+)
+
+
+def sizes(bins):
+    return [[item for item in bin_] for bin_ in bins]
+
+
+def test_everything_fits_one_bin():
+    bins = first_fit_decreasing([8, 4, 2], lambda s: s, 16)
+    assert len(bins) == 1
+    assert sorted(bins[0]) == [2, 4, 8]
+
+
+def test_sorted_first_fit_order():
+    # Classic FFD behaviour: big items placed first, small fill gaps.
+    bins = first_fit_decreasing([10, 10, 6, 6, 4, 4], lambda s: s, 16)
+    assert [sorted(b, reverse=True) for b in bins] == [
+        [10, 6], [10, 6], [4, 4],
+    ]
+    # A small item declared late still lands in the first open slot.
+    bins = first_fit_decreasing([12, 9, 3], lambda s: s, 16)
+    assert [sorted(b, reverse=True) for b in bins] == [[12, 3], [9]]
+
+
+def test_item_larger_than_bin_rejected():
+    with pytest.raises(ValueError):
+        first_fit_decreasing([32], lambda s: s, 16)
+
+
+def test_max_items_per_bin():
+    bins = first_fit_decreasing([1, 1, 1, 1], lambda s: s, 100,
+                                max_items_per_bin=2)
+    assert len(bins) == 2
+
+
+def test_empty_input():
+    assert first_fit_decreasing([], lambda s: s, 16) == []
+
+
+def test_deterministic_for_equal_sizes():
+    first = first_fit_decreasing(["a", "b", "c"], lambda s: 4, 8)
+    second = first_fit_decreasing(["a", "b", "c"], lambda s: 4, 8)
+    assert first == second
+
+
+def test_naive_packing_one_per_bin():
+    assert naive_one_per_bin([1, 2, 3]) == [[1], [2], [3]]
+
+
+def test_pack_stats():
+    bins = [[8, 8], [4]]
+    count, utilization = pack_stats(bins, lambda s: s, 16)
+    assert count == 2
+    assert utilization == pytest.approx(20 / 32)
+    assert pack_stats([], lambda s: s, 16) == (0, 0.0)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=32), max_size=50))
+def test_packing_preserves_items_and_respects_capacity(items):
+    bins = first_fit_decreasing(items, lambda s: s, 32)
+    flattened = sorted(item for bin_ in bins for item in bin_)
+    assert flattened == sorted(items)
+    for bin_ in bins:
+        assert sum(bin_) <= 32
+
+
+@given(st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=50))
+def test_ffd_never_worse_than_naive(items):
+    ffd = first_fit_decreasing(items, lambda s: s, 32)
+    assert len(ffd) <= len(naive_one_per_bin(items))

@@ -1,0 +1,515 @@
+"""Mantis compiler transformation tests (Figures 4-6 and Section 5)."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_p4r
+from repro.errors import CompileError
+from repro.p4 import ast
+from repro.p4.parser import parse_p4
+from repro.p4.validate import validate_program
+from repro.switch.asic import STANDARD_METADATA_P4
+
+VALUE_PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 16; bar : 16; baz : 16; } }
+header hdr_t hdr;
+
+malleable value value_var { width : 16; init : 1; }
+
+action my_action() {
+    add(hdr.foo, hdr.baz, ${value_var});
+}
+table t { actions { my_action; } default_action : my_action(); }
+control ingress { apply(t); }
+"""
+
+
+class TestMalleableValues:
+    """Figure 4: values become p4r_meta_ fields loaded by the init table."""
+
+    def test_value_moves_to_metadata(self):
+        artifacts = compile_p4r(VALUE_PROGRAM)
+        program = artifacts.p4
+        meta_type = program.header_types["p4r_meta_t_"]
+        assert meta_type.has_field("value_var")
+        assert meta_type.field_width("value_var") == 16
+        call = program.actions["my_action"].body[0]
+        assert call.args[2] == ast.FieldRef("p4r_meta_", "value_var")
+
+    def test_init_table_generated(self):
+        artifacts = compile_p4r(VALUE_PROGRAM)
+        program = artifacts.p4
+        init = program.tables["p4r_init_"]
+        assert init.default_action[0] == "p4r_init_action_"
+        # vv, mv, value_var defaults
+        assert init.default_action[1] == [0, 0, 1]
+        action = program.actions["p4r_init_action_"]
+        assert action.params == ["vv", "mv", "value_var"]
+
+    def test_init_applied_first_in_ingress(self):
+        artifacts = compile_p4r(VALUE_PROGRAM)
+        applied = artifacts.p4.controls["ingress"].applied_tables()
+        assert applied[0] == "p4r_init_"
+
+    def test_spec_records_value_location(self):
+        spec = compile_p4r(VALUE_PROGRAM).spec
+        value_spec = spec.values["value_var"]
+        assert value_spec.init_table == "p4r_init_"
+        assert value_spec.init == 1
+        master = spec.master_init
+        assert [p.kind for p in master.params[:2]] == ["vv", "mv"]
+
+    def test_output_is_valid_plain_p4(self):
+        artifacts = compile_p4r(VALUE_PROGRAM)
+        validate_program(artifacts.p4)
+        reparsed = parse_p4(artifacts.p4_source)
+        validate_program(reparsed)
+
+    def test_matching_on_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_p4r(
+                VALUE_PROGRAM
+                + """
+table bad { reads { ${value_var} : exact; } actions { my_action; } }
+"""
+            )
+
+
+FIELD_WRITE_PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 32; bar : 32; qux : 16; } }
+header hdr_t hdr;
+
+malleable field write_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+
+action my_action(baz) {
+    modify_field(${write_var}, baz);
+}
+action nop() { no_op(); }
+table my_table {
+    reads { hdr.qux : exact; }
+    actions { my_action; nop; }
+    default_action : nop();
+}
+control ingress { apply(my_table); }
+"""
+
+
+class TestMalleableFieldWrite:
+    """Figure 5: write uses specialize actions and match on the selector."""
+
+    def test_actions_specialized_per_alt(self):
+        program = compile_p4r(FIELD_WRITE_PROGRAM).p4
+        assert "my_action" not in program.actions
+        v0 = program.actions["my_action_p4r_0"]
+        v1 = program.actions["my_action_p4r_1"]
+        assert v0.body[0].args[0] == ast.FieldRef("hdr", "foo")
+        assert v1.body[0].args[0] == ast.FieldRef("hdr", "bar")
+        assert v0.params == ["baz"]
+
+    def test_table_matches_selector(self):
+        artifacts = compile_p4r(FIELD_WRITE_PROGRAM)
+        table = artifacts.p4.tables["my_table"]
+        refs = [str(r.ref) for r in table.reads]
+        assert refs == ["hdr.qux", "p4r_meta_.write_var_alt"]
+        assert "my_action_p4r_0" in table.action_names
+        assert "my_action_p4r_1" in table.action_names
+
+    def test_spec_action_map(self):
+        spec = compile_p4r(FIELD_WRITE_PROGRAM).spec
+        transform = spec.tables["my_table"]
+        specialization = transform.actions["my_action"]
+        assert specialization.fields == ["write_var"]
+        assert specialization.variant((0,)) == "my_action_p4r_0"
+        assert transform.action_selectors == {"write_var": 1}
+        assert transform.vv_position == -1  # not a malleable table
+
+    def test_selector_in_init(self):
+        spec = compile_p4r(FIELD_WRITE_PROGRAM).spec
+        field_spec = spec.fields["write_var"]
+        assert field_spec.param == "write_var_alt"
+        assert field_spec.strategy == "specialize"
+        assert field_spec.alts == ["hdr.foo", "hdr.bar"]
+
+
+FIELD_READ_PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 32; bar : 32; qux : 16; baz : 32; } }
+header hdr_t hdr;
+
+malleable field read_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+
+action my_action() {
+    add(hdr.qux, hdr.baz, ${read_var});
+}
+action nop() { no_op(); }
+table my_table {
+    reads { hdr.qux : exact; ${read_var} : exact; }
+    actions { my_action; nop; }
+    default_action : nop();
+}
+control ingress { apply(my_table); }
+"""
+
+
+class TestMalleableFieldRead:
+    """Figure 6: reads expand to per-alt ternary columns + selector."""
+
+    def test_match_expansion(self):
+        table = compile_p4r(FIELD_READ_PROGRAM).p4.tables["my_table"]
+        kinds = [(str(r.ref), r.match_type) for r in table.reads]
+        assert kinds == [
+            ("hdr.qux", ast.MatchType.EXACT),
+            ("hdr.foo", ast.MatchType.TERNARY),  # exact -> ternary
+            ("hdr.bar", ast.MatchType.TERNARY),
+            ("p4r_meta_.read_var_alt", ast.MatchType.EXACT),
+        ]
+
+    def test_read_spec_positions(self):
+        spec = compile_p4r(FIELD_READ_PROGRAM).spec
+        transform = spec.tables["my_table"]
+        plain, mbl = transform.reads
+        assert plain.kind == "plain" and plain.positions == [0]
+        assert mbl.kind == "mbl"
+        assert mbl.positions == [1, 2]
+        assert mbl.selector_position == 3
+        assert mbl.alt_count == 2
+        # Selector is shared between the read expansion and the
+        # action specialization (deduplicated).
+        assert transform.action_selectors == {"read_var": 3}
+        assert transform.total_key_parts == 4
+
+    def test_actions_also_specialized(self):
+        program = compile_p4r(FIELD_READ_PROGRAM).p4
+        assert "my_action_p4r_0" in program.actions
+        assert (
+            program.actions["my_action_p4r_1"].body[0].args[2]
+            == ast.FieldRef("hdr", "bar")
+        )
+
+
+MALLEABLE_TABLE_PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 32; } }
+header hdr_t hdr;
+
+action set_port(p) { modify_field(standard_metadata.egress_spec, p); }
+action nop() { no_op(); }
+
+malleable table route {
+    reads { hdr.a : exact; }
+    actions { set_port; nop; }
+    default_action : nop();
+    size : 128;
+}
+control ingress { apply(route); }
+"""
+
+
+class TestMalleableTables:
+    def test_vv_appended(self):
+        artifacts = compile_p4r(MALLEABLE_TABLE_PROGRAM)
+        table = artifacts.p4.tables["route"]
+        assert str(table.reads[-1].ref) == "p4r_meta_.vv"
+        assert table.reads[-1].match_type is ast.MatchType.EXACT
+        assert not table.malleable  # cleared in emitted P4
+
+    def test_shadow_doubles_size(self):
+        table = compile_p4r(MALLEABLE_TABLE_PROGRAM).p4.tables["route"]
+        assert table.size == 256
+
+    def test_spec_vv_position(self):
+        spec = compile_p4r(MALLEABLE_TABLE_PROGRAM).spec
+        transform = spec.tables["route"]
+        assert transform.malleable
+        assert transform.vv_position == 1
+
+
+MEASUREMENT_PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; len : 16; proto : 8; } }
+header ipv4_t ipv4;
+
+register total_bytes { width : 32; instance_count : 4; }
+
+action account() {
+    register_write(total_bytes, 0, ipv4.len);
+}
+table acct { actions { account; } default_action : account(); }
+control ingress { apply(acct); }
+
+reaction watch(ing ipv4.srcAddr, ing ipv4.len, ing ipv4.proto,
+               reg total_bytes[0:3]) {
+    int x = ipv4_srcAddr;
+}
+"""
+
+
+class TestMeasurements:
+    def test_field_args_packed_into_containers(self):
+        spec = compile_p4r(MEASUREMENT_PROGRAM).spec
+        # 32 + 16 + 8 bits -> two 32-bit containers (FFD: 32 | 16+8).
+        assert len(spec.containers) == 2
+        by_bits = sorted(c.used_bits() for c in spec.containers)
+        assert by_bits == [24, 32]
+        container, slot = spec.container_for("watch", "ipv4_len")
+        assert slot.width == 16
+
+    def test_collect_table_at_end_of_ingress(self):
+        artifacts = compile_p4r(MEASUREMENT_PROGRAM)
+        applied = artifacts.p4.controls["ingress"].applied_tables()
+        assert applied[-1] == "p4r_collect_ing_"
+        action = artifacts.p4.actions["p4r_collect_ing_action_"]
+        writes = [c for c in action.body if c.name == "register_write"]
+        assert len(writes) == 2  # one per container
+
+    def test_measurement_registers_double_buffered(self):
+        program = compile_p4r(MEASUREMENT_PROGRAM).p4
+        for name, register in program.registers.items():
+            if name.startswith("p4r_measure_"):
+                assert register.instance_count == 2
+
+    def test_register_mirror_generated(self):
+        artifacts = compile_p4r(MEASUREMENT_PROGRAM)
+        mirror = artifacts.spec.mirrors["total_bytes"]
+        assert mirror.padded_count == 4
+        program = artifacts.p4
+        assert program.registers[mirror.duplicate].instance_count == 8
+        assert program.registers[mirror.ts].instance_count == 8
+        assert program.registers[mirror.seq].instance_count == 4
+
+    def test_original_register_eliminated_when_never_read(self):
+        artifacts = compile_p4r(MEASUREMENT_PROGRAM)
+        mirror = artifacts.spec.mirrors["total_bytes"]
+        assert mirror.original_eliminated
+        assert "total_bytes" not in artifacts.p4.registers
+        body = artifacts.p4.actions["account"].body
+        assert not any(
+            c.name == "register_write" and c.args[0] == "total_bytes"
+            for c in body
+        )
+
+    def test_original_kept_when_read_in_data_plane(self):
+        program_src = MEASUREMENT_PROGRAM.replace(
+            "register_write(total_bytes, 0, ipv4.len);",
+            "register_read(ipv4.len, total_bytes, 0);"
+            "register_write(total_bytes, 0, ipv4.len);",
+        )
+        artifacts = compile_p4r(program_src)
+        assert not artifacts.spec.mirrors["total_bytes"].original_eliminated
+        assert "total_bytes" in artifacts.p4.registers
+
+    def test_compiled_measurement_program_is_valid(self):
+        artifacts = compile_p4r(MEASUREMENT_PROGRAM)
+        validate_program(artifacts.p4)
+
+
+class TestLoadStrategy:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; ttl : 8; } }
+header ipv4_t ipv4;
+header_type meta_t { fields { bucket : 16; } }
+metadata meta_t meta;
+
+malleable field hash_in {
+    width : 32; init : ipv4.srcAddr;
+    alts { ipv4.srcAddr, ipv4.dstAddr }
+}
+
+field_list lb_fl { ${hash_in}; }
+field_list_calculation lb_hash {
+    input { lb_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+action pick() {
+    modify_field_with_hash_based_offset(meta.bucket, 0, lb_hash, 8);
+}
+table ecmp { actions { pick; } default_action : pick(); }
+control ingress { apply(ecmp); }
+"""
+
+    def test_field_list_use_forces_load(self):
+        spec = compile_p4r(self.PROGRAM).spec
+        assert spec.fields["hash_in"].strategy == "load"
+        assert len(spec.load_tables) == 1
+        assert spec.load_tables[0].field_name == "hash_in"
+
+    def test_load_table_generated_and_applied(self):
+        program = compile_p4r(self.PROGRAM).p4
+        applied = program.controls["ingress"].applied_tables()
+        assert applied[:2] == ["p4r_init_", "p4r_load_hash_in_"]
+        load = program.tables["p4r_load_hash_in_"]
+        assert str(load.reads[0].ref) == "p4r_meta_.hash_in_alt"
+        assert len(load.action_names) == 2
+
+    def test_field_list_now_references_loaded_value(self):
+        program = compile_p4r(self.PROGRAM).p4
+        entries = program.field_lists["lb_fl"].entries
+        assert entries == [ast.FieldRef("p4r_meta_", "hash_in_val")]
+
+    def test_written_field_cannot_use_load(self):
+        bad = self.PROGRAM + """
+action scribble() { modify_field(${hash_in}, 0); }
+table s { actions { scribble; } default_action : scribble(); }
+"""
+        with pytest.raises(CompileError):
+            compile_p4r(bad)
+
+
+class TestCompoundUsages:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 16; b : 16; c : 16; d : 16; } }
+header hdr_t hdr;
+
+malleable field f1 { width : 16; init : hdr.a; alts { hdr.a, hdr.b } }
+malleable field f2 { width : 16; init : hdr.c; alts { hdr.c, hdr.d } }
+
+action both(v) {
+    modify_field(${f1}, v);
+    modify_field(${f2}, v);
+}
+action nop() { no_op(); }
+table t {
+    reads { hdr.a : exact; }
+    actions { both; nop; }
+    default_action : nop();
+}
+control ingress { apply(t); }
+"""
+
+    def test_two_fields_give_four_variants(self):
+        artifacts = compile_p4r(self.PROGRAM)
+        program = artifacts.p4
+        variants = [
+            n for n in program.actions if n.startswith("both_p4r_")
+        ]
+        assert sorted(variants) == [
+            "both_p4r_0_0", "both_p4r_0_1", "both_p4r_1_0", "both_p4r_1_1",
+        ]
+        v10 = program.actions["both_p4r_1_0"]
+        assert v10.body[0].args[0] == ast.FieldRef("hdr", "b")
+        assert v10.body[1].args[0] == ast.FieldRef("hdr", "c")
+
+    def test_table_gets_both_selectors(self):
+        table = compile_p4r(self.PROGRAM).p4.tables["t"]
+        refs = [str(r.ref) for r in table.reads]
+        assert "p4r_meta_.f1_alt" in refs
+        assert "p4r_meta_.f2_alt" in refs
+
+    def test_same_field_used_twice_specializes_once(self):
+        source = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 16; b : 16; c : 16; } }
+header hdr_t hdr;
+malleable field f { width : 16; init : hdr.a; alts { hdr.a, hdr.b } }
+action twice(v) {
+    modify_field(${f}, v);
+    add(hdr.c, ${f}, v);
+}
+table t { actions { twice; } default_action : twice(0); }
+control ingress { apply(t); }
+"""
+        # default_action on a specialized action is a compile error,
+        # so drop the default for this test.
+        source = source.replace("default_action : twice(0);", "")
+        program = compile_p4r(source).p4
+        variants = [n for n in program.actions if n.startswith("twice_p4r_")]
+        assert len(variants) == 2  # one per alt, not per use
+
+
+class TestInitPacking:
+    def test_overflow_splits_into_multiple_init_tables(self):
+        values = "\n".join(
+            f"malleable value v{i} {{ width : 32; init : 0; }}"
+            for i in range(8)
+        )
+        source = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 32; } }
+header hdr_t hdr;
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); }
+""" + values
+        options = CompilerOptions(max_init_action_bits=100)
+        artifacts = compile_p4r(source, options)
+        spec = artifacts.spec
+        assert len(spec.init_tables) > 1
+        assert spec.init_tables[0].master
+        # Later init tables are vv-managed malleable tables.
+        second = spec.init_tables[1]
+        assert spec.tables[second.table].vv_position == 0
+        table = artifacts.p4.tables[second.table]
+        assert str(table.reads[0].ref) == "p4r_meta_.vv"
+        # Master applied before the rest.
+        applied = artifacts.p4.controls["ingress"].applied_tables()
+        assert applied.index("p4r_init_") < applied.index(second.table)
+
+    def test_no_init_table_for_pure_p4(self):
+        source = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 32; } }
+header hdr_t hdr;
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); }
+"""
+        artifacts = compile_p4r(source)
+        assert not artifacts.spec.init_tables
+        assert "p4r_init_" not in artifacts.p4.tables
+
+
+class TestFigure1EndToEnd:
+    FIGURE1 = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { foo : 32; bar : 32; baz : 32; qux : 32; } }
+header hdr_t hdr;
+
+register qdepths { width : 32; instance_count : 16; }
+
+malleable value value_var { width : 16; init : 1; }
+malleable field field_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+malleable table table_var {
+    reads { ${field_var} : exact; }
+    actions { my_action; drop_action; }
+    default_action : drop_action();
+}
+action my_action() {
+    add(hdr.qux, hdr.baz, ${value_var});
+}
+action drop_action() { drop(); }
+control ingress { apply(table_var); }
+
+reaction my_reaction(reg qdepths[1:10]) {
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+}
+"""
+
+    def test_compiles_and_validates(self):
+        artifacts = compile_p4r(self.FIGURE1)
+        validate_program(artifacts.p4)
+        # Round-trip through the printer as well.
+        validate_program(parse_p4(artifacts.p4_source))
+
+    def test_spec_completeness(self):
+        spec = compile_p4r(self.FIGURE1).spec
+        assert "value_var" in spec.values
+        assert "field_var" in spec.fields
+        assert "table_var" in spec.tables
+        assert spec.tables["table_var"].malleable
+        assert "qdepths" in spec.mirrors
+        reaction = spec.reactions["my_reaction"]
+        assert reaction.arg_sources == [("mirror", "qdepths")]
+
+    def test_spec_serializes_to_dict(self):
+        import json
+
+        spec = compile_p4r(self.FIGURE1).spec
+        as_json = json.dumps(spec.to_dict(), default=str)
+        assert "p4r_init_" in as_json

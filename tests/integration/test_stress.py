@@ -1,0 +1,205 @@
+"""Stress test: a combined workload exercising every subsystem at
+once, with global invariants checked at the end.
+
+One switch runs heartbeat counting, a malleable ACL, ECMP-style
+hashing, and per-port accounting simultaneously; two reactions adapt
+the configuration while UDP and TCP traffic flows.  After ~20 ms of
+simulated time we check conservation and consistency invariants that
+would catch interleaving bugs no unit test targets directly.
+"""
+
+import pytest
+
+from repro.net.hosts import HeartbeatGenerator, SinkHost, UdpSender
+from repro.net.sim import NetworkSim, PortConfig
+from repro.net.tcp import TcpFlow, TcpSink
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; proto : 8; }
+}
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; } }
+header tcp_t tcp;
+header_type m_t { fields { bucket : 16; cnt : 32; } }
+metadata m_t m;
+
+register hb_count { width : 32; instance_count : 16; }
+register port_pkts { width : 32; instance_count : 16; }
+
+malleable value ecmp_paths { width : 16; init : 2; }
+malleable field hash_key {
+    width : 32; init : ipv4.dstAddr;
+    alts { ipv4.dstAddr, ipv4.srcAddr }
+}
+
+action count_hb() {
+    register_read(m.cnt, hb_count, standard_metadata.ingress_port);
+    add(m.cnt, m.cnt, 1);
+    register_write(hb_count, standard_metadata.ingress_port, m.cnt);
+    drop();
+}
+action skip() { no_op(); }
+table hb_filter {
+    reads { ipv4.proto : exact; }
+    actions { count_hb; skip; }
+    default_action : skip();
+}
+
+action allow() { no_op(); }
+action block() { drop(); }
+malleable table acl {
+    reads { ipv4.srcAddr : exact; }
+    actions { allow; block; }
+    default_action : allow();
+    size : 64;
+}
+
+field_list lb_fl { ${hash_key}; }
+field_list_calculation lb_hash {
+    input { lb_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+action pick() {
+    modify_field_with_hash_based_offset(m.bucket, 0, lb_hash, 2);
+    add(standard_metadata.egress_spec, m.bucket, 4);
+}
+table lb { actions { pick; } default_action : pick(); }
+
+action acct() {
+    register_read(m.cnt, port_pkts, standard_metadata.egress_port);
+    add(m.cnt, m.cnt, 1);
+    register_write(port_pkts, standard_metadata.egress_port, m.cnt);
+}
+table accounting { actions { acct; } default_action : acct(); }
+
+control ingress {
+    apply(hb_filter);
+    apply(acl);
+    apply(lb);
+}
+control egress {
+    apply(accounting);
+}
+
+reaction guard(ing ipv4.srcAddr, reg hb_count[0:15]) {
+    // host-attached: blocks a known-bad source when seen
+}
+reaction balance(reg port_pkts[0:15]) {
+    // host-attached: flips the hash key under imbalance
+}
+"""
+
+BAD_SRC = 0x66666666
+HORIZON_US = 20_000.0
+
+
+def test_mixed_workload_invariants():
+    system = MantisSystem.from_source(PROGRAM, num_ports=16)
+    sim = NetworkSim(system)
+    for port in (4, 5):
+        sim.configure_port(port, PortConfig(bandwidth_gbps=5.0))
+    agent = system.agent
+    agent.prologue()
+    system.driver.add_entry("hb_filter", [253], "count_hb")
+
+    blocked = {"done": False}
+
+    def guard(ctx):
+        if ctx.args["ipv4_srcAddr"] == BAD_SRC and not blocked["done"]:
+            ctx.table("acl").add([BAD_SRC], "block")
+            blocked["done"] = True
+
+    shifts = []
+
+    def balance(ctx):
+        counts = ctx.args["port_pkts"]
+        port4, port5 = counts.get(4, 0), counts.get(5, 0)
+        total = port4 + port5
+        if total > 200 and abs(port4 - port5) > 0.8 * total:
+            current = ctx.read("hash_key")
+            ctx.write("hash_key", current ^ 1)
+            shifts.append(ctx.now)
+
+    agent.attach_python("guard", guard)
+    agent.attach_python("balance", balance)
+
+    sinks = [SinkHost(f"sink{p}") for p in (4, 5)]
+    sim.attach_host(sinks[0], 4)
+    sim.attach_host(sinks[1], 5)
+    heartbeats = HeartbeatGenerator(
+        "hb", {"ipv4.proto": 253, "ipv4.srcAddr": 1, "ipv4.dstAddr": 0},
+        period_us=1.0,
+    )
+    sim.attach_host(heartbeats, 0)
+    # Many UDP flows with varying src (spread by srcAddr once shifted).
+    senders = []
+    for index in range(6):
+        sender = UdpSender(
+            f"udp{index}",
+            {"ipv4.srcAddr": 0x0A000001 + index * 7919,
+             "ipv4.dstAddr": 0x0B000001, "ipv4.proto": 17},
+            rate_gbps=0.5, size_bytes=1000,
+        )
+        sim.attach_host(sender, 6 + index)
+        senders.append(sender)
+    flood = UdpSender(
+        "bad", {"ipv4.srcAddr": BAD_SRC, "ipv4.dstAddr": 0x0B000001,
+                "ipv4.proto": 17},
+        rate_gbps=2.0, size_bytes=1000,
+    )
+    sim.attach_host(flood, 3)
+
+    heartbeats.start(at_us=0.0)
+    for sender in senders:
+        sender.start(at_us=5.0)
+    flood.start(at_us=5_000.0)
+    sim.run_until(HORIZON_US)
+
+    # --- invariants -----------------------------------------------------
+    # 1. The guard reaction fired (the flood source is now dropped in
+    # the data plane -- its packets land in switch_drops below).
+    assert blocked["done"]
+    # Conservation: injected == delivered + switch drops + queue drops
+    # + still-in-flight (bounded by queue capacities).
+    injected = (
+        heartbeats.tx_packets
+        + sum(s.tx_packets for s in senders)
+        + flood.tx_packets
+    )
+    delivered = sum(s.rx_packets for s in sinks)
+    queue_drops = sum(
+        sim.port_stats(p).dropped for p in range(16)
+    )
+    in_flight = sum(sim.queue_depth(p) for p in range(16))
+    accounted = delivered + sim.switch_drops + queue_drops + in_flight
+    assert abs(injected - accounted) <= in_flight + 64  # pending events
+
+    # 2. Heartbeats were all counted and all dropped in the pipeline.
+    hb_reg = system.asic.registers.get("hb_count")
+    if hb_reg is None:  # original eliminated; read the mirror
+        mirror = system.spec.mirrors["hb_count"]
+        hb_reg = system.asic.registers[mirror.duplicate]
+        counted = max(hb_reg.read(0), hb_reg.read(mirror.padded_count))
+    else:
+        counted = hb_reg.read(0)
+    # (A heartbeat transmitted in the final microseconds may still be
+    # on the wire at the horizon.)
+    assert heartbeats.tx_packets - 3 <= counted <= heartbeats.tx_packets
+
+    # 3. The balancer saw the polarized load and shifted the hash key.
+    assert shifts, "expected at least one hash-key shift"
+    assert all(s.rx_packets > 0 for s in sinks)  # both paths used after
+
+    # 4. Agent health: the dialogue ran continuously and every
+    #    malleable-table shadow stayed in sync (entry count is even:
+    #    one concrete entry per version).
+    assert agent.iterations > 500
+    assert system.asic.tables["acl"].entry_count % 2 == 0
+    assert agent.table("acl").pending_ops == 0
+
+    # 5. Clock sanity: simulated time reached the horizon.
+    assert system.clock.now >= HORIZON_US

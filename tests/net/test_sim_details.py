@@ -1,0 +1,122 @@
+"""Detailed network-simulator tests: serialization math, latency,
+drop accounting, and the live sampling rate of the DoS reaction."""
+
+import pytest
+
+from repro.apps.dos import DosMitigationApp
+from repro.net.hosts import SinkHost, UdpSender
+from repro.net.sim import NetworkSim, PortConfig
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+FORWARDER = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; } }
+header ipv4_t ipv4;
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+}
+control ingress { apply(route); }
+"""
+
+
+class TestPortConfig:
+    def test_serialization_time(self):
+        config = PortConfig(bandwidth_gbps=10.0)
+        # 1500B at 10 Gbps = 1.2 us.
+        assert config.serialization_us(1500) == pytest.approx(1.2)
+        # 64B at 25 Gbps = 20.48 ns.
+        fast = PortConfig(bandwidth_gbps=25.0)
+        assert fast.serialization_us(64) == pytest.approx(0.02048)
+
+
+class TestDeliveryTiming:
+    def test_one_packet_latency_budget(self):
+        system = MantisSystem.from_source(FORWARDER)
+        sim = NetworkSim(system)
+        sim.configure_port(0, PortConfig(bandwidth_gbps=10.0, latency_us=3.0))
+        sim.configure_port(1, PortConfig(bandwidth_gbps=10.0, latency_us=5.0))
+        arrivals = []
+        sink = SinkHost("d")
+        sink.on_receive = lambda packet, now: arrivals.append(now)
+        sender = SinkHost("s")  # bare host used only for sending
+        sim.attach_host(sender, 0)
+        sim.attach_host(sink, 1)
+        system.driver.add_entry("route", [9], "forward", [1])
+        sent_at = sim.clock.now  # driver ops already advanced the clock
+        sender.send({"ipv4.srcAddr": 1, "ipv4.dstAddr": 9},
+                    size_bytes=1500)
+        sim.run_until(100.0, agent=False)
+        assert len(arrivals) == 1
+        # ingress: 3.0 latency + 1.2 serialization; egress: 1.2
+        # serialization + 5.0 latency.
+        assert arrivals[0] - sent_at == pytest.approx(3.0 + 1.2 + 1.2 + 5.0)
+
+    def test_queueing_delay_accumulates(self):
+        system = MantisSystem.from_source(FORWARDER)
+        sim = NetworkSim(system)
+        sim.configure_port(1, PortConfig(bandwidth_gbps=1.0, latency_us=0.0))
+        arrivals = []
+        sink = SinkHost("d")
+        sink.on_receive = lambda packet, now: arrivals.append(now)
+        sender = SinkHost("s")
+        sim.attach_host(sender, 0)
+        sim.attach_host(sink, 1)
+        system.driver.add_entry("route", [9], "forward", [1])
+        # Three back-to-back packets: the egress port serializes them
+        # one after another (12us each at 1 Gbps / 1500B).
+        for _ in range(3):
+            sender.send({"ipv4.srcAddr": 1, "ipv4.dstAddr": 9})
+        sim.run_until(200.0, agent=False)
+        assert len(arrivals) == 3
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(12.0, rel=0.01)
+
+    def test_switch_drop_accounting(self):
+        system = MantisSystem.from_source(FORWARDER)
+        sim = NetworkSim(system)
+        sender = SinkHost("s")
+        sim.attach_host(sender, 0)
+        sender.send({"ipv4.srcAddr": 1, "ipv4.dstAddr": 123})  # no route
+        sim.run_until(50.0, agent=False)
+        assert sim.switch_drops == 1
+        assert sim.delivered == 0
+
+
+class TestLiveSamplingRate:
+    def test_dos_reaction_samples_roughly_one_in_k(self):
+        """The paper: 'Mantis was able to sustain a sampling rate of
+        ~10us, corresponding to an average of ~1 in 5 packets.'  In
+        our stack the same ratio emerges from the iteration time vs
+        packet interarrival: verify the measured ratio matches it."""
+        app = DosMitigationApp(threshold_gbps=1e9)
+        sim = NetworkSim(app.system)
+        app.prologue()
+        app.add_route(0x0B000001, 1)
+        sink = SinkHost("d")
+        sim.attach_host(sink, 1)
+        sender = UdpSender(
+            "s", {"ipv4.srcAddr": 5, "ipv4.dstAddr": 0x0B000001},
+            rate_gbps=10.0,  # 1500B @ 10G -> one packet per 1.2us
+        )
+        sim.attach_host(sender, 0)
+        sender.start(at_us=0.0)
+        sim.run_until(2_000.0)
+        iterations = app.system.agent.iterations
+        packets = sender.tx_packets
+        assert packets > iterations  # more packets than polls
+        measured_ratio = packets / iterations
+        expected_ratio = (
+            app.system.agent.avg_reaction_time_us / 1.2
+        )
+        assert measured_ratio == pytest.approx(expected_ratio, rel=0.2)
+        # The estimator still tracks total bytes (marginal attribution
+        # sums to the counter's total regardless of sampling rate).
+        assert app.estimate(5) == pytest.approx(
+            sink.rx_bytes, rel=0.15
+        )

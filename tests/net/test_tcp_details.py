@@ -1,0 +1,137 @@
+"""Detailed TCP-model tests: pacing, DCTCP, retransmission."""
+
+import pytest
+
+from repro.net.sim import NetworkSim, PortConfig
+from repro.net.tcp import TcpFlow, TcpSink
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+FORWARDER = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; } }
+header ipv4_t ipv4;
+header_type tcp_t { fields { seq : 32; } }
+header tcp_t tcp;
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+}
+control ingress { apply(route); }
+"""
+
+MARKING_FORWARDER = FORWARDER + """
+action mark() { mark_ecn(); }
+table marker { actions { mark; } default_action : mark(); }
+control egress {
+    if (standard_metadata.deq_qdepth > 4) {
+        apply(marker);
+    }
+}
+"""
+
+
+def build(source=FORWARDER, **port_kwargs):
+    system = MantisSystem.from_source(source)
+    sim = NetworkSim(system)
+    if port_kwargs:
+        sim.configure_port(1, PortConfig(**port_kwargs))
+    flow_kwargs = {}
+    return system, sim
+
+
+def attach_flow(system, sim, **kwargs):
+    flow = TcpFlow("f", {"ipv4.srcAddr": 1, "ipv4.dstAddr": 9}, **kwargs)
+    sink = TcpSink("d")
+    sink.register_flow(1, flow)
+    sim.attach_host(flow, 0)
+    sim.attach_host(sink, 1)
+    system.driver.add_entry("route", [9], "forward", [1])
+    return flow, sink
+
+
+class TestPacing:
+    def test_paced_flow_respects_rate(self):
+        system, sim = build()
+        # One 1500B packet per 100us = 0.12 Gbps.
+        flow, sink = attach_flow(system, sim, pace_interval_us=100.0)
+        flow.start(at_us=0.0)
+        sim.run_until(5_000.0, agent=False)
+        # ~50 sends in 5000us (+- boundary effects).
+        assert 40 <= flow.tx_packets <= 55
+
+    def test_unpaced_flow_sends_much_faster(self):
+        system, sim = build()
+        flow, sink = attach_flow(system, sim)
+        flow.start(at_us=0.0)
+        sim.run_until(5_000.0, agent=False)
+        assert flow.tx_packets > 100
+
+    def test_pacing_interacts_with_window(self):
+        # Tight pacing cannot exceed the congestion window either.
+        system, sim = build()
+        flow, sink = attach_flow(
+            system, sim, pace_interval_us=1.0, initial_cwnd=1.0,
+            max_cwnd=1.0,
+        )
+        flow.start(at_us=0.0)
+        sim.run_until(1_000.0, agent=False)
+        # Window 1: at most one packet in flight at any time; total
+        # bounded by RTT clocking, far below the 1/us pace ceiling.
+        assert flow.tx_packets < 200
+
+
+class TestDctcp:
+    def test_alpha_tracks_marking(self):
+        system, sim = build(MARKING_FORWARDER,
+                            bandwidth_gbps=0.5, queue_capacity_pkts=64)
+        flow, sink = attach_flow(system, sim, use_dctcp=True)
+        flow.start(at_us=0.0)
+        sim.run_until(8_000.0, agent=False)
+        # The queue exceeds the mark threshold -> marks -> alpha > 0.
+        assert flow.dctcp_alpha > 0.0
+        # DCTCP keeps sending (no collapse to cwnd=1 as with drops).
+        assert flow.acked > 30
+
+    def test_no_marks_no_alpha(self):
+        # A small window on a fast port keeps the queue below the
+        # marking threshold, so alpha never moves.
+        system, sim = build(MARKING_FORWARDER, bandwidth_gbps=100.0)
+        flow, sink = attach_flow(system, sim, use_dctcp=True,
+                                 max_cwnd=3.0)
+        flow.start(at_us=0.0)
+        sim.run_until(3_000.0, agent=False)
+        assert flow.dctcp_alpha == 0.0
+        assert flow.acked > 10
+
+    def test_classic_ecn_halves_on_mark(self):
+        system, sim = build(MARKING_FORWARDER,
+                            bandwidth_gbps=0.5, queue_capacity_pkts=64)
+        flow, sink = attach_flow(system, sim, use_dctcp=False)
+        flow.start(at_us=0.0)
+        sim.run_until(8_000.0, agent=False)
+        # Classic ECN treats marks as losses: window stays small.
+        assert flow.cwnd < flow.max_cwnd / 4
+
+
+class TestRetransmission:
+    def test_timeout_retransmits_lost_sequence(self):
+        system, sim = build(bandwidth_gbps=0.1, queue_capacity_pkts=1)
+        flow, sink = attach_flow(system, sim)
+        flow.start(at_us=0.0)
+        sim.run_until(10_000.0, agent=False)
+        assert flow.retransmits > 0
+        # Goodput continues despite drops.
+        assert flow.acked > 5
+
+    def test_stale_ack_after_timeout_ignored(self):
+        system, sim = build()
+        flow, sink = attach_flow(system, sim)
+        flow.start(at_us=0.0)
+        sim.run_until(100.0, agent=False)
+        before = flow.acked
+        # Deliver a duplicate ACK for an already-acked sequence.
+        flow._on_ack(0, 0, sim.clock.now)
+        assert flow.acked == before

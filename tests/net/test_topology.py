@@ -1,0 +1,70 @@
+"""Topology-builder tests, including RouteManager integration."""
+
+import pytest
+
+from repro.apps.failover import RouteManager
+from repro.errors import SimulationError
+from repro.net.topology import leaf_spine, ring_of_neighbors, star
+
+
+class TestStar:
+    def test_shape(self):
+        topo = star(4)
+        assert len(topo.port_map) == 4
+        assert len(topo.dest_map) == 4
+        assert topo.graph.degree("s0") == 4
+
+    def test_no_detours(self):
+        topo = star(3)
+        manager = RouteManager(
+            topo.graph, topo.switch_node, topo.port_map, topo.dest_map
+        )
+        manager.fail_port(0)
+        routes = manager.compute_routes()
+        assert routes[0x0A000100] is None  # unreachable, no detour
+
+
+class TestRing:
+    def test_detour_exists_for_every_destination(self):
+        topo = ring_of_neighbors(5)
+        manager = RouteManager(
+            topo.graph, topo.switch_node, topo.port_map, topo.dest_map
+        )
+        for port in range(5):
+            manager.failed_ports = {port}
+            routes = manager.compute_routes()
+            assert all(p is not None for p in routes.values())
+            # The failed port is never used.
+            assert all(p != port for p in routes.values())
+
+
+class TestLeafSpine:
+    def test_multipath(self):
+        topo = leaf_spine(n_leaves=3, n_spines=2)
+        manager = RouteManager(
+            topo.graph, topo.switch_node, topo.port_map, topo.dest_map
+        )
+        routes = manager.compute_routes()
+        assert set(routes.values()) <= {0, 1}
+        # Losing one spine leaves the other.
+        manager.fail_port(0)
+        routes = manager.compute_routes()
+        assert all(p == 1 for p in routes.values())
+
+    def test_needs_two_leaves(self):
+        with pytest.raises(SimulationError):
+            leaf_spine(n_leaves=1, n_spines=2)
+
+
+class TestValidation:
+    def test_bad_port_map_rejected(self):
+        topo = star(2)
+        topo.port_map["ghost"] = 9
+        with pytest.raises(SimulationError):
+            topo.validate()
+
+    def test_bad_dest_rejected(self):
+        topo = star(2)
+        topo.dest_map[99] = "nowhere"
+        with pytest.raises(SimulationError):
+            topo.validate()

@@ -1,0 +1,104 @@
+"""Lexer unit tests, including the raw-body brace matcher the P4R
+parser uses to slice reaction code."""
+
+import pytest
+
+from repro.errors import P4SyntaxError
+from repro.p4.lexer import (
+    Lexer,
+    match_brace_block,
+    parse_int,
+    token_at_or_after,
+)
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in Lexer(source).tokenize()[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_numbers(self):
+        assert kinds("foo _bar x9 42 0x2A") == [
+            ("ident", "foo"), ("ident", "_bar"), ("ident", "x9"),
+            ("number", "42"), ("number", "0x2A"),
+        ]
+
+    def test_maximal_munch_operators(self):
+        assert [v for _k, v in kinds("a<<=b")] == ["a", "<<=", "b"]
+        assert [v for _k, v in kinds("a *= b /= c")] == [
+            "a", "*=", "b", "/=", "c",
+        ]
+        assert [v for _k, v in kinds("x==y != z<=w>=v")] == [
+            "x", "==", "y", "!=", "z", "<=", "w", ">=", "v",
+        ]
+        assert [v for _k, v in kinds("i++ + ++j")] == [
+            "i", "++", "+", "++", "j",
+        ]
+
+    def test_dollar_brace(self):
+        assert kinds("${var}") == [
+            ("op", "${"), ("ident", "var"), ("op", "}"),
+        ]
+
+    def test_line_and_column_tracking(self):
+        tokens = Lexer("a\n  b").tokenize()
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_comments_skipped(self):
+        assert kinds("a // comment\nb /* block\nstill */ c") == [
+            ("ident", "a"), ("ident", "b"), ("ident", "c"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(P4SyntaxError):
+            Lexer("a /* oops").tokenize()
+
+    def test_unexpected_character(self):
+        with pytest.raises(P4SyntaxError):
+            Lexer("a @ b").tokenize()
+
+    def test_eof_token(self):
+        tokens = Lexer("x").tokenize()
+        assert tokens[-1].kind == "eof"
+
+
+class TestBraceMatcher:
+    def test_simple(self):
+        source = "{ a; b; }"
+        assert match_brace_block(source, 0) == len(source)
+
+    def test_nested(self):
+        source = "{ if (x) { y; } else { z; } } trailing"
+        end = match_brace_block(source, 0)
+        assert source[:end].count("{") == source[:end].count("}")
+        assert source[end:].strip() == "trailing"
+
+    def test_braces_in_comments_ignored(self):
+        source = "{ a; // not a close }\n b; /* { */ }"
+        end = match_brace_block(source, 0)
+        assert end == len(source)
+
+    def test_unterminated(self):
+        with pytest.raises(P4SyntaxError):
+            match_brace_block("{ never closed", 0)
+
+    def test_must_start_at_open_brace(self):
+        with pytest.raises(P4SyntaxError):
+            match_brace_block("x{}", 0)
+
+
+class TestHelpers:
+    def test_parse_int(self):
+        assert parse_int("42") == 42
+        assert parse_int("0xff") == 255
+        assert parse_int("0XFF") == 255
+
+    def test_token_at_or_after(self):
+        tokens = Lexer("aa bb cc").tokenize()
+        assert token_at_or_after(tokens, 0) == 0
+        assert token_at_or_after(tokens, 3) == 1
+        assert token_at_or_after(tokens, 6) == 2
+        # Past the end: lands on EOF.
+        index = token_at_or_after(tokens, 100)
+        assert tokens[index].kind == "eof"

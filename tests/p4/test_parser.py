@@ -1,0 +1,207 @@
+"""Parser tests for the P4-14 front end."""
+
+import pytest
+
+from repro.errors import P4SemanticError, P4SyntaxError
+from repro.p4 import ast
+from repro.p4.parser import parse_p4
+from repro.p4.printer import print_program
+from repro.p4.validate import validate_program
+
+BASIC_PROGRAM = """
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type meta_t {
+    fields {
+        nhop : 32;
+        port : 9;
+    }
+}
+
+header ethernet_t ethernet;
+metadata meta_t meta;
+
+register byte_count {
+    width : 32;
+    instance_count : 4;
+}
+
+action set_port(port) {
+    modify_field(meta.port, port);
+}
+
+action _drop() {
+    drop();
+}
+
+table forward {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        set_port;
+        _drop;
+    }
+    default_action : _drop();
+    size : 1024;
+}
+
+control ingress {
+    apply(forward);
+    if (meta.port == 0) {
+        apply(forward);
+    }
+}
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+"""
+
+
+@pytest.fixture
+def program():
+    return parse_p4(BASIC_PROGRAM)
+
+
+def test_header_type_fields(program):
+    eth = program.header_types["ethernet_t"]
+    assert [f.name for f in eth.fields] == ["dstAddr", "srcAddr", "etherType"]
+    assert eth.field_width("etherType") == 16
+    assert eth.total_width == 112
+
+
+def test_instances(program):
+    assert not program.headers["ethernet"].is_metadata
+    assert program.headers["meta"].is_metadata
+    assert program.field_width(ast.FieldRef("meta", "port")) == 9
+
+
+def test_register(program):
+    reg = program.registers["byte_count"]
+    assert reg.width == 32
+    assert reg.instance_count == 4
+
+
+def test_action_body(program):
+    action = program.actions["set_port"]
+    assert action.params == ["port"]
+    call = action.body[0]
+    assert call.name == "modify_field"
+    assert call.args[0] == ast.FieldRef("meta", "port")
+    assert call.args[1] == "port"
+
+
+def test_table(program):
+    table = program.tables["forward"]
+    assert table.reads[0].match_type is ast.MatchType.EXACT
+    assert table.action_names == ["set_port", "_drop"]
+    assert table.default_action == ("_drop", [])
+    assert table.size == 1024
+    assert not table.is_ternary()
+
+
+def test_control_flow(program):
+    control = program.controls["ingress"]
+    assert isinstance(control.body[0], ast.ApplyCall)
+    cond_block = control.body[1]
+    assert isinstance(cond_block, ast.IfBlock)
+    assert cond_block.cond.op == "=="
+    assert control.applied_tables() == ["forward", "forward"]
+
+
+def test_parser_state(program):
+    state = program.parser_states["start"]
+    assert state.extracts == ["ethernet"]
+    assert state.return_target == "ingress"
+
+
+def test_validate_passes(program):
+    validate_program(program)
+
+
+def test_roundtrip_is_fixed_point(program):
+    printed = print_program(program)
+    reparsed = parse_p4(printed)
+    assert print_program(reparsed) == printed
+
+
+def test_ternary_and_mask():
+    program = parse_p4(
+        BASIC_PROGRAM
+        + """
+table acl {
+    reads {
+        ethernet.srcAddr mask 0xffff : ternary;
+        meta.nhop : lpm;
+        valid(ethernet) : exact;
+    }
+    actions { _drop; }
+}
+"""
+    )
+    acl = program.tables["acl"]
+    assert acl.reads[0].mask == 0xFFFF
+    assert acl.reads[0].match_type is ast.MatchType.TERNARY
+    assert acl.reads[1].match_type is ast.MatchType.LPM
+    assert acl.reads[2].match_type is ast.MatchType.VALID
+    assert acl.is_ternary()
+    validate_program(program)
+
+
+def test_syntax_error_reports_location():
+    with pytest.raises(P4SyntaxError) as excinfo:
+        parse_p4("table t {")
+    assert "line" in str(excinfo.value)
+
+
+def test_unknown_declaration_keyword():
+    with pytest.raises(P4SyntaxError):
+        parse_p4("gizmo t { }")
+
+
+def test_duplicate_declaration_rejected():
+    source = "header_type a_t { fields { x : 8; } }\n" * 2
+    with pytest.raises(P4SemanticError):
+        parse_p4(source)
+
+
+def test_condition_precedence():
+    program = parse_p4(
+        BASIC_PROGRAM
+        + """
+control egress {
+    if (meta.port == 1 || meta.nhop > 5 && meta.port != 0) {
+        apply(forward);
+    }
+}
+"""
+    )
+    cond = program.controls["egress"].body[0].cond
+    # || binds loosest: (port == 1) || ((nhop > 5) && (port != 0))
+    assert cond.op == "||"
+    assert cond.right.op == "&&"
+
+
+def test_comments_are_skipped():
+    program = parse_p4(
+        "// leading comment\n/* block */\n"
+        "header_type h_t { fields { x : 8; /* inline */ } }\n"
+    )
+    assert "h_t" in program.header_types
+
+
+def test_hex_and_decimal_literals():
+    program = parse_p4(
+        "header_type h_t { fields { x : 0x10; y : 16; } }"
+    )
+    ht = program.header_types["h_t"]
+    assert ht.field_width("x") == 16
+    assert ht.field_width("y") == 16

@@ -1,0 +1,165 @@
+"""Property-based printer/parser round-trip tests.
+
+Randomly generated P4 programs must survive print -> parse -> print
+as a fixed point, and the reparsed AST must be semantically valid.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.p4 import ast
+from repro.p4.parser import parse_p4
+from repro.p4.printer import print_program
+from repro.p4.validate import validate_program
+
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    # Avoid colliding with declaration keywords the parser dispatches on.
+    lambda s: s not in {
+        "header", "metadata", "table", "action", "control", "register",
+        "counter", "parser", "if", "else", "apply", "valid", "reads",
+        "actions", "size", "mask", "fields", "field_list", "input",
+        "algorithm", "exact", "ternary", "lpm", "range", "extract",
+        "return", "default_action", "width", "instance_count", "type",
+        "malleable", "reaction", "value", "field", "alts", "init",
+        "header_type", "field_list_calculation", "output_width", "ing",
+        "egr", "reg",
+    }
+)
+
+field_decl = st.builds(
+    ast.FieldDecl,
+    name=ident,
+    width=st.integers(min_value=1, max_value=64),
+)
+
+
+@st.composite
+def small_program(draw):
+    """A random but semantically valid P4 program."""
+    program = ast.Program()
+
+    # 1-2 header types with unique field names.
+    n_types = draw(st.integers(min_value=1, max_value=2))
+    type_names = draw(
+        st.lists(ident, min_size=n_types, max_size=n_types, unique=True)
+    )
+    for type_name in type_names:
+        fields = draw(
+            st.lists(field_decl, min_size=1, max_size=4,
+                     unique_by=lambda f: f.name)
+        )
+        program.add(ast.HeaderType(f"{type_name}_t", list(fields)))
+
+    # One instance per type (alternating header/metadata).
+    refs = []
+    for index, type_name in enumerate(type_names):
+        program.add(
+            ast.HeaderInstance(type_name, f"{type_name}_t", index % 2 == 1)
+        )
+        for fld in program.header_types[f"{type_name}_t"].fields:
+            refs.append(
+                (ast.FieldRef(type_name, fld.name), fld.width)
+            )
+
+    # A register.
+    program.add(ast.RegisterDecl("r0", 32, draw(
+        st.integers(min_value=1, max_value=8))))
+
+    # 1-3 actions over random primitives.
+    action_names = []
+    n_actions = draw(st.integers(min_value=1, max_value=3))
+    for index in range(n_actions):
+        body = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            dst, _w = draw(st.sampled_from(refs))
+            kind = draw(st.sampled_from(
+                ["modify_field", "add_to_field", "register_write", "add"]
+            ))
+            if kind == "modify_field":
+                body.append(ast.PrimitiveCall(
+                    "modify_field",
+                    [dst, draw(st.integers(min_value=0, max_value=255))],
+                ))
+            elif kind == "add_to_field":
+                body.append(ast.PrimitiveCall(
+                    "add_to_field",
+                    [dst, draw(st.integers(min_value=0, max_value=255))],
+                ))
+            elif kind == "register_write":
+                body.append(ast.PrimitiveCall(
+                    "register_write", ["r0", 0, dst]
+                ))
+            else:
+                src, _w2 = draw(st.sampled_from(refs))
+                body.append(ast.PrimitiveCall("add", [dst, src, 1]))
+        name = f"act{index}"
+        program.add(ast.ActionDecl(name, [], body))
+        action_names.append(name)
+
+    # A table over a random subset of fields.
+    n_reads = draw(st.integers(min_value=0, max_value=2))
+    reads = []
+    for _ in range(n_reads):
+        ref, _w = draw(st.sampled_from(refs))
+        match = draw(st.sampled_from(
+            [ast.MatchType.EXACT, ast.MatchType.TERNARY, ast.MatchType.LPM]
+        ))
+        reads.append(ast.TableRead(ref, match))
+    program.add(ast.TableDecl(
+        "t0",
+        reads=reads,
+        action_names=list(action_names),
+        default_action=(action_names[0], []),
+        size=draw(st.sampled_from([None, 16, 1024])),
+    ))
+
+    # A control applying it, sometimes under a condition.
+    ref, _w = draw(st.sampled_from(refs))
+    body = [ast.ApplyCall("t0")]
+    if draw(st.booleans()):
+        body.append(ast.IfBlock(
+            ast.BinOp(
+                draw(st.sampled_from(["==", "<", ">=", "!="])),
+                ref,
+                draw(st.integers(min_value=0, max_value=100)),
+            ),
+            [ast.ApplyCall("t0")],
+            [ast.ApplyCall("t0")] if draw(st.booleans()) else [],
+        ))
+    program.add(ast.ControlDecl("ingress", body))
+    return program
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_program())
+def test_print_parse_is_fixed_point(program):
+    printed = print_program(program)
+    reparsed = parse_p4(printed)
+    assert print_program(reparsed) == printed
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_program())
+def test_reparsed_program_validates(program):
+    validate_program(program)
+    reparsed = parse_p4(print_program(program))
+    validate_program(reparsed)
+    # Structure is preserved.
+    assert set(reparsed.tables) == set(program.tables)
+    assert set(reparsed.actions) == set(program.actions)
+    assert (
+        reparsed.controls["ingress"].applied_tables()
+        == program.controls["ingress"].applied_tables()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_program())
+def test_generated_programs_load_into_the_emulator(program):
+    from repro.switch.asic import SwitchAsic
+    from repro.switch.packet import Packet
+
+    asic = SwitchAsic(parse_p4(print_program(program)))
+    # Any packet must process without raising (fields default to 0;
+    # missing egress_spec stays port 0).
+    asic.process(Packet({}))

@@ -1,0 +1,154 @@
+"""Semantic-validation tests."""
+
+import pytest
+
+from repro.errors import P4SemanticError
+from repro.p4.parser import parse_p4
+from repro.p4.validate import validate_program
+
+HEADER = """
+header_type h_t { fields { x : 8; y : 16; } }
+header h_t hdr;
+metadata h_t meta;
+action nop() { no_op(); }
+"""
+
+
+def _expect_invalid(source):
+    program = parse_p4(HEADER + source)
+    with pytest.raises(P4SemanticError):
+        validate_program(program)
+
+
+def test_unknown_field_in_action():
+    _expect_invalid(
+        "action bad() { modify_field(hdr.nope, 1); }"
+    )
+
+
+def test_unknown_register():
+    _expect_invalid(
+        "action bad() { register_write(ghost, 0, 1); }"
+    )
+
+
+def test_unknown_counter():
+    _expect_invalid("action bad() { count(ghost, 0); }")
+
+
+def test_unknown_action_in_table():
+    _expect_invalid(
+        "table t { reads { hdr.x : exact; } actions { ghost; } }"
+    )
+
+
+def test_table_without_actions():
+    _expect_invalid("table t { reads { hdr.x : exact; } actions { } }")
+
+
+def test_default_action_arity():
+    _expect_invalid(
+        """
+action set_x(v) { modify_field(hdr.x, v); }
+table t { actions { set_x; } default_action : set_x(); }
+"""
+    )
+
+
+def test_unknown_table_in_control():
+    _expect_invalid("control ingress { apply(ghost); }")
+
+
+def test_unknown_field_in_table_reads():
+    _expect_invalid(
+        "table t { reads { hdr.ghost : exact; } actions { nop; } }"
+    )
+
+
+def test_unknown_header_type_for_instance():
+    program = parse_p4("header ghost_t hdr2;")
+    with pytest.raises(P4SemanticError):
+        validate_program(program)
+
+
+def test_malleable_ref_rejected_in_plain_p4():
+    program = parse_p4(
+        HEADER + "action bad() { modify_field(hdr.x, ${mv}); }"
+    )
+    with pytest.raises(P4SemanticError):
+        validate_program(program, allow_malleables=False)
+    # ... but accepted when validating pre-transform P4R.
+    validate_program(program, allow_malleables=True)
+
+
+def test_field_list_calculation_unknown_input():
+    _expect_invalid(
+        """
+field_list_calculation hash { input { ghost; } algorithm : crc16; output_width : 16; }
+"""
+    )
+
+
+def test_valid_program_passes():
+    program = parse_p4(
+        HEADER
+        + """
+field_list fl { hdr.x; }
+field_list_calculation hash {
+    input { fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+register r { width : 32; instance_count : 2; }
+action work() {
+    register_write(r, 0, 5);
+    modify_field_with_hash_based_offset(meta.y, 0, hash, 16);
+}
+table t { reads { hdr.x : exact; } actions { work; nop; } }
+control ingress { apply(t); }
+"""
+    )
+    validate_program(program)
+
+
+def test_unknown_field_in_condition():
+    _expect_invalid(
+        """
+table t { actions { nop; } default_action : nop(); }
+control ingress {
+    if (hdr.ghost > 3) {
+        apply(t);
+    }
+}
+"""
+    )
+
+
+def test_unknown_valid_in_condition():
+    _expect_invalid(
+        """
+table t { actions { nop; } default_action : nop(); }
+control ingress {
+    if (valid(ghost)) {
+        apply(t);
+    }
+}
+"""
+    )
+
+
+def test_malleable_in_condition_respects_mode():
+    program = parse_p4(
+        HEADER
+        + """
+table t { actions { nop; } default_action : nop(); }
+control ingress {
+    if (${knob} > 3) {
+        apply(t);
+    }
+}
+"""
+    )
+    with pytest.raises(P4SemanticError):
+        validate_program(program, allow_malleables=False)
+    validate_program(program, allow_malleables=True)

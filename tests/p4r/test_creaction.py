@@ -1,0 +1,231 @@
+"""Tests for the C-like reaction interpreter."""
+
+import pytest
+
+from repro.errors import ReactionError
+from repro.p4r.creaction import CReaction, ReactionEnv
+
+
+def run(source, **env_kwargs):
+    return CReaction(source).run(ReactionEnv(**env_kwargs))
+
+
+def test_arithmetic_and_return():
+    assert run("return (2 + 3) * 4 - 6 / 2;") == 17
+
+
+def test_c_division_truncates_toward_zero():
+    assert run("return -7 / 2;") == -3
+    assert run("return 7 / -2;") == -3
+    assert run("return -7 % 2;") == -1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ReactionError):
+        run("return 1 / 0;")
+
+
+def test_unsigned_wraparound():
+    assert run("uint8_t x = 250; x += 10; return x;") == 4
+    assert run("uint16_t x = 0; x -= 1; return x;") == 0xFFFF
+
+
+def test_int_does_not_wrap():
+    assert run("int x = 1; x = x << 70; return x;") == 1 << 70
+
+
+def test_float_type():
+    assert run("double x = 1; x = x / 4; return x;") == 0.25
+
+
+def test_figure1_loop_body():
+    # The paper's Figure 1 reaction: find the port with the deepest queue.
+    qdepths = {i: 0 for i in range(1, 11)}
+    qdepths[7] = 42
+    writes = {}
+    source = """
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+    """
+    CReaction(source).run(
+        ReactionEnv(
+            args={"qdepths": qdepths},
+            write_malleable=writes.__setitem__,
+            read_malleable=lambda name: 0,
+        )
+    )
+    assert writes == {"value_var": 7}
+
+
+def test_static_variables_persist_across_runs():
+    statics = {}
+    reaction = CReaction("static int count = 0; count++; return count;")
+    env = ReactionEnv(statics=statics)
+    assert reaction.run(env) == 1
+    assert reaction.run(env) == 2
+    assert reaction.run(env) == 3
+
+
+def test_static_array_persists():
+    statics = {}
+    reaction = CReaction(
+        "static int hist[4]; hist[2] += 5; return hist[2];"
+    )
+    env = ReactionEnv(statics=statics)
+    assert reaction.run(env) == 5
+    assert reaction.run(env) == 10
+
+
+def test_array_initializer():
+    assert run("int a[3] = {10, 20, 30}; return a[0] + a[2];") == 40
+
+
+def test_while_break_continue():
+    source = """
+    int total = 0;
+    int i = 0;
+    while (1) {
+        i++;
+        if (i > 10) break;
+        if (i % 2 == 0) continue;
+        total += i;
+    }
+    return total;
+    """
+    assert run(source) == 25  # 1+3+5+7+9
+
+
+def test_ternary_and_logical_short_circuit():
+    assert run("int x = 5; return x > 3 ? 100 : 200;") == 100
+    # Right side of && must not run when the left is false.
+    assert run("int x = 0; return (x != 0 && 1 / x) ? 1 : 2;") == 2
+
+
+def test_pre_and_post_increment():
+    assert run("int i = 5; int j = i++; return j * 100 + i;") == 506
+    assert run("int i = 5; int j = ++i; return j * 100 + i;") == 606
+
+
+def test_compound_assignment_ops():
+    assert run("int x = 12; x &= 10; return x;") == 8
+    assert run("int x = 12; x |= 3; return x;") == 15
+    assert run("int x = 12; x ^= 10; return x;") == 6
+
+
+def test_malleable_read_and_write():
+    store = {"v": 7}
+    result = CReaction("${v} = ${v} * 2; return ${v};").run(
+        ReactionEnv(
+            read_malleable=store.__getitem__,
+            write_malleable=store.__setitem__,
+        )
+    )
+    assert result == 14
+    assert store["v"] == 14
+
+
+def test_table_method_dispatch():
+    class FakeTable:
+        def __init__(self):
+            self.entries = []
+
+        def addEntry(self, *args):
+            self.entries.append(args)
+            return len(self.entries)
+
+    table = FakeTable()
+    result = run(
+        "return acl.addEntry(1, 2, 3);", tables={"acl": table}
+    )
+    assert result == 1
+    assert table.entries == [(1, 2, 3)]
+
+
+def test_unknown_table_method_raises():
+    class FakeTable:
+        pass
+
+    with pytest.raises(ReactionError):
+        run("t.ghost(1);", tables={"t": FakeTable()})
+
+
+def test_extern_functions():
+    calls = []
+
+    def reroute(port):
+        calls.append(port)
+        return 0
+
+    run(
+        "if (hb < 3) { reroute(4); }",
+        args={"hb": 1},
+        externs={"reroute": reroute},
+    )
+    assert calls == [4]
+
+
+def test_builtin_min_max_abs():
+    assert run("return min(3, 5) + max(3, 5) + abs(0 - 2);") == 10
+
+
+def test_undefined_identifier_raises():
+    with pytest.raises(ReactionError):
+        run("return ghost;")
+
+
+def test_assignment_to_undeclared_raises():
+    with pytest.raises(ReactionError):
+        run("ghost = 1;")
+
+
+def test_break_outside_loop_raises():
+    with pytest.raises(ReactionError):
+        run("break;")
+
+
+def test_scoping_block_locals():
+    source = """
+    int x = 1;
+    { int x = 10; x++; }
+    return x;
+    """
+    assert run(source) == 1
+
+
+def test_register_args_use_original_indices():
+    # A reg slice [4:6] binds a dict keyed by original indices.
+    args = {"counts": {4: 40, 5: 50, 6: 60}}
+    assert run("return counts[5];", args=args) == 50
+    with pytest.raises(ReactionError):
+        run("return counts[0];", args=args)
+
+
+def test_hex_literals():
+    assert run("return 0xff & 0x0f;") == 15
+
+
+def test_multiplicative_compound_assignment():
+    assert run("int x = 6; x *= 7; return x;") == 42
+    assert run("int x = 42; x /= 5; return x;") == 8
+    assert run("int x = 42; x %= 5; return x;") == 2
+
+
+def test_shift_compound_assignment():
+    assert run("int x = 3; x <<= 4; return x;") == 48
+    assert run("int x = 48; x >>= 2; return x;") == 12
+
+
+def test_string_literals_pass_through_calls():
+    logged = []
+    run('log("hello world");', externs={"log": logged.append})
+    assert logged == ["hello world"]
+
+
+def test_string_with_escaped_quote():
+    logged = []
+    run(r'log("say \"hi\"");', externs={"log": logged.append})
+    assert logged == ['say "hi"']

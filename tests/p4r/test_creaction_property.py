@@ -1,0 +1,121 @@
+"""Property-based tests of the C-like reaction interpreter.
+
+Randomly generated integer expressions are rendered as C source and
+evaluated both by the interpreter and by a direct Python model with C
+semantics; the results must agree.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.p4r.creaction import CReaction, ReactionEnv
+
+
+def c_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a, b):
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    """Returns (source_text, python_value)."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=0, max_value=1000))
+        return str(value), value
+    op = draw(st.sampled_from(
+        ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+         "<", "<=", ">", ">=", "==", "!="]
+    ))
+    left_src, left_val = draw(int_expr(depth=depth + 1))
+    right_src, right_val = draw(int_expr(depth=depth + 1))
+    if op in ("/", "%") and right_val == 0:
+        right_src, right_val = "7", 7
+    if op in ("<<", ">>"):
+        right_src, right_val = str(right_val % 8), right_val % 8
+    src = f"({left_src} {op} {right_src})"
+    table = {
+        "+": lambda: left_val + right_val,
+        "-": lambda: left_val - right_val,
+        "*": lambda: left_val * right_val,
+        "/": lambda: c_div(left_val, right_val),
+        "%": lambda: c_mod(left_val, right_val),
+        "&": lambda: left_val & right_val,
+        "|": lambda: left_val | right_val,
+        "^": lambda: left_val ^ right_val,
+        "<<": lambda: left_val << right_val,
+        ">>": lambda: left_val >> right_val,
+        "<": lambda: 1 if left_val < right_val else 0,
+        "<=": lambda: 1 if left_val <= right_val else 0,
+        ">": lambda: 1 if left_val > right_val else 0,
+        ">=": lambda: 1 if left_val >= right_val else 0,
+        "==": lambda: 1 if left_val == right_val else 0,
+        "!=": lambda: 1 if left_val != right_val else 0,
+    }
+    return src, table[op]()
+
+
+@settings(max_examples=150, deadline=None)
+@given(int_expr())
+def test_expression_semantics_match_c_model(expr):
+    source, expected = expr
+    assert CReaction(f"return {source};").run(ReactionEnv()) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000),
+             min_size=1, max_size=20)
+)
+def test_loop_sum_matches(values):
+    """A C loop over an input array sums like Python does."""
+    array = {i: v for i, v in enumerate(values)}
+    source = f"""
+    int total = 0;
+    for (int i = 0; i < {len(values)}; ++i)
+        total += data[i];
+    return total;
+    """
+    result = CReaction(source).run(ReactionEnv(args={"data": array}))
+    assert result == sum(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from(["uint8_t", "uint16_t", "uint32_t"]),
+)
+def test_unsigned_arithmetic_wraps_at_declared_width(a, b, ctype):
+    width = {"uint8_t": 8, "uint16_t": 16, "uint32_t": 32}[ctype]
+    mask = (1 << width) - 1
+    source = f"{ctype} x = {a}; x += {b}; return x;"
+    assert CReaction(source).run(ReactionEnv()) == (a + b) & mask
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000),
+                min_size=1, max_size=12))
+def test_figure1_max_scan_matches_python_max(depths):
+    """The paper's Figure 1 loop computes argmax like Python does."""
+    array = {i + 1: v for i, v in enumerate(depths)}
+    n = len(depths)
+    source = f"""
+    uint32_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= {n}; ++i)
+        if (qdepths[i] > current_max) {{
+            current_max = qdepths[i]; max_port = i;
+        }}
+    return max_port;
+    """
+    result = CReaction(source).run(ReactionEnv(args={"qdepths": array}))
+    if max(depths) == 0:
+        assert result == 0
+    else:
+        # First index achieving the max (strict > keeps the first).
+        expected = depths.index(max(depths)) + 1
+        assert result == expected

@@ -1,0 +1,213 @@
+"""P4R parser tests, built around the paper's Figure 1 example."""
+
+import pytest
+
+from repro.errors import P4SemanticError, P4SyntaxError
+from repro.p4 import ast as p4ast
+from repro.p4r.parser import parse_p4r
+
+# The Figure 1 snippet, embedded in enough P4 boilerplate to validate.
+FIGURE1 = """
+header_type hdr_t {
+    fields {
+        foo : 32;
+        bar : 32;
+        baz : 32;
+        qux : 16;
+    }
+}
+header hdr_t hdr;
+
+register qdepths {
+    width : 32;
+    instance_count : 16;
+}
+
+malleable value value_var { width : 16; init : 1; }
+
+malleable field field_var {
+    width : 32; init : hdr.foo;
+    alts { hdr.foo, hdr.bar }
+}
+
+malleable table table_var {
+    reads { ${field_var} : exact; }
+    actions { my_action; drop_action; }
+}
+
+action my_action() {
+    add(${field_var}, hdr.baz, ${value_var});
+}
+
+action drop_action() {
+    drop();
+}
+
+control ingress {
+    apply(table_var);
+}
+
+reaction my_reaction(reg qdepths[1:10]) {
+    uint16_t current_max = 0, max_port = 0;
+    for (int i = 1; i <= 10; ++i)
+        if (qdepths[i] > current_max) {
+            current_max = qdepths[i]; max_port = i;
+        }
+    ${value_var} = max_port;
+}
+"""
+
+
+@pytest.fixture
+def program():
+    return parse_p4r(FIGURE1)
+
+
+def test_malleable_value(program):
+    value = program.malleable_values["value_var"]
+    assert value.width == 16
+    assert value.init == 1
+
+
+def test_malleable_field(program):
+    fld = program.malleable_fields["field_var"]
+    assert fld.width == 32
+    assert fld.init == p4ast.FieldRef("hdr", "foo")
+    assert [str(a) for a in fld.alts] == ["hdr.foo", "hdr.bar"]
+    assert fld.selector_width == 1
+    assert fld.init_index == 0
+    assert fld.alt_index(p4ast.FieldRef("hdr", "bar")) == 1
+
+
+def test_malleable_table(program):
+    table = program.tables["table_var"]
+    assert table.malleable
+    assert isinstance(table.reads[0].ref, p4ast.MalleableRef)
+    assert table.reads[0].ref.name == "field_var"
+    assert program.malleable_tables() == ["table_var"]
+
+
+def test_malleable_ref_in_action(program):
+    action = program.actions["my_action"]
+    call = action.body[0]
+    assert call.name == "add"
+    assert isinstance(call.args[0], p4ast.MalleableRef)
+    assert isinstance(call.args[2], p4ast.MalleableRef)
+
+
+def test_reaction_args(program):
+    reaction = program.reactions["my_reaction"]
+    (arg,) = reaction.args
+    assert arg.kind == "reg"
+    assert arg.ref == "qdepths"
+    assert (arg.lo, arg.hi) == (1, 10)
+    assert arg.entry_count == 10
+    assert arg.c_name == "qdepths"
+
+
+def test_reaction_body_is_raw_source(program):
+    body = program.reactions["my_reaction"].body_source
+    assert "uint16_t current_max" in body
+    assert "${value_var} = max_port;" in body
+    # The body is raw text -- braces balanced, no P4 parsing applied.
+    assert body.count("{") == body.count("}")
+
+
+def test_parsing_continues_after_reaction():
+    program = parse_p4r(
+        FIGURE1
+        + """
+table after_reaction {
+    actions { drop_action; }
+}
+"""
+    )
+    assert "after_reaction" in program.tables
+
+
+def test_field_arg_kinds():
+    program = parse_p4r(
+        """
+header_type h_t { fields { f : 16; g : 16; } }
+header h_t hdr;
+metadata h_t meta;
+action nop() { no_op(); }
+malleable value v { width : 8; init : 0; }
+reaction r(ing hdr.f, egr meta.g, ${v}) {
+    ${v} = hdr_f + meta_g;
+}
+"""
+    )
+    args = program.reactions["r"].args
+    assert [a.kind for a in args] == ["ing", "egr", "mbl"]
+    assert args[0].c_name == "hdr_f"
+    assert args[1].c_name == "meta_g"
+    assert args[2].c_name == "v"
+
+
+def test_malleable_value_init_overflow_rejected():
+    with pytest.raises(P4SemanticError):
+        parse_p4r("malleable value v { width : 4; init : 16; }")
+
+
+def test_malleable_field_unknown_alt_rejected():
+    with pytest.raises(P4SemanticError):
+        parse_p4r(
+            """
+header_type h_t { fields { f : 16; } }
+header h_t hdr;
+malleable field m { width : 16; init : hdr.f; alts { hdr.f, hdr.ghost } }
+"""
+        )
+
+
+def test_malleable_field_alt_wider_than_width_rejected():
+    with pytest.raises(P4SemanticError):
+        parse_p4r(
+            """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+malleable field m { width : 16; init : hdr.f; alts { hdr.f } }
+"""
+        )
+
+
+def test_reaction_register_slice_bounds_checked():
+    with pytest.raises(P4SemanticError):
+        parse_p4r(
+            """
+register r { width : 32; instance_count : 4; }
+reaction bad(reg r[0:7]) { int x = 0; }
+"""
+        )
+
+
+def test_reaction_unknown_register_rejected():
+    with pytest.raises(P4SemanticError):
+        parse_p4r("reaction bad(reg ghost[0:1]) { int x = 0; }")
+
+
+def test_malleable_requires_kind_keyword():
+    with pytest.raises(P4SyntaxError):
+        parse_p4r("malleable gizmo v { width : 8; }")
+
+
+def test_duplicate_malleable_rejected():
+    with pytest.raises(P4SemanticError):
+        parse_p4r(
+            "malleable value v { width : 8; init : 0; }\n"
+            "malleable value v { width : 8; init : 0; }\n"
+        )
+
+
+def test_init_is_prepended_when_missing_from_alts():
+    program = parse_p4r(
+        """
+header_type h_t { fields { f : 16; g : 16; } }
+header h_t hdr;
+malleable field m { width : 16; init : hdr.f; alts { hdr.g } }
+"""
+    )
+    fld = program.malleable_fields["m"]
+    assert [str(a) for a in fld.alts] == ["hdr.f", "hdr.g"]
+    assert fld.init_index == 0

@@ -1,0 +1,254 @@
+"""End-to-end ASIC tests: a P4 program processing packets."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.packet import Packet
+
+L2_PROGRAM = STANDARD_METADATA_P4 + """
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header ethernet_t ethernet;
+
+register pkt_count { width : 32; instance_count : 32; }
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+    register_write(pkt_count, port, 1);
+}
+
+action _drop() { drop(); }
+
+table smac {
+    reads { ethernet.srcAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+}
+
+control ingress {
+    apply(smac);
+}
+"""
+
+
+@pytest.fixture
+def asic():
+    return SwitchAsic(parse_p4(L2_PROGRAM), num_ports=8)
+
+
+def eth_packet(src=1, dst=2):
+    return Packet({"ethernet.srcAddr": src, "ethernet.dstAddr": dst})
+
+
+class TestBasicForwarding:
+    def test_forward(self, asic):
+        asic.tables["smac"].add_entry([1], "forward", [3])
+        result = asic.process(eth_packet(src=1))
+        assert result is not None
+        port, packet = result
+        assert port == 3
+        assert asic.registers["pkt_count"].read(3) == 1
+        assert asic.ports[3].tx_packets == 1
+
+    def test_default_drop(self, asic):
+        assert asic.process(eth_packet(src=99)) is None
+        assert asic.packets_dropped == 1
+
+    def test_egress_spec_out_of_range(self, asic):
+        asic.tables["smac"].add_entry([1], "forward", [200])
+        with pytest.raises(SwitchError):
+            asic.process(eth_packet(src=1))
+
+
+class TestStandardMetadata:
+    def test_auto_injected_instance(self, asic):
+        assert "standard_metadata" in asic.program.headers
+        assert "standard_metadata.egress_spec" in asic.field_masks
+
+    def test_queue_depth_visible_in_egress(self):
+        program = parse_p4(
+            L2_PROGRAM
+            + """
+register qdepth_seen { width : 19; instance_count : 1; }
+action record_depth() {
+    register_write(qdepth_seen, 0, standard_metadata.deq_qdepth);
+}
+table depth_recorder {
+    actions { record_depth; }
+    default_action : record_depth();
+}
+control egress {
+    apply(depth_recorder);
+}
+"""
+        )
+        asic = SwitchAsic(program, num_ports=8)
+        asic.tables["smac"].add_entry([1], "forward", [5])
+        asic.ports[5].queue_depth = 17
+        asic.process(eth_packet(src=1))
+        assert asic.registers["qdepth_seen"].read(0) == 17
+
+    def test_timestamps_advance_with_clock(self, asic):
+        asic.tables["smac"].add_entry([1], "forward", [0])
+        asic.clock.advance(123.0)
+        _, packet = asic.process(eth_packet(src=1))
+        assert packet.get("standard_metadata.ingress_global_timestamp") == 123
+
+
+class TestControlFlowAndArithmetic:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type num_t { fields { a : 16; b : 16; c : 16; } }
+header num_t num;
+
+action compute() {
+    add(num.c, num.a, num.b);
+    shift_left(num.a, num.a, 2);
+}
+action saturate() { modify_field(num.c, 0xffff); }
+table math {
+    actions { compute; }
+    default_action : compute();
+}
+table cap {
+    actions { saturate; }
+    default_action : saturate();
+}
+control ingress {
+    apply(math);
+    if (num.c > 100) {
+        apply(cap);
+    }
+}
+"""
+
+    def test_arithmetic_wraps_at_field_width(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        _, packet = asic.process(Packet({"num.a": 0xFFFF, "num.b": 2}))
+        # 0xFFFF + 2 wraps to 1 at 16 bits -> condition false.
+        assert packet.get("num.c") == 1
+        assert packet.get("num.a") == 0xFFFC  # shifted, masked
+
+    def test_conditional_applies_table(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        _, packet = asic.process(Packet({"num.a": 100, "num.b": 100}))
+        assert packet.get("num.c") == 0xFFFF
+
+
+class TestSteppedExecution:
+    def test_yields_before_each_apply(self, asic):
+        asic.tables["smac"].add_entry([1], "forward", [3])
+        packet = eth_packet(src=1)
+        steps = list(asic.process_stepped(packet))
+        assert ("apply", "smac") in steps
+
+    def test_mid_packet_mutation_visible_without_mantis(self, asic):
+        """Demonstrates the torn-config hazard Mantis's init-table
+        design eliminates: a naive program sees mid-packet updates."""
+        asic.tables["smac"].add_entry([1], "forward", [3])
+        packet = eth_packet(src=1)
+        stepper = asic.process_stepped(packet)
+        step = next(stepper)
+        assert step == ("apply", "smac")
+        # Control plane changes the entry between the yield and the apply.
+        entry = asic.tables["smac"].find_entry([1])
+        asic.tables["smac"].modify_entry(entry.entry_id, action_args=[7])
+        for _ in stepper:
+            pass
+        assert packet.fields["standard_metadata.egress_port"] == 7
+
+
+class TestRecirculation:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { passes : 8; } }
+header h_t hdr;
+
+action bounce() {
+    add_to_field(hdr.passes, 1);
+    recirculate();
+    modify_field(standard_metadata.egress_spec, 1);
+}
+action done() {
+    modify_field(standard_metadata.egress_spec, 2);
+}
+table pingpong {
+    reads { hdr.passes : exact; }
+    actions { bounce; done; }
+    default_action : done();
+}
+control ingress { apply(pingpong); }
+"""
+
+    def test_recirculates_until_done(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        table = asic.tables["pingpong"]
+        table.add_entry([0], "bounce")
+        table.add_entry([1], "bounce")
+        port, packet = asic.process(Packet({"hdr.passes": 0}))
+        assert packet.get("hdr.passes") == 2
+        assert port == 2
+
+    def test_recirculation_bounded(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        asic.tables["pingpong"].set_default("bounce", [])
+        port, packet = asic.process(Packet({"hdr.passes": 0}))
+        # Capped: the packet exits after MAX_RECIRCULATIONS + 1 passes.
+        assert packet.get("hdr.passes") == 5
+
+
+class TestHashPrimitive:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; } }
+header ipv4_t ipv4;
+header_type meta_t { fields { bucket : 16; } }
+metadata meta_t meta;
+
+field_list flow_fl { ipv4.srcAddr; ipv4.dstAddr; }
+field_list_calculation flow_hash {
+    input { flow_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+action pick() {
+    modify_field_with_hash_based_offset(meta.bucket, 0, flow_hash, 8);
+}
+table ecmp { actions { pick; } default_action : pick(); }
+control ingress { apply(ecmp); }
+"""
+
+    def test_hash_bucket_stable_and_bounded(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        _, first = asic.process(Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 2}))
+        _, second = asic.process(Packet({"ipv4.srcAddr": 1, "ipv4.dstAddr": 2}))
+        assert first.get("meta.bucket") == second.get("meta.bucket")
+        assert 0 <= first.get("meta.bucket") < 8
+
+    def test_hash_spreads_flows(self):
+        asic = SwitchAsic(parse_p4(self.PROGRAM))
+        buckets = set()
+        for src in range(64):
+            _, packet = asic.process(
+                Packet({"ipv4.srcAddr": src, "ipv4.dstAddr": 9})
+            )
+            buckets.add(packet.get("meta.bucket"))
+        assert len(buckets) >= 4  # crc16 spreads 64 flows across >= half
+
+
+def test_malleable_in_loaded_program_rejected():
+    from repro.p4r.parser import parse_p4r
+
+    program = parse_p4r(
+        STANDARD_METADATA_P4
+        + """
+header_type h_t { fields { f : 16; } }
+header h_t hdr;
+malleable value v { width : 16; init : 0; }
+action bad() { modify_field(hdr.f, ${v}); }
+table t { actions { bad; } default_action : bad(); }
+control ingress { apply(t); }
+"""
+    )
+    with pytest.raises(Exception):
+        SwitchAsic(program)

@@ -1,0 +1,164 @@
+"""Additional switch coverage: counters, masked malleable reads, and
+edge behaviours of the pipeline."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.packet import Packet
+
+COUNTER_PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; } }
+header ipv4_t ipv4;
+
+counter pkt_counter { type : packets; instance_count : 4; }
+counter byte_counter { type : bytes; instance_count : 4; }
+
+action tally() {
+    count(pkt_counter, 1);
+    count(byte_counter, 1);
+}
+table t { actions { tally; } default_action : tally(); }
+control ingress { apply(t); }
+"""
+
+
+class TestCounters:
+    def test_packet_and_byte_modes(self):
+        asic = SwitchAsic(parse_p4(COUNTER_PROGRAM))
+        asic.process(Packet({"ipv4.srcAddr": 1}, size_bytes=700))
+        asic.process(Packet({"ipv4.srcAddr": 2}, size_bytes=300))
+        assert asic.counters["pkt_counter"].array.read(1) == 2
+        assert asic.counters["byte_counter"].array.read(1) == 1000
+
+    def test_unknown_counter_raises(self):
+        asic = SwitchAsic(parse_p4(COUNTER_PROGRAM))
+        with pytest.raises(SwitchError):
+            asic.get_counter("ghost")
+
+    def test_driver_reads_counters(self):
+        from repro.switch.driver import Driver
+
+        asic = SwitchAsic(parse_p4(COUNTER_PROGRAM))
+        driver = Driver(asic)
+        asic.process(Packet({"ipv4.srcAddr": 1}))
+        assert driver.read_counter("pkt_counter", 1) == 1
+
+
+class TestMaskedMalleableReads:
+    PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 32; b : 32; out : 16; } }
+header h_t hdr;
+malleable field sel {
+    width : 32; init : hdr.a;
+    alts { hdr.a, hdr.b }
+}
+action hit() { modify_field(hdr.out, 1); }
+action nop() { no_op(); }
+table t {
+    reads { ${sel} mask 0xff : ternary; }
+    actions { hit; nop; }
+    default_action : nop();
+}
+control ingress { apply(t); }
+"""
+
+    def test_mask_survives_expansion(self):
+        from repro.compiler import compile_p4r
+
+        artifacts = compile_p4r(self.PROGRAM)
+        table = artifacts.p4.tables["t"]
+        masked = [r for r in table.reads if r.mask == 0xFF]
+        assert len(masked) == 2  # one per alternative
+
+    def test_masked_match_at_runtime(self):
+        from repro.system import MantisSystem
+
+        system = MantisSystem.from_source(self.PROGRAM)
+        system.agent.prologue()
+        system.agent.table("t").add([(0x34, 0xFF)], "hit")
+        system.agent.run_iteration()
+        packet = Packet({"hdr.a": 0x1234, "hdr.b": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.out") == 1
+
+
+class TestPipelineEdges:
+    def test_drop_in_ingress_skips_egress(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 8; } }
+header h_t hdr;
+register egress_ran { width : 8; instance_count : 1; }
+action kill() { drop(); }
+action mark() { register_write(egress_ran, 0, 1); }
+table t { actions { kill; } default_action : kill(); }
+table e { actions { mark; } default_action : mark(); }
+control ingress { apply(t); }
+control egress { apply(e); }
+""")
+        asic = SwitchAsic(program)
+        assert asic.process(Packet({"hdr.f": 1})) is None
+        assert asic.registers["egress_ran"].read(0) == 0
+
+    def test_if_condition_stops_after_drop(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 8; g : 8; } }
+header h_t hdr;
+action kill() { drop(); }
+action setg() { modify_field(hdr.g, 9); }
+table t1 { actions { kill; } default_action : kill(); }
+table t2 { actions { setg; } default_action : setg(); }
+control ingress {
+    apply(t1);
+    if (hdr.f == 0) {
+        apply(t2);
+    }
+}
+""")
+        asic = SwitchAsic(program)
+        packet = Packet({"hdr.f": 0})
+        asic.process(packet)
+        assert packet.get("hdr.g") == 0  # t2 never ran
+
+    def test_clone_flag_set(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 8; } }
+header h_t hdr;
+action mirror_it() { clone_ingress_pkt_to_egress(); }
+table t { actions { mirror_it; } default_action : mirror_it(); }
+control ingress { apply(t); }
+""")
+        asic = SwitchAsic(program)
+        _, packet = asic.process(Packet({"hdr.f": 1}))
+        assert packet.fields["standard_metadata.clone_flag"] == 1
+
+    def test_rng_uniform_within_bounds(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { r : 16; } }
+header h_t hdr;
+action roll() { modify_field_rng_uniform(hdr.r, 10, 20); }
+table t { actions { roll; } default_action : roll(); }
+control ingress { apply(t); }
+""")
+        asic = SwitchAsic(program, seed=3)
+        values = set()
+        for _ in range(50):
+            _, packet = asic.process(Packet({"hdr.r": 0}))
+            values.add(packet.get("hdr.r"))
+        assert all(10 <= v <= 20 for v in values)
+        assert len(values) > 3  # actually random
+
+    def test_pipeline_pass_accounting(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 8; } }
+header h_t hdr;
+action fwd() { modify_field(standard_metadata.egress_spec, 1); }
+table t { actions { fwd; } default_action : fwd(); }
+control ingress { apply(t); }
+""")
+        asic = SwitchAsic(program)
+        for _ in range(5):
+            asic.process(Packet({"hdr.f": 1}))
+        assert asic.pipeline_passes == 5
+        assert asic.packets_processed == 5

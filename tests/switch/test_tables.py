@@ -1,0 +1,183 @@
+"""Match-action table runtime tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SwitchError
+from repro.p4 import ast
+from repro.switch.packet import Packet
+from repro.switch.tables import TableRuntime
+
+
+def make_table(reads, actions=("act", "other"), size=None):
+    decl = ast.TableDecl(
+        "t",
+        reads=reads,
+        action_names=list(actions),
+        default_action=("other", []),
+        size=size,
+    )
+    widths = [
+        1 if r.match_type is ast.MatchType.VALID else 32 for r in reads
+    ]
+    return TableRuntime(decl, widths)
+
+
+def exact_read(name="h.f"):
+    header, field = name.split(".")
+    return ast.TableRead(ast.FieldRef(header, field), ast.MatchType.EXACT)
+
+
+def ternary_read(name="h.f"):
+    header, field = name.split(".")
+    return ast.TableRead(ast.FieldRef(header, field), ast.MatchType.TERNARY)
+
+
+class TestExactMatch:
+    def test_hit_and_miss(self):
+        table = make_table([exact_read()])
+        table.add_entry([5], "act", [42])
+        assert table.lookup(Packet({"h.f": 5})) == ("act", [42])
+        # Miss falls through to the default action.
+        assert table.lookup(Packet({"h.f": 6})) == ("other", [])
+        assert table.hits == 1 and table.misses == 1
+
+    def test_multi_field_key(self):
+        table = make_table([exact_read("h.a"), exact_read("h.b")])
+        table.add_entry([1, 2], "act", [7])
+        assert table.lookup(Packet({"h.a": 1, "h.b": 2})) == ("act", [7])
+        assert table.lookup(Packet({"h.a": 2, "h.b": 1})) == ("other", [])
+
+    def test_arity_checked(self):
+        table = make_table([exact_read()])
+        with pytest.raises(SwitchError):
+            table.add_entry([1, 2], "act")
+
+    def test_exact_key_must_be_int(self):
+        table = make_table([exact_read()])
+        with pytest.raises(SwitchError):
+            table.add_entry([(1, 2)], "act")
+
+    def test_unknown_action_rejected(self):
+        table = make_table([exact_read()])
+        with pytest.raises(SwitchError):
+            table.add_entry([1], "ghost")
+
+    def test_size_limit(self):
+        table = make_table([exact_read()], size=1)
+        table.add_entry([1], "act")
+        with pytest.raises(SwitchError):
+            table.add_entry([2], "act")
+
+
+class TestTernaryMatch:
+    def test_mask_semantics(self):
+        table = make_table([ternary_read()])
+        table.add_entry([(0x0A000000, 0xFF000000)], "act", [1])
+        assert table.lookup(Packet({"h.f": 0x0A123456})) == ("act", [1])
+        assert table.lookup(Packet({"h.f": 0x0B123456})) == ("other", [])
+
+    def test_wildcard_mask_zero(self):
+        table = make_table([ternary_read()])
+        table.add_entry([(0, 0)], "act", [9])
+        assert table.lookup(Packet({"h.f": 12345})) == ("act", [9])
+
+    def test_priority_breaks_overlap(self):
+        table = make_table([ternary_read()])
+        table.add_entry([(0, 0)], "act", [1], priority=0)
+        table.add_entry([(5, 0xFFFFFFFF)], "act", [2], priority=10)
+        assert table.lookup(Packet({"h.f": 5})) == ("act", [2])
+        assert table.lookup(Packet({"h.f": 6})) == ("act", [1])
+
+
+class TestLpmMatch:
+    def test_longest_prefix_wins(self):
+        read = ast.TableRead(ast.FieldRef("h", "f"), ast.MatchType.LPM)
+        table = make_table([read])
+        table.add_entry([(0x0A000000, 8)], "act", [8])
+        table.add_entry([(0x0A0A0000, 16)], "act", [16])
+        assert table.lookup(Packet({"h.f": 0x0A0A0101})) == ("act", [16])
+        assert table.lookup(Packet({"h.f": 0x0A0B0101})) == ("act", [8])
+
+    def test_zero_prefix_matches_all(self):
+        read = ast.TableRead(ast.FieldRef("h", "f"), ast.MatchType.LPM)
+        table = make_table([read])
+        table.add_entry([(0, 0)], "act", [0])
+        assert table.lookup(Packet({"h.f": 99})) == ("act", [0])
+
+
+class TestRangeAndValid:
+    def test_range(self):
+        read = ast.TableRead(ast.FieldRef("h", "f"), ast.MatchType.RANGE)
+        table = make_table([read])
+        table.add_entry([(10, 20)], "act", [1])
+        assert table.lookup(Packet({"h.f": 15})) == ("act", [1])
+        assert table.lookup(Packet({"h.f": 21})) == ("other", [])
+
+    def test_valid(self):
+        read = ast.TableRead(ast.ValidRef("ipv4"), ast.MatchType.VALID)
+        table = make_table([read])
+        table.add_entry([True], "act", [1])
+        assert table.lookup(Packet({"ipv4.ttl": 64})) == ("act", [1])
+        assert table.lookup(Packet({"tcp.sport": 80})) == ("other", [])
+
+
+class TestEntryLifecycle:
+    def test_modify_entry(self):
+        table = make_table([exact_read()])
+        entry_id = table.add_entry([1], "act", [1])
+        table.modify_entry(entry_id, action_args=[99])
+        assert table.lookup(Packet({"h.f": 1})) == ("act", [99])
+        table.modify_entry(entry_id, action_name="other", action_args=[])
+        assert table.lookup(Packet({"h.f": 1})) == ("other", [])
+
+    def test_delete_entry(self):
+        table = make_table([exact_read()])
+        entry_id = table.add_entry([1], "act")
+        table.delete_entry(entry_id)
+        assert table.lookup(Packet({"h.f": 1})) == ("other", [])
+        with pytest.raises(SwitchError):
+            table.delete_entry(entry_id)
+
+    def test_set_default(self):
+        table = make_table([exact_read()])
+        table.set_default("act", [5])
+        assert table.lookup(Packet({"h.f": 1})) == ("act", [5])
+
+    def test_find_entry(self):
+        table = make_table([exact_read()])
+        entry_id = table.add_entry([7], "act")
+        assert table.find_entry([7]).entry_id == entry_id
+        assert table.find_entry([8]) is None
+
+    def test_masked_read(self):
+        read = ast.TableRead(
+            ast.FieldRef("h", "f"), ast.MatchType.EXACT, mask=0xFF
+        )
+        table = make_table([read])
+        table.add_entry([0x34], "act", [1])
+        assert table.lookup(Packet({"h.f": 0x1234})) == ("act", [1])
+
+
+class TestProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=2**32 - 1), max_size=32))
+    def test_exact_lookup_finds_installed_keys(self, keys):
+        table = make_table([exact_read()])
+        for key in keys:
+            table.add_entry([key], "act", [key & 0xFFFF])
+        for key in keys:
+            assert table.lookup(Packet({"h.f": key})) == ("act", [key & 0xFFFF])
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_ternary_match_is_masked_equality(self, value, mask, probe):
+        table = make_table([ternary_read()])
+        table.add_entry([(value, mask)], "act", [1])
+        result = table.lookup(Packet({"h.f": probe}))
+        if (probe & mask) == (value & mask):
+            assert result == ("act", [1])
+        else:
+            assert result == ("other", [])

@@ -1,0 +1,132 @@
+"""Coverage for the wiring layer (MantisSystem), spec helpers, and
+resource accounting edge cases."""
+
+import pytest
+
+from repro.analysis.resources import ResourceReport, resource_report
+from repro.compiler import compile_p4r
+from repro.compiler.spec import ControlPlaneSpec, InitTableSpec
+from repro.p4.parser import parse_p4
+from repro.p4r.ast import ReactionArg
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.clock import SimClock
+from repro.system import MantisSystem
+
+SIMPLE = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+malleable value v { width : 8; init : 3; }
+action use() { modify_field(hdr.f, ${v}); }
+table t { actions { use; } default_action : use(); }
+control ingress { apply(t); }
+"""
+
+
+class TestMantisSystem:
+    def test_shared_clock(self):
+        clock = SimClock(100.0)
+        system = MantisSystem.from_source(SIMPLE, clock=clock)
+        assert system.asic.clock is clock
+        assert system.driver.clock is clock
+        assert system.clock.now == 100.0
+
+    def test_from_parsed_program(self):
+        from repro.p4r.parser import parse_p4r
+
+        program = parse_p4r(SIMPLE)
+        system = MantisSystem.from_source(program)
+        assert "v" in system.spec.values
+
+    def test_spec_property(self):
+        system = MantisSystem.from_source(SIMPLE)
+        assert system.spec is system.artifacts.spec
+
+
+class TestSpecHelpers:
+    def test_master_init_lookup(self):
+        spec = compile_p4r(SIMPLE).spec
+        assert spec.master_init.master
+        assert spec.master_init.table == "p4r_init_"
+
+    def test_master_init_missing_raises(self):
+        with pytest.raises(KeyError):
+            ControlPlaneSpec().master_init
+
+    def test_param_index_unknown_raises(self):
+        init = InitTableSpec("t", "a", [])
+        with pytest.raises(KeyError):
+            init.param_index("ghost")
+
+    def test_container_for_unknown_raises(self):
+        spec = compile_p4r(SIMPLE).spec
+        with pytest.raises(KeyError):
+            spec.container_for("ghost", "arg")
+
+    def test_reaction_arg_kinds_validated(self):
+        with pytest.raises(Exception):
+            ReactionArg("gizmo", "x")
+
+    def test_reaction_arg_entry_count(self):
+        arg = ReactionArg("reg", "r", lo=2, hi=9)
+        assert arg.entry_count == 8
+        from repro.p4.ast import FieldRef
+
+        scalar = ReactionArg("ing", FieldRef("h", "f"))
+        assert scalar.entry_count == 1
+        assert scalar.c_name == "h_f"
+
+
+class TestResourceReportEdges:
+    def test_minus_and_row(self):
+        a = ResourceReport(stages=3, tables=5, registers=2,
+                           sram_bytes=2048, tcam_bytes=1024,
+                           metadata_bits=64, actions=7)
+        b = ResourceReport(stages=1, tables=2, registers=1,
+                           sram_bytes=1024, tcam_bytes=0,
+                           metadata_bits=0, actions=3)
+        diff = a.minus(b)
+        assert diff.stages == 2
+        assert diff.tables == 3
+        assert "SRAM=1.00KB" in diff.row()
+
+    def test_empty_program(self):
+        report = resource_report(parse_p4(""))
+        assert report.tables == 0
+        assert report.stages == 0
+
+    def test_reapplied_table_counts_one_stage(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 8; } }
+header h_t hdr;
+action nop() { no_op(); }
+table t { actions { nop; } default_action : nop(); }
+control ingress { apply(t); apply(t); }
+""")
+        assert resource_report(program).stages == 1
+
+    def test_independent_tables_share_a_stage(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 8; b : 8; } }
+header h_t hdr;
+action seta() { modify_field(hdr.a, 1); }
+action setb() { modify_field(hdr.b, 1); }
+table ta { actions { seta; } default_action : seta(); }
+table tb { actions { setb; } default_action : setb(); }
+control ingress { apply(ta); apply(tb); }
+""")
+        # ta and tb touch disjoint fields: both fit in stage 1.
+        assert resource_report(program).stages == 1
+
+    def test_write_read_dependency_stacks(self):
+        program = parse_p4(STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 8; b : 8; c : 8; } }
+header h_t hdr;
+action s1() { modify_field(hdr.a, 1); }
+action s2() { modify_field(hdr.b, hdr.a); }
+action s3() { modify_field(hdr.c, hdr.b); }
+table t1 { actions { s1; } default_action : s1(); }
+table t2 { actions { s2; } default_action : s2(); }
+table t3 { actions { s3; } default_action : s3(); }
+control ingress { apply(t1); apply(t2); apply(t3); }
+""")
+        assert resource_report(program).stages == 3
