@@ -1,0 +1,40 @@
+"""Fast-path microbenchmark: compiled pipeline vs reference interpreter.
+
+Pumps the Figure 15 DoS data-plane workload (blocklist, accounting
+with register read-modify-write, exact routing -- as compiled from
+P4R by the Mantis compiler) through ``SwitchAsic.process`` under both
+execution modes and asserts the compiled engine is at least 3x the
+interpreter's packet rate.  Both numbers land in a JSON artifact so
+the speedup is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report, report_json
+from repro.fastbench import run_fastpath_benchmark
+
+N_PACKETS = 12_000
+MIN_SPEEDUP = 3.0
+
+
+def test_fastpath_speedup(bench_once, bench_json_path):
+    result = bench_once(run_fastpath_benchmark, n_packets=N_PACKETS)
+
+    report(
+        "Fast path speedup (Figure 15 DoS workload)",
+        ["engine", "pkt/s", "elapsed (s)"],
+        [
+            ["interpreter", f"{result['interpreter_pps']:,.0f}",
+             f"{result['interpreter_elapsed_sec']:.4f}"],
+            ["compiled", f"{result['compiled_pps']:,.0f}",
+             f"{result['compiled_elapsed_sec']:.4f}"],
+            ["speedup", f"{result['speedup']:.2f}x", ""],
+        ],
+    )
+    report_json(result, bench_json_path, name="fastpath_speedup")
+
+    assert result["compiled_pps"] > result["interpreter_pps"]
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"compiled path only {result['speedup']:.2f}x over interpreter "
+        f"(target {MIN_SPEEDUP}x): {result}"
+    )

@@ -158,6 +158,11 @@ class MantisAgent:
         self.total_busy_us = 0.0
         self.total_idle_us = 0.0
         self.iteration_durations: List[float] = []
+        # Running aggregate over *all* iterations: iteration_durations
+        # keeps only a recent window (trimmed when it grows large), so
+        # the lifetime average must not be derived from it.
+        self._duration_sum_us = 0.0
+        self._duration_count = 0
         self.externs: Dict[str, Callable] = {}
 
         self._prologue_done = False
@@ -407,7 +412,10 @@ class MantisAgent:
         }
         self.iterations += 1
         self.total_busy_us += busy
-        self.iteration_durations.append(busy + self.pacing_sleep_us)
+        duration = busy + self.pacing_sleep_us
+        self.iteration_durations.append(duration)
+        self._duration_sum_us += duration
+        self._duration_count += 1
         if len(self.iteration_durations) > 100_000:
             del self.iteration_durations[:50_000]
         if self.pacing_sleep_us:
@@ -554,9 +562,9 @@ class MantisAgent:
 
     @property
     def avg_reaction_time_us(self) -> float:
-        if not self.iteration_durations:
+        if not self._duration_count:
             return 0.0
-        return sum(self.iteration_durations) / len(self.iteration_durations)
+        return self._duration_sum_us / self._duration_count
 
     @property
     def cpu_utilization(self) -> float:

@@ -8,7 +8,9 @@ Subcommands mirror the workflow of the paper's toolchain:
   generated init/measurement layout, resource accounting;
 - ``run``      -- bring up the full emulated stack on a P4R program
   and run the dialogue loop for a simulated duration, reporting
-  iteration statistics.
+  iteration statistics;
+- ``bench-fastpath`` -- measure packets/sec of the interpreter vs the
+  compiled pipeline on the Figure 15 DoS workload (tier-2 perf gate).
 
 Usage:  python -m repro.cli compile prog.p4r -o build/
 """
@@ -114,6 +116,22 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_bench_fastpath(args) -> int:
+    from repro.fastbench import run_fastpath_benchmark
+
+    result = run_fastpath_benchmark(
+        n_packets=args.packets, json_path=args.json
+    )
+    print(f"workload          : {result['workload']}")
+    print(f"packets           : {result['packets']}")
+    print(f"interpreter       : {result['interpreter_pps']:>12,.1f} pkt/s")
+    print(f"compiled          : {result['compiled_pps']:>12,.1f} pkt/s")
+    print(f"speedup           : {result['speedup']:.2f}x")
+    if args.json:
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mantis",
@@ -156,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--pacing", type=float, default=0.0,
                        help="pacing sleep per iteration (us)")
     p_run.set_defaults(func=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench-fastpath",
+        help="compare interpreter vs compiled pipeline packet rates",
+    )
+    p_bench.add_argument("--packets", type=int, default=20_000,
+                         help="packets to pump through each engine")
+    p_bench.add_argument("--json", default=None,
+                         help="write the result payload to this path")
+    p_bench.set_defaults(func=cmd_bench_fastpath)
     return parser
 
 

@@ -1,0 +1,119 @@
+"""Fast-path speedup benchmark: interpreter vs compiled pipeline.
+
+Drives the Figure 15 DoS data-plane workload (blocklist -> accounting
+with register read-modify-write -> exact-match routing, compiled from
+``DOS_P4R`` by the Mantis compiler) through ``SwitchAsic.process`` in
+both execution modes and reports packets/sec for each.  Shared by
+``benchmarks/test_fastpath_speedup.py`` and the
+``python -m repro.cli bench-fastpath`` tier-2 target so the speedup is
+tracked as one JSON artifact across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.apps.dos import DOS_P4R, DosMitigationApp
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+DST_ADDR = 0x0A00FFFF
+ATTACKER_ADDR = 0x0AFF0001
+DST_PORT = 1
+
+
+def build_dos_system(
+    execution_mode: str, n_benign: int = 12
+) -> DosMitigationApp:
+    """The Figure 15 switch, ready to forward: Mantis prologue done
+    (init/measurement tables installed) and the victim route in place."""
+    system = MantisSystem.from_source(
+        DOS_P4R, num_ports=n_benign + 8, execution_mode=execution_mode
+    )
+    app = DosMitigationApp(
+        system=system, threshold_gbps=2.0, min_duration_us=100.0
+    )
+    app.prologue()
+    app.add_route(DST_ADDR, DST_PORT)
+    return app
+
+
+def make_workload(n_packets: int, n_benign: int = 12) -> List[Dict[str, int]]:
+    """Field maps for the DoS packet mix: alternating attacker floods
+    and benign senders, all toward the common victim."""
+    workload = []
+    for index in range(n_packets):
+        if index % 2:
+            src = ATTACKER_ADDR
+        else:
+            src = 0x0A000001 + (index // 2) % n_benign
+        workload.append(
+            {
+                "ipv4.srcAddr": src,
+                "ipv4.dstAddr": DST_ADDR,
+                "ipv4.proto": 17 if index % 2 else 6,
+                "tcp.seq": index,
+            }
+        )
+    return workload
+
+
+def measure_mode(
+    execution_mode: str,
+    workload: List[Dict[str, int]],
+    warmup: int = 200,
+) -> Dict[str, float]:
+    """Pump the workload through one freshly built switch; returns
+    packets/sec and elapsed wall-clock seconds."""
+    app = build_dos_system(execution_mode)
+    process = app.system.asic.process
+    # Packet.__init__ copies the field map; no defensive dict() needed.
+    for fields in workload[:warmup]:
+        process(Packet(fields=fields, size_bytes=1500))
+    start = time.perf_counter()
+    for fields in workload:
+        process(Packet(fields=fields, size_bytes=1500))
+    elapsed = time.perf_counter() - start
+    return {
+        "packets_per_sec": len(workload) / elapsed if elapsed else float("inf"),
+        "elapsed_sec": elapsed,
+    }
+
+
+def run_fastpath_benchmark(
+    n_packets: int = 20_000,
+    json_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure both engines on the same workload; optionally persist
+    the JSON artifact.  Returns the result payload."""
+    workload = make_workload(n_packets)
+    interpreter = measure_mode("interpreter", workload)
+    compiled = measure_mode("compiled", workload)
+    speedup = (
+        compiled["packets_per_sec"] / interpreter["packets_per_sec"]
+        if interpreter["packets_per_sec"]
+        else float("inf")
+    )
+    payload: Dict[str, object] = {
+        "workload": "figure15-dos",
+        "packets": n_packets,
+        "interpreter_pps": round(interpreter["packets_per_sec"], 1),
+        "compiled_pps": round(compiled["packets_per_sec"], 1),
+        "interpreter_elapsed_sec": round(interpreter["elapsed_sec"], 6),
+        "compiled_elapsed_sec": round(compiled["elapsed_sec"], 6),
+        "speedup": round(speedup, 3),
+    }
+    if json_path:
+        write_json(json_path, payload)
+    return payload
+
+
+def write_json(path: str, payload: Dict[str, object]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -57,6 +57,12 @@ class NetworkSim:
     ):
         self.system = system
         self.clock = system.clock
+        # Bound once: _ingress runs per delivered packet, and the
+        # attribute chain through system.asic would be re-walked on the
+        # simulator's hottest edge.  The ASIC's compiled pipeline is
+        # likewise built once at load, so the whole per-packet path is
+        # allocation- and lookup-free.
+        self._process = system.asic.process
         self.events = EventQueue()
         self.clock.add_listener(self._on_clock)
         self.default_port = default_port or PortConfig()
@@ -105,7 +111,7 @@ class NetworkSim:
         self.events.schedule(arrival, lambda now, p=packet: self._ingress(p, now))
 
     def _ingress(self, packet: Packet, now: float) -> None:
-        result = self.system.asic.process(packet)
+        result = self._process(packet)
         if result is None:
             self.switch_drops += 1
             return

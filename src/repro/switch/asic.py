@@ -15,6 +15,8 @@ in registers/counters/tables, exactly as on the hardware.
 
 from __future__ import annotations
 
+import os
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -22,6 +24,7 @@ from repro.errors import SwitchError
 from repro.p4 import ast
 from repro.p4.validate import validate_program
 from repro.switch.clock import SimClock
+from repro.switch.compiled import CompiledPipeline
 from repro.switch.packet import Packet, STANDARD_METADATA_FIELDS
 from repro.switch.pipeline import PipelineExecutor
 from repro.switch.registers import RegisterArray
@@ -39,6 +42,13 @@ STANDARD_METADATA_P4 = (
 )
 
 MAX_RECIRCULATIONS = 4
+
+# Execution-engine selection: "compiled" (closure fast path, the
+# default) or "interpreter" (the reference tree-walker).  The env var
+# is read only when no constructor argument is given, so tests can pin
+# a mode per-ASIC while operators flip the whole process.
+EXECUTION_MODE_ENV = "MANTIS_PIPELINE"
+EXECUTION_MODES = ("compiled", "interpreter")
 
 
 @dataclass
@@ -72,6 +82,7 @@ class SwitchAsic:
         num_ports: int = 32,
         pipeline_latency_us: float = 0.4,
         seed: int = 0,
+        execution_mode: Optional[str] = None,
     ):
         self.clock = clock or SimClock()
         self.num_ports = num_ports
@@ -103,7 +114,26 @@ class SwitchAsic:
             for name, decl in program.tables.items()
         }
         self.ports: List[PortStats] = [PortStats() for _ in range(num_ports)]
-        self.executor = PipelineExecutor(self, seed=seed)
+        if execution_mode is None:
+            execution_mode = os.environ.get(
+                EXECUTION_MODE_ENV, EXECUTION_MODES[0]
+            )
+        if execution_mode not in EXECUTION_MODES:
+            raise SwitchError(
+                f"unknown execution mode {execution_mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        self.execution_mode = execution_mode
+        # One RNG shared by both engines so modify_field_rng_uniform
+        # draws the same stream regardless of mode (differential tests
+        # depend on this).
+        rng = random.Random(seed)
+        self.interpreter = PipelineExecutor(self, seed=seed, rng=rng)
+        self.executor = (
+            CompiledPipeline(self, rng=rng)
+            if execution_mode == "compiled"
+            else self.interpreter
+        )
         self.packets_processed = 0
         self.packets_dropped = 0
         # Total pipeline passes, including recirculations: the unit of
@@ -189,10 +219,38 @@ class SwitchAsic:
         Recirculated packets re-enter ingress up to
         ``MAX_RECIRCULATIONS`` times (each pass costs pipeline latency,
         modelling the paper's recirculation bandwidth concern).
+
+        This is the hot path: it duplicates :meth:`process_stepped`
+        without the generator machinery, calling the engine's
+        ``run_control`` directly.
         """
-        for step in self.process_stepped(packet):
-            pass
-        return self._result(packet)
+        self.packets_processed += 1
+        executor = self.executor
+        fields = packet.fields
+        for _pass in range(1 + MAX_RECIRCULATIONS):
+            self.pipeline_passes += 1
+            fields["standard_metadata.ingress_global_timestamp"] = int(
+                self.clock.now
+            )
+            executor.run_control("ingress", packet)
+            if fields["standard_metadata.drop_flag"]:
+                break
+            self._traffic_manager(packet)
+            executor.run_control("egress", packet)
+            if (
+                fields["standard_metadata.drop_flag"]
+                or not fields["standard_metadata.recirculate_flag"]
+            ):
+                break
+            fields["standard_metadata.recirculate_flag"] = 0
+        if fields["standard_metadata.drop_flag"]:
+            self.packets_dropped += 1
+            return None
+        port_id = fields["standard_metadata.egress_port"]
+        port = self.ports[port_id]
+        port.tx_packets += 1
+        port.tx_bytes += packet.size_bytes
+        return port_id, packet
 
     def process_stepped(self, packet: Packet) -> Iterator[Tuple[str, str]]:
         """Stepped variant of :meth:`process`; yields

@@ -1,0 +1,891 @@
+"""Compile-to-closure fast path for the packet pipeline.
+
+:class:`CompiledPipeline` lowers a loaded program once, at
+construction time, into nests of closed-over Python closures:
+
+- every ``"instance.field"`` key string is built exactly once and
+  interned into the closure that reads or writes it (the interpreter
+  re-builds these with an f-string on every access);
+- every field-width mask is resolved from ``asic.field_masks`` at
+  compile time, so per-packet writes are a dict store plus at most one
+  ``&``;
+- primitive dispatch (the interpreter's string-comparison ladder) is
+  resolved once per action body; executing an action is a loop over
+  pre-specialized step closures;
+- expression trees in ``if`` conditions are folded into flat lambdas,
+  with constant subtrees evaluated at compile time;
+- table applies bind the :class:`~repro.switch.tables.TableRuntime`
+  and a precompiled key-extraction closure directly, so lookups skip
+  the per-packet ``reads`` walk.
+
+What is *not* baked in: table entries, default actions, and register
+contents.  Those stay live behind the closures, so the Mantis agent's
+shadow-flip writes (add/modify/delete/set_default) take effect on the
+very next lookup with no recompilation or invalidation protocol.
+
+The tree-walking :class:`~repro.switch.pipeline.PipelineExecutor`
+remains the reference semantics; :func:`run_differential` replays one
+workload through both engines and asserts identical packet and ASIC
+state, and the tests in ``tests/switch/test_compiled.py`` keep the two
+in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SwitchError
+from repro.p4 import ast
+from repro.switch.hashing import compute_hash
+from repro.switch.packet import Packet
+
+_DROP = "standard_metadata.drop_flag"
+
+# A compiled primitive step: (action_args, packet) -> None.
+StepFn = Callable[[List[int], Packet], None]
+# A compiled control-block op: (packet) -> None.
+OpFn = Callable[[Packet], None]
+
+# Binary operators with the interpreter's exact semantics: comparisons
+# and boolean connectives produce ints, arithmetic is unbounded (width
+# masking happens at field writes, not inside expressions).
+_BIN_FNS: Dict[str, Callable[[int, int], int]] = {
+    "==": lambda l, r: 1 if l == r else 0,
+    "!=": lambda l, r: 1 if l != r else 0,
+    "<": lambda l, r: 1 if l < r else 0,
+    "<=": lambda l, r: 1 if l <= r else 0,
+    ">": lambda l, r: 1 if l > r else 0,
+    ">=": lambda l, r: 1 if l >= r else 0,
+    "&&": lambda l, r: 1 if l and r else 0,
+    "||": lambda l, r: 1 if l or r else 0,
+    "+": lambda l, r: l + r,
+    "-": lambda l, r: l - r,
+    "&": lambda l, r: l & r,
+    "|": lambda l, r: l | r,
+    "^": lambda l, r: l ^ r,
+    "<<": lambda l, r: l << r,
+    ">>": lambda l, r: l >> r,
+}
+
+_ARITH_FNS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda l, r: l + r,
+    "subtract": lambda l, r: l - r,
+    "bit_and": lambda l, r: l & r,
+    "bit_or": lambda l, r: l | r,
+    "bit_xor": lambda l, r: l ^ r,
+    "shift_left": lambda l, r: l << r,
+    "shift_right": lambda l, r: l >> r,
+    "min": min,
+    "max": max,
+}
+
+
+def _raising_step(message: str) -> StepFn:
+    """A step that raises when *executed* -- semantic errors the
+    interpreter only reports at run time must not become load-time
+    failures in the compiled engine."""
+
+    def step(args: List[int], packet: Packet) -> None:
+        raise SwitchError(message)
+
+    return step
+
+
+class CompiledPipeline:
+    """The compiled execution engine for one ASIC's program.
+
+    API-compatible with :class:`~repro.switch.pipeline.PipelineExecutor`
+    (``run_control`` / ``iter_control`` / ``apply_table`` /
+    ``run_action``), so :class:`~repro.switch.asic.SwitchAsic` can
+    select either engine behind one attribute.
+    """
+
+    def __init__(self, asic, rng: Optional[random.Random] = None):
+        self.asic = asic
+        self.rng = rng if rng is not None else random.Random(0)
+        program = asic.program
+        self._actions: Dict[str, StepFn] = {
+            name: self._compile_action(decl)
+            for name, decl in program.actions.items()
+        }
+        self._applies: Dict[str, OpFn] = {
+            name: self._compile_apply(runtime)
+            for name, runtime in asic.tables.items()
+        }
+        self._controls: Dict[str, OpFn] = {}
+        self._stepped: Dict[str, List] = {}
+        for name, decl in program.controls.items():
+            self._controls[name] = self._compile_block(decl.body)
+            self._stepped[name] = self._compile_stepped(decl.body)
+
+    # ---- control blocks ---------------------------------------------------
+
+    def run_control(self, control_name: str, packet: Packet) -> None:
+        """Run a control block to completion on one packet."""
+        run = self._controls.get(control_name)
+        if run is not None:
+            run(packet)
+
+    def iter_control(
+        self, control_name: str, packet: Packet
+    ) -> Iterator[Tuple[str, str]]:
+        """Stepped execution with the interpreter's contract: yields
+        ``("apply", table)`` *before* each table application so callers
+        can interleave control-plane operations mid-pipeline."""
+        steps = self._stepped.get(control_name)
+        if steps is not None:
+            yield from _run_stepped(steps, packet)
+
+    def _compile_block(self, statements: List[ast.Statement]) -> OpFn:
+        ops = self._compile_ops(statements)
+        if not ops:
+            return _noop
+        if len(ops) == 1:
+            only = ops[0]
+
+            def run_one(packet: Packet, _op: OpFn = only) -> None:
+                if not packet.fields[_DROP]:
+                    _op(packet)
+
+            return run_one
+
+        def run(packet: Packet, _ops: Tuple[OpFn, ...] = tuple(ops)) -> None:
+            fields = packet.fields
+            for op in _ops:
+                if fields[_DROP]:
+                    return
+                op(packet)
+
+        return run
+
+    def _compile_ops(self, statements: List[ast.Statement]) -> List[OpFn]:
+        ops: List[OpFn] = []
+        for stmt in statements:
+            if isinstance(stmt, ast.ApplyCall):
+                ops.append(self._apply_fn(stmt.table))
+            elif isinstance(stmt, ast.IfBlock):
+                cond = self._compile_expr(stmt.cond)
+                then_fn = self._compile_block(stmt.then_body)
+                else_fn = self._compile_block(stmt.else_body)
+                if isinstance(cond, int):  # constant condition: fold
+                    ops.append(then_fn if cond else else_fn)
+                else:
+
+                    def branch(
+                        packet: Packet,
+                        _c=cond,
+                        _t: OpFn = then_fn,
+                        _e: OpFn = else_fn,
+                    ) -> None:
+                        if _c(packet):
+                            _t(packet)
+                        else:
+                            _e(packet)
+
+                    ops.append(branch)
+            else:  # pragma: no cover - parser emits only the kinds above
+                raise SwitchError(f"unknown statement {stmt!r}")
+        return ops
+
+    def _compile_stepped(self, statements: List[ast.Statement]) -> List:
+        """Compile to generator-producing steps for ``iter_control``."""
+        steps = []
+        for stmt in statements:
+            if isinstance(stmt, ast.ApplyCall):
+                apply_fn = self._apply_fn(stmt.table)
+
+                def step(packet: Packet, _name=stmt.table, _apply=apply_fn):
+                    yield ("apply", _name)
+                    _apply(packet)
+
+                steps.append(step)
+            elif isinstance(stmt, ast.IfBlock):
+                cond = self._compile_expr(stmt.cond)
+                then_steps = self._compile_stepped(stmt.then_body)
+                else_steps = self._compile_stepped(stmt.else_body)
+
+                def step(
+                    packet: Packet,
+                    _c=cond,
+                    _t=then_steps,
+                    _e=else_steps,
+                ):
+                    taken = _t if (_c if isinstance(_c, int) else _c(packet)) else _e
+                    yield from _run_stepped(taken, packet)
+
+                steps.append(step)
+            else:  # pragma: no cover - parser emits only the kinds above
+                raise SwitchError(f"unknown statement {stmt!r}")
+        return steps
+
+    # ---- tables -----------------------------------------------------------
+
+    def _apply_fn(self, table_name: str) -> OpFn:
+        if table_name not in self._applies:
+            raise SwitchError(f"unknown table {table_name!r}")
+        return self._applies[table_name]
+
+    def apply_table(self, table_name: str, packet: Packet) -> None:
+        self._apply_fn(table_name)(packet)
+
+    def _compile_apply(self, runtime) -> OpFn:
+        build_key = self._compile_key(runtime.decl.reads)
+        actions = self._actions
+
+        if runtime._exact_only:
+            # Exact-only tables: probe the hash index directly.  The
+            # dict object itself is stable (TableRuntime mutates it in
+            # place, never rebinds it), so closing over it keeps entry
+            # adds/deletes live; hit/miss accounting and the
+            # (rebindable) default action go through the runtime.
+            index = runtime._exact_index
+
+            def apply_exact(
+                packet: Packet,
+                _runtime=runtime,
+                _key=build_key,
+                _index=index,
+                _actions=actions,
+            ) -> None:
+                entry = _index.get(_key(packet))
+                if entry is None:
+                    _runtime.misses += 1
+                    result = _runtime.default_action
+                    if result is None:
+                        return
+                    action_name, action_args = result
+                else:
+                    _runtime.hits += 1
+                    action_name = entry.action_name
+                    action_args = entry.action_args
+                action = _actions.get(action_name)
+                if action is None:
+                    raise SwitchError(f"unknown action {action_name!r}")
+                action(action_args, packet)
+
+            return apply_exact
+
+        def apply(
+            packet: Packet,
+            _runtime=runtime,
+            _key=build_key,
+            _actions=actions,
+        ) -> None:
+            result = _runtime.lookup_key(_key(packet))
+            if result is None:
+                return
+            action_name, action_args = result
+            action = _actions.get(action_name)
+            if action is None:
+                raise SwitchError(f"unknown action {action_name!r}")
+            action(action_args, packet)
+
+        return apply
+
+    def _compile_key(
+        self, reads: List[ast.TableRead]
+    ) -> Callable[[Packet], tuple]:
+        extractors = []
+        for read in reads:
+            if read.match_type is ast.MatchType.VALID:
+                extractors.append(
+                    lambda p, _h=read.ref.header: _h in p.valid_headers
+                )
+            else:
+                ref = read.ref
+                key = f"{ref.header}.{ref.field}"
+                if read.mask is None:
+                    extractors.append(lambda p, _k=key: p.fields.get(_k, 0))
+                else:
+                    extractors.append(
+                        lambda p, _k=key, _m=read.mask: p.fields.get(_k, 0) & _m
+                    )
+        if not extractors:
+            return lambda packet: ()
+        if len(extractors) == 1:
+            only = extractors[0]
+            return lambda packet, _e=only: (_e(packet),)
+        if len(extractors) == 2:
+            first, second = extractors
+            return lambda packet, _a=first, _b=second: (
+                _a(packet), _b(packet),
+            )
+        if len(extractors) == 3:
+            first, second, third = extractors
+            return lambda packet, _a=first, _b=second, _c=third: (
+                _a(packet), _b(packet), _c(packet),
+            )
+        parts = tuple(extractors)
+        return lambda packet, _parts=parts: tuple(e(packet) for e in _parts)
+
+    # ---- expressions ------------------------------------------------------
+
+    def _compile_expr(self, expr):
+        """Compile an ``if`` condition operand.
+
+        Returns an ``int`` for constant subtrees (folded) or a closure
+        ``packet -> int``.
+        """
+        if isinstance(expr, int):
+            return expr
+        if isinstance(expr, ast.FieldRef):
+            key = f"{expr.header}.{expr.field}"
+            return lambda p, _k=key: p.fields.get(_k, 0)
+        if isinstance(expr, ast.ValidRef):
+            header = expr.header
+            return lambda p, _h=header: 1 if _h in p.valid_headers else 0
+        if isinstance(expr, ast.BinOp):
+            fn = _BIN_FNS.get(expr.op)
+            if fn is None:
+                raise SwitchError(f"unknown condition operator {expr.op!r}")
+            left = self._compile_expr(expr.left)
+            right = self._compile_expr(expr.right)
+            if isinstance(left, int) and isinstance(right, int):
+                return fn(left, right)
+            lf = _expr_fn(left)
+            rf = _expr_fn(right)
+            return lambda p, _l=lf, _r=rf, _f=fn: _f(_l(p), _r(p))
+        if isinstance(expr, ast.MalleableRef):
+            message = (
+                f"malleable reference {expr} reached the data plane; "
+                "the program was not compiled by the Mantis compiler"
+            )
+
+            def leaked(p, _m=message):
+                raise SwitchError(_m)
+
+            return leaked
+        raise SwitchError(f"cannot evaluate expression {expr!r}")
+
+    # ---- actions ----------------------------------------------------------
+
+    def run_action(
+        self, action_name: str, action_args: List[int], packet: Packet
+    ) -> None:
+        action = self._actions.get(action_name)
+        if action is None:
+            raise SwitchError(f"unknown action {action_name!r}")
+        action(action_args, packet)
+
+    def _compile_action(self, action: ast.ActionDecl) -> StepFn:
+        param_index = {name: i for i, name in enumerate(action.params)}
+        steps = tuple(
+            self._compile_primitive(call, param_index) for call in action.body
+        )
+        n_params = len(action.params)
+        name = action.name
+
+        if len(steps) == 1:
+            only = steps[0]
+
+            def run_one(
+                args: List[int], packet: Packet, _step: StepFn = only
+            ) -> None:
+                if len(args) != n_params:
+                    raise SwitchError(
+                        f"action {name}: expected {n_params} args, "
+                        f"got {len(args)}"
+                    )
+                _step(args, packet)
+
+            return run_one
+
+        def run(args: List[int], packet: Packet) -> None:
+            if len(args) != n_params:
+                raise SwitchError(
+                    f"action {name}: expected {n_params} args, "
+                    f"got {len(args)}"
+                )
+            for step in steps:
+                step(args, packet)
+
+        return run
+
+    # ---- primitive arguments ---------------------------------------------
+
+    def _compile_arg(self, arg, param_index: Dict[str, int]):
+        """Compile a primitive argument to an ``int`` constant or a
+        closure ``(args, packet) -> int``."""
+        if isinstance(arg, int):
+            return arg
+        if isinstance(arg, ast.FieldRef):
+            key = f"{arg.header}.{arg.field}"
+            return lambda a, p, _k=key: p.fields.get(_k, 0)
+        if isinstance(arg, str):
+            if arg in param_index:
+                index = param_index[arg]
+                return lambda a, p, _i=index: a[_i]
+
+            def unresolved(a, p, _arg=arg):
+                raise SwitchError(f"unresolved action parameter {_arg!r}")
+
+            return unresolved
+        if isinstance(arg, ast.MalleableRef):
+            message = (
+                f"malleable reference {arg} reached the data plane; "
+                "compile the program with the Mantis compiler first"
+            )
+
+            def leaked(a, p, _m=message):
+                raise SwitchError(_m)
+
+            return leaked
+
+        def bad(a, p, _arg=arg):
+            raise SwitchError(f"cannot resolve primitive argument {_arg!r}")
+
+        return bad
+
+    def _dst(self, arg) -> Optional[Tuple[str, Optional[int]]]:
+        """Pre-resolve a destination field to ``(key, width_mask)``;
+        ``None`` when the argument is not a field reference."""
+        if not isinstance(arg, ast.FieldRef):
+            return None
+        key = f"{arg.header}.{arg.field}"
+        return key, self.asic.field_masks.get(key)
+
+    def _store(self, key: str, mask: Optional[int], value_fn) -> StepFn:
+        """A step writing ``value_fn(args, packet)`` to a field, with
+        the width mask (resolved at compile time) applied inline."""
+        if mask is None:
+
+            def step(a, p, _k=key, _v=value_fn):
+                p.fields[_k] = _v(a, p)
+
+        else:
+
+            def step(a, p, _k=key, _m=mask, _v=value_fn):
+                p.fields[_k] = _v(a, p) & _m
+
+        return step
+
+    # ---- primitives -------------------------------------------------------
+
+    def _compile_primitive(
+        self, call: ast.PrimitiveCall, params: Dict[str, int]
+    ) -> StepFn:
+        name = call.name
+        args = call.args
+        asic = self.asic
+
+        if name == "no_op":
+            return _noop_step
+        if name == "drop":
+
+            def drop_step(a, p):
+                p.fields[_DROP] = 1
+
+            return drop_step
+
+        if name in ("recirculate", "clone_ingress_pkt_to_egress", "mark_ecn"):
+            flag = {
+                "recirculate": "standard_metadata.recirculate_flag",
+                "clone_ingress_pkt_to_egress": "standard_metadata.clone_flag",
+                "mark_ecn": "standard_metadata.ecn_marked",
+            }[name]
+
+            def flag_step(a, p, _k=flag):
+                p.fields[_k] = 1
+
+            return flag_step
+
+        if name == "modify_field":
+            dst = self._dst(args[0])
+            if dst is None:
+                return _raising_step(
+                    f"primitive destination must be a field, got {args[0]!r}"
+                )
+            key, mask = dst
+            value = self._compile_arg(args[1], params)
+            extra = (
+                self._compile_arg(args[2], params) if len(args) > 2 else None
+            )
+            if extra is None and isinstance(value, int):
+                constant = value if mask is None else value & mask
+
+                def const_step(a, p, _k=key, _c=constant):
+                    p.fields[_k] = _c
+
+                return const_step
+            value_fn = _arg_fn(value)
+            if extra is None:
+                return self._store(key, mask, value_fn)
+            extra_fn = _arg_fn(extra)
+            return self._store(
+                key,
+                mask,
+                lambda a, p, _v=value_fn, _e=extra_fn: _v(a, p) & _e(a, p),
+            )
+
+        if name in _ARITH_FNS:
+            dst = self._dst(args[0])
+            if dst is None:
+                return _raising_step(
+                    f"primitive destination must be a field, got {args[0]!r}"
+                )
+            key, mask = dst
+            op = _ARITH_FNS[name]
+            if isinstance(args[1], ast.FieldRef) and isinstance(
+                args[2], ast.FieldRef
+            ):
+                # Both sources are fields (the dominant shape, e.g.
+                # ``add(x, x, pkt_len)``): one flat closure, no
+                # per-operand indirection.
+                left_key = f"{args[1].header}.{args[1].field}"
+                right_key = f"{args[2].header}.{args[2].field}"
+                if mask is None:
+
+                    def arith_ff(
+                        a, p, _k=key, _a=left_key, _b=right_key, _op=op
+                    ):
+                        fields = p.fields
+                        fields[_k] = _op(
+                            fields.get(_a, 0), fields.get(_b, 0)
+                        )
+
+                    return arith_ff
+
+                def arith_ff_masked(
+                    a, p, _k=key, _a=left_key, _b=right_key, _op=op, _m=mask
+                ):
+                    fields = p.fields
+                    fields[_k] = (
+                        _op(fields.get(_a, 0), fields.get(_b, 0)) & _m
+                    )
+
+                return arith_ff_masked
+            left = _arg_fn(self._compile_arg(args[1], params))
+            right = _arg_fn(self._compile_arg(args[2], params))
+            return self._store(
+                key,
+                mask,
+                lambda a, p, _l=left, _r=right, _op=op: _op(_l(a, p), _r(a, p)),
+            )
+
+        if name in ("add_to_field", "subtract_from_field"):
+            dst = self._dst(args[0])
+            if dst is None:
+                return _raising_step(
+                    f"primitive destination must be a field, got {args[0]!r}"
+                )
+            key, mask = dst
+            delta = _arg_fn(self._compile_arg(args[1], params))
+            sign = 1 if name == "add_to_field" else -1
+            return self._store(
+                key,
+                mask,
+                lambda a, p, _k=key, _d=delta, _s=sign: (
+                    p.fields.get(_k, 0) + _s * _d(a, p)
+                ),
+            )
+
+        if name == "register_write":
+            register = asic.get_register(args[0])
+            # The values list is a stable object (RegisterArray only
+            # mutates it in place), so closing over it skips the
+            # read/write method dispatch on every packet.
+            values = register.values
+            width_mask = register.mask
+            index = self._compile_arg(args[1], params)
+            value = self._compile_arg(args[2], params)
+            if isinstance(index, int) and 0 <= index < len(values):
+                if isinstance(args[2], ast.FieldRef):
+                    value_key = f"{args[2].header}.{args[2].field}"
+
+                    def reg_write_const_field(
+                        a, p, _vals=values, _i=index, _vk=value_key,
+                        _m=width_mask,
+                    ):
+                        _vals[_i] = p.fields.get(_vk, 0) & _m
+
+                    return reg_write_const_field
+                value_fn = _arg_fn(value)
+
+                def reg_write_const(
+                    a, p, _vals=values, _i=index, _v=value_fn, _m=width_mask
+                ):
+                    _vals[_i] = _v(a, p) & _m
+
+                return reg_write_const
+            index_fn = _arg_fn(index)
+            value_fn = _arg_fn(value)
+            size = len(values)
+
+            def reg_write_step(
+                a, p, _vals=values, _i=index_fn, _v=value_fn,
+                _m=width_mask, _n=size, _r=register,
+            ):
+                idx = _i(a, p)
+                val = _v(a, p)
+                if 0 <= idx < _n:
+                    _vals[idx] = val & _m
+                else:
+                    _r.write(idx, val)  # raises the range error
+
+            return reg_write_step
+
+        if name == "register_read":
+            dst = self._dst(args[0])
+            if dst is None:
+                return _raising_step(
+                    f"primitive destination must be a field, got {args[0]!r}"
+                )
+            key, mask = dst
+            register = asic.get_register(args[1])
+            values = register.values
+            index = self._compile_arg(args[2], params)
+            if isinstance(index, int) and 0 <= index < len(values):
+                if mask is None:
+
+                    def reg_read_const(a, p, _k=key, _vals=values, _i=index):
+                        p.fields[_k] = _vals[_i]
+
+                    return reg_read_const
+
+                def reg_read_const_masked(
+                    a, p, _k=key, _vals=values, _i=index, _m=mask
+                ):
+                    p.fields[_k] = _vals[_i] & _m
+
+                return reg_read_const_masked
+            index_fn = _arg_fn(index)
+            size = len(values)
+            if mask is None:
+
+                def reg_read_step(
+                    a, p, _k=key, _vals=values, _i=index_fn, _n=size,
+                    _r=register,
+                ):
+                    idx = _i(a, p)
+                    p.fields[_k] = (
+                        _vals[idx] if 0 <= idx < _n else _r.read(idx)
+                    )
+
+                return reg_read_step
+
+            def reg_read_step_masked(
+                a, p, _k=key, _vals=values, _i=index_fn, _n=size,
+                _r=register, _m=mask,
+            ):
+                idx = _i(a, p)
+                p.fields[_k] = (
+                    _vals[idx] if 0 <= idx < _n else _r.read(idx)
+                ) & _m
+
+            return reg_read_step_masked
+
+        if name == "count":
+            counter = asic.get_counter(args[0])
+            array = counter.array
+            values = array.values
+            width_mask = array.mask
+            count_bytes = counter.counter_type == "bytes"
+            index = self._compile_arg(args[1], params)
+            if isinstance(index, int) and 0 <= index < len(values):
+                if count_bytes:
+
+                    def count_bytes_const(
+                        a, p, _vals=values, _i=index, _m=width_mask
+                    ):
+                        _vals[_i] = (_vals[_i] + p.size_bytes) & _m
+
+                    return count_bytes_const
+
+                def count_pkts_const(
+                    a, p, _vals=values, _i=index, _m=width_mask
+                ):
+                    _vals[_i] = (_vals[_i] + 1) & _m
+
+                return count_pkts_const
+            index_fn = _arg_fn(index)
+
+            def count_step(a, p, _arr=array, _i=index_fn, _bytes=count_bytes):
+                _arr.increment(_i(a, p), p.size_bytes if _bytes else 1)
+
+            return count_step
+
+        if name == "modify_field_with_hash_based_offset":
+            return self._compile_hash(call, params)
+
+        if name == "modify_field_rng_uniform":
+            dst = self._dst(args[0])
+            if dst is None:
+                return _raising_step(
+                    f"primitive destination must be a field, got {args[0]!r}"
+                )
+            key, mask = dst
+            lo = _arg_fn(self._compile_arg(args[1], params))
+            hi = _arg_fn(self._compile_arg(args[2], params))
+            rng = self.rng
+            return self._store(
+                key,
+                mask,
+                lambda a, p, _lo=lo, _hi=hi, _rng=rng: _rng.randint(
+                    _lo(a, p), _hi(a, p)
+                ),
+            )
+
+        return _raising_step(f"unsupported primitive action {name!r}")
+
+    def _compile_hash(
+        self, call: ast.PrimitiveCall, params: Dict[str, int]
+    ) -> StepFn:
+        program = self.asic.program
+        dst = self._dst(call.args[0])
+        if dst is None:
+            return _raising_step(
+                f"primitive destination must be a field, got {call.args[0]!r}"
+            )
+        key, mask = dst
+        base = _arg_fn(self._compile_arg(call.args[1], params))
+        calc_name = call.args[2]
+        size = _arg_fn(self._compile_arg(call.args[3], params))
+        if calc_name not in program.field_list_calcs:
+            return _raising_step(
+                f"unknown field_list_calculation {calc_name!r}"
+            )
+        calc = program.field_list_calcs[calc_name]
+        inputs: List[Tuple[str, int]] = []
+        for list_name in calc.inputs:
+            for ref in program.field_lists[list_name].entries:
+                if not isinstance(ref, ast.FieldRef):
+                    return _raising_step(
+                        f"cannot hash non-field reference {ref!r}"
+                    )
+                field_key = f"{ref.header}.{ref.field}"
+                width_mask = self.asic.field_masks.get(field_key, (1 << 32) - 1)
+                inputs.append((field_key, width_mask.bit_length()))
+        algorithm = calc.algorithm
+        output_width = calc.output_width
+        input_plan = tuple(inputs)
+
+        def value_fn(a, p, _in=input_plan, _alg=algorithm, _w=output_width,
+                     _base=base, _size=size):
+            fields = p.fields
+            hashed = compute_hash(
+                _alg, [(fields.get(k, 0), bits) for k, bits in _in], _w
+            )
+            modulus = _size(a, p)
+            return _base(a, p) + (hashed % modulus if modulus else hashed)
+
+        return self._store(key, mask, value_fn)
+
+
+# ---- module helpers -------------------------------------------------------
+
+
+def _noop(packet: Packet) -> None:
+    return None
+
+
+def _noop_step(args: List[int], packet: Packet) -> None:
+    return None
+
+
+def _expr_fn(value):
+    """Wrap a folded constant as a ``packet -> int`` closure."""
+    if isinstance(value, int):
+        return lambda p, _c=value: _c
+    return value
+
+
+def _arg_fn(value):
+    """Wrap a folded constant as an ``(args, packet) -> int`` closure."""
+    if isinstance(value, int):
+        return lambda a, p, _c=value: _c
+    return value
+
+
+def _run_stepped(steps, packet: Packet):
+    fields = packet.fields
+    for step in steps:
+        if fields[_DROP]:
+            return
+        yield from step(packet)
+
+
+# ---- differential testing hook --------------------------------------------
+
+
+def asic_state_snapshot(asic) -> Dict[str, object]:
+    """All cross-packet ASIC state, in a comparable form."""
+    return {
+        "registers": {
+            name: list(reg.values) for name, reg in asic.registers.items()
+        },
+        "counters": {
+            name: list(counter.array.values)
+            for name, counter in asic.counters.items()
+        },
+        "tables": {
+            name: {
+                "hits": table.hits,
+                "misses": table.misses,
+                "default": table.default_action,
+                "entries": {
+                    entry_id: (
+                        entry.key,
+                        entry.action_name,
+                        tuple(entry.action_args),
+                        entry.priority,
+                    )
+                    for entry_id, entry in table.entries.items()
+                },
+            }
+            for name, table in asic.tables.items()
+        },
+        "ports": [
+            (port.tx_packets, port.tx_bytes) for port in asic.ports
+        ],
+        "packets_processed": asic.packets_processed,
+        "packets_dropped": asic.packets_dropped,
+        "pipeline_passes": asic.pipeline_passes,
+    }
+
+
+def packet_snapshot(packet: Packet) -> Dict[str, object]:
+    """A packet's observable outcome, in a comparable form."""
+    return {
+        "fields": dict(packet.fields),
+        "valid_headers": frozenset(packet.valid_headers),
+        "dropped": packet.dropped,
+    }
+
+
+def run_differential(
+    build: Callable[[str], "object"],
+    drive: Callable[[object], object],
+) -> object:
+    """Replay one workload through both execution engines and assert
+    identical behaviour.
+
+    ``build(execution_mode)`` must return a fresh
+    :class:`~repro.switch.asic.SwitchAsic` (or any object exposing the
+    same registers/counters/tables/ports surface) configured for the
+    given mode; ``drive(asic)`` runs the workload and returns the
+    per-packet observables to compare (a list of
+    :func:`packet_snapshot` results, say).  Raises
+    :class:`~repro.errors.SwitchError` naming the first divergence;
+    returns the compiled run's observables on agreement.
+    """
+    reference = build("interpreter")
+    observed_ref = drive(reference)
+    compiled = build("compiled")
+    observed_fast = drive(compiled)
+    if observed_ref != observed_fast:
+        raise SwitchError(
+            "differential mismatch in workload observables:\n"
+            f"  interpreter: {observed_ref!r}\n"
+            f"  compiled:    {observed_fast!r}"
+        )
+    state_ref = asic_state_snapshot(reference)
+    state_fast = asic_state_snapshot(compiled)
+    for section in state_ref:
+        if state_ref[section] != state_fast[section]:
+            raise SwitchError(
+                f"differential mismatch in ASIC state ({section}):\n"
+                f"  interpreter: {state_ref[section]!r}\n"
+                f"  compiled:    {state_fast[section]!r}"
+            )
+    return observed_fast

@@ -33,6 +33,13 @@ STANDARD_METADATA_FIELDS = {
     "ecn_marked": 1,
 }
 
+# Template for a fresh packet's intrinsic fields; copied (not rebuilt
+# key-by-key) per packet since construction sits on the simulator's
+# per-packet path.
+_STANDARD_METADATA_ZERO = {
+    f"standard_metadata.{key}": 0 for key in STANDARD_METADATA_FIELDS
+}
+
 
 class Packet:
     """A symbolic packet processed by the emulated pipeline."""
@@ -47,11 +54,9 @@ class Packet:
         ingress_port: int = 0,
     ):
         self.packet_id = next(_packet_ids)
-        self.fields: Dict[str, int] = {}
+        self.fields: Dict[str, int] = dict(_STANDARD_METADATA_ZERO)
         self.valid_headers: Set[str] = set(valid_headers or ())
         self.size_bytes = size_bytes
-        for key, width in STANDARD_METADATA_FIELDS.items():
-            self.fields[f"standard_metadata.{key}"] = 0
         self.fields["standard_metadata.ingress_port"] = ingress_port
         self.fields["standard_metadata.packet_length"] = size_bytes
         if fields:

@@ -4,12 +4,19 @@ Executes the same AST the parser produced -- there is no separate IR,
 so the emulator's semantics are exactly the language's semantics.  The
 Mantis compiler output (generated init tables, measurement actions,
 specialized actions) runs through this interpreter unchanged.
+
+This tree-walker is the *reference* implementation: it favours a
+direct correspondence with the AST over speed.  The production packet
+path is :class:`repro.switch.compiled.CompiledPipeline`, which lowers
+the same AST into closures once at load time and must stay
+behaviourally identical to this class (enforced by the differential
+tests in ``tests/switch/test_compiled.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import SwitchError
 from repro.p4 import ast
@@ -22,12 +29,14 @@ class PipelineExecutor:
 
     The executor holds references to its owner ASIC's tables, registers
     and counters; it has no state of its own besides an RNG used by
-    ``modify_field_rng_uniform``.
+    ``modify_field_rng_uniform``.  Pass ``rng`` to share one stream
+    with another executor (the ASIC shares its RNG between this
+    interpreter and the compiled fast path so the two stay in lockstep).
     """
 
-    def __init__(self, asic, seed: int = 0):
+    def __init__(self, asic, seed: int = 0, rng: Optional[random.Random] = None):
         self.asic = asic
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
 
     # ---- control blocks ---------------------------------------------------
 
@@ -207,13 +216,17 @@ class PipelineExecutor:
             return
         if name == "add_to_field":
             dst = self._dst_ref(args[0])
-            value = packet.get(str(dst)) + self._resolve(args[1], params, packet)
-            self._write_field(dst, value, packet)
+            key = f"{dst.header}.{dst.field}"
+            value = packet.get(key) + self._resolve(args[1], params, packet)
+            # Width-mask explicitly: read-modify-write must wrap at the
+            # declared field width or counters grow without bound.
+            packet.set(key, value, self.asic.field_masks.get(key))
             return
         if name == "subtract_from_field":
             dst = self._dst_ref(args[0])
-            value = packet.get(str(dst)) - self._resolve(args[1], params, packet)
-            self._write_field(dst, value, packet)
+            key = f"{dst.header}.{dst.field}"
+            value = packet.get(key) - self._resolve(args[1], params, packet)
+            packet.set(key, value, self.asic.field_masks.get(key))
             return
         if name == "register_write":
             register = self.asic.get_register(args[0])

@@ -61,7 +61,9 @@ class RegisterArray:
         return self.values[lo : hi + 1]
 
     def clear(self) -> None:
-        self.values = [0] * len(self.values)
+        # In place: the compiled pipeline closes over this list object,
+        # so it must never be rebound.
+        self.values[:] = [0] * len(self.values)
 
     @property
     def byte_size(self) -> int:

@@ -3,9 +3,17 @@
 Implements the lookup semantics Mantis relies on:
 
 - exact matches via a hash index (SRAM),
-- ternary/lpm/range matches via a priority-ordered scan (TCAM),
+- ternary/lpm/range matches via a rank-ordered TCAM view kept sorted
+  on add/delete, so lookups early-exit at the first hit in priority
+  order instead of scanning every entry,
+- single-lpm-key tables additionally via per-prefix-length hash
+  buckets (classic LPM lookup: probe prefix lengths longest-first),
 - atomic single-entry add/modify/delete (the hardware guarantee that
   Section 5.1.1 builds its serialization point on).
+
+Every index is updated inside the same add/modify/delete call that
+mutates ``entries``, so the Mantis agent's shadow-flip writes observe
+a consistent table at every point -- there is no deferred rebuild.
 
 Entries are referenced by handles (integers) as with real switch SDKs,
 so the Mantis agent's three-phase update engine can mirror and flip
@@ -15,6 +23,7 @@ shadow copies deterministically.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -67,6 +76,32 @@ class TableRuntime:
             for r in decl.reads
         )
         self._exact_index: Dict[Tuple[KeyPart, ...], TableEntry] = {}
+        # TCAM view: entries sorted by descending (priority, lpm prefix
+        # total), insertion order breaking ties.  ``_tcam_sort_keys`` is
+        # the parallel bisect key list.
+        self._tcam_order: List[TableEntry] = []
+        self._tcam_sort_keys: List[Tuple[int, int]] = []
+        # Single-lpm fast path: per-prefix-length hash buckets, usable
+        # while no entry carries an explicit priority.
+        self._lpm_position: Optional[int] = None
+        self._lpm_width = 0
+        self._lpm_indexable = False
+        self._lpm_buckets: Dict[int, Dict[Tuple[KeyPart, ...], List[TableEntry]]] = {}
+        self._lpm_masks: Dict[int, int] = {}
+        self._lpm_lens: List[int] = []
+        if not self._exact_only:
+            kinds = [r.match_type for r in decl.reads]
+            lpm_positions = [
+                i for i, k in enumerate(kinds) if k is ast.MatchType.LPM
+            ]
+            bucketable = all(
+                k in (ast.MatchType.EXACT, ast.MatchType.VALID, ast.MatchType.LPM)
+                for k in kinds
+            )
+            if len(lpm_positions) == 1 and bucketable:
+                self._lpm_position = lpm_positions[0]
+                self._lpm_width = self.key_widths[self._lpm_position]
+                self._lpm_indexable = True
         # hit/miss counters for observability and resource benches
         self.hits = 0
         self.misses = 0
@@ -120,6 +155,8 @@ class TableRuntime:
         self.entries[entry.entry_id] = entry
         if self._exact_only:
             self._exact_index[normalized] = entry
+        else:
+            self._index_tcam_entry(entry)
         return entry.entry_id
 
     def modify_entry(
@@ -142,8 +179,90 @@ class TableRuntime:
     def delete_entry(self, entry_id: int) -> None:
         entry = self._get(entry_id)
         del self.entries[entry_id]
-        if self._exact_only and self._exact_index.get(entry.key) is entry:
-            del self._exact_index[entry.key]
+        if self._exact_only:
+            if self._exact_index.get(entry.key) is entry:
+                del self._exact_index[entry.key]
+        else:
+            self._unindex_tcam_entry(entry)
+
+    # ---- TCAM index maintenance -----------------------------------------
+
+    def _static_rank(self, entry: TableEntry) -> Tuple[int, int]:
+        """The rank :meth:`_entry_matches` assigns on a hit; computable
+        from the entry alone since priority and prefix lengths are
+        fixed at install time."""
+        prefix_total = 0
+        for part, read in zip(entry.key, self.decl.reads):
+            if read.match_type is ast.MatchType.LPM:
+                prefix_total += part[1]
+        return (entry.priority, prefix_total)
+
+    def _index_tcam_entry(self, entry: TableEntry) -> None:
+        priority, prefix_total = self._static_rank(entry)
+        # Descending rank; bisect_right keeps insertion order among
+        # equal ranks, matching the old scan's first-installed-wins.
+        sort_key = (-priority, -prefix_total)
+        position = bisect_right(self._tcam_sort_keys, sort_key)
+        self._tcam_sort_keys.insert(position, sort_key)
+        self._tcam_order.insert(position, entry)
+        if self._lpm_position is None or not self._lpm_indexable:
+            return
+        prefix_len = entry.key[self._lpm_position][1]
+        if priority != 0 or prefix_len > self._lpm_width:
+            # Explicit priorities (or malformed prefixes, which the
+            # scan path reports like the old code) break the pure
+            # longest-prefix order the buckets encode; fall back to the
+            # sorted scan for the lifetime of the table.
+            self._lpm_indexable = False
+            self._lpm_buckets.clear()
+            self._lpm_masks.clear()
+            self._lpm_lens = []
+            return
+        self._lpm_bucket_add(entry)
+
+    def _lpm_bucket_key(self, entry_key: Tuple[KeyPart, ...]) -> Tuple[KeyPart, ...]:
+        position = self._lpm_position
+        value, prefix_len = entry_key[position]
+        mask = self._lpm_masks[prefix_len]
+        return (
+            entry_key[:position]
+            + (value & mask,)
+            + entry_key[position + 1:]
+        )
+
+    def _lpm_bucket_add(self, entry: TableEntry) -> None:
+        prefix_len = entry.key[self._lpm_position][1]
+        if prefix_len not in self._lpm_masks:
+            self._lpm_masks[prefix_len] = (
+                ((1 << prefix_len) - 1) << (self._lpm_width - prefix_len)
+                if prefix_len
+                else 0
+            )
+            insort(self._lpm_lens, -prefix_len)
+            self._lpm_buckets[prefix_len] = {}
+        bucket = self._lpm_buckets[prefix_len]
+        bucket.setdefault(self._lpm_bucket_key(entry.key), []).append(entry)
+
+    def _unindex_tcam_entry(self, entry: TableEntry) -> None:
+        position = self._tcam_order.index(entry)
+        del self._tcam_order[position]
+        del self._tcam_sort_keys[position]
+        if self._lpm_position is None or not self._lpm_indexable:
+            return
+        prefix_len = entry.key[self._lpm_position][1]
+        bucket = self._lpm_buckets.get(prefix_len)
+        if bucket is None:
+            return
+        bucket_key = self._lpm_bucket_key(entry.key)
+        candidates = bucket.get(bucket_key)
+        if candidates and entry in candidates:
+            candidates.remove(entry)
+            if not candidates:
+                del bucket[bucket_key]
+            if not bucket:
+                del self._lpm_buckets[prefix_len]
+                del self._lpm_masks[prefix_len]
+                self._lpm_lens.remove(-prefix_len)
 
     def set_default(self, action_name: str, action_args: Sequence[int] = ()) -> None:
         if action_name not in self.decl.action_names:
@@ -155,7 +274,9 @@ class TableRuntime:
     def find_entry(self, key: Sequence[KeyPart]) -> Optional[TableEntry]:
         """Find an installed entry with exactly this key (not a lookup)."""
         normalized = self._check_key(key)
-        for entry in self.entries.values():
+        if self._exact_only:
+            return self._exact_index.get(normalized)
+        for entry in self._tcam_order:
             if entry.key == normalized:
                 return entry
         return None
@@ -185,7 +306,13 @@ class TableRuntime:
 
         Returns ``None`` when the table misses and has no default.
         """
-        key = self.build_lookup_key(packet)
+        return self.lookup_key(self.build_lookup_key(packet))
+
+    def lookup_key(
+        self, key: Tuple[KeyPart, ...]
+    ) -> Optional[Tuple[str, List[int]]]:
+        """Match an already-built lookup key (the compiled pipeline
+        extracts keys with its own precompiled closures)."""
         entry = self._match(key)
         if entry is not None:
             self.hits += 1
@@ -196,48 +323,57 @@ class TableRuntime:
     def _match(self, key: Tuple[KeyPart, ...]) -> Optional[TableEntry]:
         if self._exact_only:
             return self._exact_index.get(key)
-        best: Optional[TableEntry] = None
-        best_rank: Tuple[int, int] = (0, 0)
-        for entry in self.entries.values():
-            rank = self._entry_matches(entry, key)
-            if rank is None:
-                continue
-            if best is None or rank > best_rank:
-                best, best_rank = entry, rank
-        return best
+        if self._lpm_indexable:
+            return self._match_lpm_buckets(key)
+        # Rank-sorted scan: the first matching entry has the highest
+        # (priority, prefix_total) rank, earliest-installed on ties.
+        for entry in self._tcam_order:
+            if self._entry_matches(entry, key):
+                return entry
+        return None
+
+    def _match_lpm_buckets(
+        self, key: Tuple[KeyPart, ...]
+    ) -> Optional[TableEntry]:
+        position = self._lpm_position
+        part = key[position]
+        prefix = key[:position]
+        suffix = key[position + 1:]
+        for neg_len in self._lpm_lens:
+            mask = self._lpm_masks[-neg_len]
+            candidates = self._lpm_buckets[-neg_len].get(
+                prefix + (part & mask,) + suffix
+            )
+            if candidates:
+                return candidates[0]
+        return None
 
     def _entry_matches(
         self, entry: TableEntry, key: Tuple[KeyPart, ...]
-    ) -> Optional[Tuple[int, int]]:
-        """Return a comparable rank (higher wins) or None on mismatch.
-
-        Rank is ``(priority, total_lpm_prefix)`` so explicit priorities
-        dominate and longest-prefix breaks ties among lpm entries.
-        """
-        prefix_total = 0
+    ) -> bool:
+        """True when every key component matches the entry's pattern."""
         for part, pattern, read, width in zip(
             key, entry.key, self.decl.reads, self.key_widths
         ):
             match_type = read.match_type
             if match_type in (ast.MatchType.EXACT, ast.MatchType.VALID):
                 if part != pattern:
-                    return None
+                    return False
             elif match_type is ast.MatchType.TERNARY:
                 value, mask = pattern
                 if (part & mask) != (value & mask):
-                    return None
+                    return False
             elif match_type is ast.MatchType.LPM:
                 value, prefix_len = pattern
                 if prefix_len:
                     mask = ((1 << prefix_len) - 1) << (width - prefix_len)
                     if (part & mask) != (value & mask):
-                        return None
-                prefix_total += prefix_len
+                        return False
             elif match_type is ast.MatchType.RANGE:
                 lo, hi = pattern
                 if not lo <= part <= hi:
-                    return None
-        return (entry.priority, prefix_total)
+                    return False
+        return True
 
     # ---- accounting ---------------------------------------------------------
 

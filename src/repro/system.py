@@ -37,11 +37,16 @@ class MantisSystem:
         pacing_sleep_us: float = 0.0,
         record_timeline: bool = False,
         seed: int = 0,
+        execution_mode: Optional[str] = None,
     ):
         self.artifacts = artifacts
         self.clock = clock or SimClock()
         self.asic = SwitchAsic(
-            artifacts.p4, clock=self.clock, num_ports=num_ports, seed=seed
+            artifacts.p4,
+            clock=self.clock,
+            num_ports=num_ports,
+            seed=seed,
+            execution_mode=execution_mode,
         )
         self.driver = Driver(
             self.asic, model=cost_model, record_timeline=record_timeline

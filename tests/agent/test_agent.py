@@ -298,3 +298,33 @@ reaction callout() {
         system.agent.prologue()
         system.agent.run(2)
         assert system.agent.read_malleable("v") == 20
+
+
+class TestDurationStatistics:
+    def test_average_exact_after_window_trim(self, system):
+        """avg_reaction_time_us aggregates every iteration, not just
+        the trimmed iteration_durations window."""
+        agent = system.agent
+        agent.run(10)
+        expected = sum(agent.iteration_durations) / 10
+        assert agent.avg_reaction_time_us == pytest.approx(expected)
+        # Simulate the window trim losing the oldest samples: the
+        # lifetime statistic must not move.
+        del agent.iteration_durations[:5]
+        assert agent.avg_reaction_time_us == pytest.approx(expected)
+        agent.iteration_durations.clear()
+        assert agent.avg_reaction_time_us == pytest.approx(expected)
+
+    def test_trim_keeps_window_bounded(self, system):
+        agent = system.agent
+        agent.run_iteration()
+        baseline = agent.avg_reaction_time_us
+        # Fake a long history to trigger the trim branch cheaply.
+        agent.iteration_durations.extend([baseline] * 100_001)
+        agent._duration_sum_us += baseline * 100_001
+        agent._duration_count += 100_001
+        agent.run_iteration()
+        assert len(agent.iteration_durations) <= 100_000
+        assert agent.avg_reaction_time_us == pytest.approx(
+            baseline, rel=0.5
+        )

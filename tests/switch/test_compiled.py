@@ -1,0 +1,313 @@
+"""Differential tests: compiled pipeline vs reference interpreter.
+
+The compiled engine must be observationally identical to the
+tree-walking ``PipelineExecutor`` on every program: same field values,
+same drops, same register/counter state, same table statistics, same
+RNG stream.  These tests replay mixed workloads -- all four match
+kinds, valid matches, if/else control flow, arithmetic, hashing,
+recirculation, and mid-stream control-plane add/modify/delete --
+through both engines and compare everything observable.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.compiled import (
+    CompiledPipeline,
+    asic_state_snapshot,
+    packet_snapshot,
+    run_differential,
+)
+from repro.switch.packet import Packet
+from repro.switch.pipeline import PipelineExecutor
+
+# One program exercising every match kind, nested if/else with boolean
+# connectives, registers, both counter modes, hashing, rng, width
+# wrap-around, and recirculation.
+WORKLOAD_PROGRAM = STANDARD_METADATA_P4 + """
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; ttl : 8; proto : 8; len : 16; }
+}
+header ipv4_t ipv4;
+header_type meta_t {
+    fields { bucket : 16; rngv : 8; acc : 8; class : 4; }
+}
+metadata meta_t meta;
+
+register seen { width : 32; instance_count : 8; }
+counter pkts { type : packets; instance_count : 8; }
+counter volume { type : bytes; instance_count : 8; }
+
+field_list flow_fl { ipv4.srcAddr; ipv4.dstAddr; }
+field_list_calculation flow_hash {
+    input { flow_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+action set_class(c) { modify_field(meta.class, c); }
+action note(idx) {
+    register_write(seen, idx, ipv4.srcAddr);
+    count(pkts, idx);
+    count(volume, idx);
+    add_to_field(meta.acc, 250);
+    subtract_from_field(ipv4.ttl, 1);
+}
+action pick_route(port) {
+    modify_field(standard_metadata.egress_spec, port);
+    modify_field_with_hash_based_offset(meta.bucket, 0, flow_hash, 8);
+    modify_field_rng_uniform(meta.rngv, 0, 200);
+}
+action spin() { recirculate(); }
+action block() { drop(); }
+
+table classify {
+    reads { ipv4.proto : ternary; }
+    actions { set_class; block; }
+    default_action : set_class(0);
+}
+table prefixes {
+    reads { ipv4.dstAddr : lpm; }
+    actions { note; }
+    default_action : note(0);
+}
+table ranged {
+    reads { ipv4.len : range; }
+    actions { set_class; spin; block; }
+    default_action : set_class(1);
+}
+table acl {
+    reads { valid(ipv4) : exact; ipv4.srcAddr : exact; }
+    actions { block; set_class; }
+    default_action : set_class(2);
+}
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { pick_route; block; }
+    default_action : block();
+}
+
+control ingress {
+    apply(classify);
+    if (meta.class == 3 && ipv4.ttl > 2) {
+        apply(acl);
+    } else {
+        apply(prefixes);
+    }
+    if (ipv4.len < 64 || ipv4.proto == 99) {
+        apply(ranged);
+    }
+    apply(route);
+}
+"""
+
+
+def build_asic(execution_mode: str) -> SwitchAsic:
+    asic = SwitchAsic(
+        parse_p4(WORKLOAD_PROGRAM),
+        num_ports=8,
+        seed=7,
+        execution_mode=execution_mode,
+    )
+    asic.tables["route"].add_entry([0xDEAD0001], "pick_route", [3])
+    asic.tables["route"].add_entry([0xDEAD0002], "pick_route", [5])
+    asic.tables["classify"].add_entry([(6, 0xFF)], "set_class", [3],
+                                      priority=2)
+    asic.tables["classify"].add_entry([(0, 0x0F)], "set_class", [1],
+                                      priority=1)
+    asic.tables["prefixes"].add_entry([(0xDEAD0000, 16)], "note", [2])
+    asic.tables["prefixes"].add_entry([(0xDEAD0002, 32)], "note", [3])
+    asic.tables["ranged"].add_entry([(0, 63)], "spin")
+    asic.tables["acl"].add_entry([True, 0xBAD], "block")
+    return asic
+
+
+def packet_stream(count: int = 120):
+    """A deterministic packet mix hitting every table path."""
+    for index in range(count):
+        yield {
+            "ipv4.srcAddr": 0xBAD if index % 7 == 0 else 0xC0A80000 + index,
+            "ipv4.dstAddr": 0xDEAD0001 + index % 3,
+            "ipv4.ttl": index % 9,
+            "ipv4.proto": (6, 17, 99, 0)[index % 4],
+            "ipv4.len": 40 + (index * 13) % 100,
+        }, 64 + (index * 37) % 1400
+
+
+def drive_stream(asic: SwitchAsic, mutate: bool = False):
+    """Process the stream; with ``mutate`` the control plane
+    adds/modifies/deletes entries mid-stream (as the Mantis agent's
+    shadow flips do)."""
+    observed = []
+    added = []
+    for index, (fields, size) in enumerate(packet_stream()):
+        if mutate and index == 30:
+            added.append(
+                asic.tables["route"].add_entry([0xDEAD0000], "pick_route", [2])
+            )
+            added.append(
+                asic.tables["prefixes"].add_entry([(0xDEAD0000, 24)],
+                                                  "note", [5])
+            )
+        if mutate and index == 60:
+            asic.tables["route"].modify_entry(added[0], action_args=[6])
+            asic.tables["classify"].add_entry([(17, 0xFF)], "block",
+                                              priority=3)
+        if mutate and index == 90:
+            asic.tables["prefixes"].delete_entry(added[1])
+            asic.tables["ranged"].set_default("set_class", [2])
+        packet = Packet(fields=dict(fields), size_bytes=size)
+        asic.process(packet)
+        observed.append(packet_snapshot(packet))
+    return observed
+
+
+class TestDifferential:
+    def test_static_workload(self):
+        run_differential(build_asic, drive_stream)
+
+    def test_mid_stream_table_updates(self):
+        run_differential(
+            build_asic, lambda asic: drive_stream(asic, mutate=True)
+        )
+
+    def test_divergence_is_reported(self):
+        def drive_differently(asic):
+            # Poison one engine's state so the hook must notice.
+            if asic.execution_mode == "compiled":
+                asic.registers["seen"].write(7, 123)
+            return []
+
+        with pytest.raises(SwitchError, match="differential mismatch"):
+            run_differential(build_asic, drive_differently)
+
+    def test_rng_stream_shared(self):
+        """Both engines draw modify_field_rng_uniform from the same
+        seeded stream, packet for packet."""
+        interp = build_asic("interpreter")
+        fast = build_asic("compiled")
+        draws = 0
+        for fields, size in packet_stream(40):
+            a = Packet(fields=dict(fields), size_bytes=size)
+            b = Packet(fields=dict(fields), size_bytes=size)
+            interp.process(a)
+            fast.process(b)
+            assert a.fields.get("meta.rngv") == b.fields.get("meta.rngv")
+            draws += "meta.rngv" in a.fields
+        assert draws > 0
+
+
+class TestSteppedExecution:
+    def test_yields_match_interpreter(self):
+        interp = build_asic("interpreter")
+        fast = build_asic("compiled")
+        for fields, size in packet_stream(25):
+            a = Packet(fields=dict(fields), size_bytes=size)
+            b = Packet(fields=dict(fields), size_bytes=size)
+            steps_a = list(interp.process_stepped(a))
+            steps_b = list(fast.process_stepped(b))
+            assert steps_a == steps_b
+            assert packet_snapshot(a) == packet_snapshot(b)
+
+    def test_mid_packet_mutation_visible(self):
+        """The compiled engine looks the entry up *after* the yield,
+        so a control-plane write landing mid-packet takes effect --
+        same contract as the interpreter."""
+        asic = build_asic("compiled")
+        packet = Packet(
+            fields={
+                "ipv4.srcAddr": 1, "ipv4.dstAddr": 0xDEAD0001,
+                "ipv4.ttl": 1, "ipv4.proto": 0, "ipv4.len": 500,
+            },
+            size_bytes=100,
+        )
+        stepper = asic.process_stepped(packet)
+        for kind, table in stepper:
+            if table == "route":
+                entry = asic.tables["route"].find_entry([0xDEAD0001])
+                asic.tables["route"].modify_entry(
+                    entry.entry_id, action_name="block", action_args=[]
+                )
+        assert packet.dropped
+
+
+class TestModeSelection:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("MANTIS_PIPELINE", raising=False)
+        asic = SwitchAsic(parse_p4(WORKLOAD_PROGRAM))
+        assert asic.execution_mode == "compiled"
+        assert isinstance(asic.executor, CompiledPipeline)
+        assert isinstance(asic.interpreter, PipelineExecutor)
+
+    def test_constructor_flag(self):
+        asic = SwitchAsic(
+            parse_p4(WORKLOAD_PROGRAM), execution_mode="interpreter"
+        )
+        assert asic.executor is asic.interpreter
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("MANTIS_PIPELINE", "interpreter")
+        asic = SwitchAsic(parse_p4(WORKLOAD_PROGRAM))
+        assert asic.execution_mode == "interpreter"
+        assert asic.executor is asic.interpreter
+
+    def test_constructor_beats_env(self, monkeypatch):
+        monkeypatch.setenv("MANTIS_PIPELINE", "interpreter")
+        asic = SwitchAsic(
+            parse_p4(WORKLOAD_PROGRAM), execution_mode="compiled"
+        )
+        assert isinstance(asic.executor, CompiledPipeline)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SwitchError, match="unknown execution mode"):
+            SwitchAsic(parse_p4(WORKLOAD_PROGRAM), execution_mode="jit")
+
+
+WRAP_PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { narrow : 4; } }
+header h_t h;
+action bump() { add_to_field(h.narrow, 10); }
+action dip() { subtract_from_field(h.narrow, 10); }
+table bump_t { actions { bump; } default_action : bump(); }
+table dip_t { reads { h.narrow : exact; } actions { dip; } }
+control ingress { apply(bump_t); apply(dip_t); }
+"""
+
+
+class TestWidthMasking:
+    @pytest.mark.parametrize("mode", ["interpreter", "compiled"])
+    def test_add_to_field_wraps_at_width(self, mode):
+        asic = SwitchAsic(
+            parse_p4(WRAP_PROGRAM), num_ports=4, execution_mode=mode
+        )
+        packet = Packet(fields={"h.narrow": 12})
+        asic.process(packet)
+        # 12 + 10 = 22 wraps to 6 in the 4-bit field.
+        assert packet.fields["h.narrow"] == 6
+
+    @pytest.mark.parametrize("mode", ["interpreter", "compiled"])
+    def test_subtract_from_field_wraps_at_width(self, mode):
+        asic = SwitchAsic(
+            parse_p4(WRAP_PROGRAM), num_ports=4, execution_mode=mode
+        )
+        asic.tables["dip_t"].add_entry([9], "dip")
+        packet = Packet(fields={"h.narrow": 15})
+        asic.process(packet)
+        # bump: 15+10 wraps to 9; dip: 9-10 wraps to 15.
+        assert packet.fields["h.narrow"] == 15
+
+
+class TestSnapshots:
+    def test_state_snapshot_covers_live_state(self):
+        asic = build_asic("compiled")
+        before = asic_state_snapshot(asic)
+        drive_stream(asic)
+        after = asic_state_snapshot(asic)
+        assert before != after
+        assert after["packets_processed"] == 120
+        assert any(v for v in after["registers"]["seen"])
+        assert any(v for v in after["counters"]["pkts"])

@@ -181,3 +181,114 @@ class TestProperties:
             assert result == ("act", [1])
         else:
             assert result == ("other", [])
+
+
+def lpm_read(name="h.f"):
+    header, field = name.split(".")
+    return ast.TableRead(ast.FieldRef(header, field), ast.MatchType.LPM)
+
+
+class TestTcamIndex:
+    """The rank-sorted TCAM view and lpm buckets must track every
+    add/delete and preserve the scan semantics exactly."""
+
+    def test_sorted_order_maintained_across_add_delete(self):
+        table = make_table([ternary_read()])
+        low = table.add_entry([(0, 0)], "act", [0], priority=0)
+        high = table.add_entry([(5, 0xFFFFFFFF)], "act", [2], priority=10)
+        mid = table.add_entry([(5, 0xFF)], "act", [1], priority=5)
+        assert [e.entry_id for e in table._tcam_order] == [high, mid, low]
+        table.delete_entry(high)
+        assert [e.entry_id for e in table._tcam_order] == [mid, low]
+        assert table.lookup(Packet({"h.f": 5})) == ("act", [1])
+
+    def test_equal_priority_keeps_install_order(self):
+        table = make_table([ternary_read()])
+        first = table.add_entry([(1, 0xFF)], "act", [1], priority=4)
+        second = table.add_entry([(1, 0x0F)], "act", [2], priority=4)
+        # Both match h.f == 1; the first-installed entry wins the tie,
+        # as the pre-index linear scan did.
+        assert table.lookup(Packet({"h.f": 1})) == ("act", [1])
+        table.delete_entry(first)
+        assert table.lookup(Packet({"h.f": 1})) == ("act", [2])
+        assert second in {e.entry_id for e in table._tcam_order}
+
+    def test_lpm_buckets_built_and_torn_down(self):
+        table = make_table([lpm_read()])
+        assert table._lpm_indexable
+        wide = table.add_entry([(0x0A000000, 8)], "act", [8])
+        narrow = table.add_entry([(0x0A0A0000, 16)], "act", [16])
+        assert sorted(table._lpm_buckets) == [8, 16]
+        assert table.lookup(Packet({"h.f": 0x0A0A0101})) == ("act", [16])
+        table.delete_entry(narrow)
+        assert sorted(table._lpm_buckets) == [8]
+        assert table.lookup(Packet({"h.f": 0x0A0A0101})) == ("act", [8])
+        table.delete_entry(wide)
+        assert not table._lpm_buckets
+        assert table.lookup(Packet({"h.f": 0x0A0A0101})) == ("other", [])
+
+    def test_lpm_with_priority_falls_back_to_scan(self):
+        table = make_table([lpm_read()])
+        table.add_entry([(0x0A000000, 8)], "act", [8])
+        # An explicit priority breaks pure longest-prefix order; the
+        # table must permanently revert to the sorted scan.
+        table.add_entry([(0x0A0A0000, 16)], "act", [16], priority=1)
+        assert not table._lpm_indexable
+        assert not table._lpm_buckets
+        # Priority outranks prefix length in the scan.
+        assert table.lookup(Packet({"h.f": 0x0A0A0101})) == ("act", [16])
+        assert table.lookup(Packet({"h.f": 0x0A0B0101})) == ("act", [8])
+
+    def test_lpm_and_exact_combined_key_buckets(self):
+        table = make_table([exact_read("h.a"), lpm_read("h.b")])
+        assert table._lpm_indexable
+        table.add_entry([7, (0x0A000000, 8)], "act", [1])
+        table.add_entry([7, (0x0A0A0000, 16)], "act", [2])
+        table.add_entry([8, (0x0A000000, 8)], "act", [3])
+        assert table.lookup(
+            Packet({"h.a": 7, "h.b": 0x0A0A0101})
+        ) == ("act", [2])
+        assert table.lookup(
+            Packet({"h.a": 8, "h.b": 0x0A0A0101})
+        ) == ("act", [3])
+        assert table.lookup(
+            Packet({"h.a": 9, "h.b": 0x0A0A0101})
+        ) == ("other", [])
+
+    def test_find_entry_uses_exact_index(self):
+        table = make_table([exact_read()])
+        entry_id = table.add_entry([7], "act")
+        assert table._exact_index[(7,)].entry_id == entry_id
+        assert table.find_entry([7]) is table._exact_index[(7,)]
+
+    def test_find_entry_on_tcam_table(self):
+        table = make_table([ternary_read()])
+        entry_id = table.add_entry([(5, 0xFF)], "act", priority=3)
+        found = table.find_entry([(5, 0xFF)])
+        assert found is not None and found.entry_id == entry_id
+        assert table.find_entry([(5, 0xF0)]) is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=16,
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_lpm_buckets_agree_with_scan(self, prefixes, probe):
+        """The bucketed lookup must return exactly what the sorted
+        scan returns for any prefix set."""
+        bucketed = make_table([lpm_read()])
+        for index, (value, length) in enumerate(prefixes):
+            bucketed.add_entry([(value, length)], "act", [index])
+        reference = make_table([lpm_read()])
+        reference._lpm_indexable = False
+        reference._lpm_buckets.clear()
+        for index, (value, length) in enumerate(prefixes):
+            reference.add_entry([(value, length)], "act", [index])
+        packet = Packet({"h.f": probe})
+        assert bucketed.lookup(packet) == reference.lookup(packet)
