@@ -20,6 +20,15 @@ Reactions may be the compiled C-like bodies from the P4R source
 attached at runtime -- the reproduction's equivalent of the paper's
 dynamically loaded ``.so`` files, including hot swap between dialogue
 iterations.
+
+Fault tolerance (see DESIGN.md, "Fault model and recovery"): driver
+failures (:class:`TransientDriverError` surviving the retry policy,
+or :class:`DriverTimeoutError`) never corrupt the commit protocol.
+A failed mv flip or measurement poll degrades to the last checkpoint;
+a failed commit preserves all staged state and is retried, rolling
+the vv flip and the mirror phase forward without ever flipping twice;
+:meth:`MantisAgent.recover` rebuilds a crashed agent's bookkeeping
+from device state so the dialogue resumes without reinstalling.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.errors import AgentError
+from repro.errors import (
+    AgentError,
+    DriverTimeoutError,
+    TransientDriverError,
+)
 from repro.agent.handles import MalleableTableHandle
 from repro.compiler.spec import (
     CompiledArtifacts,
@@ -38,6 +51,9 @@ from repro.compiler.spec import (
 )
 from repro.p4r.creaction import CReaction, ReactionEnv
 from repro.switch.driver import Driver, MemoHandle
+
+# The failure modes the dialogue loop absorbs instead of crashing on.
+_RECOVERABLE = (TransientDriverError, DriverTimeoutError)
 
 
 class ReactionContext:
@@ -86,6 +102,33 @@ class _InitShadow:
     args: List[int] = dataclass_field(default_factory=list)
     staged: Dict[int, int] = dataclass_field(default_factory=dict)
     dirty: bool = False
+    memo: Optional[MemoHandle] = None
+    # Committed args not yet mirrored onto the old-version entry
+    # (set at the vv flip, cleared by the mirror phase).
+    mirror_dirty: bool = False
+
+
+@dataclass
+class AgentHealth:
+    """Snapshot of the agent's fault state (surfaced by the CLI).
+
+    ``degraded`` means the agent is live but behind: recent iterations
+    hit driver failures, a commit is deferred, or mirror writes are
+    still outstanding.  A degraded agent heals itself once the control
+    channel recovers; ``healthy`` is simply ``not degraded``.
+    """
+
+    healthy: bool
+    degraded: bool
+    consecutive_failed_iterations: int
+    total_failures: int
+    commit_pending: bool
+    mirror_backlog: int
+    last_error: Optional[str]
+    last_error_us: float
+    driver_errors: int
+    driver_retries: int
+    driver_timeouts: int
 
 
 class _MirrorReader:
@@ -100,6 +143,8 @@ class _MirrorReader:
         self.memo_ts = driver.memoize("register", mirror.ts)
         self.cache_values = [0] * mirror.count
         self.cache_ts = [0] * mirror.count
+        self._last_raw = [0] * mirror.count
+        self._suspect = [0] * mirror.count
 
     def poll(self, checkpoint: int, lo: int, hi: int) -> Dict[int, int]:
         offset = checkpoint * self.mirror.padded_count
@@ -112,9 +157,30 @@ class _MirrorReader:
                 memo=self.memo_dup,
             )
         for position, index in enumerate(range(lo, hi + 1)):
-            if stamps[position] > self.cache_ts[index]:
-                self.cache_ts[index] = stamps[position]
+            stamp = stamps[position]
+            if stamp > self.cache_ts[index]:
+                self.cache_ts[index] = stamp
                 self.cache_values[index] = values[position]
+                self._suspect[index] = 0
+            elif stamp < self.cache_ts[index] and stamp > self._last_raw[index]:
+                # The slot's sequence number demonstrably advanced yet
+                # still sits below our high-water mark, which means the
+                # cached stamp came from a corrupted read.  One sighting
+                # could itself be corruption; two consecutive advancing
+                # sightings resynchronize the cache.
+                self._suspect[index] += 1
+                if self._suspect[index] >= 2:
+                    self.cache_ts[index] = stamp
+                    self.cache_values[index] = values[position]
+                    self._suspect[index] = 0
+            else:
+                self._suspect[index] = 0
+            self._last_raw[index] = stamp
+        return {index: self.cache_values[index] for index in range(lo, hi + 1)}
+
+    def cached(self, lo: int, hi: int) -> Dict[int, int]:
+        """Last successfully polled values (fallback when the control
+        channel fails mid-poll: stale but internally consistent)."""
         return {index: self.cache_values[index] for index in range(lo, hi + 1)}
 
 
@@ -135,7 +201,11 @@ class MantisAgent:
     """A per-pipeline Mantis agent bound to one driver.
 
     ``pacing_sleep_us`` trades CPU utilization for reaction time
-    (Figure 11's ``nanosleep`` knob).
+    (Figure 11's ``nanosleep`` knob).  ``verify_commits`` reads every
+    commit-path write back from the device and treats a mismatch as a
+    transient failure -- the defense against silently dropped writes.
+    ``commit_retry_limit`` bounds how many times one iteration retries
+    a failed commit before deferring it to the next iteration.
     """
 
     def __init__(
@@ -143,11 +213,15 @@ class MantisAgent:
         artifacts: CompiledArtifacts,
         driver: Driver,
         pacing_sleep_us: float = 0.0,
+        verify_commits: bool = False,
+        commit_retry_limit: int = 5,
     ):
         self.spec: ControlPlaneSpec = artifacts.spec
         self.artifacts = artifacts
         self.driver = driver
         self.pacing_sleep_us = pacing_sleep_us
+        self.verify_commits = verify_commits
+        self.commit_retry_limit = commit_retry_limit
         self.vv = 0
         self.mv = 0
         # Simulated cost per interpreted C expression (Section 8.1's C).
@@ -184,9 +258,17 @@ class MantisAgent:
         self._param_width: Dict[str, int] = {}
         self._param_home: Dict[str, Tuple[str, int]] = {}
         self._container_memos: Dict[str, MemoHandle] = {}
+        self._container_cache: Dict[str, int] = {}
         self._mirror_readers: Dict[str, _MirrorReader] = {}
         self._tables: Dict[str, MalleableTableHandle] = {}
         self._has_measurements = bool(self.spec.containers or self.spec.mirrors)
+        # Fault state: a committed-but-unmirrored flip (the old vv to
+        # mirror onto), and the failure counters behind health().
+        self._mirror_old_vv: Optional[int] = None
+        self._consecutive_failures = 0
+        self._total_failures = 0
+        self._last_error: Optional[str] = None
+        self._last_error_us = 0.0
 
     # ------------------------------------------------------------------
     # Registration
@@ -239,7 +321,10 @@ class MantisAgent:
         if rerun and self._user_init is not None:
             context = ReactionContext(self, {}, {})
             self._user_init(context)
-            self._commit()
+            # The re-init's staged configuration commits atomically;
+            # under driver failure it stays staged (and the swap stays
+            # applied) until a later iteration's commit lands.
+            self._commit_with_recovery()
 
     # ------------------------------------------------------------------
     # Prologue
@@ -266,7 +351,9 @@ class MantisAgent:
                     init.table, init.action, self._master_args, memo=memo
                 )
             else:
-                shadow = _InitShadow(init, args=[p.init for p in init.params])
+                shadow = _InitShadow(
+                    init, args=[p.init for p in init.params], memo=memo
+                )
                 for version in (0, 1):
                     shadow.entry_ids[version] = driver.add_entry(
                         init.table, [version], init.action, shadow.args,
@@ -288,19 +375,7 @@ class MantisAgent:
                 driver, mirror
             )
 
-        alt_counts = {
-            name: len(fld.alts) for name, fld in self.spec.fields.items()
-        }
-        for name, transform in self.spec.tables.items():
-            if name in self._init_shadows:
-                continue  # managed as init shadows, not user tables
-            self._tables[name] = MalleableTableHandle(
-                driver,
-                transform,
-                active_version=lambda: self.vv,
-                memo=driver.memoize("table", name),
-                field_alt_counts=alt_counts,
-            )
+        self._make_table_handles()
 
         self._prologue_done = True
         self._user_init = user_init
@@ -310,12 +385,123 @@ class MantisAgent:
             # Fold any user-staged configuration in atomically.
             self._commit()
 
+    def _make_table_handles(self) -> None:
+        alt_counts = {
+            name: len(fld.alts) for name, fld in self.spec.fields.items()
+        }
+        for name, transform in self.spec.tables.items():
+            if name in self._init_shadows:
+                continue  # managed as init shadows, not user tables
+            self._tables[name] = MalleableTableHandle(
+                self.driver,
+                transform,
+                active_version=lambda: self.vv,
+                memo=self.driver.memoize("table", name),
+                field_alt_counts=alt_counts,
+            )
+
     def table(self, name: str) -> MalleableTableHandle:
         if not self._prologue_done:
             raise AgentError("run prologue() before accessing tables")
         if name not in self._tables:
             raise AgentError(f"no malleable/transformed table {name!r}")
         return self._tables[name]
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+
+    def recover(self) -> None:
+        """Rebuild a restarted agent's bookkeeping from device state.
+
+        The inverse of :meth:`prologue` for a switch that is already
+        configured: version variables, master arguments, malleable
+        values, init-shadow entry ids, and user table entries are all
+        reconstructed by reading the device back, and interrupted
+        commits are rolled forward (a stale shadow copy is repaired),
+        so the dialogue resumes exactly where the crashed agent left
+        off -- without reinstalling entries or perturbing traffic.
+
+        Limitations: tables transformed for malleable *fields* (alt
+        expansion / action specialization) are only recovered when
+        empty -- their user-level keys are not invertible from the
+        concrete entries.
+        """
+        if self._prologue_done:
+            raise AgentError("recover() requires a fresh agent")
+        if self._master is None:
+            raise AgentError(
+                "cannot recover a program without a master init table"
+            )
+        driver = self.driver
+
+        # Master first: it holds the authoritative vv/mv.
+        master = self._master
+        self._master_memo = driver.memoize("table", master.table)
+        default = driver.read_default(master.table, memo=self._master_memo)
+        if default is None:
+            raise AgentError(
+                f"cannot recover: master init table {master.table} has no "
+                "default action installed (prologue never ran?)"
+            )
+        self._master_args = list(default[1])
+        self.vv = self._master_args[master.param_index("vv")]
+        self.mv = self._master_args[master.param_index("mv")]
+
+        for init in self.spec.init_tables:
+            for param in init.params:
+                self._param_width[param.name] = param.width
+                self._param_home[param.name] = (init.table, init.master)
+            if init.master:
+                for index, param in enumerate(init.params):
+                    self._param_values[param.name] = self._master_args[index]
+                continue
+            memo = driver.memoize("table", init.table)
+            shadow = _InitShadow(init, memo=memo)
+            by_version: Dict[int, List[int]] = {}
+            for entry_id, key, _action, args, _priority in driver.read_entries(
+                init.table, memo=memo
+            ):
+                if key in ((0,), (1,)):
+                    shadow.entry_ids[key[0]] = entry_id
+                    by_version[key[0]] = list(args)
+            if set(shadow.entry_ids) != {0, 1}:
+                raise AgentError(
+                    f"cannot recover: init table {init.table} is missing "
+                    f"version entries (found {sorted(shadow.entry_ids)})"
+                )
+            # The active copy is authoritative; a diverging shadow copy
+            # is either an unfinished mirror or an uncommitted prepare
+            # -- both repaired by rewriting it to the committed args.
+            shadow.args = by_version[self.vv]
+            if by_version[self.vv ^ 1] != shadow.args:
+                driver.modify_entry(
+                    init.table,
+                    shadow.entry_ids[self.vv ^ 1],
+                    args=list(shadow.args),
+                    memo=memo,
+                )
+            for index, param in enumerate(init.params):
+                self._param_values[param.name] = shadow.args[index]
+            self._init_shadows[init.table] = shadow
+
+        # Load tables are static and already installed; measurement
+        # readers start cold and repopulate via the timestamp cache.
+        for container in self.spec.containers:
+            self._container_memos[container.register] = driver.memoize(
+                "register", container.register
+            )
+        for mirror in self.spec.mirrors.values():
+            self._mirror_readers[mirror.original] = _MirrorReader(
+                driver, mirror
+            )
+
+        self._make_table_handles()
+        for handle in self._tables.values():
+            entries = driver.read_entries(handle.name, memo=handle.memo)
+            if entries:
+                handle.adopt_entries(entries, self.vv)
+
+        self._prologue_done = True
 
     # ------------------------------------------------------------------
     # Malleable access
@@ -376,28 +562,57 @@ class MantisAgent:
         ``commit=False`` stops before the vv flip -- used by the
         multi-pipeline synchronized-commit extension, which performs
         the commits of all pipelines back to back.
+
+        Driver failures never escape: a failed mv flip or poll falls
+        back to the previous checkpoint, a failed commit defers (with
+        all staged state preserved) to the next iteration.  Reaction
+        exceptions still propagate -- user code bugs are not faults.
         """
         if not self._prologue_done:
             raise AgentError("run prologue() before the dialogue loop")
         clock = self.driver.clock
         start = clock.now
+        failures_before = self._total_failures
+
+        # Roll any unfinished mirror forward *before* reactions stage
+        # new changes: a stale mirror replaying after fresh prepares
+        # could resurrect entries the new generation deleted.
+        if not self._finish_mirror_tolerant():
+            busy = clock.now - start
+            self.last_breakdown = {
+                "mv_flip_us": 0.0, "poll_us": 0.0, "react_us": 0.0,
+                "commit_us": busy, "total_us": busy,
+            }
+            self._account_iteration(busy, failures_before)
+            return busy
 
         if self._has_measurements and self._master is not None:
-            self._write_master(mv=self.mv ^ 1)
-            self.mv ^= 1
+            try:
+                self._write_master(mv=self.mv ^ 1)
+                self.mv ^= 1
+                self._param_values["mv"] = self.mv
+            except _RECOVERABLE as error:
+                # Tolerated: poll the previous checkpoint again (one
+                # measurement interval staler, still consistent).
+                self._note_failure(error)
         checkpoint = self.mv ^ 1
         after_flip = clock.now
 
         poll_time = 0.0
         for runtime in self._reactions:
             poll_start = clock.now
-            args = self._poll_args(runtime, checkpoint)
+            try:
+                args = self._poll_args(runtime, checkpoint)
+            except _RECOVERABLE as error:
+                self._note_failure(error)
+                poll_time += clock.now - poll_start
+                continue  # skip this reaction for one iteration
             poll_time += clock.now - poll_start
             self._execute(runtime, args)
         before_commit = clock.now
 
         if commit:
-            self._commit()
+            self._commit_with_recovery()
         self._apply_pending_swaps()
 
         busy = clock.now - start
@@ -410,6 +625,10 @@ class MantisAgent:
             "commit_us": clock.now - before_commit,
             "total_us": busy,
         }
+        self._account_iteration(busy, failures_before)
+        return busy
+
+    def _account_iteration(self, busy: float, failures_before: int) -> None:
         self.iterations += 1
         self.total_busy_us += busy
         duration = busy + self.pacing_sleep_us
@@ -419,9 +638,12 @@ class MantisAgent:
         if len(self.iteration_durations) > 100_000:
             del self.iteration_durations[:50_000]
         if self.pacing_sleep_us:
-            clock.advance(self.pacing_sleep_us)
+            self.driver.clock.advance(self.pacing_sleep_us)
             self.total_idle_us += self.pacing_sleep_us
-        return busy
+        if self._total_failures > failures_before:
+            self._consecutive_failures += 1
+        else:
+            self._consecutive_failures = 0
 
     def run(self, iterations: int) -> None:
         for _ in range(iterations):
@@ -443,7 +665,48 @@ class MantisAgent:
         commit points."""
         self._commit()
 
+    # ------------------------------------------------------------------
+    # Health
+
+    def health(self) -> AgentHealth:
+        """Fault-state snapshot (consecutive failures, deferred work,
+        last error); ``healthy`` once all effects of past faults have
+        drained."""
+        driver = self.driver
+        backlog = sum(h.mirror_backlog for h in self._tables.values())
+        commit_pending = (
+            self._mirror_old_vv is not None
+            or bool(self._master_staged)
+            or any(
+                shadow.dirty or shadow.mirror_dirty
+                for shadow in self._init_shadows.values()
+            )
+        )
+        degraded = (
+            self._consecutive_failures > 0
+            or commit_pending
+            or backlog > 0
+        )
+        return AgentHealth(
+            healthy=not degraded,
+            degraded=degraded,
+            consecutive_failed_iterations=self._consecutive_failures,
+            total_failures=self._total_failures,
+            commit_pending=commit_pending,
+            mirror_backlog=backlog,
+            last_error=self._last_error,
+            last_error_us=self._last_error_us,
+            driver_errors=driver.errors_total,
+            driver_retries=driver.retries_total,
+            driver_timeouts=driver.timeouts_total,
+        )
+
     # ---- internals -----------------------------------------------------
+
+    def _note_failure(self, error: Exception) -> None:
+        self._total_failures += 1
+        self._last_error = str(error)
+        self._last_error_us = self.driver.clock.now
 
     def _write_master(
         self,
@@ -455,25 +718,68 @@ class MantisAgent:
 
         Staged malleable values are folded in only when
         ``fold_staged`` is set (the vv commit); the mv flip must not
-        leak configuration changes early.
+        leak configuration changes early.  Staged state is cleared
+        only after the device accepted (and, under ``verify_commits``,
+        demonstrably applied) the write, so a failure preserves it
+        for the retry.
         """
         master = self._master
         args = list(self._master_args)
         if fold_staged:
             for index, value in self._master_staged.items():
                 args[index] = value
-            self._master_staged.clear()
         args[master.param_index("vv")] = self.vv if vv is None else vv
         args[master.param_index("mv")] = self.mv if mv is None else mv
         self.driver.set_default(
             master.table, master.action, args, memo=self._master_memo
         )
+        if self.verify_commits:
+            landed = self.driver.read_default(
+                master.table, memo=self._master_memo
+            )
+            if landed is None or list(landed[1]) != args:
+                raise TransientDriverError(
+                    f"master write to {master.table!r} did not land "
+                    "(dropped?)"
+                )
+        if fold_staged:
+            self._master_staged.clear()
         self._master_args = args
 
+    def _write_init_shadow(
+        self, shadow: _InitShadow, version: int, args: List[int]
+    ) -> None:
+        """One memoized entry write to an init-shadow version copy,
+        read back under ``verify_commits``."""
+        self.driver.modify_entry(
+            shadow.spec.table,
+            shadow.entry_ids[version],
+            args=args,
+            memo=shadow.memo,
+        )
+        if self.verify_commits:
+            landed = {
+                entry_id: entry_args
+                for entry_id, _key, _action, entry_args, _priority
+                in self.driver.read_entries(shadow.spec.table, memo=shadow.memo)
+            }
+            if landed.get(shadow.entry_ids[version]) != list(args):
+                raise TransientDriverError(
+                    f"shadow write to {shadow.spec.table!r} v{version} "
+                    "did not land (dropped?)"
+                )
+
     def _commit(self) -> None:
-        """Prepare (non-master inits) + vv flip (commit) + mirror."""
+        """Prepare (non-master inits) + vv flip (commit) + mirror.
+
+        Every phase is resumable: a driver failure raises out with all
+        staged state intact, and re-running the interrupted phase (via
+        :meth:`_commit_with_recovery`) completes the commit without
+        ever flipping vv twice for one batch of changes.
+        """
         if self._master is None:
             return
+        self._finish_mirror()
         # Prepare: one shadow-entry write per dirty non-master init.
         for shadow in self._init_shadows.values():
             if not shadow.dirty:
@@ -481,16 +787,16 @@ class MantisAgent:
             new_args = list(shadow.args)
             for position, value in shadow.staged.items():
                 new_args[position] = value
-            self.driver.modify_entry(
-                shadow.spec.table,
-                shadow.entry_ids[self.vv ^ 1],
-                args=new_args,
-            )
+            self._write_init_shadow(shadow, self.vv ^ 1, new_args)
         old_vv = self.vv
         self._write_master(vv=self.vv ^ 1, fold_staged=True)
+        # The flip landed: the commit is now irrevocable.  Record the
+        # mirror obligation *before* doing any mirror write, so a
+        # failure below leaves a resumable marker instead of a lie.
         self.vv ^= 1
-        for handle in self._tables.values():
-            handle.fill_shadow(old_vv)
+        if "vv" in self._param_values:
+            self._param_values["vv"] = self.vv
+        self._mirror_old_vv = old_vv
         for shadow in self._init_shadows.values():
             if not shadow.dirty:
                 continue
@@ -498,16 +804,67 @@ class MantisAgent:
                 shadow.args[position] = value
             shadow.staged.clear()
             shadow.dirty = False
-            self.driver.modify_entry(
-                shadow.spec.table,
-                shadow.entry_ids[old_vv],
-                args=list(shadow.args),
-            )
+            shadow.mirror_dirty = True
+        for handle in self._tables.values():
+            handle.seal_mirror(old_vv)
+        self._finish_mirror()
+
+    def _finish_mirror(self) -> None:
+        """Mirror phase: replay committed changes onto the now-shadow
+        old-version copies, restoring the two-entry invariant."""
+        if self._mirror_old_vv is None:
+            return
+        old_vv = self._mirror_old_vv
+        for handle in self._tables.values():
+            handle.drain_mirror()
+        for shadow in self._init_shadows.values():
+            if not shadow.mirror_dirty:
+                continue
+            self._write_init_shadow(shadow, old_vv, list(shadow.args))
+            shadow.mirror_dirty = False
+        self._mirror_old_vv = None
+
+    def _finish_mirror_tolerant(self) -> bool:
+        """Try to drain mirror debt; absorb driver failures.
+
+        Returns False when debt remains (the caller must not prepare
+        new changes on top of an unfinished mirror).
+        """
+        try:
+            self._finish_mirror()
+            return True
+        except _RECOVERABLE as error:
+            self._note_failure(error)
+            return False
+
+    def _commit_with_recovery(self) -> bool:
+        """Commit, absorbing driver failures; returns True when the
+        commit (including its mirror phase) fully landed.
+
+        If the vv flip already happened, only the mirror phase is
+        retried -- never the flip.  On exhaustion the commit stays
+        deferred: staged values, dirty flags and sealed mirror ops all
+        survive for the next iteration.
+        """
+        for _attempt in range(max(1, self.commit_retry_limit)):
+            try:
+                if self._mirror_old_vv is not None:
+                    self._finish_mirror()
+                else:
+                    self._commit()
+                return True
+            except _RECOVERABLE as error:
+                self._note_failure(error)
+        return False
 
     def _poll_args(
         self, runtime: _ReactionRuntime, checkpoint: int
     ) -> Dict[str, object]:
-        """Poll one reaction's parameters from the checkpoint copies."""
+        """Poll one reaction's parameters from the checkpoint copies.
+
+        Failed container/mirror reads degrade to the last successfully
+        read values (stale but consistent) instead of raising.
+        """
         args: Dict[str, object] = {}
         decl_args = runtime.spec.decl.args
         container_words: Dict[str, int] = {}
@@ -519,17 +876,29 @@ class MantisAgent:
                     runtime.spec.name, arg.c_name
                 )
                 if container.register not in container_words:
-                    words = self.driver.read_registers(
-                        container.register, checkpoint, checkpoint,
-                        memo=self._container_memos[container.register],
-                    )
-                    container_words[container.register] = words[0]
+                    try:
+                        words = self.driver.read_registers(
+                            container.register, checkpoint, checkpoint,
+                            memo=self._container_memos[container.register],
+                        )
+                        word = words[0]
+                        self._container_cache[container.register] = word
+                    except _RECOVERABLE as error:
+                        self._note_failure(error)
+                        word = self._container_cache.get(
+                            container.register, 0
+                        )
+                    container_words[container.register] = word
                 word = container_words[container.register]
                 args[arg.c_name] = (word >> slot.shift) & ((1 << slot.width) - 1)
         for arg, (source, key) in zip(decl_args, runtime.spec.arg_sources):
             if source == "mirror":
                 reader = self._mirror_readers[key]
-                args[arg.c_name] = reader.poll(checkpoint, arg.lo, arg.hi)
+                try:
+                    args[arg.c_name] = reader.poll(checkpoint, arg.lo, arg.hi)
+                except _RECOVERABLE as error:
+                    self._note_failure(error)
+                    args[arg.c_name] = reader.cached(arg.lo, arg.hi)
             elif source == "mbl":
                 args[arg.c_name] = self.read_malleable(key)
         return args

@@ -99,8 +99,15 @@ class MalleableTableHandle:
         self._alt_counts = dict(field_alt_counts or {})
         self._users: Dict[int, _UserEntry] = {}
         self._next_user_id = itertools.count(1)
-        # (op, user_id, payload) list replayed against the old copy.
-        self._pending_mirror: List[Tuple[str, int, tuple]] = []
+        # [op, user_id, payload] lists (mutable: the mirror rewrites
+        # op in place to track roll-forward progress) replayed against
+        # the old copy after each commit.
+        self._pending_mirror: List[List] = []
+        # Sealed generations awaiting mirror: (old_version, ops).  A
+        # generation is sealed at its vv flip and drained op by op;
+        # a driver failure mid-drain leaves the remainder here so the
+        # agent can roll the mirror forward before the next commit.
+        self._sealed_mirror: List[Tuple[int, List[List]]] = []
 
     # ---- public API (callable from C reaction bodies) ---------------------
 
@@ -142,10 +149,21 @@ class MalleableTableHandle:
         user = _UserEntry(
             next(self._next_user_id), tuple(key), action, list(args), priority
         )
+        self.drain_mirror()
         shadow = self._shadow_version()
-        user.concrete[shadow] = self._install(user, shadow)
+        try:
+            self._install(user, shadow)
+        except Exception:
+            # Best-effort rollback: a failed prepare must not leave
+            # orphaned concrete entries on the shadow copy (they would
+            # activate at the next flip with no owner).
+            try:
+                self._delete_concrete(user, shadow)
+            except Exception:
+                pass
+            raise
         self._users[user.user_id] = user
-        self._pending_mirror.append(("add", user.user_id, ()))
+        self._pending_mirror.append(["add", user.user_id, ()])
         return user.user_id
 
     def modify(
@@ -155,16 +173,16 @@ class MalleableTableHandle:
         args: Optional[Sequence[int]] = None,
     ) -> None:
         user = self._get(user_id)
+        self.drain_mirror()
         if action is not None and action != user.action:
             # Changing the action can change specialization; reinstall.
             shadow = self._shadow_version()
-            for concrete_id in user.concrete.get(shadow, []):
-                self.driver.delete_entry(self.name, concrete_id, memo=self.memo)
+            self._delete_concrete(user, shadow)
             user.action = action
             if args is not None:
                 user.args = list(args)
-            user.concrete[shadow] = self._install(user, shadow)
-            self._pending_mirror.append(("reinstall", user_id, ()))
+            self._install(user, shadow)
+            self._pending_mirror.append(["reinstall", user_id, ()])
             return
         if args is not None:
             user.args = list(args)
@@ -174,46 +192,83 @@ class MalleableTableHandle:
             self.driver.modify_entry(
                 self.name, concrete_id, args=resolved_args, memo=self.memo
             )
-        self._pending_mirror.append(("modify", user_id, ()))
+        self._pending_mirror.append(["modify", user_id, ()])
 
     def delete(self, user_id: int) -> None:
         user = self._get(user_id)
+        self.drain_mirror()
         shadow = self._shadow_version()
-        for concrete_id in user.concrete.pop(shadow, []):
-            self.driver.delete_entry(self.name, concrete_id, memo=self.memo)
-        self._pending_mirror.append(("delete", user_id, ()))
+        self._delete_concrete(user, shadow)
+        self._pending_mirror.append(["delete", user_id, ()])
+
+    def seal_mirror(self, old_version: int) -> None:
+        """Bind the prepared-and-committed ops to the version copy
+        they must be mirrored onto.  Called at the vv flip; ops staged
+        after the seal belong to the next generation."""
+        if self._pending_mirror:
+            self._sealed_mirror.append((old_version, self._pending_mirror))
+            self._pending_mirror = []
+
+    def drain_mirror(self) -> None:
+        """Replay sealed mirror generations, op by op.
+
+        Each op is removed only after it fully lands, and every op is
+        internally resumable (installs append concrete ids as they
+        land; deletes pop ids as they land), so a driver failure
+        mid-drain can be rolled forward by calling this again.
+        """
+        while self._sealed_mirror:
+            old_version, ops = self._sealed_mirror[0]
+            while ops:
+                self._apply_mirror_op(old_version, ops[0])
+                ops.pop(0)
+            self._sealed_mirror.pop(0)
 
     def fill_shadow(self, old_version: int) -> None:
         """Mirror phase: replay committed changes onto the now-shadow
         ``old_version`` copies.  Called by the agent after the vv flip."""
-        for op, user_id, _payload in self._pending_mirror:
-            user = self._users.get(user_id)
-            if op == "add":
-                user.concrete[old_version] = self._install(user, old_version)
-            elif op == "modify":
-                for concrete_id in user.concrete.get(old_version, []):
-                    self.driver.modify_entry(
-                        self.name, concrete_id, args=list(user.args),
-                        memo=self.memo,
-                    )
-            elif op == "reinstall":
-                for concrete_id in user.concrete.get(old_version, []):
-                    self.driver.delete_entry(
-                        self.name, concrete_id, memo=self.memo
-                    )
-                user.concrete[old_version] = self._install(user, old_version)
-            elif op == "delete":
-                for concrete_id in user.concrete.pop(old_version, []):
-                    self.driver.delete_entry(
-                        self.name, concrete_id, memo=self.memo
-                    )
-                if not user.concrete:
-                    self._users.pop(user_id, None)
-        self._pending_mirror.clear()
+        self.seal_mirror(old_version)
+        self.drain_mirror()
+
+    def _apply_mirror_op(self, old_version: int, op_entry: List) -> None:
+        op, user_id = op_entry[0], op_entry[1]
+        user = self._users.get(user_id)
+        if user is None:
+            return
+        if op == "reinstall":
+            self._delete_concrete(user, old_version)
+            # Phase marker: deletes done, the remainder is a plain add.
+            op_entry[0] = op = "add"
+        if op == "add":
+            self._install(user, old_version)
+        elif op == "modify":
+            for concrete_id in user.concrete.get(old_version, []):
+                self.driver.modify_entry(
+                    self.name, concrete_id, args=list(user.args),
+                    memo=self.memo,
+                )
+        elif op == "delete":
+            self._delete_concrete(user, old_version)
+            if not user.concrete:
+                self._users.pop(user_id, None)
+
+    def _delete_concrete(self, user: _UserEntry, version: int) -> None:
+        """Remove one version's concrete entries, forgetting each id
+        only once its delete landed (resumable under faults)."""
+        concrete_ids = user.concrete.get(version, [])
+        while concrete_ids:
+            self.driver.delete_entry(self.name, concrete_ids[-1], memo=self.memo)
+            concrete_ids.pop()
+        user.concrete.pop(version, None)
 
     @property
     def pending_ops(self) -> int:
-        return len(self._pending_mirror)
+        return len(self._pending_mirror) + self.mirror_backlog
+
+    @property
+    def mirror_backlog(self) -> int:
+        """Committed-but-unmirrored ops from failed commits."""
+        return sum(len(ops) for _version, ops in self._sealed_mirror)
 
     def user_entry_count(self) -> int:
         return len(self._users)
@@ -251,13 +306,21 @@ class MalleableTableHandle:
         )
 
     def _install(self, user: _UserEntry, version: int) -> List[int]:
-        """Install all concrete entries for one user entry at ``version``."""
+        """Install all concrete entries for one user entry at ``version``.
+
+        Resumable: ids are tracked in ``user.concrete[version]`` as
+        each add lands, and the (deterministic) combo enumeration
+        skips entries already installed -- a retry after a mid-install
+        driver failure finishes the remainder without duplicating.
+        """
         fields = self._involved_fields(user.action)
-        combos = itertools.product(
-            *[range(self._alt_count(name)) for name in fields]
+        combos = list(
+            itertools.product(
+                *[range(self._alt_count(name)) for name in fields]
+            )
         ) if fields else [()]
-        concrete_ids = []
-        for combo in combos:
+        concrete_ids = user.concrete.setdefault(version, [])
+        for combo in combos[len(concrete_ids):]:
             assignment = dict(zip(fields, combo))
             key, action = self._concrete_key(user, assignment, version)
             concrete_ids.append(
@@ -267,6 +330,66 @@ class MalleableTableHandle:
                 )
             )
         return concrete_ids
+
+    # ---- crash recovery ----------------------------------------------------
+
+    def adopt_entries(self, entries, active_version: int) -> None:
+        """Rebuild user-level bookkeeping from installed concrete
+        entries (agent crash recovery; ``entries`` as returned by
+        :meth:`Driver.read_entries`).
+
+        Only supported for tables without malleable-field reads or
+        action specialization: those expansions are not invertible
+        once the user-level key is lost.  Version singletons are
+        repaired: an entry present only in the shadow copy is a
+        prepared-but-never-committed leftover and is deleted; one
+        present only in the active copy is an unmirrored commit and is
+        rolled forward into the shadow copy.
+        """
+        if any(r.kind == "mbl" for r in self.transform.reads) or (
+            self.transform.action_selectors
+        ):
+            raise AgentError(
+                f"table {self.name}: cannot recover user entries of a "
+                "malleable-field transformed table"
+            )
+        if self._users:
+            raise AgentError(
+                f"table {self.name}: adopt_entries on a non-empty handle"
+            )
+        vv_position = self.transform.vv_position
+        groups: Dict[Tuple, Dict[int, int]] = {}
+        for entry_id, key, action, args, priority in entries:
+            if vv_position >= 0:
+                version = key[vv_position]
+                user_key = tuple(
+                    part for index, part in enumerate(key)
+                    if index != vv_position
+                )
+            else:
+                version = active_version
+                user_key = tuple(key)
+            groups.setdefault(
+                (user_key, action, tuple(args), priority), {}
+            )[version] = entry_id
+        ordered = sorted(groups.items(), key=lambda item: min(item[1].values()))
+        for (user_key, action, args, priority), versions in ordered:
+            user = _UserEntry(
+                next(self._next_user_id), user_key, action, list(args),
+                priority,
+            )
+            for version, entry_id in versions.items():
+                user.concrete[version] = [entry_id]
+            if vv_position >= 0:
+                if active_version not in versions:
+                    # Prepared but never committed (crash mid-prepare):
+                    # discard, or the change would leak at the next flip.
+                    self._delete_concrete(user, active_version ^ 1)
+                    continue
+                if (active_version ^ 1) not in versions:
+                    # Committed but never mirrored: roll forward.
+                    self._install(user, active_version ^ 1)
+            self._users[user.user_id] = user
 
     def _concrete_key(
         self, user: _UserEntry, assignment: Dict[str, int], version: int

@@ -103,8 +103,19 @@ def cmd_inspect(args) -> int:
 
 def cmd_run(args) -> int:
     source = _read(args.source)
+    kwargs = {}
+    if args.fault_seed is not None:
+        from repro.faults import random_fault_plan
+        from repro.switch.driver import RetryPolicy
+
+        kwargs["fault_plan"] = random_fault_plan(
+            args.fault_seed, duration_us=args.duration
+        )
+        kwargs["retry_policy"] = RetryPolicy()
+        kwargs["verify_commits"] = True
     system = MantisSystem.from_source(
         source, _compiler_options(args), pacing_sleep_us=args.pacing,
+        **kwargs,
     )
     system.agent.prologue()
     iterations = system.agent.run_until(args.duration)
@@ -113,6 +124,18 @@ def cmd_run(args) -> int:
     print(f"avg reaction time : {system.agent.avg_reaction_time_us:.2f} us")
     print(f"cpu utilization   : {system.agent.cpu_utilization:.1%}")
     print(f"driver operations : {system.driver.ops_issued}")
+    health = system.agent.health()
+    status = "healthy" if health.healthy else "DEGRADED"
+    print(f"agent health      : {status} "
+          f"(failures={health.total_failures}, "
+          f"retries={health.driver_retries}, "
+          f"timeouts={health.driver_timeouts})")
+    if health.last_error:
+        print(f"last error        : {health.last_error} "
+              f"@ {health.last_error_us:.1f} us")
+    if system.fault_injector is not None:
+        print(f"injected faults   : {system.fault_injector.triggered} "
+              f"(seed {args.fault_seed})")
     return 0
 
 
@@ -173,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated microseconds to run")
     p_run.add_argument("--pacing", type=float, default=0.0,
                        help="pacing sleep per iteration (us)")
+    p_run.add_argument("--fault-seed", type=int, default=None,
+                       help="inject a seeded random fault plan and arm "
+                            "driver retries + commit verification")
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser(

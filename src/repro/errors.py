@@ -52,6 +52,24 @@ class DriverError(SwitchError):
     were not declared in the loaded program."""
 
 
+class TransientDriverError(DriverError):
+    """A control-channel operation failed without mutating device
+    state (rejected write, lost response, control-channel hiccup).
+
+    The operation is safe to retry verbatim: the driver guarantees the
+    ASIC mutation never landed when this is raised.
+    """
+
+
+class DriverTimeoutError(DriverError):
+    """A driver operation exhausted its :class:`RetryPolicy` budget
+    (max attempts or per-op deadline) without succeeding.
+
+    Like :class:`TransientDriverError`, the device state is guaranteed
+    untouched by the failed operation.
+    """
+
+
 class AgentError(ReproError):
     """Raised by the Mantis control-plane agent, e.g. when a reaction
     references an argument that was never registered for polling."""

@@ -1,0 +1,31 @@
+"""Fault subsystem: deterministic driver fault injection + invariant
+checkers for the recovery guarantees (see DESIGN.md, "Fault model and
+recovery")."""
+
+from repro.faults.invariants import (
+    VersionInvariantChecker,
+    shadow_parity_violations,
+)
+from repro.faults.plan import (
+    CORRUPTIBLE_KINDS,
+    DROPPABLE_KINDS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    random_fault_plan,
+)
+
+__all__ = [
+    "CORRUPTIBLE_KINDS",
+    "DROPPABLE_KINDS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "VersionInvariantChecker",
+    "random_fault_plan",
+    "shadow_parity_violations",
+]

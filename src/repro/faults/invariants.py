@@ -1,0 +1,181 @@
+"""Runtime checkers for the paper's isolation claims under faults.
+
+:class:`VersionInvariantChecker` watches the data-plane-visible
+configuration after every driver operation and asserts the Section 5
+commit semantics: the *active* version's entry set (what packets can
+match) changes only at a vv flip -- never piecewise.  A prepare or
+mirror write leaking into the active copy, or a half-applied commit
+becoming visible, shows up as a recorded violation.
+
+:func:`shadow_parity_violations` checks the steady-state two-entry
+shadow invariant (Section 5.1.1): once the dialogue is quiescent and
+healthy, both version copies of every shadowed object must carry the
+same configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _master_spec(spec):
+    for init in spec.init_tables:
+        if init.master:
+            return init
+    return None
+
+
+def _masked_master_args(master, args) -> Tuple[int, ...]:
+    """Master init args with the version bits blanked: the mv flip
+    legitimately rewrites mv between commits, and vv is the snapshot
+    key itself."""
+    masked = list(args)
+    for index, param in enumerate(master.params):
+        if param.kind in ("vv", "mv"):
+            masked[index] = -1
+    return tuple(masked)
+
+
+class VersionInvariantChecker:
+    """Post-op hook asserting active-version configuration stability.
+
+    Attach to a live :class:`~repro.system.MantisSystem`; it registers
+    itself on the driver's ``post_op_hooks``.  ``violations`` collects
+    ``(time_us, op, detail)`` tuples; a clean run leaves it empty.
+    """
+
+    def __init__(self, system):
+        self.asic = system.asic
+        self.spec = system.spec
+        self.master = _master_spec(self.spec)
+        if self.master is None:
+            raise ValueError("program has no master init table to watch")
+        self.vv_index = self.master.param_index("vv")
+        self.violations: List[Tuple[float, str, str]] = []
+        self.flips = 0
+        self.checks = 0
+        self._last: Optional[Tuple[int, Dict]] = None
+        system.driver.post_op_hooks.append(self._check)
+
+    # ---- snapshotting ------------------------------------------------------
+
+    def _device_vv(self) -> Optional[int]:
+        default = self.asic.get_table(self.master.table).default_action
+        if default is None:
+            return None
+        return default[1][self.vv_index]
+
+    def _active_snapshot(self, vv: int) -> Dict:
+        snapshot: Dict = {}
+        default = self.asic.get_table(self.master.table).default_action
+        snapshot["master"] = _masked_master_args(self.master, default[1])
+        for init in self.spec.init_tables:
+            if init.master:
+                continue
+            runtime = self.asic.get_table(init.table)
+            for entry in runtime.entries.values():
+                if entry.key == (vv,):
+                    snapshot[("init", init.table)] = (
+                        entry.action_name, tuple(entry.action_args),
+                    )
+        for name, transform in self.spec.tables.items():
+            if transform.vv_position < 0:
+                continue
+            if any(init.table == name for init in self.spec.init_tables):
+                continue
+            runtime = self.asic.get_table(name)
+            snapshot[("table", name)] = frozenset(
+                (entry.key, entry.action_name, tuple(entry.action_args),
+                 entry.priority)
+                for entry in runtime.entries.values()
+                if entry.key[transform.vv_position] == vv
+            )
+        return snapshot
+
+    # ---- the hook ----------------------------------------------------------
+
+    def _check(self, kind: str, target: str, channel: str) -> None:
+        vv = self._device_vv()
+        if vv is None:
+            return
+        self.checks += 1
+        snapshot = self._active_snapshot(vv)
+        if self._last is None:
+            self._last = (vv, snapshot)
+            return
+        last_vv, last_snapshot = self._last
+        if vv != last_vv:
+            # The commit point: a new configuration becomes active
+            # atomically.  Reset the baseline.
+            self.flips += 1
+            self._last = (vv, snapshot)
+            return
+        if snapshot != last_snapshot:
+            changed = [
+                str(key)
+                for key in set(snapshot) | set(last_snapshot)
+                if snapshot.get(key) != last_snapshot.get(key)
+            ]
+            self.violations.append(
+                (
+                    self.asic.clock.now,
+                    f"{kind} {target!r}",
+                    "active-version config changed without a vv flip: "
+                    + ", ".join(sorted(changed)),
+                )
+            )
+            self._last = (vv, snapshot)
+
+
+def shadow_parity_violations(system) -> List[str]:
+    """Two-entry shadow invariant: both version copies identical.
+
+    Valid only when the agent is quiescent (no staged changes, no
+    pending mirror); returns human-readable violation descriptions.
+    """
+    spec = system.spec
+    asic = system.asic
+    problems: List[str] = []
+    for init in spec.init_tables:
+        if init.master:
+            continue
+        runtime = asic.get_table(init.table)
+        by_version = {}
+        for entry in runtime.entries.values():
+            if entry.key in ((0,), (1,)):
+                by_version[entry.key[0]] = tuple(entry.action_args)
+        if set(by_version) != {0, 1}:
+            problems.append(
+                f"init table {init.table}: expected entries for both "
+                f"versions, found {sorted(by_version)}"
+            )
+        elif by_version[0] != by_version[1]:
+            problems.append(
+                f"init table {init.table}: version copies diverge "
+                f"({by_version[0]} vs {by_version[1]})"
+            )
+    for name, transform in spec.tables.items():
+        if transform.vv_position < 0:
+            continue
+        if any(init.table == name for init in spec.init_tables):
+            continue
+        runtime = asic.get_table(name)
+        by_version = {0: set(), 1: set()}
+        for entry in runtime.entries.values():
+            version = entry.key[transform.vv_position]
+            keyless = tuple(
+                part
+                for index, part in enumerate(entry.key)
+                if index != transform.vv_position
+            )
+            by_version[version].add(
+                (keyless, entry.action_name, tuple(entry.action_args),
+                 entry.priority)
+            )
+        if by_version[0] != by_version[1]:
+            problems.append(
+                f"table {name}: version copies diverge "
+                f"(only in v0: {by_version[0] - by_version[1]}, "
+                f"only in v1: {by_version[1] - by_version[0]})"
+            )
+    return problems

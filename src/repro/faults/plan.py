@@ -1,0 +1,256 @@
+"""Deterministic fault injection for the control-plane driver.
+
+Hardware control channels fail in ways the happy-path simulator never
+exercises: slow PCIe ops, rejected writes, lost responses, corrupted
+DMA reads.  This module injects those failures *deterministically* --
+every decision is drawn from a seeded RNG and gated on the simulated
+clock and a monotone per-driver op counter, so a failing run replays
+exactly under the same seed.
+
+Fault kinds:
+
+- ``transient`` -- the op raises :class:`TransientDriverError`; the
+  driver guarantees no device mutation landed (the wasted round trip
+  still costs prep + PCIe time);
+- ``latency``   -- the op succeeds but takes ``extra_us`` longer
+  (a control-channel latency spike);
+- ``drop``      -- a *value write* reports success but never lands
+  (restricted to ``table_modify`` / ``table_set_default`` /
+  ``register_write``: ops with no return value, so silent loss is
+  well-defined);
+- ``corrupt``   -- a *read* returns bit-flipped data (restricted to
+  ``register_read`` / ``counter_read``).
+
+Specs filter by op kind, target object, channel, op-attempt index
+window, and simulated-time window, and can fire probabilistically
+and/or a bounded number of times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+FAULT_KINDS = ("transient", "latency", "drop", "corrupt")
+
+# Ops a `drop` fault may target: value writes with no return value.
+DROPPABLE_KINDS = frozenset(
+    {"table_modify", "table_set_default", "register_write"}
+)
+# Ops a `corrupt` fault may target: reads returning integer payloads.
+CORRUPTIBLE_KINDS = frozenset({"register_read", "counter_read"})
+
+
+@dataclass
+class FaultSpec:
+    """One fault rule: what to inject and which ops it may hit.
+
+    All filters are conjunctive; ``None`` means "any".  ``predicate``
+    (not serialized) receives ``(op_kind, target, channel)`` after the
+    declarative filters pass -- an escape hatch for tests that need to
+    target e.g. "the second set_default after arming".
+    """
+
+    kind: str
+    op_kinds: Optional[FrozenSet[str]] = None
+    targets: Optional[FrozenSet[str]] = None
+    channels: Optional[FrozenSet[str]] = None
+    op_range: Optional[Tuple[int, Optional[int]]] = None
+    window_us: Optional[Tuple[float, float]] = None
+    probability: float = 1.0
+    max_triggers: Optional[int] = None
+    extra_us: float = 20.0  # latency faults
+    corrupt_mask: int = 0xFF  # corrupt faults: XOR mask on one word
+    predicate: Optional[Callable[[str, str, str], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.op_kinds is not None:
+            self.op_kinds = frozenset(self.op_kinds)
+        if self.targets is not None:
+            self.targets = frozenset(self.targets)
+        if self.channels is not None:
+            self.channels = frozenset(self.channels)
+
+    def matches(
+        self, op_kind: str, target: str, channel: str,
+        op_index: int, now_us: float,
+    ) -> bool:
+        if self.kind == "drop" and op_kind not in DROPPABLE_KINDS:
+            return False
+        if self.kind == "corrupt" and op_kind not in CORRUPTIBLE_KINDS:
+            return False
+        if self.op_kinds is not None and op_kind not in self.op_kinds:
+            return False
+        if self.targets is not None and target not in self.targets:
+            return False
+        if self.channels is not None and channel not in self.channels:
+            return False
+        if self.op_range is not None:
+            lo, hi = self.op_range
+            if op_index < lo or (hi is not None and op_index > hi):
+                return False
+        if self.window_us is not None:
+            start, end = self.window_us
+            if not start <= now_us <= end:
+                return False
+        if self.predicate is not None and not self.predicate(
+            op_kind, target, channel
+        ):
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of fault rules applied to one driver."""
+
+    seed: int
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def end_us(self) -> float:
+        """Upper bound of every windowed spec (0.0 if none are
+        windowed) -- past this instant a windowed plan is inert."""
+        return max(
+            (spec.window_us[1] for spec in self.specs if spec.window_us),
+            default=0.0,
+        )
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, for post-hoc analysis and assertions."""
+
+    time_us: float
+    op_index: int
+    fault_kind: str
+    op_kind: str
+    target: str
+    channel: str
+    spec_index: int
+
+
+class _ActiveFault:
+    """What the driver consumes for one intercepted operation."""
+
+    __slots__ = ("kind", "extra_us", "_mask", "_rng")
+
+    def __init__(self, spec: FaultSpec, rng: random.Random):
+        self.kind = spec.kind
+        self.extra_us = spec.extra_us
+        self._mask = spec.corrupt_mask
+        self._rng = rng
+
+    def corrupt(self, result):
+        if isinstance(result, list) and result:
+            corrupted = list(result)
+            index = self._rng.randrange(len(corrupted))
+            corrupted[index] ^= self._mask
+            return corrupted
+        if isinstance(result, int):
+            return result ^ self._mask
+        return result
+
+
+class FaultInjector:
+    """Hooks a :class:`FaultPlan` into one driver.
+
+    The driver consults :meth:`intercept` before every operation
+    attempt (including retries); the first matching spec wins.  All
+    randomness (probability rolls, corruption placement) comes from
+    one ``random.Random(plan.seed)``, so behaviour is a pure function
+    of the plan and the op sequence.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.enabled = True
+        self.events: List[FaultEvent] = []
+        self._trigger_counts = [0] * len(plan.specs)
+
+    def attach(self, driver) -> "FaultInjector":
+        driver.fault_injector = self
+        return self
+
+    @property
+    def triggered(self) -> int:
+        return len(self.events)
+
+    def intercept(
+        self, op_kind: str, target: str, channel: str,
+        op_index: int, now_us: float,
+    ) -> Optional[_ActiveFault]:
+        if not self.enabled:
+            return None
+        for index, spec in enumerate(self.plan.specs):
+            if (
+                spec.max_triggers is not None
+                and self._trigger_counts[index] >= spec.max_triggers
+            ):
+                continue
+            if not spec.matches(op_kind, target, channel, op_index, now_us):
+                continue
+            if spec.probability < 1.0 and self.rng.random() >= spec.probability:
+                continue
+            self._trigger_counts[index] += 1
+            self.events.append(
+                FaultEvent(
+                    now_us, op_index, spec.kind, op_kind, target, channel,
+                    index,
+                )
+            )
+            return _ActiveFault(spec, self.rng)
+        return None
+
+
+def random_fault_plan(
+    seed: int,
+    start_us: float = 0.0,
+    duration_us: float = 2000.0,
+    max_specs: int = 6,
+    kinds: Tuple[str, ...] = FAULT_KINDS,
+) -> FaultPlan:
+    """Generate a randomized, bounded fault plan.
+
+    Every spec is time-windowed inside ``[start_us, start_us +
+    duration_us]`` and trigger-capped, so the plan is guaranteed to go
+    quiet: after ``plan.end_us()`` the system must be able to converge
+    back to healthy.  Identical seeds produce identical plans.
+    """
+    rng = random.Random(seed)
+    specs: List[FaultSpec] = []
+    for _ in range(rng.randint(2, max_specs)):
+        kind = rng.choice(kinds)
+        window_start = start_us + rng.random() * duration_us * 0.7
+        window_len = duration_us * (0.05 + rng.random() * 0.3)
+        window_end = min(window_start + window_len, start_us + duration_us)
+        op_kinds = None
+        if kind == "transient" and rng.random() < 0.5:
+            op_kinds = frozenset(
+                rng.sample(
+                    [
+                        "table_add", "table_modify", "table_set_default",
+                        "table_delete", "register_read", "register_write",
+                        "counter_read", "table_read",
+                    ],
+                    rng.randint(1, 4),
+                )
+            )
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                op_kinds=op_kinds,
+                window_us=(window_start, window_end),
+                probability=rng.uniform(0.15, 0.9),
+                max_triggers=rng.randint(1, 10),
+                extra_us=rng.uniform(5.0, 80.0),
+                corrupt_mask=1 << rng.randrange(0, 16),
+            )
+        )
+    return FaultPlan(seed=seed, specs=specs)

@@ -19,14 +19,23 @@ single-threaded; legacy clients queue behind at most one in-flight
 Mantis operation -- Section 6).  With ``record_timeline=True`` every
 operation's ``(start, end, channel)`` interval is logged so the
 Figure 12 experiment can measure legacy-update interference.
+
+Failure model: every operation runs through :meth:`Driver._execute`,
+which admits the op past an optional fault injector (see
+``repro.faults``) *before* touching ASIC state -- an injected failure
+therefore never leaves a mutation behind, and the cost model and
+device state cannot desync.  An optional :class:`RetryPolicy` retries
+:class:`TransientDriverError` with exponential backoff in simulated
+microseconds and converts exhausted budgets into
+:class:`DriverTimeoutError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DriverError
+from repro.errors import DriverError, DriverTimeoutError, TransientDriverError
 from repro.switch.asic import SwitchAsic
 from repro.switch.tables import KeyPart
 
@@ -47,6 +56,8 @@ class DriverCostModel:
     table_add_us: float = 1.3
     table_delete_us: float = 0.6
     table_set_default_us: float = 0.5
+    table_read_base_us: float = 0.5
+    table_read_per_entry_us: float = 0.02
     register_read_base_us: float = 0.5
     register_read_per_byte_us: float = 0.012
     register_write_us: float = 0.4
@@ -57,6 +68,27 @@ class DriverCostModel:
         total_bytes = entries * ((width_bits + 7) // 8)
         extra_bytes = max(0, total_bytes - 4)
         return self.register_read_base_us + extra_bytes * self.register_read_per_byte_us
+
+    def table_read_cost(self, entries: int) -> float:
+        """Device cost of reading back ``entries`` installed entries."""
+        return self.table_read_base_us + entries * self.table_read_per_entry_us
+
+
+@dataclass
+class RetryPolicy:
+    """Retry semantics for transient control-channel failures.
+
+    ``backoff_base_us * backoff_multiplier ** (attempt - 1)`` (capped
+    at ``backoff_max_us``) of simulated time separates attempts; an op
+    that would exceed ``deadline_us`` of total elapsed time, or that
+    uses up ``max_attempts``, raises :class:`DriverTimeoutError`.
+    """
+
+    max_attempts: int = 4
+    backoff_base_us: float = 2.0
+    backoff_multiplier: float = 2.0
+    backoff_max_us: float = 50.0
+    deadline_us: Optional[float] = 400.0
 
 
 @dataclass
@@ -99,11 +131,13 @@ class Driver:
         asic: SwitchAsic,
         model: Optional[DriverCostModel] = None,
         record_timeline: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.asic = asic
         self.clock = asic.clock
         self.model = model or DriverCostModel()
         self.record_timeline = record_timeline
+        self.retry_policy = retry_policy
         self.timeline: List[OpRecord] = []
         self.ops_issued = 0
         # Ablation knob: when False, every operation pays the full
@@ -112,6 +146,22 @@ class Driver:
         self._batch_depth = 0
         self._batch_pcie_paid = False
         self._memos: Dict[Tuple[str, str], MemoHandle] = {}
+        # Fault surface: an object with an ``intercept(kind, target,
+        # channel, op_index, now)`` method (repro.faults.FaultInjector
+        # installs itself here); ``post_op_hooks`` run after every
+        # *successful* op (used by invariant checkers).
+        self.fault_injector = None
+        self.post_op_hooks: List[Callable[[str, str, str], None]] = []
+        # Error accounting (surfaced through MantisAgent.health()).
+        self.op_attempts = 0
+        self.ops_failed = 0
+        self.errors_total = 0
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.op_errors: Dict[str, int] = {}
+        self.op_retries: Dict[str, int] = {}
+        self.last_error: Optional[str] = None
+        self.last_error_us: float = 0.0
 
     # ---- memoization (prologue) -------------------------------------------
 
@@ -146,6 +196,13 @@ class Driver:
 
     # ---- cost accounting -------------------------------------------------------
 
+    def _record_error(self, kind: str, message: str) -> None:
+        self.ops_failed += 1
+        self.errors_total += 1
+        self.op_errors[kind] = self.op_errors.get(kind, 0) + 1
+        self.last_error = message
+        self.last_error_us = self.clock.now
+
     def _execute(
         self,
         kind: str,
@@ -153,29 +210,99 @@ class Driver:
         device_cost: float,
         memo: Optional[MemoHandle],
         channel: str,
-    ) -> None:
-        prep = (
-            self.model.memoized_prep_us
-            if memo is not None and self.memoization_enabled
-            else self.model.op_prep_us
-        )
-        pcie = 0.0
-        if self._batch_depth == 0:
-            pcie = self.model.pcie_rtt_us
-        elif not self._batch_pcie_paid:
-            pcie = self.model.pcie_rtt_us
-            self._batch_pcie_paid = True
-        start = self.clock.now
-        self.clock.advance(prep + device_cost + pcie)
-        self.ops_issued += 1
-        if self.record_timeline:
-            self.timeline.append(
-                OpRecord(
-                    start, self.clock.now, kind, target, channel,
-                    excl_start_us=start + prep,
-                    excl_end_us=start + prep + device_cost,
-                )
+        apply: Optional[Callable[[], object]] = None,
+    ) -> object:
+        """Run one operation: fault admission, then the ASIC mutation
+        (``apply``), then cost accounting.
+
+        The mutation runs strictly *after* the fault decision, so an
+        injected failure can never leave device state behind, and
+        strictly *before* the clock charge, so an ``apply`` that
+        raises (e.g. a full table) costs nothing -- device state and
+        the cost model stay in lockstep either way.
+        """
+        policy = self.retry_policy
+        deadline = None
+        if policy is not None and policy.deadline_us is not None:
+            deadline = self.clock.now + policy.deadline_us
+        attempt = 0
+        while True:
+            attempt += 1
+            self.op_attempts += 1
+            prep = (
+                self.model.memoized_prep_us
+                if memo is not None and self.memoization_enabled
+                else self.model.op_prep_us
             )
+            pcie = 0.0
+            if self._batch_depth == 0:
+                pcie = self.model.pcie_rtt_us
+            elif not self._batch_pcie_paid:
+                pcie = self.model.pcie_rtt_us
+                self._batch_pcie_paid = True
+            fault = None
+            if self.fault_injector is not None:
+                fault = self.fault_injector.intercept(
+                    kind, target, channel, self.op_attempts, self.clock.now
+                )
+            if fault is not None and fault.kind == "transient":
+                # The round trip happened but the device rejected the
+                # op: pay prep + PCIe, mutate nothing.
+                self.clock.advance(prep + pcie)
+                message = f"injected transient failure on {kind} {target!r}"
+                self._record_error(kind, message)
+                error = TransientDriverError(message)
+                if policy is None:
+                    raise error
+                if attempt >= policy.max_attempts:
+                    self.timeouts_total += 1
+                    raise DriverTimeoutError(
+                        f"{kind} {target!r} failed after {attempt} attempts"
+                    ) from error
+                backoff = min(
+                    policy.backoff_base_us
+                    * policy.backoff_multiplier ** (attempt - 1),
+                    policy.backoff_max_us,
+                )
+                if deadline is not None and self.clock.now + backoff > deadline:
+                    self.timeouts_total += 1
+                    raise DriverTimeoutError(
+                        f"{kind} {target!r} exceeded its "
+                        f"{policy.deadline_us} us deadline"
+                    ) from error
+                self.clock.advance(backoff)
+                self.retries_total += 1
+                self.op_retries[kind] = self.op_retries.get(kind, 0) + 1
+                continue
+            start = self.clock.now
+            result = None
+            if fault is not None and fault.kind == "drop":
+                # Silently lost write: cost is paid, success is
+                # reported, nothing lands.  Restricted by the injector
+                # to value writes (no result, safe to lose).
+                pass
+            elif apply is not None:
+                result = apply()
+            extra = (
+                fault.extra_us
+                if fault is not None and fault.kind == "latency"
+                else 0.0
+            )
+            self.clock.advance(prep + device_cost + pcie + extra)
+            if fault is not None and fault.kind == "corrupt":
+                result = fault.corrupt(result)
+            self.ops_issued += 1
+            if self.record_timeline:
+                self.timeline.append(
+                    OpRecord(
+                        start, self.clock.now, kind, target, channel,
+                        excl_start_us=start + prep,
+                        excl_end_us=start + prep + device_cost + extra,
+                    )
+                )
+            for hook in self.post_op_hooks:
+                hook(kind, target, channel)
+            return result
 
     def _use_memo(
         self, memo: Optional[MemoHandle], kind: str, name: str
@@ -201,9 +328,11 @@ class Driver:
         channel: str = "mantis",
     ) -> int:
         memo = self._use_memo(memo, "table", table)
-        entry_id = self.asic.get_table(table).add_entry(key, action, args, priority)
-        self._execute("table_add", table, self.model.table_add_us, memo, channel)
-        return entry_id
+        runtime = self.asic.get_table(table)
+        return self._execute(
+            "table_add", table, self.model.table_add_us, memo, channel,
+            apply=lambda: runtime.add_entry(key, action, args, priority),
+        )
 
     def modify_entry(
         self,
@@ -215,9 +344,10 @@ class Driver:
         channel: str = "mantis",
     ) -> None:
         memo = self._use_memo(memo, "table", table)
-        self.asic.get_table(table).modify_entry(entry_id, action, args)
+        runtime = self.asic.get_table(table)
         self._execute(
-            "table_modify", table, self.model.table_modify_us, memo, channel
+            "table_modify", table, self.model.table_modify_us, memo, channel,
+            apply=lambda: runtime.modify_entry(entry_id, action, args),
         )
 
     def delete_entry(
@@ -228,9 +358,10 @@ class Driver:
         channel: str = "mantis",
     ) -> None:
         memo = self._use_memo(memo, "table", table)
-        self.asic.get_table(table).delete_entry(entry_id)
+        runtime = self.asic.get_table(table)
         self._execute(
-            "table_delete", table, self.model.table_delete_us, memo, channel
+            "table_delete", table, self.model.table_delete_us, memo, channel,
+            apply=lambda: runtime.delete_entry(entry_id),
         )
 
     def set_default(
@@ -242,10 +373,60 @@ class Driver:
         channel: str = "mantis",
     ) -> None:
         memo = self._use_memo(memo, "table", table)
-        self.asic.get_table(table).set_default(action, args)
+        runtime = self.asic.get_table(table)
         self._execute(
             "table_set_default", table, self.model.table_set_default_us,
             memo, channel,
+            apply=lambda: runtime.set_default(action, args),
+        )
+
+    # ---- table read-back (crash recovery / commit verification) ------------
+
+    def read_entries(
+        self,
+        table: str,
+        memo: Optional[MemoHandle] = None,
+        channel: str = "mantis",
+    ) -> List[Tuple[int, Tuple[KeyPart, ...], str, List[int], int]]:
+        """Read back every installed entry of one table as
+        ``(entry_id, key, action, args, priority)`` tuples."""
+        memo = self._use_memo(memo, "table", table)
+        runtime = self.asic.get_table(table)
+
+        def apply():
+            return [
+                (
+                    entry.entry_id,
+                    tuple(entry.key),
+                    entry.action_name,
+                    list(entry.action_args),
+                    entry.priority,
+                )
+                for entry in runtime.entries.values()
+            ]
+
+        device_cost = self.model.table_read_cost(len(runtime.entries))
+        return self._execute(
+            "table_read", table, device_cost, memo, channel, apply=apply
+        )
+
+    def read_default(
+        self,
+        table: str,
+        memo: Optional[MemoHandle] = None,
+        channel: str = "mantis",
+    ) -> Optional[Tuple[str, List[int]]]:
+        """Read back a table's default action as ``(action, args)``."""
+        memo = self._use_memo(memo, "table", table)
+        runtime = self.asic.get_table(table)
+
+        def apply():
+            default = runtime.default_action
+            return None if default is None else (default[0], list(default[1]))
+
+        return self._execute(
+            "table_read", table, self.model.table_read_cost(0), memo, channel,
+            apply=apply,
         )
 
     # ---- register operations ----------------------------------------------------------
@@ -263,10 +444,11 @@ class Driver:
         register = self.asic.get_register(name)
         if hi is None:
             hi = register.instance_count - 1
-        values = register.read_range(lo, hi)
         device_cost = self.model.register_read_cost(hi - lo + 1, register.width)
-        self._execute("register_read", name, device_cost, memo, channel)
-        return values
+        return self._execute(
+            "register_read", name, device_cost, memo, channel,
+            apply=lambda: register.read_range(lo, hi),
+        )
 
     def write_register(
         self,
@@ -277,24 +459,29 @@ class Driver:
         channel: str = "mantis",
     ) -> None:
         memo = self._use_memo(memo, "register", name)
-        self.asic.get_register(name).write(index, value)
+        register = self.asic.get_register(name)
         self._execute(
-            "register_write", name, self.model.register_write_us, memo, channel
+            "register_write", name, self.model.register_write_us, memo, channel,
+            apply=lambda: register.write(index, value),
         )
 
     def read_counter(
-        self, name: str, index: int, channel: str = "mantis"
+        self,
+        name: str,
+        index: int,
+        memo: Optional[MemoHandle] = None,
+        channel: str = "mantis",
     ) -> int:
+        memo = self._use_memo(memo, "counter", name)
         counter = self.asic.get_counter(name)
-        value = counter.array.read(index)
-        self._execute(
+        return self._execute(
             "counter_read",
             name,
             self.model.register_read_cost(1, 64),
-            None,
+            memo,
             channel,
+            apply=lambda: counter.array.read(index),
         )
-        return value
 
 
 class _BatchContext:

@@ -22,11 +22,17 @@ from repro.compiler.transform import CompilerOptions, compile_p4r
 from repro.p4r.ast import P4RProgram
 from repro.switch.asic import SwitchAsic
 from repro.switch.clock import SimClock
-from repro.switch.driver import Driver, DriverCostModel
+from repro.switch.driver import Driver, DriverCostModel, RetryPolicy
 
 
 class MantisSystem:
-    """One switch: compiled artifacts, ASIC, driver, and agent."""
+    """One switch: compiled artifacts, ASIC, driver, and agent.
+
+    ``retry_policy`` arms the driver against transient control-channel
+    failures; ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
+    attaches a deterministic fault injector; ``verify_commits`` makes
+    the agent read commit-path writes back from the device.
+    """
 
     def __init__(
         self,
@@ -38,6 +44,9 @@ class MantisSystem:
         record_timeline: bool = False,
         seed: int = 0,
         execution_mode: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan=None,
+        verify_commits: bool = False,
     ):
         self.artifacts = artifacts
         self.clock = clock or SimClock()
@@ -49,10 +58,17 @@ class MantisSystem:
             execution_mode=execution_mode,
         )
         self.driver = Driver(
-            self.asic, model=cost_model, record_timeline=record_timeline
+            self.asic, model=cost_model, record_timeline=record_timeline,
+            retry_policy=retry_policy,
         )
+        self.fault_injector = None
+        if fault_plan is not None:
+            from repro.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(fault_plan).attach(self.driver)
         self.agent = MantisAgent(
-            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us
+            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
+            verify_commits=verify_commits,
         )
 
     @classmethod

@@ -1,0 +1,306 @@
+"""Agent crash recovery: :meth:`MantisAgent.recover` rebuilds a
+restarted agent's bookkeeping from switch state.
+
+Guarantees under test (DESIGN.md, "Fault model and recovery"):
+
+- the reconstructed agent agrees with the crashed one on vv/mv,
+  master arguments, malleable values, init-shadow entry ids, and
+  user-level table entries -- without reinstalling anything;
+- interrupted commits are rolled forward (stale shadow copies are
+  repaired) and uncommitted prepares are discarded, restoring the
+  two-entry invariant;
+- a crash-and-recover run converges to the same committed state as an
+  uninterrupted twin driving the identical workload.
+"""
+
+import pytest
+
+from repro.agent.agent import MantisAgent
+from repro.compiler import CompilerOptions
+from repro.errors import AgentError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    shadow_parity_violations,
+)
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.packet import Packet
+from repro.system import MantisSystem
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { key : 16; o0 : 32; o1 : 32; o2 : 32; o3 : 32; } }
+header h_t hdr;
+malleable value v0 { width : 32; init : 1; }
+malleable value v1 { width : 32; init : 1; }
+malleable value v2 { width : 32; init : 1; }
+malleable value v3 { width : 32; init : 1; }
+action stamp() {
+    modify_field(hdr.o0, ${v0});
+    modify_field(hdr.o1, ${v1});
+    modify_field(hdr.o2, ${v2});
+    modify_field(hdr.o3, ${v3});
+}
+table t { actions { stamp; } default_action : stamp(); }
+action set_out(v) { modify_field(hdr.o0, v); }
+action nop() { no_op(); }
+malleable table m {
+    reads { hdr.key : exact; }
+    actions { set_out; nop; }
+    default_action : nop();
+    size : 64;
+}
+control ingress { apply(t); apply(m); }
+"""
+
+
+def build(**kwargs):
+    # Split the init layout so recovery must handle non-master shadows.
+    options = CompilerOptions(max_init_action_bits=80)
+    system = MantisSystem.from_source(PROGRAM, options, **kwargs)
+    system.agent.prologue()
+    assert len(system.spec.init_tables) >= 2
+    return system
+
+
+def restarted_agent(system):
+    """A fresh agent bound to the same driver: the crashed process's
+    replacement."""
+    agent = MantisAgent(system.artifacts, system.driver)
+    agent.recover()
+    return agent
+
+
+def device_tables(system):
+    state = {}
+    for name, runtime in system.asic.tables.items():
+        state[name] = sorted(
+            (entry.key, entry.action_name, tuple(entry.action_args),
+             entry.priority)
+            for entry in runtime.entries.values()
+        )
+    return state
+
+
+def user_view(handle):
+    return sorted(
+        (user.key, user.action, tuple(user.args), user.priority)
+        for user in handle._users.values()
+    )
+
+
+class TestStateReconstruction:
+    def test_reconstructs_versions_values_and_entries(self):
+        system = build()
+        agent = system.agent
+        handle = agent.table("m")
+        agent.write_malleable("v0", 11)
+        agent.write_malleable("v3", 33)
+        handle.add([1], "set_out", [100])
+        handle.add([2], "set_out", [200])
+        agent.run_iteration()
+        agent.run_iteration()
+        before = device_tables(system)
+
+        fresh = restarted_agent(system)
+        assert fresh.vv == agent.vv
+        assert fresh.mv == agent.mv
+        assert fresh._master_args == agent._master_args
+        assert fresh._param_values == agent._param_values
+        for table, shadow in agent._init_shadows.items():
+            recovered = fresh._init_shadows[table]
+            assert recovered.entry_ids == shadow.entry_ids
+            assert recovered.args == shadow.args
+        assert user_view(fresh.table("m")) == user_view(handle)
+        # Recovery reads; it must not have reinstalled anything.
+        assert device_tables(system) == before
+
+    def test_recovered_agent_continues_the_dialogue(self):
+        system = build()
+        agent = system.agent
+        agent.table("m").add([5], "set_out", [50])
+        agent.run_iteration()
+
+        fresh = restarted_agent(system)
+        fresh.write_malleable("v1", 99)
+        fresh.table("m").add([6], "set_out", [60])
+        fresh.run_iteration()
+        packet = Packet({"hdr.key": 6})
+        system.asic.process(packet)
+        assert packet.get("hdr.o1") == 99
+        assert packet.get("hdr.o0") == 60
+        fresh.run_iteration()
+        assert shadow_parity_violations(system) == []
+        assert fresh.health().healthy
+
+    def test_recover_requires_fresh_agent(self):
+        system = build()
+        with pytest.raises(AgentError):
+            system.agent.recover()
+
+    def test_recover_rejects_field_transformed_tables_with_entries(self):
+        source = STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 16; b : 16; out : 16; } }
+header h_t hdr;
+malleable field sel { width : 16; init : hdr.a; alts { hdr.a, hdr.b } }
+action set_out(v) { modify_field(hdr.out, v); }
+action nop() { no_op(); }
+malleable table ft {
+    reads { ${sel} : exact; }
+    actions { set_out; nop; }
+    default_action : nop();
+}
+control ingress { apply(ft); }
+"""
+        system = MantisSystem.from_source(source)
+        system.agent.prologue()
+        system.agent.table("ft").add([7], "set_out", [1])
+        system.agent.run_iteration()
+        fresh = MantisAgent(system.artifacts, system.driver)
+        with pytest.raises(AgentError):
+            fresh.recover()
+
+
+class TestInterruptedCommitRepair:
+    def test_unmirrored_table_commit_rolled_forward(self):
+        system = build()
+        agent = system.agent
+        handle = agent.table("m")
+        handle.add([1], "set_out", [10])
+        FaultInjector(FaultPlan(seed=0, specs=[FaultSpec(
+            kind="transient", op_kinds=frozenset({"table_add"}),
+            targets=frozenset({"m"}), max_triggers=50,
+        )])).attach(system.driver)
+        agent.run_iteration()  # flip lands, mirror add keeps failing
+        assert handle.mirror_backlog == 1
+        assert shadow_parity_violations(system)
+        system.driver.fault_injector.enabled = False
+
+        # The agent dies here; its replacement repairs the device.
+        fresh = restarted_agent(system)
+        assert shadow_parity_violations(system) == []
+        assert user_view(fresh.table("m")) == [((1,), "set_out", (10,), 0)]
+        packet = Packet({"hdr.key": 1})
+        system.asic.process(packet)
+        assert packet.get("hdr.o0") == 10
+
+    def test_unmirrored_init_commit_rolled_forward(self):
+        system = build()
+        agent = system.agent
+        shadow_tables = frozenset(agent._init_shadows)
+        writes = {"n": 0}
+
+        def second_write(kind, target, channel):
+            writes["n"] += 1
+            return writes["n"] >= 2  # let the prepare through
+
+        FaultInjector(FaultPlan(seed=0, specs=[FaultSpec(
+            kind="transient", op_kinds=frozenset({"table_modify"}),
+            targets=shadow_tables, predicate=second_write,
+            max_triggers=50,
+        )])).attach(system.driver)
+        for name in ("v0", "v1", "v2", "v3"):
+            agent.write_malleable(name, 21)
+        agent.run_iteration()  # committed; init mirror writes fail
+        assert agent.health().degraded
+        assert shadow_parity_violations(system)
+        system.driver.fault_injector.enabled = False
+
+        fresh = restarted_agent(system)
+        assert shadow_parity_violations(system) == []
+        assert fresh._param_values == agent._param_values
+        assert all(
+            fresh._init_shadows[t].args == agent._init_shadows[t].args
+            for t in shadow_tables
+        )
+
+    def test_uncommitted_table_prepare_discarded(self):
+        system = build()
+        agent = system.agent
+        handle = agent.table("m")
+        handle.add([1], "set_out", [10])
+        agent.run_iteration()
+        handle.add([2], "set_out", [20])  # prepared, never committed
+
+        fresh = restarted_agent(system)
+        # Only the committed entry survives; the dangling prepare is
+        # removed so it cannot leak at the next flip.
+        assert user_view(fresh.table("m")) == [((1,), "set_out", (10,), 0)]
+        assert shadow_parity_violations(system) == []
+        fresh.run_iteration()
+        packet = Packet({"hdr.key": 2})
+        system.asic.process(packet)
+        assert packet.get("hdr.o0") != 20
+
+    def test_uncommitted_init_prepare_discarded(self):
+        system = build()
+        agent = system.agent
+        master = agent._master.table
+
+        def fail_flip(*args, **kwargs):
+            from repro.errors import TransientDriverError
+
+            raise TransientDriverError("injected crash point")
+
+        for name in ("v0", "v1", "v2", "v3"):
+            agent.write_malleable(name, 55)
+        real = system.driver.set_default
+        system.driver.set_default = fail_flip
+        agent.run_iteration()  # prepare lands, every flip attempt dies
+        system.driver.set_default = real
+        assert agent.health().degraded
+
+        fresh = restarted_agent(system)
+        # The prepared-but-uncommitted args were rolled back to the
+        # committed ones on the device.
+        assert shadow_parity_violations(system) == []
+        for name in ("v0", "v1", "v2", "v3"):
+            assert fresh.read_malleable(name) == 1
+        packet = Packet({"hdr.key": 0})
+        system.asic.process(packet)
+        assert packet.get("hdr.o0") == 1
+
+
+class TestTwinDeterminism:
+    CRASH_AT = 5
+    TOTAL = 12
+
+    @staticmethod
+    def _uid_for_key(handle, key):
+        return min(
+            uid for uid, user in handle._users.items() if user.key == (key,)
+        )
+
+    def _drive(self, agent, index):
+        handle = agent.table("m")
+        agent.write_malleable("v0", index * 3 + 1)
+        agent.write_malleable("v2", index ^ 0x5A)
+        if index % 3 == 0:
+            handle.add([index], "set_out", [index + 100])
+        if index in (7, 10):  # delete keys 3 and 6, added earlier
+            handle.delete(self._uid_for_key(handle, index - 4))
+        agent.run_iteration()
+
+    def test_crash_recover_matches_uninterrupted_twin(self):
+        straight = build()
+        for index in range(self.TOTAL):
+            self._drive(straight.agent, index)
+
+        crashed = build()
+        agent = crashed.agent
+        for index in range(self.CRASH_AT):
+            self._drive(agent, index)
+        agent = restarted_agent(crashed)  # crash + restart here
+        for index in range(self.CRASH_AT, self.TOTAL):
+            self._drive(agent, index)
+
+        assert agent.vv == straight.agent.vv
+        assert agent.mv == straight.agent.mv
+        assert agent._master_args == straight.agent._master_args
+        assert agent._param_values == straight.agent._param_values
+        assert device_tables(crashed) == device_tables(straight)
+        assert user_view(agent.table("m")) == user_view(
+            straight.agent.table("m")
+        )
+        assert shadow_parity_violations(crashed) == []
+        assert agent.health().healthy
