@@ -206,6 +206,12 @@ class MantisAgent:
     transient failure -- the defense against silently dropped writes.
     ``commit_retry_limit`` bounds how many times one iteration retries
     a failed commit before deferring it to the next iteration.
+    ``poll_batching`` extends the paper's SS6 batched-DMA optimization
+    to the measurement phase: all reactions' polls ride one driver
+    batch (one PCIe round trip for the whole phase) and the reactions
+    execute afterward, so reaction writes never share the poll batch.
+    Off by default -- it changes the iteration's timing profile, which
+    the Section 8.1 cost model predicts per configuration.
     """
 
     def __init__(
@@ -215,6 +221,7 @@ class MantisAgent:
         pacing_sleep_us: float = 0.0,
         verify_commits: bool = False,
         commit_retry_limit: int = 5,
+        poll_batching: bool = False,
     ):
         self.spec: ControlPlaneSpec = artifacts.spec
         self.artifacts = artifacts
@@ -222,6 +229,7 @@ class MantisAgent:
         self.pacing_sleep_us = pacing_sleep_us
         self.verify_commits = verify_commits
         self.commit_retry_limit = commit_retry_limit
+        self.poll_batching = poll_batching
         self.vv = 0
         self.mv = 0
         # Simulated cost per interpreted C expression (Section 8.1's C).
@@ -229,6 +237,15 @@ class MantisAgent:
         self.iterations = 0
         # Phase breakdown of the most recent iteration.
         self.last_breakdown: Dict[str, float] = {}
+        # Lifetime per-phase totals (hot-loop observability: where do
+        # the dialogue's microseconds go across the whole run).
+        self.phase_totals: Dict[str, float] = {
+            "mv_flip_us": 0.0,
+            "poll_us": 0.0,
+            "react_us": 0.0,
+            "commit_us": 0.0,
+            "total_us": 0.0,
+        }
         self.total_busy_us = 0.0
         self.total_idle_us = 0.0
         self.iteration_durations: List[float] = []
@@ -599,16 +616,35 @@ class MantisAgent:
         after_flip = clock.now
 
         poll_time = 0.0
-        for runtime in self._reactions:
+        if self.poll_batching:
+            # SS6-style batched DMA for measurement: every reaction's
+            # poll reads share one driver batch (one PCIe round trip),
+            # then the reactions run outside it so their writes pay
+            # their own transactions.
             poll_start = clock.now
-            try:
-                args = self._poll_args(runtime, checkpoint)
-            except _RECOVERABLE as error:
-                self._note_failure(error)
+            polled: List[Optional[Dict[str, object]]] = []
+            with self.driver.batch():
+                for runtime in self._reactions:
+                    try:
+                        polled.append(self._poll_args(runtime, checkpoint))
+                    except _RECOVERABLE as error:
+                        self._note_failure(error)
+                        polled.append(None)  # skip for one iteration
+            poll_time = clock.now - poll_start
+            for runtime, args in zip(self._reactions, polled):
+                if args is not None:
+                    self._execute(runtime, args)
+        else:
+            for runtime in self._reactions:
+                poll_start = clock.now
+                try:
+                    args = self._poll_args(runtime, checkpoint)
+                except _RECOVERABLE as error:
+                    self._note_failure(error)
+                    poll_time += clock.now - poll_start
+                    continue  # skip this reaction for one iteration
                 poll_time += clock.now - poll_start
-                continue  # skip this reaction for one iteration
-            poll_time += clock.now - poll_start
-            self._execute(runtime, args)
+                self._execute(runtime, args)
         before_commit = clock.now
 
         if commit:
@@ -631,6 +667,9 @@ class MantisAgent:
     def _account_iteration(self, busy: float, failures_before: int) -> None:
         self.iterations += 1
         self.total_busy_us += busy
+        totals = self.phase_totals
+        for phase, spent in self.last_breakdown.items():
+            totals[phase] = totals.get(phase, 0.0) + spent
         duration = busy + self.pacing_sleep_us
         self.iteration_durations.append(duration)
         self._duration_sum_us += duration

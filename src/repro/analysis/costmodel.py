@@ -31,6 +31,7 @@ def predict_measurement_us(
     register_width_bits: int = 32,
     register_arrays: int = 0,
     memoized: bool = True,
+    poll_batched: bool = False,
 ) -> float:
     """F_10a: latency of polling reaction arguments.
 
@@ -38,19 +39,27 @@ def predict_measurement_us(
     are distinct arrays), plus ``register_arrays`` user register
     mirrors each burst-reading ``register_entries`` entries of value +
     timestamp.
+
+    ``poll_batched`` models the agent's ``poll_batching`` mode: the
+    entire measurement phase shares a single PCIe transaction instead
+    of one per container group / mirror array.
     """
     prep = model.memoized_prep_us if memoized else model.op_prep_us
     total = 0.0
+    rtts = 0
     if containers:
         # One batched PCIe transaction for all containers.
-        total += model.pcie_rtt_us
+        rtts += 1
         total += containers * (prep + model.register_read_cost(1, 32))
     for _ in range(register_arrays):
-        total += model.pcie_rtt_us  # value + ts reads share a batch
+        rtts += 1  # value + ts reads share a batch
         total += 2 * (
             prep
             + model.register_read_cost(register_entries, register_width_bits)
         )
+    if poll_batched:
+        rtts = min(rtts, 1)
+    total += rtts * model.pcie_rtt_us
     return total
 
 
@@ -81,18 +90,23 @@ def predict_reaction_time_us(
     reaction_name: str,
     reaction_logic_us: float = 0.0,
     table_entry_mods: int = 0,
+    poll_batched: bool = False,
 ) -> float:
     """End-to-end iteration latency for one reaction, per the
-    Section 8.1 formula."""
+    Section 8.1 formula.  ``poll_batched`` collapses the measurement
+    phase's PCIe round trips to one (the agent's ``poll_batching``
+    mode)."""
     reaction = spec.reactions[reaction_name]
     containers = set()
     register_terms = 0.0
+    mirror_arrays = 0
     for arg, (source, key) in zip(reaction.decl.args, reaction.arg_sources):
         if source == "container":
             container, _slot = spec.container_for(reaction_name, arg.c_name)
             containers.add(container.register)
         elif source == "mirror":
             mirror = spec.mirrors[key]
+            mirror_arrays += 1
             register_terms += predict_measurement_us(
                 model,
                 register_entries=arg.entry_count,
@@ -101,6 +115,10 @@ def predict_reaction_time_us(
             )
     measurement = predict_measurement_us(model, containers=len(containers))
     measurement += register_terms
+    if poll_batched:
+        poll_rtts = (1 if containers else 0) + mirror_arrays
+        if poll_rtts > 1:
+            measurement -= (poll_rtts - 1) * model.pcie_rtt_us
 
     n_init = max(1, len(spec.init_tables))
     mv_flip = predict_update_us(model, scalar_updates=1)

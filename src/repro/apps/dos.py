@@ -166,6 +166,7 @@ def build_dos_scenario(
     threshold_gbps: float = 1.0,
     queue_pkts: int = 96,
     min_duration_us: float = 300.0,
+    burst_size: int = 1,
 ):
     """Build the Figure 15 topology: ``n_benign`` TCP senders plus one
     UDP flooder sharing a bottleneck to a common destination.
@@ -173,7 +174,9 @@ def build_dos_scenario(
     Benign flows are application-paced to ``benign_rate_gbps`` each
     (low-rate flows at microsecond RTTs cannot be window-limited below
     one packet per RTT).  The paper uses 250 flows at 20% of 10 Gbps;
-    scale ``n_benign`` up for the full-size run.
+    scale ``n_benign`` up for the full-size run.  ``burst_size > 1``
+    coalesces the flooder's sends into burst events (one event-queue
+    entry and one batched pipeline call per burst).
     """
     from repro.net.hosts import UdpSender
     from repro.net.tcp import TcpFlow, TcpSink
@@ -213,6 +216,7 @@ def build_dos_scenario(
         "attacker",
         {"ipv4.srcAddr": 0x0AFF0001, "ipv4.dstAddr": dst_addr},
         rate_gbps=attack_rate_gbps,
+        burst_size=burst_size,
     )
     sim.attach_host(attacker, 2 + n_benign)
     return app, sim, flows, sink, attacker

@@ -186,11 +186,12 @@ class HashPolarizationApp:
 
 
 def build_polarized_scenario(
-    n_flows: int = 32, rate_gbps_per_flow: float = 0.4
+    n_flows: int = 32, rate_gbps_per_flow: float = 0.4, burst_size: int = 1
 ):
     """Flows with varying srcAddr/sport but a single dstAddr -- the
     initial (dstAddr, proto) hash config polarizes them all onto one
-    path."""
+    path.  ``burst_size > 1`` coalesces each sender's packets into
+    burst events."""
     from repro.net.hosts import SinkHost, UdpSender
 
     app = HashPolarizationApp()
@@ -213,6 +214,7 @@ def build_polarized_scenario(
             },
             rate_gbps=rate_gbps_per_flow,
             size_bytes=1000,
+            burst_size=burst_size,
         )
         sim.attach_host(sender, NUM_PATHS + index)
         senders.append(sender)

@@ -27,6 +27,70 @@ from typing import Dict
 import numpy as np
 
 from repro.net.flows import Trace
+from repro.switch.asic import STANDARD_METADATA_P4
+
+# Data-plane companion of :class:`CountMinSketch`: a 2-row count-min
+# sketch updated per packet (two independent hash families indexing two
+# counter rows), exported to the agent through a register mirror.  The
+# numpy estimators above stay the vectorized path for multi-million
+# packet traces; this program is the live-pipeline path, sized so both
+# can be cross-checked on the same stream.
+SKETCH_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; proto : 8; }
+}
+header ipv4_t ipv4;
+header_type cm_t { fields { idx0 : 16; idx1 : 16; val0 : 32; val1 : 32; } }
+metadata cm_t cm;
+
+register cm_row0 { width : 32; instance_count : 64; }
+register cm_row1 { width : 32; instance_count : 64; }
+
+field_list cm_fl { ipv4.srcAddr; }
+field_list_calculation cm_hash0 {
+    input { cm_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list_calculation cm_hash1 {
+    input { cm_fl; }
+    algorithm : crc32_lsb;
+    output_width : 16;
+}
+
+action cm_update() {
+    modify_field_with_hash_based_offset(cm.idx0, 0, cm_hash0, 64);
+    modify_field_with_hash_based_offset(cm.idx1, 0, cm_hash1, 64);
+    register_read(cm.val0, cm_row0, cm.idx0);
+    add(cm.val0, cm.val0, standard_metadata.packet_length);
+    register_write(cm_row0, cm.idx0, cm.val0);
+    register_read(cm.val1, cm_row1, cm.idx1);
+    add(cm.val1, cm.val1, standard_metadata.packet_length);
+    register_write(cm_row1, cm.idx1, cm.val1);
+}
+table cm_sketch {
+    actions { cm_update; }
+    default_action : cm_update();
+}
+
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 256;
+}
+
+control ingress {
+    apply(cm_sketch);
+    apply(route);
+}
+
+reaction cm_watch(reg cm_row0[0:63]) {
+    // Host-side implementation: read the sketch rows, take the min.
+}
+"""
 
 
 def _hash_ips(ips: np.ndarray, entries: int, seed: int) -> np.ndarray:

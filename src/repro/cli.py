@@ -123,6 +123,12 @@ def cmd_run(args) -> int:
           f"{iterations} dialogue iterations")
     print(f"avg reaction time : {system.agent.avg_reaction_time_us:.2f} us")
     print(f"cpu utilization   : {system.agent.cpu_utilization:.1%}")
+    phases = system.agent.phase_totals
+    split = ", ".join(
+        f"{name.rsplit('_us', 1)[0]}={phases[name]:.1f}"
+        for name in ("mv_flip_us", "poll_us", "react_us", "commit_us")
+    )
+    print(f"phase split (us)  : {split}")
     print(f"driver operations : {system.driver.ops_issued}")
     health = system.agent.health()
     status = "healthy" if health.healthy else "DEGRADED"
@@ -142,16 +148,36 @@ def cmd_run(args) -> int:
 def cmd_bench_fastpath(args) -> int:
     from repro.fastbench import run_fastpath_benchmark
 
+    json_path = args.bench_json or args.json
     result = run_fastpath_benchmark(
-        n_packets=args.packets, json_path=args.json
+        n_packets=args.packets,
+        json_path=json_path,
+        batch_size=args.batch_size,
+        profile=args.profile,
     )
     print(f"workload          : {result['workload']}")
     print(f"packets           : {result['packets']}")
     print(f"interpreter       : {result['interpreter_pps']:>12,.1f} pkt/s")
     print(f"compiled          : {result['compiled_pps']:>12,.1f} pkt/s")
-    print(f"speedup           : {result['speedup']:.2f}x")
-    if args.json:
-        print(f"wrote {args.json}")
+    batch_label = f"batch (x{result['batch_size']})"
+    print(f"{batch_label:<18s}: {result['batch_pps']:>12,.1f} pkt/s")
+    print(f"speedup           : {result['speedup']:.2f}x "
+          "(compiled vs interpreter)")
+    print(f"batch speedup     : {result['batch_speedup_vs_compiled']:.2f}x "
+          "(batch vs compiled per-packet)")
+    if args.profile:
+        profile = result["profile"]
+        print("-- hot loops (data plane) --")
+        for section in ("control_runs", "table_applies", "action_runs"):
+            counts = profile["data_plane"][section]
+            ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+            rendered = ", ".join(f"{name}={count}" for name, count in ranked)
+            print(f"  {section:13s}: {rendered}")
+        print("-- hot loops (agent, cumulative us) --")
+        for phase, total in profile["agent_phases_us"].items():
+            print(f"  {phase:13s}: {total}")
+    if json_path:
+        print(f"wrote {json_path}")
     return 0
 
 
@@ -207,8 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--packets", type=int, default=20_000,
                          help="packets to pump through each engine")
+    p_bench.add_argument("--batch-size", type=int, default=256,
+                         help="packets per process_batch call in "
+                              "burst mode")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="also report hot-loop counters (data-plane "
+                              "control/table/action counts and agent "
+                              "per-phase time)")
     p_bench.add_argument("--json", default=None,
                          help="write the result payload to this path")
+    p_bench.add_argument("--bench-json", nargs="?", const="BENCH_fastpath.json",
+                         default=None, metavar="PATH",
+                         help="write the tracked benchmark artifact "
+                              "(default path: BENCH_fastpath.json at the "
+                              "repo root)")
     p_bench.set_defaults(func=cmd_bench_fastpath)
     return parser
 

@@ -17,12 +17,13 @@ import time
 from typing import Dict, List, Optional
 
 from repro.apps.dos import DOS_P4R, DosMitigationApp
-from repro.switch.packet import Packet
+from repro.switch.packet import Packet, PacketPool, PacketTemplate
 from repro.system import MantisSystem
 
 DST_ADDR = 0x0A00FFFF
 ATTACKER_ADDR = 0x0AFF0001
 DST_PORT = 1
+DEFAULT_BATCH_SIZE = 256
 
 
 def build_dos_system(
@@ -83,29 +84,98 @@ def measure_mode(
     }
 
 
+def measure_batch_mode(
+    workload: List[Dict[str, int]],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    warmup: int = 200,
+) -> Dict[str, float]:
+    """Pump the workload through ``SwitchAsic.process_batch`` on the
+    compiled engine, ``batch_size`` packets per call, reusing pooled
+    packets (the burst-mode fast path)."""
+    app = build_dos_system("compiled")
+    process_batch = app.system.asic.process_batch
+    templates = [
+        PacketTemplate(fields, size_bytes=1500) for fields in workload
+    ]
+    pool = PacketPool(batch_size)
+    for start in range(0, min(warmup, len(templates)), batch_size):
+        process_batch(pool.take(templates[start:start + batch_size]))
+    begin = time.perf_counter()
+    for start in range(0, len(templates), batch_size):
+        process_batch(pool.take(templates[start:start + batch_size]))
+    elapsed = time.perf_counter() - begin
+    return {
+        "packets_per_sec": len(workload) / elapsed if elapsed else float("inf"),
+        "elapsed_sec": elapsed,
+    }
+
+
+def profile_fastpath(
+    n_packets: int = 2_000, iterations: int = 50
+) -> Dict[str, object]:
+    """Hot-loop counters for both halves of the dialogue.
+
+    Data plane: rebuild the compiled engine with per-control /
+    per-table / per-action counters (:meth:`SwitchAsic.enable_profiling`
+    -- batch plans are disabled under profiling, so counts reflect the
+    instrumented scalar closures) and pump the workload.  Control
+    plane: run dialogue iterations and report the agent's cumulative
+    per-phase time split (mv_flip / poll / react / commit)."""
+    app = build_dos_system("compiled")
+    profile = app.system.asic.enable_profiling()
+    process = app.system.asic.process
+    for fields in make_workload(n_packets):
+        process(Packet(fields=fields, size_bytes=1500))
+    agent = app.system.agent
+    for _ in range(iterations):
+        agent.run_iteration()
+    return {
+        "data_plane": profile.snapshot(),
+        "agent_phases_us": {
+            phase: round(total, 3)
+            for phase, total in agent.phase_totals.items()
+        },
+    }
+
+
 def run_fastpath_benchmark(
     n_packets: int = 20_000,
     json_path: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profile: bool = False,
 ) -> Dict[str, object]:
-    """Measure both engines on the same workload; optionally persist
-    the JSON artifact.  Returns the result payload."""
+    """Measure all three paths (interpreter, compiled per-packet,
+    compiled batch) on the same workload; optionally persist the JSON
+    artifact.  Returns the result payload."""
     workload = make_workload(n_packets)
     interpreter = measure_mode("interpreter", workload)
     compiled = measure_mode("compiled", workload)
+    batch = measure_batch_mode(workload, batch_size=batch_size)
     speedup = (
         compiled["packets_per_sec"] / interpreter["packets_per_sec"]
         if interpreter["packets_per_sec"]
         else float("inf")
     )
+    batch_speedup = (
+        batch["packets_per_sec"] / compiled["packets_per_sec"]
+        if compiled["packets_per_sec"]
+        else float("inf")
+    )
     payload: Dict[str, object] = {
         "workload": "figure15-dos",
         "packets": n_packets,
+        "batch_size": batch_size,
         "interpreter_pps": round(interpreter["packets_per_sec"], 1),
         "compiled_pps": round(compiled["packets_per_sec"], 1),
+        "batch_pps": round(batch["packets_per_sec"], 1),
         "interpreter_elapsed_sec": round(interpreter["elapsed_sec"], 6),
         "compiled_elapsed_sec": round(compiled["elapsed_sec"], 6),
+        "batch_elapsed_sec": round(batch["elapsed_sec"], 6),
         "speedup": round(speedup, 3),
+        "batch_speedup_vs_compiled": round(batch_speedup, 3),
     }
+    if profile:
+        payload["profile"] = profile_fastpath()
     if json_path:
         write_json(json_path, payload)
     return payload

@@ -44,18 +44,26 @@ class Pipeline:
         num_ports: int,
         cost_model: Optional[DriverCostModel],
         pacing_sleep_us: float,
+        execution_mode: Optional[str] = None,
+        poll_batching: bool = False,
     ):
         self.index = index
         # Each pipeline owns its program instance so runtime state
         # (entries, registers) is fully disjoint.
         program = artifacts.p4.clone()
         self.asic = SwitchAsic(
-            program, clock=clock, num_ports=num_ports, seed=index
+            program, clock=clock, num_ports=num_ports, seed=index,
+            execution_mode=execution_mode,
         )
         self.driver = Driver(self.asic, model=cost_model)
         self.agent = MantisAgent(
-            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us
+            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
+            poll_batching=poll_batching,
         )
+
+    def process_batch(self, packets, times=None, sink=None):
+        """Burst-mode entry point for this pipeline's private ASIC."""
+        return self.asic.process_batch(packets, times=times, sink=sink)
 
 
 class MultiPipelineSwitch:
@@ -69,6 +77,8 @@ class MultiPipelineSwitch:
         cost_model: Optional[DriverCostModel] = None,
         pacing_sleep_us: float = 0.0,
         clock: Optional[SimClock] = None,
+        execution_mode: Optional[str] = None,
+        poll_batching: bool = False,
     ):
         if n_pipelines < 1:
             raise AgentError("need at least one pipeline")
@@ -78,6 +88,8 @@ class MultiPipelineSwitch:
             Pipeline(
                 index, artifacts, self.clock, num_ports,
                 cost_model, pacing_sleep_us,
+                execution_mode=execution_mode,
+                poll_batching=poll_batching,
             )
             for index in range(n_pipelines)
         ]

@@ -61,7 +61,14 @@ class SinkHost(Host):
 
 
 class UdpSender(Host):
-    """Open-loop constant-rate sender (the DoS flood of Figure 15)."""
+    """Open-loop constant-rate sender (the DoS flood of Figure 15).
+
+    With ``burst_size > 1`` the sender coalesces each group of packets
+    into one simulator event (``send_burst_to_switch``): packet send
+    times, arrivals, and the next tick all land on the same instants a
+    per-packet sender would produce, but the event queue and the
+    switch pipeline see one burst instead of ``burst_size`` entries.
+    """
 
     def __init__(
         self,
@@ -69,12 +76,14 @@ class UdpSender(Host):
         fields: Dict[str, int],
         rate_gbps: float,
         size_bytes: int = 1500,
+        burst_size: int = 1,
     ):
         super().__init__(name)
         self.fields = dict(fields)
         self.rate_gbps = rate_gbps
         self.size_bytes = size_bytes
         self.interval_us = size_bytes * 8 / (rate_gbps * 1000.0)
+        self.burst_size = max(1, burst_size)
         self.tx_packets = 0
         self._running = False
 
@@ -89,10 +98,27 @@ class UdpSender(Host):
     def _tick(self, now: float) -> None:
         if not self._running:
             return
-        packet = Packet(dict(self.fields), size_bytes=self.size_bytes)
-        self.sim.send_to_switch(packet, self.port)
-        self.tx_packets += 1
-        self.sim.events.schedule(now + self.interval_us, self._tick)
+        if self.burst_size == 1:
+            packet = Packet(dict(self.fields), size_bytes=self.size_bytes)
+            self.sim.send_to_switch(packet, self.port)
+            self.tx_packets += 1
+            self.sim.events.schedule(now + self.interval_us, self._tick)
+            return
+        burst = [
+            Packet(dict(self.fields), size_bytes=self.size_bytes)
+            for _ in range(self.burst_size)
+        ]
+        self.sim.send_burst_to_switch(
+            burst, self.port, spacing_us=self.interval_us
+        )
+        self.tx_packets += self.burst_size
+        # Next tick where the (burst_size+1)-th scalar send would be:
+        # repeated addition, so the float value matches the scalar
+        # sender's accumulated schedule exactly.
+        next_tick = now
+        for _ in range(self.burst_size):
+            next_tick += self.interval_us
+        self.sim.events.schedule(next_tick, self._tick)
 
 
 class HeartbeatGenerator(Host):

@@ -7,6 +7,13 @@ bandwidth; their instantaneous depth is exported to the ASIC so that
 ``standard_metadata.deq_qdepth`` (the signal several use cases poll)
 is live.
 
+Queue accounting is *pull-based*: instead of scheduling one event per
+packet departure, each port keeps a monotone deque of departure times
+and drains the due prefix whenever a depth is read or a packet is
+enqueued.  The ASIC reads depths through ``asic.queue_model``, so
+``deq_qdepth`` reflects departures up to the exact (possibly
+mid-burst) timestamp of the packet being processed.
+
 Concurrency model: the Mantis agent busy-loops on the shared clock;
 every clock advance drains due packet events, so data-plane activity
 interleaves with control-plane driver operations exactly as on a real
@@ -15,8 +22,9 @@ switch (the ASIC never blocks on the CPU).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from repro.errors import SimulationError
 from repro.net.events import EventQueue
@@ -45,6 +53,19 @@ class _PortState:
     tx_packets: int = 0
     tx_bytes: int = 0
     dropped: int = 0
+    # bits-per-us denominator, precomputed once: serialization on the
+    # per-packet path is then ``size * 8 / rate_bits_per_us`` -- the
+    # same float operations (hence bit-identical results) as
+    # PortConfig.serialization_us, without re-deriving the rate from
+    # bandwidth_gbps on every send.
+    rate_bits_per_us: float = 0.0
+    # Pending departure times, monotonically non-decreasing (each
+    # departure is max(now, busy_until) + serialization).  Drained
+    # lazily by _drain_port instead of one scheduled event per packet.
+    departs: Deque[float] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        self.rate_bits_per_us = self.config.bandwidth_gbps * 1000.0
 
 
 class NetworkSim:
@@ -63,6 +84,7 @@ class NetworkSim:
         # likewise built once at load, so the whole per-packet path is
         # allocation- and lookup-free.
         self._process = system.asic.process
+        self._process_batch = system.asic.process_batch
         self.events = EventQueue()
         self.clock.add_listener(self._on_clock)
         self.default_port = default_port or PortConfig()
@@ -70,6 +92,12 @@ class NetworkSim:
         self.hosts: Dict[int, "HostLike"] = {}
         self.switch_drops = 0
         self.delivered = 0
+        # Ports with pending lazy departures; lets depth reads for
+        # port A skip draining B's deque.
+        self._departing: Set[int] = set()
+        # The ASIC pulls live depths (lazy-drained to the exact packet
+        # timestamp) instead of relying on pushed snapshots.
+        system.asic.queue_model = self._queue_depth_at
 
     # ---- wiring ----------------------------------------------------------
 
@@ -92,6 +120,29 @@ class NetworkSim:
         Figure 16 experiment's 'switch API that disables ports')."""
         self._port(port).up = up
 
+    # ---- queue accounting -------------------------------------------------
+
+    def _drain_port(self, port_index: int, port: _PortState, now: float) -> None:
+        """Retire departures due at or before ``now`` and republish the
+        depth to the ASIC's port snapshot (kept for callers that read
+        ``asic.ports[i].queue_depth`` directly)."""
+        departs = port.departs
+        while departs and departs[0] <= now:
+            departs.popleft()
+            port.queued -= 1
+        if not departs:
+            self._departing.discard(port_index)
+        asic_ports = self.system.asic.ports
+        if port_index < len(asic_ports):
+            asic_ports[port_index].queue_depth = port.queued
+
+    def _queue_depth_at(self, port_index: int, now: float) -> int:
+        """``asic.queue_model``: the live depth of one port at ``now``."""
+        port = self._port(port_index)
+        if port.departs:
+            self._drain_port(port_index, port, now)
+        return port.queued
+
     # ---- packet path -------------------------------------------------------
 
     def send_to_switch(
@@ -105,10 +156,49 @@ class NetworkSim:
             self.clock.now
             + delay_us
             + port.config.latency_us
-            + port.config.serialization_us(packet.size_bytes)
+            + packet.size_bytes * 8 / port.rate_bits_per_us
         )
         packet.fields["standard_metadata.ingress_port"] = ingress_port
         self.events.schedule(arrival, lambda now, p=packet: self._ingress(p, now))
+
+    def send_burst_to_switch(
+        self,
+        packets: Sequence[Packet],
+        ingress_port: int,
+        spacing_us: float = 0.0,
+        delay_us: float = 0.0,
+    ) -> None:
+        """A host puts a burst on the wire as ONE event.
+
+        Send times step by ``spacing_us`` (repeated addition, matching
+        the per-packet accumulation a scalar sender would do); each
+        packet's arrival adds the link latency and its own
+        serialization.  The whole burst runs through
+        :meth:`SwitchAsic.process_batch` when the first packet's
+        arrival is due, with per-packet notional timestamps, so
+        timestamps, queue depths, and drop decisions are identical to
+        sending the packets individually.  The coalescing trade-off:
+        foreign events with timestamps inside the burst window run
+        after the burst instead of interleaved with it.
+        """
+        if not packets:
+            return
+        port = self._port(ingress_port)
+        if not port.up:
+            return
+        latency = port.config.latency_us
+        rate = port.rate_bits_per_us
+        times: List[float] = []
+        send = self.clock.now + delay_us
+        for packet in packets:
+            packet.fields["standard_metadata.ingress_port"] = ingress_port
+            times.append(send + latency + packet.size_bytes * 8 / rate)
+            send += spacing_us
+        batch = list(packets)
+        self.events.schedule(
+            times[0],
+            lambda _now, b=batch, t=times: self._ingress_burst(b, t),
+        )
 
     def _ingress(self, packet: Packet, now: float) -> None:
         result = self._process(packet)
@@ -118,23 +208,36 @@ class NetworkSim:
         egress_port, packet = result
         self._enqueue(egress_port, packet, now)
 
+    def _ingress_burst(self, packets: List[Packet], times: List[float]) -> None:
+        def sink(index: int, result) -> None:
+            if result is None:
+                self.switch_drops += 1
+                return
+            egress_port, packet = result
+            self._enqueue(egress_port, packet, times[index])
+
+        self._process_batch(packets, times=times, sink=sink)
+
     def _enqueue(self, egress_port: int, packet: Packet, now: float) -> None:
         port = self._port(egress_port)
         if not port.up:
             port.dropped += 1
             return
+        if port.departs:
+            self._drain_port(egress_port, port, now)
         if port.queued >= port.config.queue_capacity_pkts:
             port.dropped += 1
             return
-        serialization = port.config.serialization_us(packet.size_bytes)
+        serialization = packet.size_bytes * 8 / port.rate_bits_per_us
         depart = max(now, port.busy_until) + serialization
         port.busy_until = depart
         port.queued += 1
-        self._sync_depth(egress_port)
+        port.departs.append(depart)
+        self._departing.add(egress_port)
+        asic_ports = self.system.asic.ports
+        if egress_port < len(asic_ports):
+            asic_ports[egress_port].queue_depth = port.queued
         arrival = depart + port.config.latency_us
-        self.events.schedule(
-            depart, lambda _t, p=egress_port: self._departed(p)
-        )
         self.events.schedule(
             arrival, lambda now2, p=packet, port_=egress_port: self._deliver(
                 port_, p, now2
@@ -142,17 +245,6 @@ class NetworkSim:
         )
         port.tx_packets += 1
         port.tx_bytes += packet.size_bytes
-
-    def _departed(self, port_index: int) -> None:
-        port = self._port(port_index)
-        port.queued -= 1
-        self._sync_depth(port_index)
-
-    def _sync_depth(self, port_index: int) -> None:
-        """Expose the queue depth to the ASIC's standard_metadata."""
-        asic_ports = self.system.asic.ports
-        if port_index < len(asic_ports):
-            asic_ports[port_index].queue_depth = self._port(port_index).queued
 
     def _deliver(self, port_index: int, packet: Packet, now: float) -> None:
         self.delivered += 1
@@ -187,7 +279,10 @@ class NetworkSim:
         self.events.drain(self.clock.now)
 
     def queue_depth(self, port: int) -> int:
-        return self._port(port).queued
+        port_state = self._port(port)
+        if port_state.departs:
+            self._drain_port(port, port_state, self.clock.now)
+        return port_state.queued
 
     def port_stats(self, port: int) -> _PortState:
         return self._port(port)

@@ -18,13 +18,13 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SwitchError
 from repro.p4 import ast
 from repro.p4.validate import validate_program
 from repro.switch.clock import SimClock
-from repro.switch.compiled import CompiledPipeline
+from repro.switch.compiled import CompiledPipeline, PipelineProfile
 from repro.switch.packet import Packet, STANDARD_METADATA_FIELDS
 from repro.switch.pipeline import PipelineExecutor
 from repro.switch.registers import RegisterArray
@@ -57,6 +57,30 @@ class CounterRuntime:
 
     counter_type: str
     array: RegisterArray
+
+
+@dataclass
+class BatchStats:
+    """Always-on aggregates for the batch path.
+
+    ``fused`` counts packets fully handled by the single-pass fast
+    loop; ``slow_path`` counts packets that fell back to the generic
+    pass-by-pass loop (recirculation, or the reference engine).
+    """
+
+    batches: int = 0
+    packets: int = 0
+    fused: int = 0
+    slow_path: int = 0
+
+
+# A packet's processing outcome: (egress_port, packet) or None if dropped.
+ProcessResult = Optional[Tuple[int, Packet]]
+
+# Pull-based queue-depth signal: (port, now_us) -> depth.  Installed by
+# the network simulator so the traffic manager reads live queue state
+# (with lazy departure accounting) instead of a pushed snapshot.
+QueueModel = Callable[[int, float], int]
 
 
 @dataclass
@@ -128,6 +152,8 @@ class SwitchAsic:
         # draws the same stream regardless of mode (differential tests
         # depend on this).
         rng = random.Random(seed)
+        self._rng = rng
+        self._seed = seed
         self.interpreter = PipelineExecutor(self, seed=seed, rng=rng)
         self.executor = (
             CompiledPipeline(self, rng=rng)
@@ -140,6 +166,12 @@ class SwitchAsic:
         # the switch's packet-level bandwidth (Section 2's point that
         # recirculation divides usable throughput).
         self.pipeline_passes = 0
+        self.batch_stats = BatchStats()
+        # Set by whoever owns the queueing model; None means the pushed
+        # PortStats.queue_depth snapshot is authoritative (standalone
+        # ASIC tests, fastbench).
+        self.queue_model: Optional[QueueModel] = None
+        self.profile: Optional[PipelineProfile] = None
 
     def _ensure_standard_metadata(self) -> None:
         if "standard_metadata" in self.program.headers:
@@ -191,6 +223,24 @@ class SwitchAsic:
             raise SwitchError(f"unknown table {name!r}")
         return self.tables[name]
 
+    # ---- profiling --------------------------------------------------------
+
+    def enable_profiling(self) -> PipelineProfile:
+        """Rebuild the compiled engine with hot-loop counters.
+
+        Counting costs one dict increment per control run, table apply,
+        and action execution, so it is opt-in.  The engine is rebuilt
+        around the *same* RNG object, keeping the packet-visible random
+        stream unchanged by profiling."""
+        if self.execution_mode != "compiled":
+            raise SwitchError(
+                "hot-loop profiling requires the compiled engine"
+            )
+        profile = PipelineProfile()
+        self.executor = CompiledPipeline(self, rng=self._rng, profile=profile)
+        self.profile = profile
+        return profile
+
     # ---- packet processing --------------------------------------------------
 
     def _stamp_ingress(self, packet: Packet) -> None:
@@ -205,12 +255,36 @@ class SwitchAsic:
         if not 0 <= port < self.num_ports:
             raise SwitchError(f"egress_spec {port} out of range")
         packet.fields["standard_metadata.egress_port"] = port
-        depth = self.ports[port].queue_depth
+        queue_model = self.queue_model
+        if queue_model is not None:
+            depth = queue_model(port, self.clock.now)
+        else:
+            depth = self.ports[port].queue_depth
         packet.fields["standard_metadata.enq_qdepth"] = depth
         packet.fields["standard_metadata.deq_qdepth"] = depth
         packet.fields["standard_metadata.egress_global_timestamp"] = int(
             self.clock.now
         )
+
+    def _traffic_manager_at(
+        self, packet: Packet, now: float, ts: int
+    ) -> None:
+        """:meth:`_traffic_manager` with an explicit notional time
+        (burst coalescing runs packets at their per-packet arrival
+        times while the real clock sits at the burst start)."""
+        port = packet.egress_spec
+        if not 0 <= port < self.num_ports:
+            raise SwitchError(f"egress_spec {port} out of range")
+        fields = packet.fields
+        fields["standard_metadata.egress_port"] = port
+        queue_model = self.queue_model
+        if queue_model is not None:
+            depth = queue_model(port, now)
+        else:
+            depth = self.ports[port].queue_depth
+        fields["standard_metadata.enq_qdepth"] = depth
+        fields["standard_metadata.deq_qdepth"] = depth
+        fields["standard_metadata.egress_global_timestamp"] = ts
 
     def process(self, packet: Packet) -> Optional[Tuple[int, Packet]]:
         """Run a packet through the full pipeline.
@@ -251,6 +325,345 @@ class SwitchAsic:
         port.tx_packets += 1
         port.tx_bytes += packet.size_bytes
         return port_id, packet
+
+    def process_batch(
+        self,
+        packets: Sequence[Packet],
+        times: Optional[Sequence[float]] = None,
+        sink: Optional[Callable[[int, ProcessResult], None]] = None,
+    ) -> List[ProcessResult]:
+        """Run a burst of packets through the pipeline in one call.
+
+        Semantically identical to calling :meth:`process` per packet --
+        same results, counters, timestamps, and port statistics -- but
+        with the per-packet binding work hoisted out of the loop: the
+        control closures, port list, and timestamp are resolved once
+        per batch, and the common single-pass forward path runs fused.
+        Drops stay inline; recirculation falls back to the generic
+        pass-by-pass loop per packet.
+
+        ``times`` optionally gives each packet a notional clock value
+        (the network simulator's burst coalescing: one event, exact
+        per-packet arrival times).  ``sink`` is called with
+        ``(index, result)`` immediately after each packet, letting a
+        caller interleave per-packet work -- queue accounting must see
+        packet ``i`` enqueued before packet ``i + 1`` reads depths.
+        """
+        executor = self.executor
+        get_plan = getattr(executor, "batch_ops", None)
+        if get_plan is None:
+            return self._batch_reference(packets, times, sink)
+        get_major = getattr(executor, "batch_major_ops", None)
+        if get_major is not None:
+            major_ops = get_major("ingress")
+            if major_ops is not None:
+                executor.begin_batch()
+                return self._batch_major(
+                    packets, times, sink, major_ops, get_plan("egress") or ()
+                )
+        ingress_ops = get_plan("ingress")
+        egress_ops = get_plan("egress")
+        if ingress_ops is None:
+            # Profiling: no fused plan; route each packet through the
+            # counting control closures instead.
+            bind = executor.bound_control
+            control = bind("ingress")
+            ingress_ops = (control,) if control is not None else ()
+            control = bind("egress")
+            egress_ops = (control,) if control is not None else ()
+        else:
+            executor.begin_batch()
+        ports = self.ports
+        num_ports = self.num_ports
+        queue_model = self.queue_model
+        clock_now = self.clock.now
+        shared_ts = int(clock_now) if times is None else None
+        results: List[ProcessResult] = []
+        append = results.append
+        processed = 0
+        passes = 0
+        dropped = 0
+        fused = 0
+        slow = 0
+        drop_key = "standard_metadata.drop_flag"
+        try:
+            for index, packet in enumerate(packets):
+                processed += 1
+                passes += 1
+                fields = packet.fields
+                if shared_ts is None:
+                    t_now = times[index]
+                    ts = int(t_now)
+                else:
+                    t_now = clock_now
+                    ts = shared_ts
+                fields["standard_metadata.ingress_global_timestamp"] = ts
+                for op in ingress_ops:
+                    if fields[drop_key]:
+                        break
+                    op(packet)
+                if fields[drop_key]:
+                    dropped += 1
+                    fused += 1
+                    append(None)
+                    if sink is not None:
+                        sink(index, None)
+                    continue
+                port_id = fields["standard_metadata.egress_spec"]
+                if not 0 <= port_id < num_ports:
+                    raise SwitchError(
+                        f"egress_spec {port_id} out of range"
+                    )
+                fields["standard_metadata.egress_port"] = port_id
+                if queue_model is not None:
+                    depth = queue_model(port_id, t_now)
+                else:
+                    depth = ports[port_id].queue_depth
+                fields["standard_metadata.enq_qdepth"] = depth
+                fields["standard_metadata.deq_qdepth"] = depth
+                fields["standard_metadata.egress_global_timestamp"] = ts
+                for op in egress_ops:
+                    if fields[drop_key]:
+                        break
+                    op(packet)
+                if fields[drop_key]:
+                    dropped += 1
+                    fused += 1
+                    append(None)
+                    if sink is not None:
+                        sink(index, None)
+                    continue
+                if fields["standard_metadata.recirculate_flag"]:
+                    slow += 1
+                    extra, result = self._recirculate(packet, t_now, ts)
+                    passes += extra
+                    if result is None:
+                        dropped += 1
+                    append(result)
+                    if sink is not None:
+                        sink(index, result)
+                    continue
+                fused += 1
+                port = ports[port_id]
+                port.tx_packets += 1
+                port.tx_bytes += packet.size_bytes
+                result = (port_id, packet)
+                append(result)
+                if sink is not None:
+                    sink(index, result)
+        finally:
+            self.packets_processed += processed
+            self.pipeline_passes += passes
+            self.packets_dropped += dropped
+            stats = self.batch_stats
+            stats.batches += 1
+            stats.packets += processed
+            stats.fused += fused
+            stats.slow_path += slow
+        return results
+
+    def _batch_major(
+        self,
+        packets: Sequence[Packet],
+        times: Optional[Sequence[float]],
+        sink: Optional[Callable[[int, ProcessResult], None]],
+        ingress_ops: Sequence[Callable[[List[Packet]], None]],
+        egress_ops: Sequence[Callable[[Packet], None]],
+    ) -> List[ProcessResult]:
+        """Op-major burst execution: each compiled ingress table sweeps
+        the whole batch before the next runs, so the apply-frame cost is
+        paid once per table per *batch* instead of per packet.
+
+        Only reached when :meth:`CompiledPipeline.batch_major_ops`
+        proved the reordering unobservable (straight-line exact-match
+        ingress, pairwise-disjoint register/counter/RNG footprints, no
+        stateful recirculation); per-packet traffic-manager and egress
+        work still runs in arrival order so queue accounting via
+        ``sink`` sees packet ``i`` enqueued before ``i + 1``.
+        """
+        batch = packets if isinstance(packets, list) else list(packets)
+        ports = self.ports
+        num_ports = self.num_ports
+        queue_model = self.queue_model
+        clock_now = self.clock.now
+        if times is None:
+            stamps: Optional[List[int]] = None
+            shared_ts = int(clock_now)
+            for packet in batch:
+                packet.fields[
+                    "standard_metadata.ingress_global_timestamp"
+                ] = shared_ts
+        else:
+            stamps = [int(t) for t in times]
+            shared_ts = 0
+            for packet, ts in zip(batch, stamps):
+                packet.fields[
+                    "standard_metadata.ingress_global_timestamp"
+                ] = ts
+        results: List[ProcessResult] = []
+        append = results.append
+        processed = len(batch)
+        passes = len(batch)
+        dropped = 0
+        fused = 0
+        slow = 0
+        drop_key = "standard_metadata.drop_flag"
+        try:
+            for batch_op in ingress_ops:
+                batch_op(batch)
+            for index, packet in enumerate(batch):
+                fields = packet.fields
+                if stamps is None:
+                    t_now = clock_now
+                    ts = shared_ts
+                else:
+                    t_now = times[index]
+                    ts = stamps[index]
+                if fields[drop_key]:
+                    dropped += 1
+                    fused += 1
+                    append(None)
+                    if sink is not None:
+                        sink(index, None)
+                    continue
+                port_id = fields["standard_metadata.egress_spec"]
+                if not 0 <= port_id < num_ports:
+                    raise SwitchError(
+                        f"egress_spec {port_id} out of range"
+                    )
+                fields["standard_metadata.egress_port"] = port_id
+                if queue_model is not None:
+                    depth = queue_model(port_id, t_now)
+                else:
+                    depth = ports[port_id].queue_depth
+                fields["standard_metadata.enq_qdepth"] = depth
+                fields["standard_metadata.deq_qdepth"] = depth
+                fields["standard_metadata.egress_global_timestamp"] = ts
+                for op in egress_ops:
+                    if fields[drop_key]:
+                        break
+                    op(packet)
+                if fields[drop_key]:
+                    dropped += 1
+                    fused += 1
+                    append(None)
+                    if sink is not None:
+                        sink(index, None)
+                    continue
+                if fields["standard_metadata.recirculate_flag"]:
+                    slow += 1
+                    extra, result = self._recirculate(packet, t_now, ts)
+                    passes += extra
+                    if result is None:
+                        dropped += 1
+                    append(result)
+                    if sink is not None:
+                        sink(index, result)
+                    continue
+                fused += 1
+                port = ports[port_id]
+                port.tx_packets += 1
+                port.tx_bytes += packet.size_bytes
+                result = (port_id, packet)
+                append(result)
+                if sink is not None:
+                    sink(index, result)
+        finally:
+            self.packets_processed += processed
+            self.pipeline_passes += passes
+            self.packets_dropped += dropped
+            stats = self.batch_stats
+            stats.batches += 1
+            stats.packets += processed
+            stats.fused += fused
+            stats.slow_path += slow
+        return results
+
+    def _batch_reference(
+        self,
+        packets: Sequence[Packet],
+        times: Optional[Sequence[float]],
+        sink: Optional[Callable[[int, ProcessResult], None]],
+    ) -> List[ProcessResult]:
+        """Batch entry for engines without a fused loop: the scalar
+        path per packet (the differential reference)."""
+        results: List[ProcessResult] = []
+        stats = self.batch_stats
+        stats.batches += 1
+        stats.packets += len(packets)
+        stats.slow_path += len(packets)
+        for index, packet in enumerate(packets):
+            if times is None:
+                result = self.process(packet)
+            else:
+                result = self._process_at(packet, times[index])
+            results.append(result)
+            if sink is not None:
+                sink(index, result)
+        return results
+
+    def _process_at(self, packet: Packet, now: float) -> ProcessResult:
+        """:meth:`process` with an explicit notional clock value;
+        mirrors its structure exactly (same counters, same pass
+        bounds) so burst and per-packet runs stay bit-identical."""
+        self.packets_processed += 1
+        executor = self.executor
+        fields = packet.fields
+        ts = int(now)
+        for _pass in range(1 + MAX_RECIRCULATIONS):
+            self.pipeline_passes += 1
+            fields["standard_metadata.ingress_global_timestamp"] = ts
+            executor.run_control("ingress", packet)
+            if fields["standard_metadata.drop_flag"]:
+                break
+            self._traffic_manager_at(packet, now, ts)
+            executor.run_control("egress", packet)
+            if (
+                fields["standard_metadata.drop_flag"]
+                or not fields["standard_metadata.recirculate_flag"]
+            ):
+                break
+            fields["standard_metadata.recirculate_flag"] = 0
+        if fields["standard_metadata.drop_flag"]:
+            self.packets_dropped += 1
+            return None
+        port_id = fields["standard_metadata.egress_port"]
+        port = self.ports[port_id]
+        port.tx_packets += 1
+        port.tx_bytes += packet.size_bytes
+        return port_id, packet
+
+    def _recirculate(
+        self, packet: Packet, now: float, ts: int
+    ) -> Tuple[int, ProcessResult]:
+        """Passes 2..N of a packet whose first (fused) pass requested
+        recirculation; mirrors the tail of :meth:`process`.  Returns
+        ``(extra_passes, result)``; the caller owns the counters."""
+        executor = self.executor
+        fields = packet.fields
+        extra = 0
+        fields["standard_metadata.recirculate_flag"] = 0
+        for _pass in range(MAX_RECIRCULATIONS):
+            extra += 1
+            fields["standard_metadata.ingress_global_timestamp"] = ts
+            executor.run_control("ingress", packet)
+            if fields["standard_metadata.drop_flag"]:
+                break
+            self._traffic_manager_at(packet, now, ts)
+            executor.run_control("egress", packet)
+            if (
+                fields["standard_metadata.drop_flag"]
+                or not fields["standard_metadata.recirculate_flag"]
+            ):
+                break
+            fields["standard_metadata.recirculate_flag"] = 0
+        if fields["standard_metadata.drop_flag"]:
+            return extra, None
+        port_id = fields["standard_metadata.egress_port"]
+        port = self.ports[port_id]
+        port.tx_packets += 1
+        port.tx_bytes += packet.size_bytes
+        return extra, (port_id, packet)
 
     def process_stepped(self, packet: Packet) -> Iterator[Tuple[str, str]]:
         """Stepped variant of :meth:`process`; yields

@@ -47,6 +47,10 @@ StepFn = Callable[[List[int], Packet], None]
 # A compiled control-block op: (packet) -> None.
 OpFn = Callable[[Packet], None]
 
+# An op-major batch op: one table applied across a whole burst
+# (dropped packets skipped), amortizing the per-packet apply frame.
+BatchOpFn = Callable[[List[Packet]], None]
+
 # Binary operators with the interpreter's exact semantics: comparisons
 # and boolean connectives produce ints, arithmetic is unbounded (width
 # masking happens at field writes, not inside expressions).
@@ -80,6 +84,97 @@ _ARITH_FNS: Dict[str, Callable[[int, int], int]] = {
     "max": max,
 }
 
+# Source templates mirroring _ARITH_FNS for the action fuser, which
+# emits flat Python instead of stacking closures.
+_ARITH_EXPRS: Dict[str, str] = {
+    "add": "({l} + {r})",
+    "subtract": "({l} - {r})",
+    "bit_and": "({l} & {r})",
+    "bit_or": "({l} | {r})",
+    "bit_xor": "({l} ^ {r})",
+    "shift_left": "({l} << {r})",
+    "shift_right": "({l} >> {r})",
+    "min": "min({l}, {r})",
+    "max": "max({l}, {r})",
+}
+
+_FLAG_KEYS = {
+    "recirculate": "standard_metadata.recirculate_flag",
+    "clone_ingress_pkt_to_egress": "standard_metadata.clone_flag",
+    "mark_ecn": "standard_metadata.ecn_marked",
+}
+
+
+class PipelineProfile:
+    """Hot-loop counters for one compiled pipeline.
+
+    The emulator runs on pre-parsed packets, so the classic
+    parse/match/action phases map onto what the engine actually
+    executes: control-block runs (per-pass framing), table applies
+    (match), and action executions (action).  Counting costs one dict
+    increment per event, so profiles are opt-in via
+    ``SwitchAsic.enable_profiling``."""
+
+    __slots__ = ("control_runs", "table_applies", "action_runs")
+
+    def __init__(self):
+        self.control_runs: Dict[str, int] = {}
+        self.table_applies: Dict[str, int] = {}
+        self.action_runs: Dict[str, int] = {}
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "control_runs": dict(self.control_runs),
+            "table_applies": dict(self.table_applies),
+            "action_runs": dict(self.action_runs),
+        }
+
+
+def _counting_op(fn: "OpFn", counts: Dict[str, int], name: str) -> "OpFn":
+    counts[name] = 0
+
+    def counted(packet: Packet, _fn=fn, _counts=counts, _name=name) -> None:
+        _counts[_name] += 1
+        _fn(packet)
+
+    return counted
+
+
+def _counting_step(fn: "StepFn", counts: Dict[str, int], name: str) -> "StepFn":
+    counts[name] = 0
+
+    def counted(
+        args: List[int], packet: Packet, _fn=fn, _counts=counts, _name=name
+    ) -> None:
+        _counts[_name] += 1
+        _fn(args, packet)
+
+    return counted
+
+
+_UNSET = object()
+
+
+def _const_int(arg, params: Dict[str, int]) -> Optional[int]:
+    """The compile-time integer value of a primitive argument once
+    action parameters are bound, or ``None`` if it is packet-dependent."""
+    if isinstance(arg, int):
+        return arg
+    if isinstance(arg, str):
+        return params.get(arg)
+    return None
+
+
+def _tables_in(statements) -> Iterator[str]:
+    """All table names applied anywhere in a statement list (recursing
+    through conditionals)."""
+    for stmt in statements:
+        if isinstance(stmt, ast.ApplyCall):
+            yield stmt.table
+        elif isinstance(stmt, ast.IfBlock):
+            yield from _tables_in(stmt.then_body)
+            yield from _tables_in(stmt.else_body)
+
 
 def _raising_step(message: str) -> StepFn:
     """A step that raises when *executed* -- semantic errors the
@@ -101,23 +196,74 @@ class CompiledPipeline:
     select either engine behind one attribute.
     """
 
-    def __init__(self, asic, rng: Optional[random.Random] = None):
+    def __init__(
+        self,
+        asic,
+        rng: Optional[random.Random] = None,
+        profile: Optional[PipelineProfile] = None,
+    ):
         self.asic = asic
         self.rng = rng if rng is not None else random.Random(0)
+        self.profile = profile
         program = asic.program
+        # Raw (steps, n_params) per action, recorded by _compile_action:
+        # the batch applies execute resolved step tuples directly,
+        # skipping the per-call action frame.
+        self._action_steps: Dict[str, Tuple[Tuple[StepFn, ...], int]] = {}
         self._actions: Dict[str, StepFn] = {
             name: self._compile_action(decl)
             for name, decl in program.actions.items()
         }
+        if profile is not None:
+            # Wrap actions before applies compile (applies capture the
+            # actions dict) and applies before controls compile
+            # (controls capture apply closures), so every execution
+            # path routes through the counters.
+            self._actions = {
+                name: _counting_step(fn, profile.action_runs, name)
+                for name, fn in self._actions.items()
+            }
         self._applies: Dict[str, OpFn] = {
             name: self._compile_apply(runtime)
             for name, runtime in asic.tables.items()
         }
+        if profile is not None:
+            self._applies = {
+                name: _counting_op(fn, profile.table_applies, name)
+                for name, fn in self._applies.items()
+            }
         self._controls: Dict[str, OpFn] = {}
         self._stepped: Dict[str, List] = {}
         for name, decl in program.controls.items():
-            self._controls[name] = self._compile_block(decl.body)
+            compiled = self._compile_block(decl.body)
+            if profile is not None:
+                compiled = _counting_op(compiled, profile.control_runs, name)
+            self._controls[name] = compiled
             self._stepped[name] = self._compile_stepped(decl.body)
+        # Batch execution plans: one op tuple per control, with fused
+        # memoizing applies for exact-match tables.  Not built under
+        # profiling -- the profiled run must route every packet through
+        # the counting closures, so batch_ops() reports no plan and the
+        # batch driver falls back to the instrumented scalar path.
+        self._batch_memos: List[Dict[object, tuple]] = []
+        self._batch_plans: Dict[str, Tuple[OpFn, ...]] = {}
+        self._batch_major_plans: Dict[str, Optional[Tuple[BatchOpFn, ...]]] = {}
+        # Fused (action, args) specializations.  Keyed by resolved
+        # action name + concrete argument tuple; safe to keep across
+        # batches because the generated code depends only on the action
+        # declaration and stable asic containers (register/counter
+        # value lists), never on table entries.
+        self._fused_runners: Dict[Tuple[Optional[str], tuple], object] = {}
+        self._fused_sweeps: Dict[Tuple[Optional[str], tuple], object] = {}
+        if profile is None:
+            for name, decl in program.controls.items():
+                self._batch_plans[name] = tuple(
+                    self._compile_batch_ops(decl.body)
+                )
+            self._batch_major_plans["ingress"] = self._compile_batch_major(
+                program.controls.get("ingress"),
+                program.controls.get("egress"),
+            )
 
     # ---- control blocks ---------------------------------------------------
 
@@ -126,6 +272,15 @@ class CompiledPipeline:
         run = self._controls.get(control_name)
         if run is not None:
             run(packet)
+
+    def bound_control(self, control_name: str) -> Optional[OpFn]:
+        """The compiled closure for one control block, or ``None`` if
+        the program does not define it.
+
+        The batch path hoists this lookup out of its packet loop: one
+        bind per burst instead of a dict probe (plus a call frame for
+        absent controls) per packet."""
+        return self._controls.get(control_name)
 
     def iter_control(
         self, control_name: str, packet: Packet
@@ -187,6 +342,702 @@ class CompiledPipeline:
             else:  # pragma: no cover - parser emits only the kinds above
                 raise SwitchError(f"unknown statement {stmt!r}")
         return ops
+
+    # ---- batch execution --------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Reset the per-batch table-resolution memos.
+
+        Table entries and default actions are control-plane state, and
+        the control plane cannot run inside a batch, so for the life of
+        one batch each key resolves to a fixed (action steps, args)
+        pair.  The memos must not outlive the batch -- the agent may
+        rewrite entries between bursts."""
+        for memo in self._batch_memos:
+            memo.clear()
+
+    def batch_ops(self, control_name: str) -> Optional[Tuple[OpFn, ...]]:
+        """The batch execution plan for one control block: one op per
+        statement, with exact-match applies replaced by fused,
+        batch-memoized versions.  Returns ``None`` when no plan exists
+        (profiling enabled); an undefined control is an empty plan."""
+        if self.profile is not None:
+            return None
+        return self._batch_plans.get(control_name, ())
+
+    def _compile_batch_ops(
+        self, statements: List[ast.Statement]
+    ) -> List[OpFn]:
+        ops: List[OpFn] = []
+        for stmt in statements:
+            if isinstance(stmt, ast.ApplyCall):
+                runtime = self.asic.tables.get(stmt.table)
+                if runtime is None:
+                    raise SwitchError(f"unknown table {stmt.table!r}")
+                ops.append(self._compile_batch_apply(runtime))
+            elif isinstance(stmt, ast.IfBlock):
+                # Branches are off the common forward path: reuse the
+                # scalar op (its sub-blocks go through scalar applies).
+                ops.extend(self._compile_ops([stmt]))
+            else:  # pragma: no cover - parser emits only the kinds above
+                raise SwitchError(f"unknown statement {stmt!r}")
+        return ops
+
+    def _make_resolver(self, runtime):
+        """A ``key_tuple -> (matched, steps, args, fused)`` resolver
+        for one exact-only table; memoized per batch by the callers.
+
+        ``fused`` is the flat specialized runner for the resolved
+        (action, args) pair -- see :meth:`_fuse_runner` -- or ``None``
+        when the action body has a shape the fuser does not cover, in
+        which case callers fall back to the generic step loop."""
+        resolve_steps = self._resolve_steps
+        fuse = self._fuse_runner
+        index = runtime._exact_index
+
+        def resolve(key_tuple, _runtime=runtime, _index=index):
+            entry = _index.get(key_tuple)
+            if entry is None:
+                result = _runtime.default_action
+                if result is None:
+                    return (False, (), (), None)
+                name, args = result
+                return (
+                    False,
+                    resolve_steps(name, args),
+                    args,
+                    fuse(name, tuple(args)),
+                )
+            name = entry.action_name
+            args = entry.action_args
+            return (
+                True,
+                resolve_steps(name, args),
+                args,
+                fuse(name, tuple(args)),
+            )
+
+        return resolve
+
+    def _resolve_steps(
+        self, action_name: str, action_args: List[int]
+    ) -> Tuple[StepFn, ...]:
+        """Pre-flight an action for memoized execution: same unknown-
+        action and arity errors as the compiled run fns, paid once per
+        (table, key) per batch instead of once per packet."""
+        entry = self._action_steps.get(action_name)
+        if entry is None:
+            raise SwitchError(f"unknown action {action_name!r}")
+        steps, n_params = entry
+        if len(action_args) != n_params:
+            raise SwitchError(
+                f"action {action_name}: expected {n_params} args, "
+                f"got {len(action_args)}"
+            )
+        return steps
+
+    # ---- action fusion ----------------------------------------------------
+    #
+    # Once a batch resolver has pinned a (action, args) pair, every
+    # action parameter is a known integer, so the whole primitive
+    # sequence can be emitted as one flat Python function -- no step
+    # dispatch, no argument closures, constants folded in the source.
+    # This is the reproduction's version of the paper's precomputation
+    # argument (SS6): resolve once, then run straight-line code.
+
+    def _fuse_runner(self, action_name, args: tuple):
+        """A fused per-packet runner ``fn(packet, fields)`` for one
+        resolved action, or ``None`` if the body is not fusable."""
+        cache = self._fused_runners
+        key = (action_name, args)
+        fn = cache.get(key, _UNSET)
+        if fn is _UNSET:
+            fn = cache[key] = self._build_fused(action_name, args, False)
+        return fn
+
+    def _fuse_sweep(self, action_name, args: tuple):
+        """A fused whole-batch sweep ``fn(packets) -> live_count`` for
+        one resolved keyless action (``None`` action name means
+        miss-with-no-default: count live packets, run nothing)."""
+        cache = self._fused_sweeps
+        key = (action_name, args)
+        fn = cache.get(key, _UNSET)
+        if fn is _UNSET:
+            fn = cache[key] = self._build_fused(action_name, args, True)
+        return fn
+
+    def _build_fused(self, action_name, args: tuple, sweep: bool):
+        if action_name is None:
+            body: List[str] = []
+        else:
+            decl = self.asic.program.actions.get(action_name)
+            if decl is None or len(decl.params) != len(args):
+                return None
+            params = dict(zip(decl.params, args))
+            env: Dict[str, object] = {"min": min, "max": max}
+            body = []
+            for call in decl.body:
+                if not self._fuse_call(call, params, env, body):
+                    return None
+        if sweep:
+            inner = "".join(f"        {line}\n" for line in body)
+            src = (
+                "def _fused(packets):\n"
+                "    live = 0\n"
+                "    for p in packets:\n"
+                "        f = p.fields\n"
+                f"        if f[{_DROP!r}]:\n"
+                "            continue\n"
+                "        live += 1\n"
+                f"{inner}"
+                "    return live\n"
+            )
+        else:
+            inner = "".join(f"    {line}\n" for line in body) or "    pass\n"
+            src = f"def _fused(p, f):\n{inner}"
+        namespace: Dict[str, object] = {"__builtins__": {}}
+        if action_name is not None:
+            namespace.update(env)
+        exec(  # noqa: S102 - source assembled from parsed P4 only
+            compile(src, f"<fused {action_name}>", "exec"), namespace
+        )
+        return namespace["_fused"]
+
+    def _fuse_value(self, arg, params: Dict[str, int]) -> Optional[str]:
+        """Render a primitive argument as a source expression over the
+        per-packet locals ``p``/``f``; ``None`` if not renderable."""
+        if isinstance(arg, int):
+            return repr(arg)
+        if isinstance(arg, ast.FieldRef):
+            return f"f.get({arg.header + '.' + arg.field!r}, 0)"
+        if isinstance(arg, str) and arg in params:
+            return repr(params[arg])
+        return None
+
+    def _fuse_call(
+        self,
+        call: ast.PrimitiveCall,
+        params: Dict[str, int],
+        env: Dict[str, object],
+        body: List[str],
+    ) -> bool:
+        """Emit source lines for one primitive call; ``False`` when the
+        shape is outside the fusable subset (caller falls back to the
+        generic step loop)."""
+        name = call.name
+        args = call.args
+        asic = self.asic
+
+        if name == "no_op":
+            return True
+        if name == "drop":
+            body.append(f"f[{_DROP!r}] = 1")
+            return True
+        if name in _FLAG_KEYS:
+            body.append(f"f[{_FLAG_KEYS[name]!r}] = 1")
+            return True
+
+        if name == "modify_field":
+            dst = self._dst(args[0])
+            if dst is None:
+                return False
+            key, mask = dst
+            value = self._fuse_value(args[1], params)
+            if value is None:
+                return False
+            if len(args) > 2:
+                extra = self._fuse_value(args[2], params)
+                if extra is None:
+                    return False
+                value = f"({value} & {extra})"
+            if mask is not None:
+                value = f"({value}) & {mask}"
+            body.append(f"f[{key!r}] = {value}")
+            return True
+
+        if name in _ARITH_EXPRS:
+            dst = self._dst(args[0])
+            if dst is None:
+                return False
+            key, mask = dst
+            left = self._fuse_value(args[1], params)
+            right = self._fuse_value(args[2], params)
+            if left is None or right is None:
+                return False
+            value = _ARITH_EXPRS[name].format(l=left, r=right)
+            if mask is not None:
+                value = f"{value} & {mask}"
+            body.append(f"f[{key!r}] = {value}")
+            return True
+
+        if name in ("add_to_field", "subtract_from_field"):
+            dst = self._dst(args[0])
+            if dst is None:
+                return False
+            key, mask = dst
+            delta = self._fuse_value(args[1], params)
+            if delta is None:
+                return False
+            sign = "+" if name == "add_to_field" else "-"
+            value = f"(f.get({key!r}, 0) {sign} {delta})"
+            if mask is not None:
+                value = f"{value} & {mask}"
+            body.append(f"f[{key!r}] = {value}")
+            return True
+
+        if name == "register_write":
+            register = asic.get_register(args[0])
+            values = register.values
+            size = len(values)
+            width_mask = register.mask
+            index = self._fuse_value(args[1], params)
+            value = self._fuse_value(args[2], params)
+            if index is None or value is None:
+                return False
+            vals_name = f"_o{len(env)}"
+            env[vals_name] = values
+            const_index = _const_int(args[1], params)
+            if const_index is not None and 0 <= const_index < size:
+                body.append(
+                    f"{vals_name}[{const_index}] = ({value}) & {width_mask}"
+                )
+                return True
+            reg_name = f"_o{len(env)}"
+            env[reg_name] = register
+            body.extend(
+                [
+                    f"_i = {index}",
+                    f"_v = {value}",
+                    f"if 0 <= _i < {size}:",
+                    f"    {vals_name}[_i] = _v & {width_mask}",
+                    "else:",
+                    f"    {reg_name}.write(_i, _v)",
+                ]
+            )
+            return True
+
+        if name == "register_read":
+            dst = self._dst(args[0])
+            if dst is None:
+                return False
+            key, mask = dst
+            register = asic.get_register(args[1])
+            values = register.values
+            size = len(values)
+            index = self._fuse_value(args[2], params)
+            if index is None:
+                return False
+            vals_name = f"_o{len(env)}"
+            env[vals_name] = values
+            const_index = _const_int(args[2], params)
+            if const_index is not None and 0 <= const_index < size:
+                value = f"{vals_name}[{const_index}]"
+                if mask is not None:
+                    value = f"{value} & {mask}"
+                body.append(f"f[{key!r}] = {value}")
+                return True
+            reg_name = f"_o{len(env)}"
+            env[reg_name] = register
+            value = (
+                f"({vals_name}[_i] if 0 <= _i < {size} "
+                f"else {reg_name}.read(_i))"
+            )
+            if mask is not None:
+                value = f"{value} & {mask}"
+            body.extend([f"_i = {index}", f"f[{key!r}] = {value}"])
+            return True
+
+        if name == "count":
+            counter = asic.get_counter(args[0])
+            array = counter.array
+            values = array.values
+            width_mask = array.mask
+            amount = "p.size_bytes" if counter.counter_type == "bytes" else "1"
+            index = self._fuse_value(args[1], params)
+            if index is None:
+                return False
+            const_index = _const_int(args[1], params)
+            if const_index is not None and 0 <= const_index < len(values):
+                vals_name = f"_o{len(env)}"
+                env[vals_name] = values
+                body.append(
+                    f"{vals_name}[{const_index}] = "
+                    f"({vals_name}[{const_index}] + {amount}) & {width_mask}"
+                )
+                return True
+            arr_name = f"_o{len(env)}"
+            env[arr_name] = array
+            body.append(f"{arr_name}.increment({index}, {amount})")
+            return True
+
+        if name == "modify_field_rng_uniform":
+            dst = self._dst(args[0])
+            if dst is None:
+                return False
+            key, mask = dst
+            lo = self._fuse_value(args[1], params)
+            hi = self._fuse_value(args[2], params)
+            if lo is None or hi is None:
+                return False
+            env["_rng"] = self.rng
+            value = f"_rng.randint({lo}, {hi})"
+            if mask is not None:
+                value = f"({value}) & {mask}"
+            body.append(f"f[{key!r}] = {value}")
+            return True
+
+        # Hash offsets and anything unrecognized keep their compiled
+        # step closures.
+        return False
+
+    def _compile_batch_apply(self, runtime) -> OpFn:
+        """A batch-specialized table apply.
+
+        Exact-only tables get (key -> resolved action) memoization for
+        the life of one batch, and the dominant single-unmasked-field
+        shape additionally gets its key extraction inlined (no
+        extractor frames).  Other match kinds fall back to the scalar
+        apply -- ``lookup_key`` owns their matching semantics."""
+        if not runtime._exact_only:
+            return self._apply_fn(runtime.decl.name)
+        reads = runtime.decl.reads
+        memo: Dict[object, tuple] = {}
+        self._batch_memos.append(memo)
+        resolve = self._make_resolver(runtime)
+
+        if (
+            len(reads) == 1
+            and reads[0].match_type is not ast.MatchType.VALID
+            and reads[0].mask is None
+        ):
+            ref = reads[0].ref
+            field_key = f"{ref.header}.{ref.field}"
+
+            def apply_fused(
+                packet: Packet,
+                _fk=field_key,
+                _memo=memo,
+                _resolve=resolve,
+                _runtime=runtime,
+            ) -> None:
+                fields = packet.fields
+                key = fields.get(_fk, 0)
+                hit = _memo.get(key)
+                if hit is None:
+                    hit = _memo[key] = _resolve((key,))
+                matched, steps, args, fused = hit
+                if matched:
+                    _runtime.hits += 1
+                else:
+                    _runtime.misses += 1
+                if fused is not None:
+                    fused(packet, fields)
+                else:
+                    for step in steps:
+                        step(args, packet)
+
+            return apply_fused
+
+        build_key = self._compile_key(reads)
+
+        def apply_memoized(
+            packet: Packet,
+            _key=build_key,
+            _memo=memo,
+            _resolve=resolve,
+            _runtime=runtime,
+        ) -> None:
+            key = _key(packet)
+            hit = _memo.get(key)
+            if hit is None:
+                hit = _memo[key] = _resolve(key)
+            matched, steps, args, fused = hit
+            if matched:
+                _runtime.hits += 1
+            else:
+                _runtime.misses += 1
+            if fused is not None:
+                fused(packet, packet.fields)
+            else:
+                for step in steps:
+                    step(args, packet)
+
+        return apply_memoized
+
+    # ---- op-major batch execution -----------------------------------------
+
+    def batch_major_ops(
+        self, control_name: str
+    ) -> Optional[Tuple[BatchOpFn, ...]]:
+        """The op-major plan for a control block: each op sweeps the
+        whole batch, so the per-packet apply frame is paid once per
+        table per *batch*.  ``None`` when unavailable -- profiling, a
+        non-straight-line control, non-exact tables, or tables whose
+        cross-packet state (registers, counters, the RNG) overlaps, in
+        which case op-major would reorder observable effects."""
+        if self.profile is not None:
+            return None
+        return self._batch_major_plans.get(control_name)
+
+    def _action_resources(self, action_name: str) -> Optional[set]:
+        """Cross-packet state an action touches.  ``None`` for unknown
+        actions (unanalyzable)."""
+        decl = self.asic.program.actions.get(action_name)
+        if decl is None:
+            return None
+        resources = set()
+        for call in decl.body:
+            name = call.name
+            if name == "register_write":
+                resources.add(f"reg:{call.args[0]}")
+            elif name == "register_read":
+                resources.add(f"reg:{call.args[1]}")
+            elif name == "count":
+                resources.add(f"ctr:{call.args[0]}")
+            elif name == "modify_field_rng_uniform":
+                resources.add("rng")
+            elif name == "recirculate":
+                resources.add("recirc")
+        return resources
+
+    def _table_resources(self, runtime) -> Optional[set]:
+        """Cross-packet state reachable from any action this table can
+        invoke (entries and the rebindable default are both validated
+        against ``decl.action_names``, so this union is sound)."""
+        names = set(runtime.decl.action_names)
+        default = runtime.decl.default_action
+        if default:
+            names.add(default[0])
+        resources = set()
+        for name in names:
+            action_resources = self._action_resources(name)
+            if action_resources is None:
+                return None
+            resources |= action_resources
+        return resources
+
+    def _compile_batch_major(
+        self, ingress_decl, egress_decl
+    ) -> Optional[Tuple[BatchOpFn, ...]]:
+        """Build the op-major ingress plan, or ``None`` if per-packet
+        order must be preserved.
+
+        Op-major execution runs table k over every packet before table
+        k+1 sees any.  That is observably identical to packet-major
+        execution iff no cross-packet state (register, counter, RNG) is
+        shared between two ops -- including every table the egress
+        control might apply, since egress runs per packet *after* the
+        op-major ingress sweep.  Recirculation replays ingress out of
+        sweep order, so it too forces the fallback unless the pipeline
+        is entirely stateless."""
+        body = ingress_decl.body if ingress_decl is not None else []
+        runtimes = []
+        for stmt in body:
+            if not isinstance(stmt, ast.ApplyCall):
+                return None
+            runtime = self.asic.tables.get(stmt.table)
+            if runtime is None or not runtime._exact_only:
+                return None
+            runtimes.append(runtime)
+        footprints = []
+        for runtime in runtimes:
+            resources = self._table_resources(runtime)
+            if resources is None:
+                return None
+            footprints.append(resources)
+        egress_resources = set()
+        if egress_decl is not None:
+            for table_name in _tables_in(egress_decl.body):
+                runtime = self.asic.tables.get(table_name)
+                if runtime is None:
+                    return None
+                resources = self._table_resources(runtime)
+                if resources is None:
+                    return None
+                egress_resources |= resources
+        footprints.append(egress_resources)
+        shared = set()
+        for resources in footprints:
+            if resources & shared:
+                return None
+            shared |= resources
+        if "recirc" in shared and shared != {"recirc"}:
+            return None
+        return tuple(self._compile_major_apply(rt) for rt in runtimes)
+
+    def _compile_major_apply(self, runtime) -> BatchOpFn:
+        """One table's op-major sweep: apply it to every live packet in
+        the batch, with hit/miss accounting accumulated locally and
+        flushed once."""
+        reads = runtime.decl.reads
+        resolve = self._make_resolver(runtime)
+
+        if not reads:
+            # Keyless (Mantis init/collect tables, RMW accounting): one
+            # resolution covers the whole sweep, and the fused variant
+            # runs the entire action body inline inside one batch loop.
+            resolve_steps = self._resolve_steps
+            fuse_sweep = self._fuse_sweep
+            memo: Dict[object, tuple] = {}
+            self._batch_memos.append(memo)
+            index = runtime._exact_index
+
+            def major_keyless(
+                packets: List[Packet],
+                _memo=memo,
+                _index=index,
+                _runtime=runtime,
+            ) -> None:
+                hit = _memo.get(())
+                if hit is None:
+                    entry = _index.get(())
+                    if entry is not None:
+                        matched = True
+                        name = entry.action_name
+                        args = entry.action_args
+                    else:
+                        matched = False
+                        default = _runtime.default_action
+                        name, args = default if default else (None, ())
+                    if name is None:
+                        steps: tuple = ()
+                    else:
+                        steps = resolve_steps(name, args)
+                    sweep = fuse_sweep(name, tuple(args))
+                    hit = _memo[()] = (matched, steps, tuple(args), sweep)
+                matched, steps, args, sweep = hit
+                if sweep is not None:
+                    live = sweep(packets)
+                else:
+                    live = 0
+                    for packet in packets:
+                        if packet.fields[_DROP]:
+                            continue
+                        live += 1
+                        for step in steps:
+                            step(args, packet)
+                if matched:
+                    _runtime.hits += live
+                else:
+                    _runtime.misses += live
+
+            return major_keyless
+
+        memo: Dict[object, tuple] = {}
+        self._batch_memos.append(memo)
+        simple = all(
+            read.match_type is not ast.MatchType.VALID and read.mask is None
+            for read in reads
+        )
+
+        if simple and len(reads) == 1:
+            ref = reads[0].ref
+            field_key = f"{ref.header}.{ref.field}"
+
+            def major_single(
+                packets: List[Packet],
+                _fk=field_key,
+                _memo=memo,
+                _resolve=resolve,
+                _runtime=runtime,
+            ) -> None:
+                hits = 0
+                misses = 0
+                get = _memo.get
+                for packet in packets:
+                    fields = packet.fields
+                    if fields[_DROP]:
+                        continue
+                    key = fields.get(_fk, 0)
+                    hit = get(key)
+                    if hit is None:
+                        hit = _memo[key] = _resolve((key,))
+                    matched, steps, args, fused = hit
+                    if matched:
+                        hits += 1
+                    else:
+                        misses += 1
+                    if fused is not None:
+                        fused(packet, fields)
+                    else:
+                        for step in steps:
+                            step(args, packet)
+                _runtime.hits += hits
+                _runtime.misses += misses
+
+            return major_single
+
+        if simple and len(reads) == 2:
+            first = reads[0].ref
+            second = reads[1].ref
+
+            def major_pair(
+                packets: List[Packet],
+                _fa=f"{first.header}.{first.field}",
+                _fb=f"{second.header}.{second.field}",
+                _memo=memo,
+                _resolve=resolve,
+                _runtime=runtime,
+            ) -> None:
+                hits = 0
+                misses = 0
+                get = _memo.get
+                for packet in packets:
+                    fields = packet.fields
+                    if fields[_DROP]:
+                        continue
+                    key = (fields.get(_fa, 0), fields.get(_fb, 0))
+                    hit = get(key)
+                    if hit is None:
+                        hit = _memo[key] = _resolve(key)
+                    matched, steps, args, fused = hit
+                    if matched:
+                        hits += 1
+                    else:
+                        misses += 1
+                    if fused is not None:
+                        fused(packet, fields)
+                    else:
+                        for step in steps:
+                            step(args, packet)
+                _runtime.hits += hits
+                _runtime.misses += misses
+
+            return major_pair
+
+        build_key = self._compile_key(reads)
+
+        def major_generic(
+            packets: List[Packet],
+            _key=build_key,
+            _memo=memo,
+            _resolve=resolve,
+            _runtime=runtime,
+        ) -> None:
+            hits = 0
+            misses = 0
+            get = _memo.get
+            for packet in packets:
+                if packet.fields[_DROP]:
+                    continue
+                key = _key(packet)
+                hit = get(key)
+                if hit is None:
+                    hit = _memo[key] = _resolve(key)
+                matched, steps, args, fused = hit
+                if matched:
+                    hits += 1
+                else:
+                    misses += 1
+                if fused is not None:
+                    fused(packet, packet.fields)
+                else:
+                    for step in steps:
+                        step(args, packet)
+            _runtime.hits += hits
+            _runtime.misses += misses
+
+        return major_generic
 
     def _compile_stepped(self, statements: List[ast.Statement]) -> List:
         """Compile to generator-producing steps for ``iter_control``."""
@@ -375,6 +1226,7 @@ class CompiledPipeline:
         )
         n_params = len(action.params)
         name = action.name
+        self._action_steps[name] = (steps, n_params)
 
         if len(steps) == 1:
             only = steps[0]

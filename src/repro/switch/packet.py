@@ -13,7 +13,7 @@ mirroring bmv2's v1model.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 _packet_ids = itertools.count()
 
@@ -64,6 +64,23 @@ class Packet:
                 self.fields[key] = value
                 self.valid_headers.add(key.split(".", 1)[0])
 
+    def reinit(self, template: "PacketTemplate") -> "Packet":
+        """Reset this packet in place from a precomputed template.
+
+        The batch path reuses pooled packets instead of constructing
+        fresh ones; the template already holds the merged
+        standard_metadata + payload map, so reuse is two dict copies
+        with no per-key splitting."""
+        self.packet_id = next(_packet_ids)
+        fields = self.fields
+        fields.clear()
+        fields.update(template.fields)
+        headers = self.valid_headers
+        headers.clear()
+        headers.update(template.valid_headers)
+        self.size_bytes = template.size_bytes
+        return self
+
     # ---- field access ---------------------------------------------------
 
     def get(self, key: str) -> int:
@@ -106,3 +123,49 @@ class Packet:
             f"Packet(id={self.packet_id}, in={self.ingress_port}, "
             f"out={self.egress_spec}, drop={self.dropped})"
         )
+
+
+class PacketTemplate:
+    """One packet shape, fully precomputed.
+
+    Merging the standard_metadata zero map with the payload fields and
+    deriving the valid-header set happens once here instead of once per
+    packet, so a burst of same-shaped packets pays only
+    :meth:`Packet.reinit` (dict copy) each."""
+
+    __slots__ = ("fields", "valid_headers", "size_bytes")
+
+    def __init__(
+        self,
+        fields: Optional[Dict[str, int]] = None,
+        size_bytes: int = 1500,
+        ingress_port: int = 0,
+    ):
+        prototype = Packet(
+            fields, size_bytes=size_bytes, ingress_port=ingress_port
+        )
+        self.fields = prototype.fields
+        self.valid_headers = frozenset(prototype.valid_headers)
+        self.size_bytes = size_bytes
+
+
+class PacketPool:
+    """A grow-only pool of reusable packets for batch processing."""
+
+    def __init__(self, size: int = 0):
+        self._packets: List[Packet] = [Packet() for _ in range(size)]
+
+    def take(self, templates: Sequence[PacketTemplate]) -> List[Packet]:
+        """One re-initialized packet per template.
+
+        The returned packets alias pool storage: they are valid until
+        the next :meth:`take`, which is exactly the lifetime the batch
+        path needs (process, read results, move on)."""
+        packets = self._packets
+        missing = len(templates) - len(packets)
+        if missing > 0:
+            packets.extend(Packet() for _ in range(missing))
+        return [
+            packet.reinit(template)
+            for packet, template in zip(packets, templates)
+        ]

@@ -47,6 +47,7 @@ class MantisSystem:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan=None,
         verify_commits: bool = False,
+        poll_batching: bool = False,
     ):
         self.artifacts = artifacts
         self.clock = clock or SimClock()
@@ -68,8 +69,13 @@ class MantisSystem:
             self.fault_injector = FaultInjector(fault_plan).attach(self.driver)
         self.agent = MantisAgent(
             artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
-            verify_commits=verify_commits,
+            verify_commits=verify_commits, poll_batching=poll_batching,
         )
+
+    def process_batch(self, packets, times=None, sink=None):
+        """Burst-mode data plane: run a list of packets through the
+        ASIC in one call (see :meth:`SwitchAsic.process_batch`)."""
+        return self.asic.process_batch(packets, times=times, sink=sink)
 
     @classmethod
     def from_source(
