@@ -167,6 +167,7 @@ def build_dos_scenario(
     queue_pkts: int = 96,
     min_duration_us: float = 300.0,
     burst_size: int = 1,
+    sim_factory=None,
 ):
     """Build the Figure 15 topology: ``n_benign`` TCP senders plus one
     UDP flooder sharing a bottleneck to a common destination.
@@ -177,6 +178,12 @@ def build_dos_scenario(
     scale ``n_benign`` up for the full-size run.  ``burst_size > 1``
     coalesces the flooder's sends into burst events (one event-queue
     entry and one batched pipeline call per burst).
+
+    ``sim_factory(system)`` overrides how the switch joins a network --
+    e.g. ``lambda s: NetworkSim(clock=s.clock).add_switch(s)`` places
+    it explicitly inside a fabric; the default is the legacy
+    single-switch constructor.  The return value only needs the
+    port/host attachment surface (``configure_port``/``attach_host``).
     """
     from repro.net.hosts import UdpSender
     from repro.net.tcp import TcpFlow, TcpSink
@@ -186,7 +193,10 @@ def build_dos_scenario(
         min_duration_us=min_duration_us,
         num_ports=n_benign + 8,
     )
-    sim = NetworkSim(app.system)
+    if sim_factory is None:
+        sim = NetworkSim(app.system)
+    else:
+        sim = sim_factory(app.system)
     dst_port = 1
     sim.configure_port(
         dst_port,

@@ -15,18 +15,34 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.agent.agent import ReactionContext
-from repro.net.hosts import HeartbeatGenerator
+from repro.net import topology as topo
+from repro.net.hosts import HeartbeatGenerator, SinkHost, UdpSender
 from repro.net.sim import NetworkSim
 from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.clock import SimClock
 from repro.system import MantisSystem
 
 HEARTBEAT_PROTO = 253
 MAX_WATCHED_PORTS = 16
+
+# Multi-hop scenario addressing: data flows h0 -> s0 -> s1 -> h1;
+# heartbeat probes are addressed to the *terminating* switch, one sink
+# address per (switch, inter-switch link) pair, so each switch's
+# hb_filter counts exactly the probes that end on it and forwards the
+# rest (a transit switch must not eat its neighbor's probes).
+H1_ADDR = 0x0A000001
+HB_SINK_BASE = 0x0AFE0000
+
+
+def hb_sink_addr(switch_index: int, link_index: int) -> int:
+    """The probe sink address terminating at ``switch_index`` after
+    crossing inter-switch link ``link_index``."""
+    return HB_SINK_BASE + (switch_index << 8) + link_index
 
 FAILOVER_P4R = STANDARD_METADATA_P4 + """
 header_type ipv4_t {
@@ -46,10 +62,10 @@ action count_hb() {
 }
 action skip() { no_op(); }
 table hb_filter {
-    reads { ipv4.proto : exact; }
+    reads { ipv4.proto : exact; ipv4.dstAddr : exact; }
     actions { count_hb; skip; }
     default_action : skip();
-    size : 4;
+    size : 16;
 }
 
 action forward(port) { modify_field(standard_metadata.egress_spec, port); }
@@ -136,6 +152,8 @@ class GrayFailureApp:
         eta: float = 0.5,
         consecutive_violations: int = 2,
         system: Optional[MantisSystem] = None,
+        hb_sink_addrs: Sequence[int] = (0,),
+        static_routes: Optional[Dict[int, int]] = None,
     ):
         self.system = system or MantisSystem.from_source(FAILOVER_P4R)
         self.routes = route_manager
@@ -143,6 +161,13 @@ class GrayFailureApp:
         self.heartbeat_period_us = heartbeat_period_us
         self.eta = eta
         self.consecutive_violations = consecutive_violations
+        # Heartbeat destinations that terminate at THIS switch; probes
+        # for other switches fall through hb_filter and get routed.
+        self.hb_sink_addrs = list(hb_sink_addrs)
+        # dst -> egress port entries pinned outside the recompute loop
+        # (per-link probe routes: when the link dies the probes should
+        # die on the wire, not detour around the failure).
+        self.static_routes = dict(static_routes or {})
         self.watch: Dict[int, PortWatch] = {
             port: PortWatch() for port in watched_ports
         }
@@ -155,10 +180,13 @@ class GrayFailureApp:
 
     def prologue(self) -> None:
         self.system.agent.prologue()
-        self.system.driver.add_entry(
-            "hb_filter", [HEARTBEAT_PROTO], "count_hb"
-        )
+        for sink_addr in self.hb_sink_addrs:
+            self.system.driver.add_entry(
+                "hb_filter", [HEARTBEAT_PROTO, sink_addr], "count_hb"
+            )
         handle = self.system.agent.table("route")
+        for dst_addr, port in self.static_routes.items():
+            handle.add([dst_addr], "forward", [port])
         for dst_addr, port in self.routes.compute_routes().items():
             if port is None:
                 continue
@@ -228,6 +256,164 @@ class GrayFailureApp:
             # New rules are prepared now and commit at this iteration's
             # vv flip, ~one table update later.
             self.reroute_times[port] = ctx.now
+
+
+@dataclass
+class MultiHopScenario:
+    """The wired-up two-switch failover scenario (Section 8.3.2 scaled
+    to a fabric): everything needed to drive and inspect the run."""
+
+    fabric: NetworkSim
+    apps: Tuple[GrayFailureApp, GrayFailureApp]
+    sender: UdpSender
+    sink: SinkHost
+    generators: List[HeartbeatGenerator]
+
+    @property
+    def clock(self) -> SimClock:
+        return self.fabric.clock
+
+
+def build_multihop_failover(
+    heartbeat_period_us: float = 1.0,
+    eta: float = 0.5,
+    data_rate_gbps: float = 4.0,
+    data_burst_size: int = 1,
+    sink_window_us: float = 20.0,
+) -> MultiHopScenario:
+    """Two Mantis switches, two parallel inter-switch links, data
+    flowing h0 -> s0 -> s1 -> h1 over link 0.
+
+    Both switches run the gray-failure detector against per-link
+    heartbeat probes crossing the fabric in both directions; cutting
+    link 0 starves the probes on both sides, each agent independently
+    detects the loss on its ingress port 0, and s0's reroute moves the
+    data path onto link 1 -- multi-hop failover with *every* agent a
+    scheduled actor on the one fabric timeline.
+    """
+    view0, view1 = topo.fabric_pair(n_links=2)
+    clock = SimClock()
+    fabric = NetworkSim(clock=clock)
+    systems = [
+        MantisSystem.from_source(FAILOVER_P4R, clock=clock)
+        for _ in range(2)
+    ]
+    apps: List[GrayFailureApp] = []
+    for index, (system, view) in enumerate(zip(systems, (view0, view1))):
+        manager = RouteManager(
+            view.graph, view.switch_node, view.port_map, {H1_ADDR: "h1"}
+        )
+        far = 1 - index
+        apps.append(GrayFailureApp(
+            manager,
+            watched_ports=[0, 1],
+            heartbeat_period_us=heartbeat_period_us,
+            eta=eta,
+            system=system,
+            # Count probes addressed to me; pin probe routes to their
+            # own link so a dead link's probes die on the wire instead
+            # of detouring.
+            hb_sink_addrs=[hb_sink_addr(index, 0), hb_sink_addr(index, 1)],
+            static_routes={hb_sink_addr(far, 0): 0, hb_sink_addr(far, 1): 1},
+        ))
+    s0 = fabric.add_switch(systems[0], "s0")
+    s1 = fabric.add_switch(systems[1], "s1")
+    fabric.connect(s0, 0, s1, 0)
+    fabric.connect(s0, 1, s1, 1)
+
+    sender = UdpSender(
+        "h0",
+        {"ipv4.srcAddr": 0x0A000000, "ipv4.dstAddr": H1_ADDR,
+         "ipv4.proto": 17},
+        rate_gbps=data_rate_gbps,
+        burst_size=data_burst_size,
+    )
+    s0.attach_host(sender, 2)
+    sink = SinkHost("h1", window_us=sink_window_us)
+    s1.attach_host(sink, 2)
+
+    generators: List[HeartbeatGenerator] = []
+    for source, far in ((s0, 1), (s1, 0)):
+        for link_index in range(2):
+            generator = HeartbeatGenerator(
+                f"hb-{source.name}-l{link_index}",
+                {"ipv4.proto": HEARTBEAT_PROTO,
+                 "ipv4.srcAddr": 0x0A00FE00 + link_index,
+                 "ipv4.dstAddr": hb_sink_addr(far, link_index)},
+                period_us=heartbeat_period_us,
+            )
+            source.attach_host(generator, 3 + link_index)
+            generators.append(generator)
+    return MultiHopScenario(
+        fabric=fabric,
+        apps=(apps[0], apps[1]),
+        sender=sender,
+        sink=sink,
+        generators=generators,
+    )
+
+
+def run_multihop_failover(
+    duration_us: float = 600.0,
+    fail_at_us: float = 200.0,
+    heartbeat_period_us: float = 1.0,
+    eta: float = 0.5,
+    data_rate_gbps: float = 4.0,
+) -> Dict[str, object]:
+    """Run the two-switch failover end to end; returns a JSON-able
+    summary (the ``run-fabric`` CLI artifact)."""
+    scenario = build_multihop_failover(
+        heartbeat_period_us=heartbeat_period_us,
+        eta=eta,
+        data_rate_gbps=data_rate_gbps,
+    )
+    fabric = scenario.fabric
+    app0, app1 = scenario.apps
+    app0.prologue()
+    app1.prologue()
+    start = fabric.clock.now
+    for generator in scenario.generators:
+        generator.start()
+    scenario.sender.start()
+    link0 = fabric.links[0]
+    fail_time = start + fail_at_us
+    fabric.fail_link_at(link0, fail_time)
+    fabric.run_until(start + duration_us, agent=True)
+
+    s0 = fabric.switch("s0")
+    s1 = fabric.switch("s1")
+    detected0 = app0.detected_ports.get(0)
+    rerouted0 = app0.reroute_times.get(0)
+    return {
+        "scenario": "multihop-failover",
+        "switches": [s.name for s in (s0, s1)],
+        "start_us": start,
+        "duration_us": duration_us,
+        "fail_time_us": fail_time,
+        "end_us": fabric.clock.now,
+        "sender_tx_packets": scenario.sender.tx_packets,
+        "sink_rx_packets": scenario.sink.rx_packets,
+        "s0_forwarded": s0.forwarded,
+        "s0_link0_dropped": s0.port_stats(0).dropped,
+        "agent_actor_fires": fabric.scheduler.actor_fires,
+        "agent_iterations": {
+            "s0": app0.system.agent.iterations,
+            "s1": app1.system.agent.iterations,
+        },
+        "detection": {
+            "s0_port0_detected_us": detected0,
+            "s1_port0_detected_us": app1.detected_ports.get(0),
+            "s0_rerouted_us": rerouted0,
+            "detection_latency_us": (
+                None if detected0 is None else detected0 - fail_time
+            ),
+        },
+        "recomputations": {
+            "s0": app0.recomputations, "s1": app1.recomputations,
+        },
+        "rerouted": rerouted0 is not None,
+        "sink_timeline_gbps": scenario.sink.timeline_gbps(fabric.clock.now),
+    }
 
 
 def build_failover_scenario(

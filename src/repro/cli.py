@@ -9,6 +9,9 @@ Subcommands mirror the workflow of the paper's toolchain:
 - ``run``      -- bring up the full emulated stack on a P4R program
   and run the dialogue loop for a simulated duration, reporting
   iteration statistics;
+- ``run-fabric`` -- run the two-switch multi-hop failover scenario on
+  the fabric runtime (both agents as scheduled actors) and emit a
+  JSON summary;
 - ``bench-fastpath`` -- measure packets/sec of the interpreter vs the
   compiled pipeline on the Figure 15 DoS workload (tier-2 perf gate).
 
@@ -25,6 +28,7 @@ from repro.analysis.resources import resource_report
 from repro.artifacts import save_artifacts
 from repro.compiler.transform import CompilerOptions, compile_p4r
 from repro.errors import ReproError
+from repro.runtime import AgentActor, Scheduler
 from repro.system import MantisSystem
 
 
@@ -118,7 +122,12 @@ def cmd_run(args) -> int:
         **kwargs,
     )
     system.agent.prologue()
-    iterations = system.agent.run_until(args.duration)
+    # The dialogue loop runs as a scheduled actor on the runtime
+    # timeline -- the same path a multi-switch fabric uses.
+    scheduler = Scheduler(clock=system.clock)
+    scheduler.spawn(AgentActor(system.agent))
+    scheduler.run_until(args.duration)
+    iterations = system.agent.iterations
     print(f"simulated {system.clock.now:.1f} us, "
           f"{iterations} dialogue iterations")
     print(f"avg reaction time : {system.agent.avg_reaction_time_us:.2f} us")
@@ -143,6 +152,45 @@ def cmd_run(args) -> int:
         print(f"injected faults   : {system.fault_injector.triggered} "
               f"(seed {args.fault_seed})")
     return 0
+
+
+def cmd_run_fabric(args) -> int:
+    import json
+
+    from repro.apps.failover import run_multihop_failover
+
+    summary = run_multihop_failover(
+        duration_us=args.duration,
+        fail_at_us=args.fail_at,
+        heartbeat_period_us=args.heartbeat_period,
+        data_rate_gbps=args.rate,
+    )
+    detection = summary["detection"]
+    print(f"scenario          : {summary['scenario']}")
+    print(f"switches          : {', '.join(summary['switches'])}")
+    print(f"simulated         : {summary['duration_us']:.1f} us "
+          f"(link 0 cut at +{args.fail_at:.1f} us)")
+    print(f"data delivered    : {summary['sink_rx_packets']} / "
+          f"{summary['sender_tx_packets']} packets")
+    print(f"s0 forwarded      : {summary['s0_forwarded']} packets "
+          f"({summary['s0_link0_dropped']} dropped on dead link)")
+    iters = summary["agent_iterations"]
+    print(f"agent iterations  : s0={iters['s0']} s1={iters['s1']} "
+          f"({summary['agent_actor_fires']} actor fires on one timeline)")
+    latency = detection["detection_latency_us"]
+    if summary["rerouted"]:
+        print(f"detection latency : {latency:.1f} us "
+              f"(s0 @ {detection['s0_port0_detected_us']:.1f}, "
+              f"s1 @ {detection['s1_port0_detected_us']:.1f})")
+        print(f"rerouted          : s0 @ "
+              f"{detection['s0_rerouted_us']:.1f} us")
+    else:
+        print("rerouted          : NO (detector never fired)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"wrote {args.json}")
+    return 0 if summary["rerouted"] else 1
 
 
 def cmd_bench_fastpath(args) -> int:
@@ -226,6 +274,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a seeded random fault plan and arm "
                             "driver retries + commit verification")
     p_run.set_defaults(func=cmd_run)
+
+    p_fabric = sub.add_parser(
+        "run-fabric",
+        help="run the two-switch multi-hop failover scenario on the "
+             "fabric runtime",
+    )
+    p_fabric.add_argument("--duration", type=float, default=600.0,
+                          help="simulated microseconds to run")
+    p_fabric.add_argument("--fail-at", type=float, default=200.0,
+                          help="cut inter-switch link 0 this many "
+                               "simulated us after start")
+    p_fabric.add_argument("--heartbeat-period", type=float, default=1.0,
+                          help="probe period T_s (us)")
+    p_fabric.add_argument("--rate", type=float, default=4.0,
+                          help="data sender rate (Gbps)")
+    p_fabric.add_argument("--json", default=None,
+                          help="write the JSON summary to this path")
+    p_fabric.set_defaults(func=cmd_run_fabric)
 
     p_bench = sub.add_parser(
         "bench-fastpath",

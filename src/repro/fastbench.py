@@ -127,8 +127,14 @@ def profile_fastpath(
     for fields in make_workload(n_packets):
         process(Packet(fields=fields, size_bytes=1500))
     agent = app.system.agent
-    for _ in range(iterations):
-        agent.run_iteration()
+    # The dialogue loop runs as a scheduled actor with an iteration
+    # budget: the runtime drives it to quiescence, same code path as a
+    # fabric run.
+    from repro.runtime import AgentActor, Scheduler
+
+    scheduler = Scheduler(clock=app.system.clock)
+    scheduler.spawn(AgentActor(agent, max_iterations=iterations))
+    scheduler.run_until()
     return {
         "data_plane": profile.snapshot(),
         "agent_phases_us": {

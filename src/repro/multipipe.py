@@ -7,12 +7,17 @@ pipelines, these can be handled by spawning multiple Mantis agent
 threads, each handling its own component."
 
 :class:`MultiPipelineSwitch` instantiates one compiled program N times
--- each pipeline gets its own ASIC state (tables, registers, ports),
-driver, and agent -- on a single shared simulated clock.  Agent
-"threads" are modelled by interleaving dialogue iterations round-robin
-(each iteration advances the shared clock by its own cost; with a real
+-- each pipeline is a full :class:`~repro.system.MantisSystem` (its own
+ASIC state, driver, fault injector, agent) on a single shared simulated
+clock, so every system-level knob (``retry_policy``, ``fault_plan``,
+``verify_commits``, ``record_timeline``, ``seed``) works per pipeline
+exactly as it does on a single-pipeline switch.  Agent "threads" are
+modelled by interleaving dialogue iterations round-robin (each
+iteration advances the shared clock by its own cost; with a real
 multicore CPU they would overlap, so the interleaved model is a
-conservative latency bound).
+conservative latency bound) -- or, via :meth:`spawn_agents`, as actors
+on a :class:`~repro.runtime.Scheduler` timeline shared with packet
+events and other switches.
 
 Mantis deliberately provides no cross-pipeline isolation (Section 5);
 the tests demonstrate both the per-pipeline guarantees and the absence
@@ -21,20 +26,28 @@ of cross-pipeline ones.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union
+from dataclasses import replace
+from typing import Callable, List, Mapping, Optional, Union
 
-from repro.agent.agent import MantisAgent, ReactionContext
+from repro.agent.agent import ReactionContext
 from repro.compiler.spec import CompiledArtifacts
 from repro.compiler.transform import CompilerOptions, compile_p4r
 from repro.errors import AgentError
 from repro.p4r.ast import P4RProgram
-from repro.switch.asic import SwitchAsic
+from repro.runtime import AgentActor, Scheduler
 from repro.switch.clock import SimClock
-from repro.switch.driver import Driver, DriverCostModel
+from repro.switch.driver import DriverCostModel, RetryPolicy
+from repro.system import MantisSystem
 
 
 class Pipeline:
-    """One pipeline: private ASIC + driver + agent."""
+    """One pipeline: a private :class:`MantisSystem` on the shared clock.
+
+    Construction delegates to :class:`MantisSystem` -- the single
+    source of component wiring -- rather than re-assembling ASIC,
+    driver, and agent by hand; ``asic``/``driver``/``agent`` remain
+    direct attributes for the established call sites.
+    """
 
     def __init__(
         self,
@@ -46,20 +59,34 @@ class Pipeline:
         pacing_sleep_us: float,
         execution_mode: Optional[str] = None,
         poll_batching: bool = False,
+        seed: Optional[int] = None,
+        record_timeline: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan=None,
+        verify_commits: bool = False,
     ):
         self.index = index
         # Each pipeline owns its program instance so runtime state
-        # (entries, registers) is fully disjoint.
-        program = artifacts.p4.clone()
-        self.asic = SwitchAsic(
-            program, clock=clock, num_ports=num_ports, seed=index,
+        # (entries, registers) is fully disjoint; the rest of the
+        # artifact bundle (spec, sources) is immutable and shared.
+        self.system = MantisSystem(
+            replace(artifacts, p4=artifacts.p4.clone()),
+            clock=clock,
+            num_ports=num_ports,
+            cost_model=cost_model,
+            pacing_sleep_us=pacing_sleep_us,
+            record_timeline=record_timeline,
+            seed=index if seed is None else seed,
             execution_mode=execution_mode,
-        )
-        self.driver = Driver(self.asic, model=cost_model)
-        self.agent = MantisAgent(
-            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            verify_commits=verify_commits,
             poll_batching=poll_batching,
         )
+        self.asic = self.system.asic
+        self.driver = self.system.driver
+        self.agent = self.system.agent
+        self.fault_injector = self.system.fault_injector
 
     def process_batch(self, packets, times=None, sink=None):
         """Burst-mode entry point for this pipeline's private ASIC."""
@@ -67,7 +94,15 @@ class Pipeline:
 
 
 class MultiPipelineSwitch:
-    """N pipelines of one program on a shared clock."""
+    """N pipelines of one program on a shared clock.
+
+    ``fault_plan`` may be a single :class:`~repro.faults.FaultPlan`
+    (armed on every pipeline -- injector state lives outside the plan,
+    so sharing is safe) or a mapping ``{pipeline index: plan}`` to
+    target specific pipelines.  ``seed`` offsets the per-pipeline ASIC
+    seeds (pipeline ``i`` gets ``seed + i``), keeping the historical
+    default of seed-by-index at ``seed=0``.
+    """
 
     def __init__(
         self,
@@ -79,6 +114,11 @@ class MultiPipelineSwitch:
         clock: Optional[SimClock] = None,
         execution_mode: Optional[str] = None,
         poll_batching: bool = False,
+        seed: int = 0,
+        record_timeline: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan=None,
+        verify_commits: bool = False,
     ):
         if n_pipelines < 1:
             raise AgentError("need at least one pipeline")
@@ -90,9 +130,22 @@ class MultiPipelineSwitch:
                 cost_model, pacing_sleep_us,
                 execution_mode=execution_mode,
                 poll_batching=poll_batching,
+                seed=seed + index,
+                record_timeline=record_timeline,
+                retry_policy=retry_policy,
+                fault_plan=self._plan_for(fault_plan, index),
+                verify_commits=verify_commits,
             )
             for index in range(n_pipelines)
         ]
+
+    @staticmethod
+    def _plan_for(fault_plan, index: int):
+        if fault_plan is None:
+            return None
+        if isinstance(fault_plan, Mapping):
+            return fault_plan.get(index)
+        return fault_plan
 
     @classmethod
     def from_source(
@@ -142,6 +195,32 @@ class MultiPipelineSwitch:
         for _ in range(rounds):
             self.run_round()
 
+    def spawn_agents(
+        self,
+        scheduler: Scheduler,
+        period_us: Optional[float] = None,
+    ) -> List[AgentActor]:
+        """Register every pipeline's agent as an actor on ``scheduler``.
+
+        The scheduler must share this switch's clock.  With
+        ``period_us=None`` each agent busy-loops (per-pipeline threads
+        of Section 6, interleaved by timestamp); a period paces them.
+        """
+        if scheduler.clock is not self.clock:
+            raise AgentError(
+                "scheduler must share the switch clock; build it with "
+                "Scheduler(clock=switch.clock)"
+            )
+        actors = []
+        for pipeline in self.pipelines:
+            actor = AgentActor(
+                pipeline.agent, period_us=period_us,
+                name=f"pipeline{pipeline.index}.agent",
+            )
+            scheduler.spawn(actor)
+            actors.append(actor)
+        return actors
+
     # ---- cross-pipeline synchronization (the paper's future work) ----
 
     def run_round_synchronized(self) -> float:
@@ -154,11 +233,15 @@ class MultiPipelineSwitch:
         shrinking the cross-pipeline inconsistency window from a full
         round (many tens of microseconds) to roughly one master-init
         write per pipeline.  Returns the skew window: the simulated
-        time between the first and the last commit.
+        time from the completion of the first commit to the completion
+        of the last (0.0 with a single pipeline) -- the span during
+        which pipelines disagree about the active version.
         """
         for pipeline in self.pipelines:
             pipeline.agent.run_iteration(commit=False)
-        first_commit = self.clock.now
+        first_done: Optional[float] = None
         for pipeline in self.pipelines:
             pipeline.agent.commit()
-        return self.clock.now - first_commit
+            if first_done is None:
+                first_done = self.clock.now
+        return self.clock.now - (first_done or self.clock.now)

@@ -1,11 +1,20 @@
-"""The network simulator: switch + ports + links + hosts.
+"""The network simulator: a fabric of switches + ports + links + hosts.
 
-One :class:`NetworkSim` owns the event queue and wires it to a
-:class:`~repro.system.MantisSystem` switch.  Per-port output queues
-have finite capacity and a service rate derived from the port's link
-bandwidth; their instantaneous depth is exported to the ASIC so that
-``standard_metadata.deq_qdepth`` (the signal several use cases poll)
-is live.
+One :class:`NetworkSim` is a *fabric*: it owns a
+:class:`~repro.runtime.Scheduler` (shared clock + event queue) and any
+number of :class:`FabricSwitch` instances, each wrapping one
+:class:`~repro.system.MantisSystem`.  Switches are wired to hosts
+(:meth:`FabricSwitch.attach_host`) and to each other
+(:meth:`NetworkSim.connect`), with per-link serialization and
+propagation taken from the egress port's :class:`PortConfig`.  The
+single-switch form -- ``NetworkSim(system)`` -- is a thin shim that
+creates a one-switch fabric and forwards the legacy port/host API to
+it.
+
+Per-port output queues have finite capacity and a service rate derived
+from the port's link bandwidth; their instantaneous depth is exported
+to each switch's ASIC so that ``standard_metadata.deq_qdepth`` (the
+signal several use cases poll) is live.
 
 Queue accounting is *pull-based*: instead of scheduling one event per
 packet departure, each port keeps a monotone deque of departure times
@@ -14,20 +23,26 @@ enqueued.  The ASIC reads depths through ``asic.queue_model``, so
 ``deq_qdepth`` reflects departures up to the exact (possibly
 mid-burst) timestamp of the packet being processed.
 
-Concurrency model: the Mantis agent busy-loops on the shared clock;
-every clock advance drains due packet events, so data-plane activity
-interleaves with control-plane driver operations exactly as on a real
-switch (the ASIC never blocks on the CPU).
+Concurrency model: every Mantis agent is a scheduled actor on the
+fabric's shared timeline (see :mod:`repro.runtime.scheduler`); each
+dialogue iteration advances the clock by its own cost and reschedules
+the actor at the resulting instant, so with one switch the agent
+busy-loops exactly as the paper's per-component thread does, and with
+N switches the N agents interleave by timestamp.  Every clock advance
+drains due packet events, so data-plane activity interleaves with
+control-plane driver operations exactly as on a real switch (the ASIC
+never blocks on the CPU).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SimulationError
-from repro.net.events import EventQueue
+from repro.runtime import AgentActor, Scheduler
+from repro.switch.clock import SimClock
 from repro.switch.packet import Packet
 from repro.system import MantisSystem
 
@@ -68,14 +83,47 @@ class _PortState:
         self.rate_bits_per_us = self.config.bandwidth_gbps * 1000.0
 
 
-class NetworkSim:
-    """Hosts and links around one emulated Mantis switch."""
+@dataclass
+class Link:
+    """A cable between two switch ports.
+
+    ``up`` kills the whole cable (both directions) -- the fabric-level
+    failure the multi-hop scenarios inject; the per-port ``up`` flag
+    of :meth:`FabricSwitch.set_link_up` still models one-sided port
+    shutdown (the Figure 16 'switch API that disables ports')."""
+
+    switch_a: "FabricSwitch"
+    port_a: int
+    switch_b: "FabricSwitch"
+    port_b: int
+    up: bool = True
+
+    def endpoints(self) -> Tuple[Tuple["FabricSwitch", int],
+                                 Tuple["FabricSwitch", int]]:
+        return (self.switch_a, self.port_a), (self.switch_b, self.port_b)
+
+
+class FabricSwitch:
+    """One emulated Mantis switch inside a fabric.
+
+    Owns the per-switch world: port states and their lazy queue
+    accounting, attached hosts, switch-to-switch peer wiring, and the
+    packet path into and out of its :class:`MantisSystem`'s ASIC.
+    Hosts bind against this object (it exposes ``clock``, ``events``,
+    ``send_to_switch``/``send_burst_to_switch``), so endpoint code is
+    identical whether the switch stands alone or inside an N-switch
+    topology.
+    """
 
     def __init__(
         self,
+        fabric: "NetworkSim",
+        name: str,
         system: MantisSystem,
         default_port: Optional[PortConfig] = None,
     ):
+        self.fabric = fabric
+        self.name = name
         self.system = system
         self.clock = system.clock
         # Bound once: _ingress runs per delivered packet, and the
@@ -85,19 +133,27 @@ class NetworkSim:
         # allocation- and lookup-free.
         self._process = system.asic.process
         self._process_batch = system.asic.process_batch
-        self.events = EventQueue()
-        self.clock.add_listener(self._on_clock)
+        self.events = fabric.scheduler.events
         self.default_port = default_port or PortConfig()
         self.ports: Dict[int, _PortState] = {}
         self.hosts: Dict[int, "HostLike"] = {}
+        # port -> (peer switch, peer ingress port, link) for
+        # switch-to-switch cables.
+        self.peers: Dict[int, Tuple["FabricSwitch", int, Link]] = {}
         self.switch_drops = 0
         self.delivered = 0
+        self.forwarded = 0  # packets handed to a peer switch
         # Ports with pending lazy departures; lets depth reads for
         # port A skip draining B's deque.
         self._departing: Set[int] = set()
         # The ASIC pulls live depths (lazy-drained to the exact packet
         # timestamp) instead of relying on pushed snapshots.
         system.asic.queue_model = self._queue_depth_at
+        # The agent as a schedulable actor; armed by the fabric's
+        # run_until(agent=True).
+        self.agent_actor = AgentActor(system.agent, name=f"{name}.agent")
+        fabric.scheduler.spawn(self.agent_actor)
+        fabric.scheduler.cancel(self.agent_actor)  # armed per run
 
     # ---- wiring ----------------------------------------------------------
 
@@ -111,7 +167,13 @@ class NetworkSim:
 
     def attach_host(self, host: "HostLike", port: int) -> None:
         if port in self.hosts:
-            raise SimulationError(f"port {port} already has a host")
+            raise SimulationError(
+                f"{self.name}: port {port} already has a host"
+            )
+        if port in self.peers:
+            raise SimulationError(
+                f"{self.name}: port {port} is an inter-switch link"
+            )
         self.hosts[port] = host
         host.bind(self, port)
 
@@ -119,6 +181,19 @@ class NetworkSim:
         """Fault injection: disable/enable a port's link (the
         Figure 16 experiment's 'switch API that disables ports')."""
         self._port(port).up = up
+
+    def _add_peer(self, port: int, peer: "FabricSwitch", peer_port: int,
+                  link: Link) -> None:
+        if port in self.hosts:
+            raise SimulationError(
+                f"{self.name}: port {port} already has a host"
+            )
+        if port in self.peers:
+            raise SimulationError(
+                f"{self.name}: port {port} already linked to "
+                f"{self.peers[port][0].name}"
+            )
+        self.peers[port] = (peer, peer_port, link)
 
     # ---- queue accounting -------------------------------------------------
 
@@ -223,6 +298,10 @@ class NetworkSim:
         if not port.up:
             port.dropped += 1
             return
+        peer = self.peers.get(egress_port)
+        if peer is not None and not peer[2].up:
+            port.dropped += 1  # dead cable: lost on the wire
+            return
         if port.departs:
             self._drain_port(egress_port, port, now)
         if port.queued >= port.config.queue_capacity_pkts:
@@ -247,36 +326,25 @@ class NetworkSim:
         port.tx_bytes += packet.size_bytes
 
     def _deliver(self, port_index: int, packet: Packet, now: float) -> None:
+        peer = self.peers.get(port_index)
+        if peer is not None:
+            peer_switch, peer_port, link = peer
+            if not link.up or not peer_switch._port(peer_port).up:
+                self._port(port_index).dropped += 1
+                return
+            # Next hop: the wire traversal (serialization + latency)
+            # was already paid at this switch's egress queue, so the
+            # packet enters the peer's pipeline at the arrival instant.
+            self.forwarded += 1
+            packet.fields["standard_metadata.ingress_port"] = peer_port
+            peer_switch._ingress(packet, now)
+            return
         self.delivered += 1
         host = self.hosts.get(port_index)
         if host is not None:
             host.receive(packet, now)
 
-    # ---- time ------------------------------------------------------------------
-
-    def _on_clock(self, now: float) -> None:
-        self.events.drain(now)
-
-    def run_until(self, time_us: float, agent: bool = True) -> None:
-        """Advance the simulation to ``time_us``.
-
-        With ``agent=True`` the Mantis agent busy-loops (each dialogue
-        iteration advances the clock, draining packet events as it
-        goes).  With ``agent=False`` only packet events run -- the
-        baseline "no reactive control plane" configuration.
-        """
-        if agent:
-            self.system.agent.run_until(time_us)
-            # The agent may stop short if iterations are long; finish
-            # the tail with pure event processing.
-        while self.clock.now < time_us:
-            self.events.drain(self.clock.now)
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > time_us:
-                self.clock.advance_to(time_us)
-                break
-            self.clock.advance_to(max(next_time, self.clock.now))
-        self.events.drain(self.clock.now)
+    # ---- inspection ------------------------------------------------------
 
     def queue_depth(self, port: int) -> int:
         port_state = self._port(port)
@@ -287,11 +355,221 @@ class NetworkSim:
     def port_stats(self, port: int) -> _PortState:
         return self._port(port)
 
+    def __repr__(self) -> str:
+        return (
+            f"FabricSwitch({self.name!r}, hosts={sorted(self.hosts)}, "
+            f"links={sorted(self.peers)})"
+        )
+
+
+class NetworkSim:
+    """A fabric of emulated Mantis switches on one shared timeline.
+
+    Two construction styles:
+
+    - **legacy single-switch shim**: ``NetworkSim(system)`` creates a
+      one-switch fabric named ``"s0"`` and forwards the historical
+      port/host API (``attach_host``, ``configure_port``,
+      ``send_to_switch``, ``queue_depth``, ...) to it -- existing
+      scenarios run unchanged;
+    - **fabric**: ``NetworkSim(clock=shared_clock)`` then
+      :meth:`add_switch` per :class:`MantisSystem` (each built on the
+      same clock) and :meth:`connect` for inter-switch cables.
+
+    ``run_until`` drives everything -- packet events *and* every
+    switch's agent -- through the one :class:`Scheduler`, so one code
+    path covers 1 switch, N pipelines, or an N-switch topology.
+    """
+
+    def __init__(
+        self,
+        system: Optional[MantisSystem] = None,
+        default_port: Optional[PortConfig] = None,
+        clock: Optional[SimClock] = None,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        if scheduler is not None:
+            self.scheduler = scheduler
+        else:
+            if clock is None and system is not None:
+                clock = system.clock
+            self.scheduler = Scheduler(clock=clock)
+        self.default_port = default_port or PortConfig()
+        self.switches: Dict[str, FabricSwitch] = {}
+        self._switch_order: List[FabricSwitch] = []
+        self.links: List[Link] = []
+        if system is not None:
+            self.add_switch(system, name="s0", default_port=default_port)
+
+    # ---- fabric construction --------------------------------------------
+
+    @property
+    def clock(self) -> SimClock:
+        return self.scheduler.clock
+
+    @property
+    def events(self):
+        return self.scheduler.events
+
+    def add_switch(
+        self,
+        system: MantisSystem,
+        name: Optional[str] = None,
+        default_port: Optional[PortConfig] = None,
+    ) -> FabricSwitch:
+        """Add one switch to the fabric.
+
+        The system must share the fabric's clock -- cross-switch
+        orderings are only well-defined on one timeline."""
+        if system.clock is not self.scheduler.clock:
+            raise SimulationError(
+                "switch must share the fabric clock: build the "
+                "MantisSystem with clock=fabric.clock"
+            )
+        if name is None:
+            name = f"s{len(self.switches)}"
+        if name in self.switches:
+            raise SimulationError(f"duplicate switch name {name!r}")
+        switch = FabricSwitch(
+            self, name, system, default_port=default_port or self.default_port
+        )
+        self.switches[name] = switch
+        self._switch_order.append(switch)
+        return switch
+
+    def switch(self, name: str) -> FabricSwitch:
+        if name not in self.switches:
+            raise SimulationError(f"no switch named {name!r}")
+        return self.switches[name]
+
+    def _resolve(self, switch: Union[str, FabricSwitch]) -> FabricSwitch:
+        if isinstance(switch, FabricSwitch):
+            if switch.fabric is not self:
+                raise SimulationError(
+                    f"switch {switch.name!r} belongs to another fabric"
+                )
+            return switch
+        return self.switch(switch)
+
+    def connect(
+        self,
+        switch_a: Union[str, FabricSwitch],
+        port_a: int,
+        switch_b: Union[str, FabricSwitch],
+        port_b: int,
+    ) -> Link:
+        """Cable two switch ports together.
+
+        Each direction uses the egress side's :class:`PortConfig` for
+        serialization and propagation, exactly as a host link does."""
+        a = self._resolve(switch_a)
+        b = self._resolve(switch_b)
+        if a is b and port_a == port_b:
+            raise SimulationError("cannot cable a port to itself")
+        link = Link(a, port_a, b, port_b)
+        a._add_peer(port_a, b, port_b, link)
+        b._add_peer(port_b, a, port_a, link)
+        self.links.append(link)
+        return link
+
+    def set_link_state(self, link: Link, up: bool) -> None:
+        """Kill or revive a whole cable (both directions)."""
+        link.up = up
+
+    def fail_link_at(self, link: Link, time_us: float) -> None:
+        """Schedule a cable cut on the shared timeline."""
+        self.scheduler.at(
+            time_us, lambda _now: self.set_link_state(link, False)
+        )
+
+    # ---- time ------------------------------------------------------------
+
+    def run_until(self, time_us: float, agent: bool = True) -> None:
+        """Advance the fabric to ``time_us``.
+
+        With ``agent=True`` every switch's Mantis agent runs as a
+        scheduled actor: armed at the current instant (in switch
+        insertion order), each dialogue iteration advances the clock
+        by its own cost and reschedules the actor, draining packet
+        events as it goes.  With ``agent=False`` only packet events
+        run -- the baseline "no reactive control plane" configuration.
+        """
+        if agent:
+            for switch in self._switch_order:
+                self.scheduler.arm(switch.agent_actor)
+        self.scheduler.run_until(time_us, actors=agent)
+
+    # ---- legacy single-switch API ----------------------------------------
+
+    @property
+    def _default_switch(self) -> FabricSwitch:
+        if not self._switch_order:
+            raise SimulationError(
+                "fabric has no switches yet; call add_switch() first"
+            )
+        return self._switch_order[0]
+
+    @property
+    def system(self) -> MantisSystem:
+        return self._default_switch.system
+
+    @property
+    def ports(self) -> Dict[int, _PortState]:
+        return self._default_switch.ports
+
+    @property
+    def hosts(self) -> Dict[int, "HostLike"]:
+        return self._default_switch.hosts
+
+    @property
+    def switch_drops(self) -> int:
+        return self._default_switch.switch_drops
+
+    @property
+    def delivered(self) -> int:
+        return self._default_switch.delivered
+
+    def configure_port(self, port: int, config: PortConfig) -> None:
+        self._default_switch.configure_port(port, config)
+
+    def attach_host(self, host: "HostLike", port: int) -> None:
+        self._default_switch.attach_host(host, port)
+
+    def set_link_up(self, port: int, up: bool) -> None:
+        self._default_switch.set_link_up(port, up)
+
+    def send_to_switch(
+        self, packet: Packet, ingress_port: int, delay_us: float = 0.0
+    ) -> None:
+        self._default_switch.send_to_switch(packet, ingress_port, delay_us)
+
+    def send_burst_to_switch(
+        self,
+        packets: Sequence[Packet],
+        ingress_port: int,
+        spacing_us: float = 0.0,
+        delay_us: float = 0.0,
+    ) -> None:
+        self._default_switch.send_burst_to_switch(
+            packets, ingress_port, spacing_us=spacing_us, delay_us=delay_us
+        )
+
+    def queue_depth(self, port: int) -> int:
+        return self._default_switch.queue_depth(port)
+
+    def port_stats(self, port: int) -> _PortState:
+        return self._default_switch.port_stats(port)
+
 
 class HostLike:
-    """Interface for simulation endpoints (see :mod:`repro.net.hosts`)."""
+    """Interface for simulation endpoints (see :mod:`repro.net.hosts`).
 
-    def bind(self, sim: NetworkSim, port: int) -> None:  # pragma: no cover
+    ``bind`` receives the sending surface -- a :class:`FabricSwitch`
+    (or the legacy :class:`NetworkSim` shim, which forwards to its one
+    switch); both expose ``clock``, ``events``, ``send_to_switch`` and
+    ``send_burst_to_switch``."""
+
+    def bind(self, sim: "FabricSwitch", port: int) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def receive(self, packet: Packet, now: float) -> None:  # pragma: no cover

@@ -9,7 +9,7 @@ addresses to nodes -- the inputs of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 import networkx as nx
 
@@ -66,6 +66,42 @@ def ring_of_neighbors(
         )
     topology.validate()
     return topology
+
+
+def fabric_pair(n_links: int = 2) -> Tuple[SwitchTopology, SwitchTopology]:
+    """Two switches joined by ``n_links`` parallel links, one host each.
+
+    A simple ``nx.Graph`` cannot carry parallel edges, so each physical
+    link ``i`` is an intermediate node ``l<i>`` on the path
+    ``s0 - l<i> - s1``: shortest-path routing then distinguishes the
+    links, and failing one (removing the ``s0 - l<i>`` edge) leaves the
+    detour through the others.  Hosts ``h0``/``h1`` hang off ``s0``/
+    ``s1``.  Ports ``0..n_links-1`` face the links on both switches;
+    port ``n_links`` faces the local host.
+
+    Returns the two per-switch views of the shared graph (the inputs
+    of two :class:`repro.apps.failover.RouteManager` instances).
+    """
+    if n_links < 2:
+        raise SimulationError("fabric_pair needs >= 2 links for a detour")
+    graph = nx.Graph()
+    link_ports = {}
+    for index in range(n_links):
+        node = f"l{index}"
+        graph.add_edge("s0", node)
+        graph.add_edge(node, "s1")
+        link_ports[node] = index
+    graph.add_edge("s0", "h0")
+    graph.add_edge("s1", "h1")
+    view0 = SwitchTopology(
+        graph, "s0", port_map={**link_ports, "h0": n_links}
+    )
+    view1 = SwitchTopology(
+        graph, "s1", port_map={**link_ports, "h1": n_links}
+    )
+    view0.validate()
+    view1.validate()
+    return view0, view1
 
 
 def leaf_spine(

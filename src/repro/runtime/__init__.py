@@ -1,0 +1,22 @@
+"""Event-driven fabric runtime.
+
+One :class:`Scheduler` hosts the shared clock and event queue; agents,
+host timers, and link events interleave on its single timeline.  See
+:mod:`repro.runtime.scheduler` for the concurrency model.
+"""
+
+from repro.runtime.scheduler import (
+    Actor,
+    AgentActor,
+    CallbackActor,
+    DEFAULT_MAX_ITERATIONS,
+    Scheduler,
+)
+
+__all__ = [
+    "Actor",
+    "AgentActor",
+    "CallbackActor",
+    "DEFAULT_MAX_ITERATIONS",
+    "Scheduler",
+]

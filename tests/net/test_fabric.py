@@ -1,0 +1,229 @@
+"""The multi-switch fabric: construction API, forwarding, and the
+bit-identical equivalence of the legacy single-switch path with an
+explicitly constructed one-switch fabric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dos import build_dos_scenario
+from repro.errors import SimulationError
+from repro.net.hosts import SinkHost, UdpSender
+from repro.net.sim import NetworkSim, PortConfig
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.clock import SimClock
+from repro.switch.compiled import asic_state_snapshot
+from repro.system import MantisSystem
+
+FORWARD_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { srcAddr : 32; dstAddr : 32; proto : 8; } }
+header ipv4_t ipv4;
+header_type tmp_t { fields { c : 32; } }
+metadata tmp_t tmp;
+register seen { width : 32; instance_count : 4; }
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 16;
+}
+control ingress { apply(route); }
+reaction watch(reg seen[0:3]) { }
+"""
+
+DST = 0x0A000001
+
+
+def _forwarding_switch(clock):
+    return MantisSystem.from_source(FORWARD_P4R, clock=clock)
+
+
+class TestFabricConstruction:
+    def test_add_switch_requires_shared_clock(self):
+        fabric = NetworkSim(clock=SimClock())
+        foreign = _forwarding_switch(SimClock())
+        with pytest.raises(SimulationError):
+            fabric.add_switch(foreign)
+
+    def test_duplicate_switch_name_rejected(self):
+        clock = SimClock()
+        fabric = NetworkSim(clock=clock)
+        fabric.add_switch(_forwarding_switch(clock), "a")
+        with pytest.raises(SimulationError):
+            fabric.add_switch(_forwarding_switch(clock), "a")
+
+    def test_connect_conflicts_rejected(self):
+        clock = SimClock()
+        fabric = NetworkSim(clock=clock)
+        a = fabric.add_switch(_forwarding_switch(clock), "a")
+        b = fabric.add_switch(_forwarding_switch(clock), "b")
+        fabric.connect(a, 0, b, 0)
+        with pytest.raises(SimulationError):
+            fabric.connect(a, 0, b, 1)  # a:0 already cabled
+        a.attach_host(SinkHost("h"), 5)
+        with pytest.raises(SimulationError):
+            fabric.connect(a, 5, b, 2)  # a:5 already hosts a host
+        with pytest.raises(SimulationError):
+            a.attach_host(SinkHost("h2"), 0)  # a:0 is a link
+
+    def test_legacy_constructor_is_one_switch_fabric(self):
+        system = _forwarding_switch(None)
+        sim = NetworkSim(system)
+        assert list(sim.switches) == ["s0"]
+        assert sim.system is system
+        assert sim.clock is system.clock
+
+    def test_empty_fabric_legacy_surface_raises(self):
+        fabric = NetworkSim(clock=SimClock())
+        with pytest.raises(SimulationError):
+            fabric.attach_host(SinkHost("h"), 0)
+
+
+class TestMultiSwitchForwarding:
+    def _two_switch_path(self):
+        """h0 -> s0:(2) ... s0:0 <-> s1:0 ... s1:(2) -> h1"""
+        clock = SimClock()
+        fabric = NetworkSim(clock=clock)
+        s0 = fabric.add_switch(_forwarding_switch(clock), "s0")
+        s1 = fabric.add_switch(_forwarding_switch(clock), "s1")
+        link = fabric.connect(s0, 0, s1, 0)
+        s0.system.driver.add_entry("route", [DST], "forward", [0])
+        s1.system.driver.add_entry("route", [DST], "forward", [2])
+        sender = UdpSender(
+            "h0", {"ipv4.srcAddr": 1, "ipv4.dstAddr": DST, "ipv4.proto": 17},
+            rate_gbps=2.0,
+        )
+        s0.attach_host(sender, 2)
+        sink = SinkHost("h1")
+        s1.attach_host(sink, 2)
+        return fabric, s0, s1, link, sender, sink
+
+    def test_packets_cross_the_fabric(self):
+        fabric, s0, s1, _link, sender, sink = self._two_switch_path()
+        sender.start(0.0)
+        fabric.run_until(100.0, agent=False)
+        assert sink.rx_packets > 0
+        # Hop accounting: the first switch forwards, the second
+        # delivers; the difference is still queued in s1's egress.
+        assert s0.forwarded >= sink.rx_packets
+        assert s0.delivered == 0
+        assert s1.forwarded == 0
+        assert s1.delivered == sink.rx_packets
+
+    def test_dead_link_drops_on_the_wire(self):
+        fabric, s0, s1, link, sender, sink = self._two_switch_path()
+        sender.start(0.0)
+        fabric.run_until(50.0, agent=False)
+        delivered_before = sink.rx_packets
+        assert delivered_before > 0
+        fabric.set_link_state(link, False)
+        fabric.run_until(150.0, agent=False)
+        # Nothing but the in-flight tail arrives after the cut...
+        assert sink.rx_packets - delivered_before <= 2
+        # ...and the egress queue charges the dead cable.
+        assert s0.port_stats(0).dropped > 0
+
+    def test_scheduled_link_cut(self):
+        fabric, s0, s1, link, sender, sink = self._two_switch_path()
+        sender.start(0.0)
+        fabric.fail_link_at(link, 50.0)
+        fabric.run_until(150.0, agent=False)
+        assert link.up is False
+        assert 0 < sink.rx_packets < sender.tx_packets
+
+    def test_per_switch_asic_isolation(self):
+        fabric, s0, s1, _link, sender, sink = self._two_switch_path()
+        sender.start(0.0)
+        fabric.run_until(60.0, agent=False)
+        # Each switch counted only its own pipeline work.
+        s0_tx = sum(p.tx_packets for p in s0.ports.values())
+        s1_tx = sum(p.tx_packets for p in s1.ports.values())
+        # Enqueued >= handed to the peer (the rest is in flight).
+        assert s0_tx >= s0.forwarded > 0
+        assert s1_tx <= s0_tx
+
+
+class TestFabricLegacyEquivalence:
+    """Satellite: a single-switch fabric run must be bit-identical to
+    the legacy ``NetworkSim(system)`` path on the Fig15 DoS workload.
+    """
+
+    HORIZON = 1500.0
+
+    def _run(self, sim_factory):
+        app, sim, flows, sink, attacker = build_dos_scenario(
+            n_benign=6, burst_size=4, sim_factory=sim_factory,
+        )
+        app.prologue()
+        for flow in flows:
+            flow.start(0.0)
+        attacker.start(100.0)
+        runner = sim if isinstance(sim, NetworkSim) else sim.fabric
+        runner.run_until(self.HORIZON, agent=True)
+        return app, sim, flows, sink, attacker, runner
+
+    def test_bit_identical_to_legacy_path(self):
+        legacy = self._run(None)
+        fabric = self._run(
+            lambda system: NetworkSim(clock=system.clock).add_switch(system)
+        )
+        l_app, l_sim, l_flows, l_sink, l_attacker, l_runner = legacy
+        f_app, f_sim, f_flows, f_sink, f_attacker, f_runner = fabric
+
+        # Same simulated end instant, same event/actor counts.
+        assert l_runner.clock.now == f_runner.clock.now
+        assert l_runner.events.processed == f_runner.events.processed
+        assert (l_runner.scheduler.actor_fires
+                == f_runner.scheduler.actor_fires)
+
+        # Packet results: per-window sink bytes, float-exact.
+        assert l_sink.windows == f_sink.windows
+        assert l_sink.rx_packets == f_sink.rx_packets
+        assert l_sim.delivered == f_sim.delivered
+        assert l_sim.switch_drops == f_sim.switch_drops
+
+        # Queue/port state, including exact busy_until floats.
+        l_ports = l_sim.ports if isinstance(l_sim, NetworkSim) else l_sim.ports
+        for index, l_port in l_ports.items():
+            f_port = f_sim.ports[index]
+            assert l_port.tx_packets == f_port.tx_packets
+            assert l_port.tx_bytes == f_port.tx_bytes
+            assert l_port.dropped == f_port.dropped
+            assert l_port.busy_until == f_port.busy_until
+            assert l_port.queued == f_port.queued
+
+        # ASIC state: registers, table contents, counters.
+        assert (asic_state_snapshot(l_app.system.asic)
+                == asic_state_snapshot(f_app.system.asic))
+
+        # Agent trajectory: same iterations, same per-phase totals.
+        assert (l_app.system.agent.iterations
+                == f_app.system.agent.iterations)
+        assert (l_app.system.agent.phase_totals
+                == f_app.system.agent.phase_totals)
+
+        # The app observed the same attack.
+        assert (l_app.is_blocked(0x0AFF0001)
+                == f_app.is_blocked(0x0AFF0001))
+
+    def test_agent_off_runs_identical_too(self):
+        results = []
+        for factory in (
+            None,
+            lambda system: NetworkSim(clock=system.clock).add_switch(system),
+        ):
+            app, sim, flows, sink, attacker = build_dos_scenario(
+                n_benign=4, sim_factory=factory,
+            )
+            app.prologue()
+            for flow in flows:
+                flow.start(0.0)
+            attacker.start(50.0)
+            runner = sim if isinstance(sim, NetworkSim) else sim.fabric
+            runner.run_until(800.0, agent=False)
+            results.append((sink.windows, sim.delivered, sim.switch_drops,
+                            runner.clock.now))
+        assert results[0] == results[1]

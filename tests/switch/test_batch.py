@@ -85,7 +85,7 @@ def _ecmp_workload(n: int) -> List[Dict[str, int]]:
 
 
 def _failover_setup(system: MantisSystem) -> None:
-    system.driver.add_entry("hb_filter", [HEARTBEAT_PROTO], "count_hb", [])
+    system.driver.add_entry("hb_filter", [HEARTBEAT_PROTO, DST], "count_hb", [])
     system.agent.table("route").add([DST], "forward", [3])
     system.agent.run_iteration()
 
