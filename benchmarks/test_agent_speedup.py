@@ -1,0 +1,60 @@
+"""Agent fast-path benchmark: compiled reactions + dirty-diff commits
++ delta polling on the Figure 15 DoS control loop.
+
+Runs the full dialogue loop (mv flip, poll, creaction, vv commit)
+against the emulated switch under attack traffic, once per engine and
+commit configuration, and gates the PR's two acceptance criteria:
+
+- compiled reactions sustain at least 2x the interpreted engine's
+  reactions/sec (wall clock; the *simulated* phase timelines must be
+  identical -- op-count parity is what makes the engines
+  interchangeable);
+- dirty-diff commits issue strictly fewer driver ops than full
+  commits on the same workload.
+
+The payload lands in ``benchmarks/results/BENCH_agent.json`` (and at
+``--bench-json`` when given) as the PR's tracked artifact.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report, report_json
+from repro.fastbench import run_agent_benchmark
+
+ITERATIONS = 200
+MIN_SPEEDUP = 2.0
+
+
+def test_agent_fastpath_speedup(bench_once, bench_json_path):
+    result = bench_once(run_agent_benchmark, iterations=ITERATIONS)
+
+    report(
+        "Agent fast path (Figure 15 DoS control loop)",
+        ["configuration", "reactions/s", "driver ops"],
+        [
+            ["interp + diff", f"{result['interp_rps']:,.0f}",
+             f"{result['diff_commit_ops']}"],
+            ["compiled + diff", f"{result['compiled_rps']:,.0f}",
+             f"{result['diff_commit_ops']}"],
+            ["compiled + full", "", f"{result['full_commit_ops']}"],
+            ["compiled + diff + delta", "", f"{result['delta_poll_ops']}"],
+            ["speedup", f"{result['speedup']:.2f}x", ""],
+        ],
+    )
+    report_json(result, bench_json_path, name="BENCH_agent")
+
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"compiled engine only {result['speedup']:.2f}x over interpreted "
+        f"(target {MIN_SPEEDUP}x): {result}"
+    )
+    # Simulated-time parity: identical op counts mean identical
+    # simulated phase splits, so the engines differ only in wall clock.
+    assert result["compiled_phase_us"] == result["interp_phase_us"]
+    # Dirty-diff commits must beat the rewrite-everything baseline.
+    assert result["diff_commit_ops"] < result["full_commit_ops"], result
+    assert 0.0 < result["dirty_diff_hit_rate"] <= 1.0
+    # Delta polling saves further ops on this mostly-quiet workload.
+    assert result["delta_poll_ops"] < result["diff_commit_ops"], result
+    assert result["delta_poll_skip_rate"] > 0.5
+    # The control loop did its job: the attacker ended up blocklisted.
+    assert result["blocked_attacker"] == 1

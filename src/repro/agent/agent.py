@@ -33,6 +33,8 @@ from device state so the dialogue resumes without reinstalling.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -50,7 +52,14 @@ from repro.compiler.spec import (
     ReactionSpec,
 )
 from repro.p4r.creaction import CReaction, ReactionEnv
+from repro.p4r.compiled_reaction import (
+    CompiledReaction,
+    REACTION_ENGINE_ENV,
+    REACTION_ENGINES,
+)
 from repro.switch.driver import Driver, MemoHandle
+
+COMMIT_MODES = ("diff", "full")
 
 # The failure modes the dialogue loop absorbs instead of crashing on.
 _RECOVERABLE = (TransientDriverError, DriverTimeoutError)
@@ -129,6 +138,14 @@ class AgentHealth:
     driver_errors: int
     driver_retries: int
     driver_timeouts: int
+    # Fast-path engine info (ISSUE 5): which reaction engine runs the
+    # C bodies, how commits are diffed, and how often the diff/delta
+    # optimizations actually fired.
+    reaction_engine: str = "compiled"
+    commit_mode: str = "diff"
+    delta_polling: bool = False
+    dirty_diff_hit_rate: float = 0.0
+    delta_poll_skip_rate: float = 0.0
 
 
 class _MirrorReader:
@@ -136,19 +153,44 @@ class _MirrorReader:
     (Section 5.2): rejects stale checkpoint values so the agent always
     sees the most recently committed contents."""
 
-    def __init__(self, driver: Driver, mirror: RegisterMirror):
+    def __init__(
+        self, driver: Driver, mirror: RegisterMirror, delta: bool = False
+    ):
         self.driver = driver
         self.mirror = mirror
+        self.delta = delta
         self.memo_dup = driver.memoize("register", mirror.duplicate)
         self.memo_ts = driver.memoize("register", mirror.ts)
+        self.memo_seq = driver.memoize("register", mirror.seq)
         self.cache_values = [0] * mirror.count
         self.cache_ts = [0] * mirror.count
         self._last_raw = [0] * mirror.count
         self._suspect = [0] * mirror.count
+        # Delta polling: the data plane bumps ``seq[i]`` (raw index, no
+        # version copies) on *every* write to slot ``i``, so an
+        # unchanged seq range proves both version copies are unchanged
+        # since the last full poll and the ts+dup reads can be skipped.
+        self._seq_cache: Dict[Tuple[int, int], List[int]] = {}
+        self.delta_checks = 0
+        self.delta_skips = 0
+
+    def invalidate_delta(self) -> None:
+        """Drop the seq snapshots (after a driver fault or recovery:
+        a retried/corrupted read must not justify a skip)."""
+        self._seq_cache.clear()
 
     def poll(self, checkpoint: int, lo: int, hi: int) -> Dict[int, int]:
         offset = checkpoint * self.mirror.padded_count
         with self.driver.batch():
+            seqs: Optional[List[int]] = None
+            if self.delta:
+                seqs = self.driver.read_registers(
+                    self.mirror.seq, lo, hi, memo=self.memo_seq
+                )
+                self.delta_checks += 1
+                if self._seq_cache.get((lo, hi)) == seqs:
+                    self.delta_skips += 1
+                    return self.cached(lo, hi)
             stamps = self.driver.read_registers(
                 self.mirror.ts, offset + lo, offset + hi, memo=self.memo_ts
             )
@@ -176,6 +218,10 @@ class _MirrorReader:
             else:
                 self._suspect[index] = 0
             self._last_raw[index] = stamp
+        if seqs is not None:
+            # Snapshot only after a *successful* full poll: a raise
+            # above leaves the old snapshot, so the next poll re-reads.
+            self._seq_cache[(lo, hi)] = seqs
         return {index: self.cache_values[index] for index in range(lo, hi + 1)}
 
     def cached(self, lo: int, hi: int) -> Dict[int, int]:
@@ -187,14 +233,23 @@ class _MirrorReader:
 class _ReactionRuntime:
     """One registered reaction: spec + implementation + static state."""
 
-    def __init__(self, spec: ReactionSpec):
+    def __init__(self, spec: ReactionSpec, engine: str = "compiled"):
         self.spec = spec
-        self.c_impl: Optional[CReaction] = None
+        self.c_impl: Optional[Union[CReaction, CompiledReaction]] = None
         self.py_impl: Optional[Callable[[ReactionContext], None]] = None
         if spec.decl.body_source.strip():
-            self.c_impl = CReaction(spec.decl.body_source, spec.name)
+            if engine == "compiled":
+                self.c_impl = CompiledReaction(
+                    spec.decl.body_source, spec.name
+                )
+            else:
+                self.c_impl = CReaction(spec.decl.body_source, spec.name)
         self.statics: dict = {}
         self.state: dict = {}
+        # Persistent ReactionEnv (args swapped per iteration).  The
+        # compiled engine binds its closure to this object once;
+        # the agent resets it to None whenever handles/externs change.
+        self.env: Optional[ReactionEnv] = None
 
 
 class MantisAgent:
@@ -222,6 +277,9 @@ class MantisAgent:
         verify_commits: bool = False,
         commit_retry_limit: int = 5,
         poll_batching: bool = False,
+        reaction_engine: Optional[str] = None,
+        commit_mode: str = "diff",
+        delta_polling: bool = False,
     ):
         self.spec: ControlPlaneSpec = artifacts.spec
         self.artifacts = artifacts
@@ -230,6 +288,25 @@ class MantisAgent:
         self.verify_commits = verify_commits
         self.commit_retry_limit = commit_retry_limit
         self.poll_batching = poll_batching
+        if reaction_engine is None:
+            reaction_engine = os.environ.get(REACTION_ENGINE_ENV, "compiled")
+        if reaction_engine not in REACTION_ENGINES:
+            raise AgentError(
+                f"unknown reaction engine {reaction_engine!r} "
+                f"(expected one of {REACTION_ENGINES})"
+            )
+        self.reaction_engine = reaction_engine
+        if commit_mode not in COMMIT_MODES:
+            raise AgentError(
+                f"unknown commit mode {commit_mode!r} "
+                f"(expected one of {COMMIT_MODES})"
+            )
+        self.commit_mode = commit_mode
+        self.delta_polling = delta_polling
+        # Dirty-diff bookkeeping: how many malleable writes were staged
+        # vs. deduplicated against the committed value.
+        self.dirty_writes_staged = 0
+        self.dirty_writes_skipped = 0
         self.vv = 0
         self.mv = 0
         # Simulated cost per interpreted C expression (Section 8.1's C).
@@ -261,7 +338,8 @@ class MantisAgent:
         # Pending hot swaps: (reaction name, impl, rerun_user_init).
         self._pending_swaps: List[Tuple[str, Callable, bool]] = []
         self._reactions: List[_ReactionRuntime] = [
-            _ReactionRuntime(r) for r in self.spec.reactions.values()
+            _ReactionRuntime(r, engine=reaction_engine)
+            for r in self.spec.reactions.values()
         ]
         self._master: Optional[InitTableSpec] = None
         for init in self.spec.init_tables:
@@ -293,6 +371,11 @@ class MantisAgent:
     def register_extern(self, name: str, fn: Callable) -> None:
         """Expose a host function to C reaction bodies."""
         self.externs[name] = fn
+        # Environments snapshot the extern set when built (the compiled
+        # engine additionally prefetches handles at bind time): force a
+        # rebuild so the new extern is visible next iteration.
+        for runtime in self._reactions:
+            runtime.env = None
 
     def attach_python(
         self, reaction_name: str, fn: Callable[[ReactionContext], None]
@@ -334,6 +417,7 @@ class MantisAgent:
                     runtime.py_impl = fn
                     runtime.statics.clear()  # fresh module DATA segment
                     runtime.state.clear()
+                    runtime.env = None
             rerun = rerun or rerun_init
         if rerun and self._user_init is not None:
             context = ReactionContext(self, {}, {})
@@ -389,7 +473,7 @@ class MantisAgent:
             )
         for mirror in self.spec.mirrors.values():
             self._mirror_readers[mirror.original] = _MirrorReader(
-                driver, mirror
+                driver, mirror, delta=self.delta_polling
             )
 
         self._make_table_handles()
@@ -509,7 +593,7 @@ class MantisAgent:
             )
         for mirror in self.spec.mirrors.values():
             self._mirror_readers[mirror.original] = _MirrorReader(
-                driver, mirror
+                driver, mirror, delta=self.delta_polling
             )
 
         self._make_table_handles()
@@ -550,16 +634,32 @@ class MantisAgent:
         value &= (1 << self._param_width[param]) - 1
         self._param_values[param] = value
         table, is_master = self._param_home[param]
+        diff = self.commit_mode == "diff"
         if is_master:
             index = self._master.param_index(param)
+            if diff and value == self._master_args[index]:
+                # Dirty-diff dedup: re-writing the committed value is a
+                # no-op; dropping any earlier staged value restores the
+                # committed state, so nothing needs to be written.
+                self._master_staged.pop(index, None)
+                self.dirty_writes_skipped += 1
+                return
             self._master_staged[index] = value
+            self.dirty_writes_staged += 1
         else:
             # Staged; the prepare write happens once per dirty init
             # table at commit time (all staged params in one entry
             # update, like the master's single default-action write).
             shadow = self._init_shadows[table]
-            shadow.staged[shadow.spec.param_index(param)] = value
+            position = shadow.spec.param_index(param)
+            if diff and value == shadow.args[position]:
+                shadow.staged.pop(position, None)
+                shadow.dirty = bool(shadow.staged)
+                self.dirty_writes_skipped += 1
+                return
+            shadow.staged[position] = value
             shadow.dirty = True
+            self.dirty_writes_staged += 1
 
     def shift_field(self, name: str, alt: Union[int, str]) -> None:
         """Shift a malleable field to an alt, by index or by name."""
@@ -726,7 +826,23 @@ class MantisAgent:
             or commit_pending
             or backlog > 0
         )
+        diff_total = self.dirty_writes_staged + self.dirty_writes_skipped
+        delta_checks = sum(
+            reader.delta_checks for reader in self._mirror_readers.values()
+        )
+        delta_skips = sum(
+            reader.delta_skips for reader in self._mirror_readers.values()
+        )
         return AgentHealth(
+            reaction_engine=self.reaction_engine,
+            commit_mode=self.commit_mode,
+            delta_polling=self.delta_polling,
+            dirty_diff_hit_rate=(
+                self.dirty_writes_skipped / diff_total if diff_total else 0.0
+            ),
+            delta_poll_skip_rate=(
+                delta_skips / delta_checks if delta_checks else 0.0
+            ),
             healthy=not degraded,
             degraded=degraded,
             consecutive_failed_iterations=self._consecutive_failures,
@@ -746,6 +862,11 @@ class MantisAgent:
         self._total_failures += 1
         self._last_error = str(error)
         self._last_error_us = self.driver.clock.now
+        # Fault safety for delta polling: a failed/retried op may have
+        # returned corrupt data, so no cached seq snapshot may justify
+        # skipping a poll until a clean full poll re-establishes it.
+        for reader in self._mirror_readers.values():
+            reader.invalidate_delta()
 
     def _write_master(
         self,
@@ -789,7 +910,11 @@ class MantisAgent:
         self, shadow: _InitShadow, version: int, args: List[int]
     ) -> None:
         """One memoized entry write to an init-shadow version copy,
-        read back under ``verify_commits``."""
+        read back under ``verify_commits``.
+
+        Diff mode reads back only the entry it wrote (a single-entry
+        read); full mode keeps the whole-table dump as the baseline.
+        """
         self.driver.modify_entry(
             shadow.spec.table,
             shadow.entry_ids[version],
@@ -797,12 +922,23 @@ class MantisAgent:
             memo=shadow.memo,
         )
         if self.verify_commits:
-            landed = {
-                entry_id: entry_args
-                for entry_id, _key, _action, entry_args, _priority
-                in self.driver.read_entries(shadow.spec.table, memo=shadow.memo)
-            }
-            if landed.get(shadow.entry_ids[version]) != list(args):
+            if self.commit_mode == "diff":
+                entry = self.driver.read_entry(
+                    shadow.spec.table,
+                    shadow.entry_ids[version],
+                    memo=shadow.memo,
+                )
+                landed_args = None if entry is None else entry[3]
+            else:
+                landed = {
+                    entry_id: entry_args
+                    for entry_id, _key, _action, entry_args, _priority
+                    in self.driver.read_entries(
+                        shadow.spec.table, memo=shadow.memo
+                    )
+                }
+                landed_args = landed.get(shadow.entry_ids[version])
+            if landed_args != list(args):
                 raise TransientDriverError(
                     f"shadow write to {shadow.spec.table!r} v{version} "
                     "did not land (dropped?)"
@@ -819,9 +955,12 @@ class MantisAgent:
         if self._master is None:
             return
         self._finish_mirror()
-        # Prepare: one shadow-entry write per dirty non-master init.
+        # Prepare: one shadow-entry write per dirty non-master init
+        # ("full" commit mode rewrites every shadow unconditionally --
+        # the paper-naive baseline the dirty diff is measured against).
+        commit_all = self.commit_mode == "full"
         for shadow in self._init_shadows.values():
-            if not shadow.dirty:
+            if not (shadow.dirty or commit_all):
                 continue
             new_args = list(shadow.args)
             for position, value in shadow.staged.items():
@@ -837,7 +976,7 @@ class MantisAgent:
             self._param_values["vv"] = self.vv
         self._mirror_old_vv = old_vv
         for shadow in self._init_shadows.values():
-            if not shadow.dirty:
+            if not (shadow.dirty or commit_all):
                 continue
             for position, value in shadow.staged.items():
                 shadow.args[position] = value
@@ -949,15 +1088,21 @@ class MantisAgent:
             return
         if runtime.c_impl is None:
             return
-        env = ReactionEnv(
-            args=args,
-            read_malleable=self.read_malleable,
-            write_malleable=self.write_malleable,
-            tables=self._tables,
-            externs=self.externs,
-            statics=runtime.statics,
-        )
-        runtime.c_impl.run(env)
+        # One persistent env per reaction: the compiled engine binds
+        # its closure to the env object once (prefetching table/extern
+        # handles) and only the polled args change per iteration.
+        if runtime.env is None:
+            runtime.env = ReactionEnv(
+                args=args,
+                read_malleable=self.read_malleable,
+                write_malleable=self.write_malleable,
+                tables=self._tables,
+                externs=self.externs,
+                statics=runtime.statics,
+            )
+        else:
+            runtime.env.args = args
+        runtime.c_impl.run(runtime.env)
         # Charge simulated CPU time for the reaction logic (the "C"
         # term of the Section 8.1 formula): ~2 ns per interpreted
         # expression, a CPU-scale per-instruction cost.

@@ -24,6 +24,108 @@ from repro.compiler.spec import ControlPlaneSpec
 from repro.switch.driver import DriverCostModel
 
 
+# ---------------------------------------------------------------------------
+# Driver op-count predictors (ISSUE 5).
+#
+# The latency predictors above integrate costs; these count the
+# discrete driver operations one dialogue iteration issues, so the
+# dirty-diff commit and delta-polling fast paths can be regression-
+# tested against ``Driver.ops_issued`` instead of against timings.
+
+
+def predict_mv_flip_ops(verify_commits: bool = False) -> int:
+    """Ops of the measurement-version flip: one master default-action
+    write, plus its read-back under ``verify_commits``."""
+    return 1 + (1 if verify_commits else 0)
+
+
+def predict_poll_ops(
+    spec: ControlPlaneSpec,
+    reaction_name: str,
+    delta_polling: bool = False,
+    delta_hits: int = 0,
+) -> int:
+    """Ops of one reaction's measurement poll.
+
+    Each distinct packed container register costs one burst read; each
+    mirror argument costs a ts read + a dup read.  With
+    ``delta_polling`` every mirror argument pays one seq read up front,
+    and ``delta_hits`` of them skip their ts+dup pair entirely.
+    """
+    reaction = spec.reactions[reaction_name]
+    containers = set()
+    mirror_args = 0
+    for arg, (source, _key) in zip(reaction.decl.args, reaction.arg_sources):
+        if source == "container":
+            container, _slot = spec.container_for(reaction_name, arg.c_name)
+            containers.add(container.register)
+        elif source == "mirror":
+            mirror_args += 1
+    ops = len(containers)
+    if delta_polling:
+        delta_hits = min(delta_hits, mirror_args)
+        ops += mirror_args  # one seq read per mirror argument
+        ops += 2 * (mirror_args - delta_hits)
+    else:
+        ops += 2 * mirror_args
+    return ops
+
+
+def predict_commit_ops(
+    spec: ControlPlaneSpec,
+    commit_mode: str = "diff",
+    dirty_shadows: int = 0,
+    table_entry_mods: int = 0,
+    verify_commits: bool = False,
+) -> int:
+    """Ops of the commit phase (prepare + vv flip + mirror).
+
+    ``diff`` mode writes only the ``dirty_shadows`` init tables whose
+    staged values actually differ from the committed ones; ``full``
+    mode rewrites every non-master init table unconditionally.  Each
+    shadow write is verified by a single-entry read-back in diff mode
+    and a whole-table dump in full mode (both count as one table-read
+    op).  ``table_entry_mods`` counts the reaction's malleable-table
+    mutations, each of which is mirrored onto the old-version copy.
+    """
+    n_shadows = sum(1 for init in spec.init_tables if not init.master)
+    writes = n_shadows if commit_mode == "full" else min(dirty_shadows, n_shadows)
+    per_write = 1 + (1 if verify_commits else 0)
+    ops = writes * per_write  # prepare
+    ops += 1 + (1 if verify_commits else 0)  # master vv flip
+    ops += writes * per_write  # mirror of the init shadows
+    ops += table_entry_mods  # mirror of reaction table mutations
+    return ops
+
+
+def predict_iteration_ops(
+    spec: ControlPlaneSpec,
+    commit_mode: str = "diff",
+    dirty_shadows: int = 0,
+    table_entry_mods: int = 0,
+    verify_commits: bool = False,
+    delta_polling: bool = False,
+    delta_hits: int = 0,
+) -> int:
+    """Total driver ops of one dialogue iteration (all reactions),
+    excluding the ops the reaction bodies issue themselves (immediate
+    table mutations -- those are charged where they happen)."""
+    has_measurements = bool(spec.containers or spec.mirrors)
+    ops = predict_mv_flip_ops(verify_commits) if has_measurements else 0
+    for name in spec.reactions:
+        ops += predict_poll_ops(
+            spec, name, delta_polling=delta_polling, delta_hits=delta_hits
+        )
+    ops += predict_commit_ops(
+        spec,
+        commit_mode=commit_mode,
+        dirty_shadows=dirty_shadows,
+        table_entry_mods=table_entry_mods,
+        verify_commits=verify_commits,
+    )
+    return ops
+
+
 def predict_measurement_us(
     model: DriverCostModel,
     containers: int = 0,

@@ -400,6 +400,21 @@ def run_multihop_failover(
             "s0": app0.system.agent.iterations,
             "s1": app1.system.agent.iterations,
         },
+        "agents": {
+            name: {
+                "healthy": health.healthy,
+                "reaction_engine": health.reaction_engine,
+                "commit_mode": health.commit_mode,
+                "delta_polling": health.delta_polling,
+                "dirty_diff_hit_rate": health.dirty_diff_hit_rate,
+                "delta_poll_skip_rate": health.delta_poll_skip_rate,
+                "total_failures": health.total_failures,
+            }
+            for name, health in (
+                ("s0", app0.system.agent.health()),
+                ("s1", app1.system.agent.health()),
+            )
+        },
         "detection": {
             "s0_port0_detected_us": detected0,
             "s1_port0_detected_us": app1.detected_ports.get(0),

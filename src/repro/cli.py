@@ -13,7 +13,10 @@ Subcommands mirror the workflow of the paper's toolchain:
   the fabric runtime (both agents as scheduled actors) and emit a
   JSON summary;
 - ``bench-fastpath`` -- measure packets/sec of the interpreter vs the
-  compiled pipeline on the Figure 15 DoS workload (tier-2 perf gate).
+  compiled pipeline on the Figure 15 DoS workload (tier-2 perf gate);
+- ``bench-agent`` -- measure the control-plane fast path: compiled vs
+  interpreted reactions/sec, dirty-diff vs full commit op counts, and
+  the delta-polling skip rate (tier-2 perf gate).
 
 Usage:  python -m repro.cli compile prog.p4r -o build/
 """
@@ -119,6 +122,8 @@ def cmd_run(args) -> int:
         kwargs["verify_commits"] = True
     system = MantisSystem.from_source(
         source, _compiler_options(args), pacing_sleep_us=args.pacing,
+        reaction_engine=args.engine, commit_mode=args.commit_mode,
+        delta_polling=args.delta_polling,
         **kwargs,
     )
     system.agent.prologue()
@@ -128,8 +133,12 @@ def cmd_run(args) -> int:
     scheduler.spawn(AgentActor(system.agent))
     scheduler.run_until(args.duration)
     iterations = system.agent.iterations
+    health = system.agent.health()
     print(f"simulated {system.clock.now:.1f} us, "
           f"{iterations} dialogue iterations")
+    print(f"reaction engine   : {health.reaction_engine} "
+          f"(commits={health.commit_mode}, "
+          f"delta_polling={'on' if health.delta_polling else 'off'})")
     print(f"avg reaction time : {system.agent.avg_reaction_time_us:.2f} us")
     print(f"cpu utilization   : {system.agent.cpu_utilization:.1%}")
     phases = system.agent.phase_totals
@@ -139,7 +148,11 @@ def cmd_run(args) -> int:
     )
     print(f"phase split (us)  : {split}")
     print(f"driver operations : {system.driver.ops_issued}")
-    health = system.agent.health()
+    print(f"dirty-diff hits   : {health.dirty_diff_hit_rate:.1%} "
+          f"of malleable writes deduplicated")
+    if health.delta_polling:
+        print(f"delta-poll skips  : {health.delta_poll_skip_rate:.1%} "
+              f"of mirror polls")
     status = "healthy" if health.healthy else "DEGRADED"
     print(f"agent health      : {status} "
           f"(failures={health.total_failures}, "
@@ -151,6 +164,22 @@ def cmd_run(args) -> int:
     if system.fault_injector is not None:
         print(f"injected faults   : {system.fault_injector.triggered} "
               f"(seed {args.fault_seed})")
+    if args.json:
+        import json
+        from dataclasses import asdict
+
+        summary = {
+            "simulated_us": system.clock.now,
+            "iterations": iterations,
+            "avg_reaction_time_us": system.agent.avg_reaction_time_us,
+            "cpu_utilization": system.agent.cpu_utilization,
+            "phase_totals_us": dict(phases),
+            "driver_ops": system.driver.ops_issued,
+            "health": asdict(health),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -177,6 +206,12 @@ def cmd_run_fabric(args) -> int:
     iters = summary["agent_iterations"]
     print(f"agent iterations  : s0={iters['s0']} s1={iters['s1']} "
           f"({summary['agent_actor_fires']} actor fires on one timeline)")
+    for name, agent_info in summary.get("agents", {}).items():
+        status = "healthy" if agent_info["healthy"] else "DEGRADED"
+        print(f"agent {name:12s}: {status}, "
+              f"engine={agent_info['reaction_engine']}, "
+              f"commits={agent_info['commit_mode']}, "
+              f"dirty-diff hits={agent_info['dirty_diff_hit_rate']:.1%}")
     latency = detection["detection_latency_us"]
     if summary["rerouted"]:
         print(f"detection latency : {latency:.1f} us "
@@ -229,6 +264,37 @@ def cmd_bench_fastpath(args) -> int:
     return 0
 
 
+def cmd_bench_agent(args) -> int:
+    from repro.fastbench import run_agent_benchmark
+
+    json_path = args.bench_json or args.json
+    result = run_agent_benchmark(
+        iterations=args.iterations,
+        json_path=json_path,
+    )
+    print(f"workload          : {result['workload']}")
+    print(f"iterations        : {result['iterations']}")
+    print(f"interpreted       : {result['interp_rps']:>12,.1f} reactions/s")
+    print(f"compiled          : {result['compiled_rps']:>12,.1f} reactions/s")
+    print(f"speedup           : {result['speedup']:.2f}x "
+          "(compiled vs interpreted)")
+    phases = result["compiled_phase_us"]
+    split = ", ".join(
+        f"{name.rsplit('_us', 1)[0]}={phases[name]:.1f}"
+        for name in ("mv_flip_us", "poll_us", "react_us", "commit_us")
+    )
+    print(f"phase split (us)  : {split}")
+    print(f"commit ops        : diff={result['diff_commit_ops']} "
+          f"vs full={result['full_commit_ops']}")
+    print(f"dirty-diff hits   : {result['dirty_diff_hit_rate']:.1%}")
+    print(f"delta-poll skips  : {result['delta_poll_skip_rate']:.1%} "
+          f"(ops {result['delta_poll_ops']} vs "
+          f"{result['diff_commit_ops']} without)")
+    if json_path:
+        print(f"wrote {json_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mantis",
@@ -273,6 +339,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fault-seed", type=int, default=None,
                        help="inject a seeded random fault plan and arm "
                             "driver retries + commit verification")
+    p_run.add_argument("--engine", choices=("compiled", "interp"),
+                       default=None,
+                       help="reaction engine (default: MANTIS_REACTION "
+                            "env var, falling back to compiled)")
+    p_run.add_argument("--commit-mode", choices=("diff", "full"),
+                       default="diff",
+                       help="commit only dirty init shadows (diff) or "
+                            "rewrite all of them (full)")
+    p_run.add_argument("--delta-polling", action="store_true",
+                       help="skip mirror polls whose seq counter did "
+                            "not advance")
+    p_run.add_argument("--json", default=None,
+                       help="write the run summary (stats + health) to "
+                            "this path")
     p_run.set_defaults(func=cmd_run)
 
     p_fabric = sub.add_parser(
@@ -314,6 +394,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default path: BENCH_fastpath.json at the "
                               "repo root)")
     p_bench.set_defaults(func=cmd_bench_fastpath)
+
+    p_agent = sub.add_parser(
+        "bench-agent",
+        help="compare interpreted vs compiled reaction engines and "
+             "diff vs full commits on the DoS dialogue loop",
+    )
+    p_agent.add_argument("--iterations", type=int, default=300,
+                         help="dialogue iterations per engine")
+    p_agent.add_argument("--json", default=None,
+                         help="write the result payload to this path")
+    p_agent.add_argument("--bench-json", nargs="?", const="BENCH_agent.json",
+                         default=None, metavar="PATH",
+                         help="write the tracked benchmark artifact "
+                              "(default path: BENCH_agent.json at the "
+                              "repo root)")
+    p_agent.set_defaults(func=cmd_bench_agent)
     return parser
 
 

@@ -1,0 +1,970 @@
+"""Reaction compiler: creaction AST -> exec-generated Python closures.
+
+The paper's agent compiles reaction C code with gcc and dynamically
+loads the ``.so`` (Section 6); the tree-walking interpreter in
+:mod:`repro.p4r.creaction` reproduces the *semantics* but pays a
+Python-level dispatch per AST node per iteration.  This module is the
+control-plane twin of the data-plane closure compiler
+(:mod:`repro.switch.compiled`): it lowers the same tuple AST, once, to
+straight-line Python source that is ``exec``-compiled and bound to a
+:class:`~repro.p4r.creaction.ReactionEnv`:
+
+- constant subexpressions are folded at compile time;
+- width masks come baked into store sites from the engines' shared
+  :data:`~repro.p4r.creaction.TYPE_MASKS` table;
+- non-static locals become plain Python locals; ``static`` scalars and
+  arrays stay :class:`_CVar` cells living in ``env.statics`` (so both
+  engines share one representation of persistent state);
+- ``${var}`` reads/writes, extern/builtin calls, and table method
+  calls are resolved to prefetched handles at *bind* time instead of
+  per-iteration dict lookups.
+
+Parity contract (enforced by ``tests/p4r/test_compiled_reaction.py``):
+for any program both engines produce identical return values,
+malleable read/write sequences, table operations, static state, and
+``last_op_count`` (the agent charges simulated CPU time per counted
+expression, so the simulated timelines must match bit for bit).
+
+Known, documented divergences from the interpreter (all outside the
+language subset the compiler front end emits):
+
+- a *bare* declaration used as an ``if``/``else``/loop body (no
+  braces) leaks into the enclosing scope only when the branch runs in
+  the interpreter; the compiler scopes every branch body statically;
+- ``last_op_count`` is updated only when a run completes (normally or
+  via ``return``); the interpreter also exposes partial counts after
+  a raised :class:`ReactionError`;
+- name classification (local vs. argument vs. table vs. extern) is
+  snapshotted per bound environment: a given ``ReactionEnv`` object
+  must keep stable ``args``/``tables``/``externs`` key sets between
+  runs (the agent rebinds whenever that changes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReactionError
+from repro.p4r.creaction import (
+    _BUILTINS,
+    _CParser,
+    _CVar,
+    _FLOAT_TYPES,
+    ReactionEnv,
+    TYPE_MASKS,
+)
+
+REACTION_ENGINE_ENV = "MANTIS_REACTION"
+REACTION_ENGINES = ("compiled", "interp")
+
+# Sentinel distinguishing "table absent from env.tables" from a table
+# bound to None (the interpreter's `in` check makes that distinction).
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers shared by all generated closures.  Error messages
+# mirror the interpreter's exactly -- the differential tests compare
+# raised errors verbatim.
+
+
+def _cdiv(left, right):
+    try:
+        if isinstance(left, float) or isinstance(right, float):
+            return left / right
+        # C integer division truncates toward zero.
+        quotient = abs(left) // abs(right)
+    except ZeroDivisionError as exc:
+        raise ReactionError("division by zero in reaction") from exc
+    return quotient if (left >= 0) == (right >= 0) else -quotient
+
+
+def _cmod(left, right):
+    try:
+        remainder = abs(left) % abs(right)
+    except ZeroDivisionError as exc:
+        raise ReactionError("division by zero in reaction") from exc
+    return remainder if left >= 0 else -remainder
+
+
+def _index_read(container, index):
+    try:
+        return container[index]
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ReactionError(f"bad array access [{index}]: {exc}") from exc
+
+
+def _index_store(container, index, value):
+    try:
+        container[index] = value
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ReactionError(f"bad array store [{index}]: {exc}") from exc
+
+
+def _undef(name):
+    raise ReactionError(f"undefined identifier {name!r}")
+
+
+def _no_fn(name):
+    raise ReactionError(f"call to unknown function {name!r}")
+
+
+def _no_table(name):
+    raise ReactionError(f"unknown table handle {name!r}")
+
+
+def _no_method(table, method):
+    raise ReactionError(f"table {table!r} has no method {method!r}")
+
+
+def _bad_store(name):
+    raise ReactionError(f"assignment to undeclared variable {name!r}")
+
+
+def _bad_target():
+    raise ReactionError("invalid assignment target")
+
+
+_EXEC_GLOBALS = {
+    "ReactionError": ReactionError,
+    "_CVar": _CVar,
+    "_BUILTINS": _BUILTINS,
+    "_MISSING": _MISSING,
+    "_cdiv": _cdiv,
+    "_cmod": _cmod,
+    "_index_read": _index_read,
+    "_index_store": _index_store,
+    "_undef": _undef,
+    "_no_fn": _no_fn,
+    "_no_table": _no_table,
+    "_no_method": _no_method,
+    "_bad_store": _bad_store,
+    "_bad_target": _bad_target,
+}
+
+
+# ---------------------------------------------------------------------------
+# Codegen
+
+
+class _Frag:
+    """A compiled expression fragment: Python code + const metadata."""
+
+    __slots__ = ("code", "const", "value")
+
+    def __init__(self, code: str, const: bool = False, value=None):
+        self.code = code
+        self.const = const
+        self.value = value
+
+
+def _has_side_effects(expr) -> bool:
+    """Can evaluating this subtree observably mutate state?  Malleable
+    reads count: a custom ``read_malleable`` may record call order and
+    the differential tests compare those sequences."""
+    if not isinstance(expr, tuple):
+        return False
+    kind = expr[0]
+    if kind in ("num", "str", "var"):
+        return False
+    if kind in ("mbl", "assign", "preinc", "postinc", "call", "method"):
+        return True
+    if kind in ("bin", "un", "ternary", "index"):
+        return any(
+            _has_side_effects(child)
+            for child in expr[1:]
+            if isinstance(child, tuple)
+        )
+    return True  # unknown kind: be conservative
+
+
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_DIRECT_OPS = {"+", "-", "*", "<<", ">>", "&", "|", "^"}
+
+
+class _Codegen:
+    """Lowers a parsed reaction body to the ``__bind__``/``__run__``
+    source executed by :class:`CompiledReaction`.
+
+    Op-count parity: the interpreter increments ``last_op_count`` once
+    per :meth:`CReaction._eval` call.  The generated code accumulates
+    per-basic-block constants into ``_ops`` (flushed at control-flow
+    boundaries), replicating the interpreter's count exactly --
+    including the double evaluation of index subexpressions in
+    compound assignments and the two synthetic ``num`` wrappers the
+    interpreter feeds ``_eval_bin`` for compound operators.
+    """
+
+    def __init__(self, body: list, reaction_name: str):
+        self.name = reaction_name
+        self.body = body
+        self.bind_lines: List[str] = []
+        self.run_lines: List[str] = []
+        self.depth = 2
+        self.pending = 0
+        # Compile-time scope stack: C name -> binding tuple
+        #   ("local", py_name, ctype)  plain Python local (scalar/list)
+        #   ("static", cell_name, ctype)  _CVar cell in env.statics
+        self.scopes: List[Dict[str, tuple]] = [{}]
+        # Loop stack: ("for", step_ast, scope_depth) | ("while",)
+        self.loops: List[tuple] = []
+        self._counter = 0
+        self._cells: Dict[tuple, str] = {}
+        self.source = self._build()
+
+    # ---- low-level emission --------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def emit(self, line: str) -> None:
+        self.run_lines.append("    " * self.depth + line)
+
+    def flush(self) -> None:
+        if self.pending:
+            self.emit(f"_ops += {self.pending}")
+            self.pending = 0
+
+    def spill(self, frag: _Frag) -> _Frag:
+        if frag.const:
+            return frag
+        temp = self._fresh("t")
+        self.emit(f"{temp} = {frag.code}")
+        return _Frag(temp)
+
+    # ---- bind-time cells ------------------------------------------------
+
+    def _cell(self, key: tuple, lines: List[str]) -> str:
+        if key not in self._cells:
+            name = self._fresh("c")
+            for line in lines:
+                self.bind_lines.append("    " + line.replace("@", name))
+            self._cells[key] = name
+        return self._cells[key]
+
+    def _table_cell(self, table: str) -> str:
+        return self._cell(
+            ("table", table),
+            [f"@ = _env.tables.get({table!r}, _MISSING)"],
+        )
+
+    def _method_cell(self, table: str, method: str) -> str:
+        handle = self._table_cell(table)
+        return self._cell(
+            ("method", table, method),
+            [
+                f"@ = None if {handle} is _MISSING else "
+                f"getattr({handle}, {method!r}, None)",
+                "if @ is not None and not callable(@):",
+                "    @ = None",
+            ],
+        )
+
+    def _fn_cell(self, name: str) -> str:
+        return self._cell(
+            ("fn", name),
+            [
+                f"if {name!r} in _env.externs:",
+                f"    @ = _env.externs[{name!r}]",
+                f"elif {name!r} in _BUILTINS:",
+                f"    @ = _BUILTINS[{name!r}]",
+                "else:",
+                "    @ = None",
+            ],
+        )
+
+    def _free_reader(self, name: str) -> str:
+        """A bind-level helper replicating the interpreter's free-name
+        lookup order: env.args, then env.tables, then ReactionError."""
+        key = ("free", name)
+        if key not in self._cells:
+            fn = self._fresh("rd")
+            self.bind_lines.extend(
+                [
+                    f"    def {fn}():",
+                    "        _a = _env.args",
+                    f"        if {name!r} in _a:",
+                    f"            return _a[{name!r}]",
+                    f"        if {name!r} in _env.tables:",
+                    f"            return _env.tables[{name!r}]",
+                    f"        _undef({name!r})",
+                ]
+            )
+            self._cells[key] = fn
+        return self._cells[key]
+
+    # ---- scope handling -------------------------------------------------
+
+    def _lookup(self, name: str) -> Optional[tuple]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ---- coercion / folding ---------------------------------------------
+
+    def _coerce_code(self, ctype: str, frag: _Frag) -> str:
+        if frag.const:
+            try:
+                if ctype in _FLOAT_TYPES:
+                    return repr(float(frag.value))
+                value = int(frag.value)
+                mask = TYPE_MASKS[ctype]
+                if mask is not None:
+                    value &= mask
+                return repr(value)
+            except (TypeError, ValueError):
+                pass  # e.g. string literal: leave the runtime error in
+        if ctype in _FLOAT_TYPES:
+            return f"float({frag.code})"
+        mask = TYPE_MASKS[ctype]
+        if mask is None:
+            return f"int({frag.code})"
+        return f"int({frag.code}) & {mask}"
+
+    def _binop_code(self, op: str, left: _Frag, right: _Frag) -> _Frag:
+        if left.const and right.const:
+            folded = self._fold_bin(op, left.value, right.value)
+            if folded is not None:
+                return folded
+        lc, rc = left.code, right.code
+        if op in _DIRECT_OPS:
+            return _Frag(f"({lc} {op} {rc})")
+        if op in _CMP_OPS:
+            return _Frag(f"(1 if {lc} {op} {rc} else 0)")
+        if op == "/":
+            return _Frag(f"_cdiv({lc}, {rc})")
+        if op == "%":
+            return _Frag(f"_cmod({lc}, {rc})")
+        raise ReactionError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _fold_bin(op: str, left, right) -> Optional[_Frag]:
+        try:
+            if op in _DIRECT_OPS:
+                value = {
+                    "+": lambda: left + right,
+                    "-": lambda: left - right,
+                    "*": lambda: left * right,
+                    "<<": lambda: left << right,
+                    ">>": lambda: left >> right,
+                    "&": lambda: left & right,
+                    "|": lambda: left | right,
+                    "^": lambda: left ^ right,
+                }[op]()
+            elif op in _CMP_OPS:
+                value = {
+                    "==": lambda: 1 if left == right else 0,
+                    "!=": lambda: 1 if left != right else 0,
+                    "<": lambda: 1 if left < right else 0,
+                    "<=": lambda: 1 if left <= right else 0,
+                    ">": lambda: 1 if left > right else 0,
+                    ">=": lambda: 1 if left >= right else 0,
+                }[op]()
+            elif op == "/":
+                value = _cdiv(left, right)
+            elif op == "%":
+                value = _cmod(left, right)
+            else:
+                return None
+        except Exception:
+            return None  # keep the (matching) error at runtime
+        return _Frag(repr(value), const=True, value=value)
+
+    # ---- expressions ----------------------------------------------------
+
+    def compile_operands(self, exprs: List) -> List[_Frag]:
+        """Compile ordered sibling operands; spill any operand followed
+        by a side-effecting sibling so evaluation order (reads included)
+        matches the interpreter's strict left-to-right semantics."""
+        impure_after = [False] * len(exprs)
+        flag = False
+        for index in range(len(exprs) - 1, -1, -1):
+            impure_after[index] = flag
+            flag = flag or _has_side_effects(exprs[index])
+        frags = []
+        for index, expr in enumerate(exprs):
+            frag = self.compile_expr(expr)
+            if impure_after[index]:
+                frag = self.spill(frag)
+            frags.append(frag)
+        return frags
+
+    def compile_expr(self, expr, want: bool = True) -> _Frag:
+        kind = expr[0]
+        self.pending += 1  # every evaluated AST node counts one op
+        if kind == "num" or kind == "str":
+            return _Frag(repr(expr[1]), const=True, value=expr[1])
+        if kind == "var":
+            return self._compile_var_read(expr[1])
+        if kind == "mbl":
+            return self.spill(_Frag(f"_rm({expr[1]!r})"))
+        if kind == "bin":
+            return self._compile_bin(expr)
+        if kind == "un":
+            return self._compile_un(expr)
+        if kind == "ternary":
+            return self._compile_ternary(expr)
+        if kind == "index":
+            container, index = self.compile_operands([expr[1], expr[2]])
+            return _Frag(f"_index_read({container.code}, {index.code})")
+        if kind == "assign":
+            return self._compile_assign(expr, want)
+        if kind in ("preinc", "postinc"):
+            return self._compile_incdec(expr)
+        if kind == "call":
+            return self._compile_call(expr)
+        if kind == "method":
+            return self._compile_method(expr)
+        raise ReactionError(f"unknown expression kind {kind!r}")
+
+    def _compile_var_read(self, name: str) -> _Frag:
+        binding = self._lookup(name)
+        if binding is None:
+            return _Frag(f"{self._free_reader(name)}()")
+        if binding[0] == "local":
+            return _Frag(binding[1])
+        return _Frag(f"{binding[1]}.value")
+
+    def _compile_bin(self, expr) -> _Frag:
+        _, op, left_expr, right_expr = expr
+        if op in ("&&", "||"):
+            left = self.compile_expr(left_expr)
+            self.flush()
+            temp = self._fresh("t")
+            if op == "&&":
+                self.emit(f"if {left.code}:")
+                self.depth += 1
+                right = self.compile_expr(right_expr)
+                self.flush()
+                self.emit(f"{temp} = 1 if {right.code} else 0")
+                self.depth -= 1
+                self.emit("else:")
+                self.emit(f"    {temp} = 0")
+            else:
+                self.emit(f"if {left.code}:")
+                self.emit(f"    {temp} = 1")
+                self.emit("else:")
+                self.depth += 1
+                right = self.compile_expr(right_expr)
+                self.flush()
+                self.emit(f"{temp} = 1 if {right.code} else 0")
+                self.depth -= 1
+            return _Frag(temp)
+        left, right = self.compile_operands([left_expr, right_expr])
+        return self._binop_code(op, left, right)
+
+    def _compile_un(self, expr) -> _Frag:
+        _, op, operand_expr = expr
+        operand = self.compile_expr(operand_expr)
+        if op == "+":
+            return operand  # the interpreter returns the operand as-is
+        if operand.const:
+            try:
+                value = {
+                    "!": lambda: 0 if operand.value else 1,
+                    "~": lambda: ~operand.value,
+                    "-": lambda: -operand.value,
+                }[op]()
+                return _Frag(repr(value), const=True, value=value)
+            except Exception:
+                pass
+        if op == "!":
+            return _Frag(f"(0 if {operand.code} else 1)")
+        return _Frag(f"({op}{operand.code})")
+
+    def _compile_ternary(self, expr) -> _Frag:
+        _, cond_expr, then_expr, else_expr = expr
+        cond = self.compile_expr(cond_expr)
+        self.flush()
+        temp = self._fresh("t")
+        self.emit(f"if {cond.code}:")
+        self.depth += 1
+        then = self.compile_expr(then_expr)
+        self.flush()
+        self.emit(f"{temp} = {then.code}")
+        self.depth -= 1
+        self.emit("else:")
+        self.depth += 1
+        other = self.compile_expr(else_expr)
+        self.flush()
+        self.emit(f"{temp} = {other.code}")
+        self.depth -= 1
+        return _Frag(temp)
+
+    def _compile_call(self, expr) -> _Frag:
+        _, name, arg_exprs = expr
+        cell = self._fn_cell(name)
+        args = [self.spill(frag) for frag in self.compile_operands(arg_exprs)]
+        self.emit(f"if {cell} is None:")
+        self.emit(f"    _no_fn({name!r})")
+        temp = self._fresh("t")
+        arg_list = ", ".join(frag.code for frag in args)
+        self.emit(f"{temp} = {cell}({arg_list})")
+        return _Frag(temp)
+
+    def _compile_method(self, expr) -> _Frag:
+        _, table, method, arg_exprs = expr
+        handle = self._table_cell(table)
+        bound = self._method_cell(table, method)
+        # The interpreter checks table presence *before* evaluating
+        # args, method presence *after*.
+        self.emit(f"if {handle} is _MISSING:")
+        self.emit(f"    _no_table({table!r})")
+        args = [self.spill(frag) for frag in self.compile_operands(arg_exprs)]
+        self.emit(f"if {bound} is None:")
+        self.emit(f"    _no_method({table!r}, {method!r})")
+        temp = self._fresh("t")
+        arg_list = ", ".join(frag.code for frag in args)
+        self.emit(f"{temp} = {bound}({arg_list})")
+        return _Frag(temp)
+
+    # ---- assignment family ----------------------------------------------
+
+    def _emit_scalar_store(self, binding, value_code: str) -> None:
+        if binding[0] == "local":
+            self.emit(f"{binding[1]} = {value_code}")
+        else:
+            self.emit(f"{binding[1]}.value = {value_code}")
+
+    def _compile_assign(self, expr, want: bool) -> _Frag:
+        _, op, target, value_expr = expr
+        tkind = target[0]
+        if op == "=":
+            return self._compile_simple_assign(target, value_expr, want)
+        # Compound: value, then full target read, then the interpreter's
+        # two synthetic num wrappers, then the store (index targets
+        # re-evaluate their subexpressions, side effects included).
+        value = self.compile_expr(value_expr)
+        if tkind != "mbl" and (
+            _has_side_effects(target) or not value.const
+        ):
+            value = self.spill(value)
+        delta_op = op[:-1]
+        if tkind == "var":
+            self.pending += 1
+            binding = self._lookup(target[1])
+            if binding is None:
+                current = self.spill(
+                    _Frag(f"{self._free_reader(target[1])}()")
+                )
+                self.pending += 2
+                result = self.spill(
+                    self._binop_code(delta_op, current, value)
+                )
+                self.emit(f"_bad_store({target[1]!r})")
+                return result
+            current = self.spill(self._compile_var_read(target[1]))
+            self.pending += 2
+            result = self.spill(self._binop_code(delta_op, current, value))
+            ctype = binding[2]
+            self._emit_scalar_store(
+                binding, self._coerce_code(ctype, result)
+            )
+            return result
+        if tkind == "mbl":
+            value = self.spill(value)
+            self.pending += 1
+            current = self.spill(_Frag(f"_rm({target[1]!r})"))
+            self.pending += 2
+            result = self.spill(self._binop_code(delta_op, current, value))
+            self.emit(f"_wm({target[1]!r}, int({result.code}))")
+            return result
+        if tkind == "index":
+            self.pending += 1  # the index node of the target read
+            container, index = self.compile_operands(
+                [target[1], target[2]]
+            )
+            current = self.spill(
+                _Frag(f"_index_read({container.code}, {index.code})")
+            )
+            self.pending += 2
+            result = self.spill(self._binop_code(delta_op, current, value))
+            container2, index2 = self.compile_operands(
+                [target[1], target[2]]  # store re-evaluates, like _store
+            )
+            self.emit(
+                f"_index_store({container2.code}, {index2.code}, "
+                f"{result.code})"
+            )
+            return result
+        # e.g. `(a + b) += 1`: target evaluated then rejected.
+        self.compile_expr(target)
+        self.emit("_bad_target()")
+        return _Frag("None", const=True, value=None)
+
+    def _compile_simple_assign(self, target, value_expr, want: bool) -> _Frag:
+        tkind = target[0]
+        if tkind == "var":
+            binding = self._lookup(target[1])
+            value = self.compile_expr(value_expr)
+            if binding is None:
+                if not value.const:
+                    value = self.spill(value)
+                self.emit(f"_bad_store({target[1]!r})")
+                return value
+            if want and not value.const:
+                value = self.spill(value)
+            self._emit_scalar_store(
+                binding, self._coerce_code(binding[2], value)
+            )
+            return value
+        if tkind == "mbl":
+            value = self.compile_expr(value_expr)
+            if not value.const:
+                value = self.spill(value)
+            self.emit(f"_wm({target[1]!r}, int({value.code}))")
+            return value
+        if tkind == "index":
+            value = self.compile_expr(value_expr)
+            if _has_side_effects(target[1]) or _has_side_effects(target[2]):
+                value = self.spill(value)
+            container, index = self.compile_operands(
+                [target[1], target[2]]
+            )
+            if want and not value.const:
+                value = self.spill(value)
+            self.emit(
+                f"_index_store({container.code}, {index.code}, {value.code})"
+            )
+            return value
+        value = self.compile_expr(value_expr)
+        self.emit("_bad_target()")
+        return value
+
+    def _compile_incdec(self, expr) -> _Frag:
+        kind, target, delta = expr
+        tkind = target[0]
+        if tkind == "var":
+            self.pending += 1
+            binding = self._lookup(target[1])
+            if binding is None:
+                self.spill(_Frag(f"{self._free_reader(target[1])}()"))
+                self.emit(f"_bad_store({target[1]!r})")
+                return _Frag("None", const=True, value=None)
+            old = self.spill(self._compile_var_read(target[1]))
+            stored = _Frag(f"({old.code} + {delta})")
+            self._emit_scalar_store(
+                binding, self._coerce_code(binding[2], stored)
+            )
+            return stored if kind == "preinc" else old
+        if tkind == "mbl":
+            self.pending += 1
+            old = self.spill(_Frag(f"_rm({target[1]!r})"))
+            self.emit(f"_wm({target[1]!r}, int({old.code} + {delta}))")
+            return (
+                _Frag(f"({old.code} + {delta})") if kind == "preinc" else old
+            )
+        if tkind == "index":
+            self.pending += 1
+            container, index = self.compile_operands(
+                [target[1], target[2]]
+            )
+            old = self.spill(
+                _Frag(f"_index_read({container.code}, {index.code})")
+            )
+            container2, index2 = self.compile_operands(
+                [target[1], target[2]]
+            )
+            self.emit(
+                f"_index_store({container2.code}, {index2.code}, "
+                f"{old.code} + {delta})"
+            )
+            return (
+                _Frag(f"({old.code} + {delta})") if kind == "preinc" else old
+            )
+        self.compile_expr(target)
+        self.emit("_bad_target()")
+        return _Frag("None", const=True, value=None)
+
+    # ---- statements ------------------------------------------------------
+
+    def compile_statement(self, stmt) -> None:
+        kind = stmt[0]
+        if kind == "expr":
+            frag = self.compile_expr(stmt[1], want=False)
+            if not frag.const and not frag.code.isidentifier():
+                # Unreferenced but possibly raising (index read, division
+                # ...): evaluate for effect, discard the value.
+                self.emit(frag.code)
+        elif kind == "decl":
+            self._compile_decl(stmt)
+        elif kind == "block":
+            self.scopes.append({})
+            try:
+                for inner in stmt[1]:
+                    self.compile_statement(inner)
+            finally:
+                self.scopes.pop()
+        elif kind == "if":
+            self._compile_if(stmt)
+        elif kind == "for":
+            self._compile_for(stmt)
+        elif kind == "while":
+            self._compile_while(stmt)
+        elif kind == "return":
+            if stmt[1] is None:
+                self.flush()
+                self.emit("return (_ops, None)")
+            else:
+                frag = self.compile_expr(stmt[1])
+                self.flush()
+                self.emit(f"return (_ops, {frag.code})")
+        elif kind == "break":
+            self.flush()
+            if not self.loops:
+                self.emit(
+                    'raise ReactionError("break/continue outside a loop")'
+                )
+            else:
+                self.emit("break")
+        elif kind == "continue":
+            self._compile_continue()
+        else:  # pragma: no cover - parser emits only the kinds above
+            raise ReactionError(f"unknown statement kind {kind!r}")
+
+    def _compile_body(self, stmt) -> None:
+        """A branch/loop body position: compiled in its own scope (see
+        the bare-declaration divergence note in the module docstring)."""
+        mark = len(self.run_lines)
+        self.scopes.append({})
+        try:
+            self.compile_statement(stmt)
+        finally:
+            self.scopes.pop()
+        self.flush()
+        if len(self.run_lines) == mark:
+            self.emit("pass")
+
+    def _compile_if(self, stmt) -> None:
+        _, cond_expr, then_stmt, else_stmt = stmt
+        cond = self.compile_expr(cond_expr)
+        self.flush()
+        self.emit(f"if {cond.code}:")
+        self.depth += 1
+        self._compile_body(then_stmt)
+        self.depth -= 1
+        if else_stmt is not None:
+            self.emit("else:")
+            self.depth += 1
+            self._compile_body(else_stmt)
+            self.depth -= 1
+
+    def _compile_while(self, stmt) -> None:
+        _, cond_expr, body = stmt
+        self.flush()
+        self.emit("while True:")
+        self.depth += 1
+        cond = self.compile_expr(cond_expr)
+        self.flush()
+        self.emit(f"if not ({cond.code}):")
+        self.emit("    break")
+        self.loops.append(("while",))
+        try:
+            self._compile_body(body)
+        finally:
+            self.loops.pop()
+        self.depth -= 1
+
+    def _compile_for(self, stmt) -> None:
+        _, init, cond_expr, step, body = stmt
+        self.scopes.append({})
+        try:
+            if init is not None:
+                self.compile_statement(init)
+            self.flush()
+            self.emit("while True:")
+            self.depth += 1
+            if cond_expr is not None:
+                cond = self.compile_expr(cond_expr)
+                self.flush()
+                self.emit(f"if not ({cond.code}):")
+                self.emit("    break")
+            self.loops.append(("for", step, len(self.scopes)))
+            try:
+                self._compile_body(body)
+            finally:
+                self.loops.pop()
+            if step is not None:
+                self.compile_expr(step, want=False)
+            self.flush()
+            self.depth -= 1
+        finally:
+            self.scopes.pop()
+
+    def _compile_continue(self) -> None:
+        if not self.loops:
+            self.flush()
+            self.emit('raise ReactionError("break/continue outside a loop")')
+            return
+        loop = self.loops[-1]
+        if loop[0] == "for" and loop[1] is not None:
+            # The interpreter's for-continue still runs the step
+            # expression -- in the *loop's* scope (the body scope is
+            # popped before the step runs).
+            step, scope_depth = loop[1], loop[2]
+            saved = self.scopes[scope_depth:]
+            del self.scopes[scope_depth:]
+            try:
+                self.compile_expr(step, want=False)
+            finally:
+                self.scopes.extend(saved)
+        self.flush()
+        self.emit("continue")
+
+    # ---- declarations ----------------------------------------------------
+
+    def _compile_decl(self, stmt) -> None:
+        _, static, ctype, declarators = stmt
+        for name, array_size, init in declarators:
+            if static:
+                self._compile_static_decl(name, ctype, array_size, init)
+            else:
+                self._compile_local_decl(name, ctype, array_size, init)
+
+    def _compile_local_decl(self, name, ctype, array_size, init) -> None:
+        py_name = self._fresh("v")
+        if array_size is not None:
+            if init is not None and init[0] != "initlist":
+                self.emit(
+                    'raise ReactionError('
+                    '"array initializer must be a {...} list")'
+                )
+                return
+            self.emit(f"{py_name} = [0] * {array_size}")
+            if init is not None:
+                for position, item in enumerate(init[1][:array_size]):
+                    frag = self.compile_expr(item)
+                    # Array slots hold raw values (the interpreter
+                    # does not coerce array stores).
+                    self.emit(f"{py_name}[{position}] = {frag.code}")
+        elif init is not None:
+            if init[0] == "initlist":
+                self.emit(
+                    'raise ReactionError('
+                    '"scalar initializer cannot be a {...} list")'
+                )
+                return
+            frag = self.compile_expr(init)
+            self.emit(f"{py_name} = {self._coerce_code(ctype, frag)}")
+        else:
+            self.emit(
+                f"{py_name} = 0.0" if ctype in _FLOAT_TYPES
+                else f"{py_name} = 0"
+            )
+        self.scopes[-1][name] = ("local", py_name, ctype)
+
+    def _compile_static_decl(self, name, ctype, array_size, init) -> None:
+        cell = self._fresh("s")
+        key = f"{self.name}::{name}"
+        self.flush()
+        self.emit(f"{cell} = _statics.get({key!r})")
+        self.emit(f"if {cell} is None:")
+        self.depth += 1
+        mark = len(self.run_lines)
+        if array_size is not None:
+            if init is not None and init[0] != "initlist":
+                self.emit(
+                    'raise ReactionError('
+                    '"array initializer must be a {...} list")'
+                )
+            else:
+                self.emit(
+                    f"{cell} = _CVar([0] * {array_size}, {ctype!r})"
+                )
+                if init is not None:
+                    for position, item in enumerate(init[1][:array_size]):
+                        frag = self.compile_expr(item)
+                        self.emit(
+                            f"{cell}.value[{position}] = {frag.code}"
+                        )
+                self.emit(f"_statics[{key!r}] = {cell}")
+        elif init is not None and init[0] == "initlist":
+            self.emit(
+                'raise ReactionError('
+                '"scalar initializer cannot be a {...} list")'
+            )
+        else:
+            if init is not None:
+                frag = self.compile_expr(init)
+                value_code = self._coerce_code(ctype, frag)
+            else:
+                value_code = "0.0" if ctype in _FLOAT_TYPES else "0"
+            self.emit(f"{cell} = _CVar({value_code}, {ctype!r})")
+            self.emit(f"_statics[{key!r}] = {cell}")
+        self.flush()
+        if len(self.run_lines) == mark:  # pragma: no cover - defensive
+            self.emit("pass")
+        self.depth -= 1
+        self.scopes[-1][name] = ("static", cell, ctype)
+
+    # ---- assembly --------------------------------------------------------
+
+    def _build(self) -> str:
+        for stmt in self.body:
+            self.compile_statement(stmt)
+        self.flush()
+        self.emit("return (_ops, None)")
+        lines = [
+            "def __bind__(_env):",
+            "    _rm = _env.read_malleable",
+            "    _wm = _env.write_malleable",
+            "    _statics = _env.statics",
+        ]
+        lines.extend(self.bind_lines)
+        lines.append("    def __run__():")
+        lines.append("        _ops = 0")
+        lines.extend(self.run_lines)
+        lines.append("    return __run__")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Public API
+
+
+class CompiledReaction:
+    """Drop-in replacement for :class:`~repro.p4r.creaction.CReaction`
+    backed by an exec-compiled closure.
+
+    ``run(env)`` executes the body against a
+    :class:`~repro.p4r.creaction.ReactionEnv`, returns the value of an
+    executed ``return`` (or ``None``), and sets ``last_op_count`` to
+    the interpreter-identical expression count.  The closure is bound
+    lazily per environment object and rebound automatically whenever
+    ``run`` sees a different env (the agent allocates one persistent
+    env per reaction and invalidates it when handles change).
+    """
+
+    def __init__(self, source: str, name: str = "reaction"):
+        self.name = name
+        self.source = source
+        self.body = _CParser(source).parse_body()
+        self.last_op_count = 0
+        self.python_source = _Codegen(self.body, name).source
+        namespace = dict(_EXEC_GLOBALS)
+        exec(
+            compile(
+                self.python_source,
+                f"<compiled-reaction {name}>",
+                "exec",
+            ),
+            namespace,
+        )
+        self._bind_fn = namespace["__bind__"]
+        self._bound_env: Optional[ReactionEnv] = None
+        self._run_fn = None
+
+    def bind(self, env: ReactionEnv) -> None:
+        """Prefetch handles/externs/statics from ``env`` and build the
+        run closure.  Called automatically by :meth:`run`."""
+        self._run_fn = self._bind_fn(env)
+        self._bound_env = env
+
+    def run(self, env: ReactionEnv):
+        if env is not self._bound_env:
+            self.bind(env)
+        ops, value = self._run_fn()
+        self.last_op_count = ops
+        return value

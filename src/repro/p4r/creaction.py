@@ -44,11 +44,25 @@ _SIGNED_WIDTHS = {
     "int16_t": 16,
     "int32_t": 32,
     "int64_t": 64,
-    "int": 64,  # interpreted ints are arbitrary precision; no wrap
+    "int": 64,
     "long": 64,
 }
 _FLOAT_TYPES = {"float", "double"}
 TYPE_KEYWORDS = frozenset(_UNSIGNED_WIDTHS) | frozenset(_SIGNED_WIDTHS) | _FLOAT_TYPES
+
+# The single width-mask table shared by BOTH reaction engines (this
+# interpreter and the exec codegen in repro.p4r.compiled_reaction):
+# stores to a variable of type T apply TYPE_MASKS[T] when it is not
+# None.  Signed types -- including `int`/`long`, whose nominal widths
+# above exist only for layout accounting -- deliberately stay at
+# Python's arbitrary precision (no wrap on overflow); float types are
+# coerced with float() instead of a mask.  Any future change to
+# integer semantics must happen here so the engines cannot drift.
+TYPE_MASKS: Dict[str, Optional[int]] = {
+    ctype: (1 << width) - 1 for ctype, width in _UNSIGNED_WIDTHS.items()
+}
+TYPE_MASKS.update({ctype: None for ctype in _SIGNED_WIDTHS})
+TYPE_MASKS.update({ctype: None for ctype in _FLOAT_TYPES})
 
 
 class _CVar:
@@ -64,9 +78,9 @@ class _CVar:
         if self.ctype in _FLOAT_TYPES:
             return float(value)
         value = int(value)
-        width = _UNSIGNED_WIDTHS.get(self.ctype)
-        if width is not None:
-            return value & ((1 << width) - 1)
+        mask = TYPE_MASKS[self.ctype]
+        if mask is not None:
+            return value & mask
         return value
 
 

@@ -410,6 +410,38 @@ class Driver:
             "table_read", table, device_cost, memo, channel, apply=apply
         )
 
+    def read_entry(
+        self,
+        table: str,
+        entry_id: int,
+        memo: Optional[MemoHandle] = None,
+        channel: str = "mantis",
+    ) -> Optional[Tuple[int, Tuple[KeyPart, ...], str, List[int], int]]:
+        """Read back one installed entry by id (or None if absent).
+
+        The dirty-diff commit path verifies only the entries it wrote;
+        this costs a single-entry read instead of a whole-table dump.
+        """
+        memo = self._use_memo(memo, "table", table)
+        runtime = self.asic.get_table(table)
+
+        def apply():
+            entry = runtime.entries.get(entry_id)
+            if entry is None:
+                return None
+            return (
+                entry.entry_id,
+                tuple(entry.key),
+                entry.action_name,
+                list(entry.action_args),
+                entry.priority,
+            )
+
+        return self._execute(
+            "table_read", table, self.model.table_read_cost(1), memo, channel,
+            apply=apply,
+        )
+
     def read_default(
         self,
         table: str,

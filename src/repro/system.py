@@ -48,6 +48,9 @@ class MantisSystem:
         fault_plan=None,
         verify_commits: bool = False,
         poll_batching: bool = False,
+        reaction_engine: Optional[str] = None,
+        commit_mode: str = "diff",
+        delta_polling: bool = False,
     ):
         self.artifacts = artifacts
         self.clock = clock or SimClock()
@@ -70,6 +73,8 @@ class MantisSystem:
         self.agent = MantisAgent(
             artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
             verify_commits=verify_commits, poll_batching=poll_batching,
+            reaction_engine=reaction_engine, commit_mode=commit_mode,
+            delta_polling=delta_polling,
         )
 
     def process_batch(self, packets, times=None, sink=None):

@@ -1,0 +1,163 @@
+"""The driver op-count predictors must match what the agent actually
+issues, per dialogue iteration, in every commit/poll configuration.
+
+A three-malleable program compiled with ``max_init_action_params=3``
+pins the init-table layout: the master table carries (vv, mv, a) and
+``b`` and ``c`` each land in their own shadow table.  The reaction
+rewrites ``a`` with its own value (deduplicated by dirty-diff) and
+increments ``b`` every iteration (exactly one dirty shadow), so the
+expected op counts are knowable in closed form and
+``predict_iteration_ops`` is checked against measured
+``Driver.ops_issued`` deltas -- not against timings.
+"""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    predict_commit_ops,
+    predict_iteration_ops,
+    predict_mv_flip_ops,
+    predict_poll_ops,
+)
+from repro.compiler.transform import CompilerOptions
+from repro.system import MantisSystem
+
+MINI_P4R = """
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header ethernet_t ethernet;
+parser start { extract(ethernet); return ingress; }
+
+register r { width : 32; instance_count : 1; }
+
+malleable value a { width : 32; init : 1; }
+malleable value b { width : 32; init : 2; }
+malleable value c { width : 32; init : 3; }
+
+action nop_a() { no_op(); }
+table passthru {
+    actions { nop_a; }
+    default_action : nop_a();
+}
+control ingress { apply(passthru); }
+
+reaction step(reg r[0:0]) {
+    ${a} = ${a};
+    ${b} = ${b} + 1;
+    return ${b};
+}
+"""
+
+
+def build(**kwargs):
+    system = MantisSystem.from_source(
+        MINI_P4R,
+        options=CompilerOptions(max_init_action_params=3),
+        num_ports=4,
+        **kwargs,
+    )
+    system.agent.prologue()
+    return system
+
+
+def measured_ops_per_iteration(system, iterations=5):
+    """Steady-state driver ops per dialogue iteration (the first
+    iteration is discarded: delta polling always misses it)."""
+    system.agent.run_iteration()
+    deltas = []
+    for _ in range(iterations):
+        before = system.driver.ops_issued
+        system.agent.run_iteration()
+        deltas.append(system.driver.ops_issued - before)
+    assert len(set(deltas)) == 1, f"iterations not steady: {deltas}"
+    return deltas[0]
+
+
+def test_layout_assumption_one_master_two_shadows():
+    system = build()
+    inits = system.spec.init_tables
+    assert sum(1 for t in inits if t.master) == 1
+    assert sum(1 for t in inits if not t.master) == 2
+
+
+def test_diff_commit_ops_match_predictor():
+    system = build(commit_mode="diff")
+    predicted = predict_iteration_ops(
+        system.spec, commit_mode="diff", dirty_shadows=1
+    )
+    assert measured_ops_per_iteration(system) == predicted
+    # Closed form: 1 mv flip + 2 poll (ts+dup) + 3 commit
+    # (1 prepare + 1 vv flip + 1 mirror).
+    assert predicted == 6
+
+
+def test_full_commit_ops_match_predictor():
+    system = build(commit_mode="full")
+    predicted = predict_iteration_ops(
+        system.spec, commit_mode="full", dirty_shadows=1
+    )
+    assert measured_ops_per_iteration(system) == predicted
+    # Both shadows rewritten although only one changed.
+    assert predicted == 8
+
+
+def test_diff_commits_issue_fewer_ops_than_full():
+    diff = measured_ops_per_iteration(build(commit_mode="diff"))
+    full = measured_ops_per_iteration(build(commit_mode="full"))
+    assert diff < full
+
+
+def test_verified_diff_commit_ops_match_predictor():
+    system = build(commit_mode="diff", verify_commits=True)
+    predicted = predict_iteration_ops(
+        system.spec, commit_mode="diff", dirty_shadows=1, verify_commits=True
+    )
+    assert measured_ops_per_iteration(system) == predicted
+
+
+def test_delta_polling_ops_match_predictor():
+    system = build(commit_mode="diff", delta_polling=True)
+    # No data-plane traffic: after the first poll the seq register
+    # never advances, so every steady-state poll is a delta hit.
+    predicted = predict_iteration_ops(
+        system.spec, commit_mode="diff", dirty_shadows=1,
+        delta_polling=True, delta_hits=1,
+    )
+    assert measured_ops_per_iteration(system) == predicted
+    baseline = predict_iteration_ops(
+        system.spec, commit_mode="diff", dirty_shadows=1
+    )
+    assert predicted < baseline
+
+
+def test_delta_polling_miss_pays_the_seq_read():
+    spec = build().spec
+    miss = predict_poll_ops(spec, "step", delta_polling=True, delta_hits=0)
+    plain = predict_poll_ops(spec, "step")
+    hit = predict_poll_ops(spec, "step", delta_polling=True, delta_hits=1)
+    assert miss == plain + 1
+    assert hit == plain - 1
+
+
+def test_component_predictors_sum_to_iteration():
+    spec = build().spec
+    total = predict_iteration_ops(spec, commit_mode="diff", dirty_shadows=1)
+    parts = (
+        predict_mv_flip_ops()
+        + predict_poll_ops(spec, "step")
+        + predict_commit_ops(spec, commit_mode="diff", dirty_shadows=1)
+    )
+    assert total == parts
+
+
+@pytest.mark.parametrize("mode,expected_hit_rate", [("diff", 0.5)])
+def test_dirty_diff_hit_rate_reported(mode, expected_hit_rate):
+    """Of the two malleable writes per iteration, the self-assignment
+    of ``a`` is always deduplicated and the ``b`` increment never is."""
+    system = build(commit_mode=mode)
+    for _ in range(6):
+        system.agent.run_iteration()
+    health = system.agent.health()
+    assert health.commit_mode == mode
+    assert health.dirty_diff_hit_rate == pytest.approx(expected_hit_rate)
