@@ -1,13 +1,17 @@
-"""Fast-path microbenchmark: interpreter vs compiled vs batch.
+"""Fast-path microbenchmark: interpreter vs compiled vs batch vs
+columnar.
 
 Pumps the Figure 15 DoS data-plane workload (blocklist, accounting
 with register read-modify-write, exact routing -- as compiled from
 P4R by the Mantis compiler) through ``SwitchAsic.process`` under both
 execution modes, then through the burst-mode ``process_batch`` path
-(pooled packets, op-major sweeps, fused actions), and asserts the
-compiled engine is at least 3x the interpreter's packet rate and the
-batch path at least 2x the compiled per-packet rate.  All numbers
-land in a JSON artifact so the speedups are tracked across PRs.
+(pooled packets, op-major sweeps, fused actions), then through the
+columnar struct-of-arrays sweep (``process_batch_columnar`` over a
+``ColumnarPool``, best of the batch-size sweep), and asserts the
+compiled engine is at least 3x the interpreter's packet rate, the
+batch path at least 2x the compiled per-packet rate, and the columnar
+path at least 5x the batch rate.  All numbers land in a JSON artifact
+so the speedups are tracked across PRs.
 """
 
 from __future__ import annotations
@@ -18,11 +22,16 @@ from repro.fastbench import run_fastpath_benchmark
 N_PACKETS = 12_000
 MIN_SPEEDUP = 3.0
 MIN_BATCH_SPEEDUP = 2.0
+MIN_COLUMNAR_SPEEDUP = 5.0
 
 
 def test_fastpath_speedup(bench_once, bench_json_path):
     result = bench_once(run_fastpath_benchmark, n_packets=N_PACKETS)
 
+    columnar_rows = [
+        [f"columnar (x{size})", f"{pps:,.0f}", ""]
+        for size, pps in result["columnar_pps_by_batch"].items()
+    ]
     report(
         "Fast path speedup (Figure 15 DoS workload)",
         ["engine", "pkt/s", "elapsed (s)"],
@@ -34,9 +43,12 @@ def test_fastpath_speedup(bench_once, bench_json_path):
             [f"batch (x{result['batch_size']})",
              f"{result['batch_pps']:,.0f}",
              f"{result['batch_elapsed_sec']:.4f}"],
+        ] + columnar_rows + [
             ["speedup", f"{result['speedup']:.2f}x", ""],
             ["batch speedup", f"{result['batch_speedup_vs_compiled']:.2f}x",
              ""],
+            ["columnar speedup",
+             f"{result['columnar_speedup_vs_batch']:.2f}x", ""],
         ],
     )
     report_json(result, bench_json_path, name="fastpath_speedup")
@@ -50,4 +62,11 @@ def test_fastpath_speedup(bench_once, bench_json_path):
     assert result["batch_speedup_vs_compiled"] >= MIN_BATCH_SPEEDUP, (
         f"batch path only {result['batch_speedup_vs_compiled']:.2f}x over "
         f"compiled per-packet (target {MIN_BATCH_SPEEDUP}x): {result}"
+    )
+    # The DoS ingress is fully op-major-admissible, so no lane may fall
+    # back: a nonempty fallback map means the lowering regressed.
+    assert not result["columnar_fallbacks"], result["columnar_fallbacks"]
+    assert result["columnar_speedup_vs_batch"] >= MIN_COLUMNAR_SPEEDUP, (
+        f"columnar path only {result['columnar_speedup_vs_batch']:.2f}x "
+        f"over batch (target {MIN_COLUMNAR_SPEEDUP}x): {result}"
     )

@@ -17,6 +17,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.apps.dos import DOS_P4R, DosMitigationApp
+from repro.switch.columnar import ColumnarPool
 from repro.switch.packet import Packet, PacketPool, PacketTemplate
 from repro.system import MantisSystem
 
@@ -24,6 +25,7 @@ DST_ADDR = 0x0A00FFFF
 ATTACKER_ADDR = 0x0AFF0001
 DST_PORT = 1
 DEFAULT_BATCH_SIZE = 256
+COLUMNAR_SWEEP_SIZES = (256, 1024, 4096)
 
 
 def build_dos_system(
@@ -110,6 +112,36 @@ def measure_batch_mode(
     }
 
 
+def measure_columnar_mode(
+    workload: List[Dict[str, int]],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    warmup: int = 200,
+) -> Dict[str, object]:
+    """Pump the workload through ``SwitchAsic.process_batch_columnar``
+    on the columnar engine: templates become a :class:`ColumnarPool`
+    (one numpy array per field, built outside the timed region), and
+    each timed call slices one struct-of-arrays batch and runs the
+    vectorized op-major sweeps with no Packet materialization."""
+    app = build_dos_system("columnar")
+    asic = app.system.asic
+    process = asic.process_batch_columnar
+    templates = [
+        PacketTemplate(fields, size_bytes=1500) for fields in workload
+    ]
+    pool = ColumnarPool(templates)
+    for start in range(0, min(warmup, len(templates)), batch_size):
+        process(pool.batch(start, start + batch_size))
+    begin = time.perf_counter()
+    for start in range(0, len(templates), batch_size):
+        process(pool.batch(start, start + batch_size))
+    elapsed = time.perf_counter() - begin
+    return {
+        "packets_per_sec": len(workload) / elapsed if elapsed else float("inf"),
+        "elapsed_sec": elapsed,
+        "fallbacks": dict(asic.executor.fallback_counts),
+    }
+
+
 def profile_fastpath(
     n_packets: int = 2_000, iterations: int = 50
 ) -> Dict[str, object]:
@@ -149,37 +181,73 @@ def run_fastpath_benchmark(
     json_path: Optional[str] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     profile: bool = False,
+    engine: str = "all",
 ) -> Dict[str, object]:
-    """Measure all three paths (interpreter, compiled per-packet,
-    compiled batch) on the same workload; optionally persist the JSON
-    artifact.  Returns the result payload."""
+    """Measure all four paths (interpreter, compiled per-packet,
+    compiled batch, columnar) on the same workload; optionally persist
+    the JSON artifact.  The columnar engine runs a batch-size sweep
+    (``COLUMNAR_SWEEP_SIZES`` capped at the workload size) and reports
+    the best point as ``columnar_pps``.  ``engine="columnar"`` skips
+    the per-packet engines and measures only the batch baseline plus
+    the columnar sweep (the quick-iteration path; the full artifact
+    needs ``engine="all"``).  Returns the result payload."""
+    if engine not in ("all", "columnar"):
+        raise ValueError(f"unknown engine {engine!r}")
     workload = make_workload(n_packets)
-    interpreter = measure_mode("interpreter", workload)
-    compiled = measure_mode("compiled", workload)
+    full = engine == "all"
+    if full:
+        interpreter = measure_mode("interpreter", workload)
+        compiled = measure_mode("compiled", workload)
     batch = measure_batch_mode(workload, batch_size=batch_size)
-    speedup = (
-        compiled["packets_per_sec"] / interpreter["packets_per_sec"]
-        if interpreter["packets_per_sec"]
-        else float("inf")
+    sweep_sizes = sorted(
+        {min(size, max(n_packets, 1)) for size in COLUMNAR_SWEEP_SIZES}
     )
-    batch_speedup = (
-        batch["packets_per_sec"] / compiled["packets_per_sec"]
-        if compiled["packets_per_sec"]
+    columnar_sweep = {
+        size: measure_columnar_mode(workload, batch_size=size)
+        for size in sweep_sizes
+    }
+    columnar = max(
+        columnar_sweep.values(), key=lambda r: r["packets_per_sec"]
+    )
+    columnar_speedup = (
+        columnar["packets_per_sec"] / batch["packets_per_sec"]
+        if batch["packets_per_sec"]
         else float("inf")
     )
     payload: Dict[str, object] = {
         "workload": "figure15-dos",
         "packets": n_packets,
         "batch_size": batch_size,
-        "interpreter_pps": round(interpreter["packets_per_sec"], 1),
-        "compiled_pps": round(compiled["packets_per_sec"], 1),
         "batch_pps": round(batch["packets_per_sec"], 1),
-        "interpreter_elapsed_sec": round(interpreter["elapsed_sec"], 6),
-        "compiled_elapsed_sec": round(compiled["elapsed_sec"], 6),
+        "columnar_pps": round(columnar["packets_per_sec"], 1),
+        "columnar_pps_by_batch": {
+            str(size): round(result["packets_per_sec"], 1)
+            for size, result in columnar_sweep.items()
+        },
+        "columnar_fallbacks": columnar["fallbacks"],
         "batch_elapsed_sec": round(batch["elapsed_sec"], 6),
-        "speedup": round(speedup, 3),
-        "batch_speedup_vs_compiled": round(batch_speedup, 3),
+        "columnar_elapsed_sec": round(columnar["elapsed_sec"], 6),
+        "columnar_speedup_vs_batch": round(columnar_speedup, 3),
     }
+    if full:
+        speedup = (
+            compiled["packets_per_sec"] / interpreter["packets_per_sec"]
+            if interpreter["packets_per_sec"]
+            else float("inf")
+        )
+        batch_speedup = (
+            batch["packets_per_sec"] / compiled["packets_per_sec"]
+            if compiled["packets_per_sec"]
+            else float("inf")
+        )
+        payload.update(
+            interpreter_pps=round(interpreter["packets_per_sec"], 1),
+            compiled_pps=round(compiled["packets_per_sec"], 1),
+            interpreter_elapsed_sec=round(interpreter["elapsed_sec"], 6),
+            compiled_elapsed_sec=round(compiled["elapsed_sec"], 6),
+            speedup=round(speedup, 3),
+            batch_speedup_vs_compiled=round(batch_speedup, 3),
+        )
     if profile:
         payload["profile"] = profile_fastpath()
     if json_path:

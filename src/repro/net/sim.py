@@ -284,6 +284,10 @@ class FabricSwitch:
         self._enqueue(egress_port, packet, now)
 
     def _ingress_burst(self, packets: List[Packet], times: List[float]) -> None:
+        # The sink keeps queue accounting causal (packet i enqueued
+        # before i+1 reads depths), which also pins the columnar engine
+        # to its scalar traffic-manager tail: vectorized ingress sweeps
+        # still run, only the per-packet delivery loop stays scalar.
         def sink(index: int, result) -> None:
             if result is None:
                 self.switch_drops += 1

@@ -24,6 +24,12 @@ from repro.errors import SwitchError
 from repro.p4 import ast
 from repro.p4.validate import validate_program
 from repro.switch.clock import SimClock
+from repro.switch import columnar as columnar_engine
+from repro.switch.columnar import (
+    ColumnarBatch,
+    ColumnarPipeline,
+    ColumnarResult,
+)
 from repro.switch.compiled import CompiledPipeline, PipelineProfile
 from repro.switch.packet import Packet, STANDARD_METADATA_FIELDS
 from repro.switch.pipeline import PipelineExecutor
@@ -44,11 +50,13 @@ STANDARD_METADATA_P4 = (
 MAX_RECIRCULATIONS = 4
 
 # Execution-engine selection: "compiled" (closure fast path, the
-# default) or "interpreter" (the reference tree-walker).  The env var
-# is read only when no constructor argument is given, so tests can pin
-# a mode per-ASIC while operators flip the whole process.
+# default), "interpreter" (the reference tree-walker), or "columnar"
+# (numpy struct-of-arrays batch engine; scalar paths fall back to the
+# compiled closures).  The env var is read only when no constructor
+# argument is given, so tests can pin a mode per-ASIC while operators
+# flip the whole process.
 EXECUTION_MODE_ENV = "MANTIS_PIPELINE"
-EXECUTION_MODES = ("compiled", "interpreter")
+EXECUTION_MODES = ("compiled", "interpreter", "columnar")
 
 
 @dataclass
@@ -65,13 +73,23 @@ class BatchStats:
 
     ``fused`` counts packets fully handled by the single-pass fast
     loop; ``slow_path`` counts packets that fell back to the generic
-    pass-by-pass loop (recirculation, or the reference engine).
+    pass-by-pass loop (recirculation, a scalar table fallback, or the
+    reference engine).  ``packets == fused + slow_path`` always holds,
+    including on error paths.
+
+    ``columnar`` counts packets that entered the columnar engine's
+    vectorized sweeps; of those, ``columnar_fallback`` needed scalar
+    assistance for at least one table, lane, or recirculation pass
+    (per-reason detail lives in
+    :attr:`ColumnarPipeline.fallback_counts`).
     """
 
     batches: int = 0
     packets: int = 0
     fused: int = 0
     slow_path: int = 0
+    columnar: int = 0
+    columnar_fallback: int = 0
 
 
 # A packet's processing outcome: (egress_port, packet) or None if dropped.
@@ -155,11 +173,12 @@ class SwitchAsic:
         self._rng = rng
         self._seed = seed
         self.interpreter = PipelineExecutor(self, seed=seed, rng=rng)
-        self.executor = (
-            CompiledPipeline(self, rng=rng)
-            if execution_mode == "compiled"
-            else self.interpreter
-        )
+        if execution_mode == "compiled":
+            self.executor = CompiledPipeline(self, rng=rng)
+        elif execution_mode == "columnar":
+            self.executor = ColumnarPipeline(self, rng=rng)
+        else:
+            self.executor = self.interpreter
         self.packets_processed = 0
         self.packets_dropped = 0
         # Total pipeline passes, including recirculations: the unit of
@@ -232,12 +251,17 @@ class SwitchAsic:
         and action execution, so it is opt-in.  The engine is rebuilt
         around the *same* RNG object, keeping the packet-visible random
         stream unchanged by profiling."""
-        if self.execution_mode != "compiled":
+        if self.execution_mode not in ("compiled", "columnar"):
             raise SwitchError(
-                "hot-loop profiling requires the compiled engine"
+                "hot-loop profiling requires the compiled or columnar engine"
             )
         profile = PipelineProfile()
-        self.executor = CompiledPipeline(self, rng=self._rng, profile=profile)
+        engine = (
+            ColumnarPipeline
+            if self.execution_mode == "columnar"
+            else CompiledPipeline
+        )
+        self.executor = engine(self, rng=self._rng, profile=profile)
         self.profile = profile
         return profile
 
@@ -353,6 +377,15 @@ class SwitchAsic:
         get_plan = getattr(executor, "batch_ops", None)
         if get_plan is None:
             return self._batch_reference(packets, times, sink)
+        get_columnar = getattr(executor, "columnar_ops", None)
+        if get_columnar is not None:
+            sweeps = get_columnar("ingress")
+            if sweeps is not None:
+                executor.begin_batch()
+                batch = ColumnarBatch.from_packets(
+                    packets if isinstance(packets, list) else list(packets)
+                )
+                return self._batch_columnar(batch, times, sink, sweeps, True)
         get_major = getattr(executor, "batch_major_ops", None)
         if get_major is not None:
             major_ops = get_major("ingress")
@@ -386,10 +419,16 @@ class SwitchAsic:
         fused = 0
         slow = 0
         drop_key = "standard_metadata.drop_flag"
+        accounted = True
         try:
             for index, packet in enumerate(packets):
                 processed += 1
                 passes += 1
+                # Until this lane lands in ``fused`` or ``slow``, an
+                # engine error (e.g. out-of-range egress_spec) must
+                # still bucket it so packets == fused + slow_path
+                # survives the partial-batch counter flush below.
+                accounted = False
                 fields = packet.fields
                 if shared_ts is None:
                     t_now = times[index]
@@ -405,6 +444,7 @@ class SwitchAsic:
                 if fields[drop_key]:
                     dropped += 1
                     fused += 1
+                    accounted = True
                     append(None)
                     if sink is not None:
                         sink(index, None)
@@ -429,12 +469,14 @@ class SwitchAsic:
                 if fields[drop_key]:
                     dropped += 1
                     fused += 1
+                    accounted = True
                     append(None)
                     if sink is not None:
                         sink(index, None)
                     continue
                 if fields["standard_metadata.recirculate_flag"]:
                     slow += 1
+                    accounted = True
                     extra, result = self._recirculate(packet, t_now, ts)
                     passes += extra
                     if result is None:
@@ -444,6 +486,7 @@ class SwitchAsic:
                         sink(index, result)
                     continue
                 fused += 1
+                accounted = True
                 port = ports[port_id]
                 port.tx_packets += 1
                 port.tx_bytes += packet.size_bytes
@@ -451,6 +494,10 @@ class SwitchAsic:
                 append(result)
                 if sink is not None:
                     sink(index, result)
+        except SwitchError:
+            if not accounted:
+                slow += 1
+            raise
         finally:
             self.packets_processed += processed
             self.pipeline_passes += passes
@@ -509,65 +556,93 @@ class SwitchAsic:
         slow = 0
         drop_key = "standard_metadata.drop_flag"
         try:
-            for batch_op in ingress_ops:
-                batch_op(batch)
-            for index, packet in enumerate(batch):
-                fields = packet.fields
-                if stamps is None:
-                    t_now = clock_now
-                    ts = shared_ts
-                else:
-                    t_now = times[index]
-                    ts = stamps[index]
-                if fields[drop_key]:
-                    dropped += 1
-                    fused += 1
-                    append(None)
-                    if sink is not None:
-                        sink(index, None)
-                    continue
-                port_id = fields["standard_metadata.egress_spec"]
-                if not 0 <= port_id < num_ports:
-                    raise SwitchError(
-                        f"egress_spec {port_id} out of range"
-                    )
-                fields["standard_metadata.egress_port"] = port_id
-                if queue_model is not None:
-                    depth = queue_model(port_id, t_now)
-                else:
-                    depth = ports[port_id].queue_depth
-                fields["standard_metadata.enq_qdepth"] = depth
-                fields["standard_metadata.deq_qdepth"] = depth
-                fields["standard_metadata.egress_global_timestamp"] = ts
-                for op in egress_ops:
+            try:
+                for batch_op in ingress_ops:
+                    batch_op(batch)
+            except SwitchError:
+                # Every lane was mid-sweep; bucket them all so
+                # packets == fused + slow_path holds in the flush.
+                slow += len(batch)
+                raise
+            index = -1
+            accounted = True
+            try:
+                for index, packet in enumerate(batch):
+                    accounted = False
+                    fields = packet.fields
+                    if stamps is None:
+                        t_now = clock_now
+                        ts = shared_ts
+                    else:
+                        t_now = times[index]
+                        ts = stamps[index]
                     if fields[drop_key]:
-                        break
-                    op(packet)
-                if fields[drop_key]:
-                    dropped += 1
-                    fused += 1
-                    append(None)
-                    if sink is not None:
-                        sink(index, None)
-                    continue
-                if fields["standard_metadata.recirculate_flag"]:
-                    slow += 1
-                    extra, result = self._recirculate(packet, t_now, ts)
-                    passes += extra
-                    if result is None:
                         dropped += 1
+                        fused += 1
+                        accounted = True
+                        append(None)
+                        if sink is not None:
+                            sink(index, None)
+                        continue
+                    port_id = fields["standard_metadata.egress_spec"]
+                    if not 0 <= port_id < num_ports:
+                        raise SwitchError(
+                            f"egress_spec {port_id} out of range"
+                        )
+                    fields["standard_metadata.egress_port"] = port_id
+                    if queue_model is not None:
+                        depth = queue_model(port_id, t_now)
+                    else:
+                        depth = ports[port_id].queue_depth
+                    fields["standard_metadata.enq_qdepth"] = depth
+                    fields["standard_metadata.deq_qdepth"] = depth
+                    fields["standard_metadata.egress_global_timestamp"] = ts
+                    for op in egress_ops:
+                        if fields[drop_key]:
+                            break
+                        op(packet)
+                    if fields[drop_key]:
+                        dropped += 1
+                        fused += 1
+                        accounted = True
+                        append(None)
+                        if sink is not None:
+                            sink(index, None)
+                        continue
+                    if fields["standard_metadata.recirculate_flag"]:
+                        slow += 1
+                        accounted = True
+                        extra, result = self._recirculate(packet, t_now, ts)
+                        passes += extra
+                        if result is None:
+                            dropped += 1
+                        append(result)
+                        if sink is not None:
+                            sink(index, result)
+                        continue
+                    fused += 1
+                    accounted = True
+                    port = ports[port_id]
+                    port.tx_packets += 1
+                    port.tx_bytes += packet.size_bytes
+                    result = (port_id, packet)
                     append(result)
                     if sink is not None:
                         sink(index, result)
-                    continue
-                fused += 1
-                port = ports[port_id]
-                port.tx_packets += 1
-                port.tx_bytes += packet.size_bytes
-                result = (port_id, packet)
-                append(result)
-                if sink is not None:
-                    sink(index, result)
+            except SwitchError:
+                # The failing lane plus every unreached lane was
+                # already counted in ``processed`` up front: bucket
+                # the failing lane as slow, finished-by-ingress drops
+                # as fused, and the rest as slow.
+                if not accounted:
+                    slow += 1
+                for later in batch[index + 1:]:
+                    if later.fields[drop_key]:
+                        dropped += 1
+                        fused += 1
+                    else:
+                        slow += 1
+                raise
         finally:
             self.packets_processed += processed
             self.pipeline_passes += passes
@@ -578,6 +653,305 @@ class SwitchAsic:
             stats.fused += fused
             stats.slow_path += slow
         return results
+
+    def process_batch_columnar(
+        self,
+        batch: ColumnarBatch,
+        times: Optional[Sequence[float]] = None,
+    ) -> ColumnarResult:
+        """Native columnar entry: run a (typically pool-backed) batch
+        and return per-lane egress ports without materializing
+        ``Packet`` objects -- the benchmark fast path.  Requires the
+        columnar engine with an op-major-admissible program; use
+        :meth:`process_batch` for the always-available path."""
+        executor = self.executor
+        get_columnar = getattr(executor, "columnar_ops", None)
+        sweeps = get_columnar("ingress") if get_columnar is not None else None
+        if sweeps is None:
+            raise SwitchError(
+                "process_batch_columnar requires execution_mode='columnar' "
+                "with an op-major-admissible program (and profiling off)"
+            )
+        executor.begin_batch()
+        return self._batch_columnar(batch, times, None, sweeps, False)
+
+    def _batch_columnar(
+        self,
+        batch: ColumnarBatch,
+        times: Optional[Sequence[float]],
+        sink: Optional[Callable[[int, ProcessResult], None]],
+        sweeps,
+        collect: bool,
+    ):
+        """Columnar burst execution: vectorized op-major ingress
+        sweeps, then either a vectorized traffic-manager/egress tail
+        (no sink, no queue model, vectorizable egress, in-range
+        specs) or the scalar per-lane tail with exact
+        :meth:`_batch_major` semantics.  Returns per-packet results
+        (``collect``) or a :class:`ColumnarResult`."""
+        np = columnar_engine.np
+        executor = self.executor
+        n = batch.n
+        ports = self.ports
+        num_ports = self.num_ports
+        queue_model = self.queue_model
+        clock_now = self.clock.now
+        drop_key = "standard_metadata.drop_flag"
+        if times is None:
+            stamps = None
+            shared_ts = int(clock_now)
+            batch.store(
+                "standard_metadata.ingress_global_timestamp", None, shared_ts
+            )
+        else:
+            stamps = np.fromiter((int(t) for t in times), np.int64, count=n)
+            shared_ts = 0
+            batch.store(
+                "standard_metadata.ingress_global_timestamp", None, stamps
+            )
+        state = columnar_engine._SweepState(batch, executor.fallback_counts)
+        results: Optional[List[ProcessResult]] = (
+            [None] * n if collect else None
+        )
+        processed = n
+        passes = n
+        dropped = 0
+        try:
+            try:
+                for sweep in sweeps:
+                    sweep.run(state)
+            except SwitchError:
+                # Every lane was mid-sweep: bucket them all so
+                # packets == fused + slow_path holds in the flush.
+                state.fallback[:] = True
+                raise
+            egress_sweeps = executor.columnar_ops("egress")
+            drop = batch.col(drop_key)
+            live_mask = drop == 0
+            if sink is not None:
+                tail_reason = "tail:sink"
+            elif queue_model is not None:
+                tail_reason = "tail:queue-model"
+            elif egress_sweeps is None:
+                tail_reason = "tail:egress-plan"
+            else:
+                tail_reason = None
+            live_idx = None
+            live_spec = None
+            if tail_reason is None:
+                if not bool(live_mask.all()):
+                    live_idx = np.nonzero(live_mask)[0]
+                try:
+                    spec = batch.col("standard_metadata.egress_spec")
+                except columnar_engine._Unvectorizable:
+                    tail_reason = "tail:egress-spec"
+                else:
+                    live_spec = spec if live_idx is None else spec[live_idx]
+                    if live_spec.size and bool(
+                        ((live_spec < 0) | (live_spec >= num_ports)).any()
+                    ):
+                        # An out-of-range spec must raise with scalar
+                        # semantics (lane position, partial effects).
+                        tail_reason = "tail:egress-spec"
+            if tail_reason is None:
+                # ---- vectorized traffic manager + egress ----
+                batch.store(
+                    "standard_metadata.egress_port", live_idx, live_spec
+                )
+                depths = np.fromiter(
+                    (port.queue_depth for port in ports),
+                    np.int64, count=num_ports,
+                )
+                depth_vals = (
+                    depths[live_spec] if live_spec.size else live_spec
+                )
+                batch.store(
+                    "standard_metadata.enq_qdepth", live_idx, depth_vals
+                )
+                batch.store(
+                    "standard_metadata.deq_qdepth", live_idx, depth_vals
+                )
+                if stamps is None:
+                    egress_ts = shared_ts
+                elif live_idx is None:
+                    egress_ts = stamps
+                else:
+                    egress_ts = stamps[live_idx]
+                batch.store(
+                    "standard_metadata.egress_global_timestamp",
+                    live_idx, egress_ts,
+                )
+                # Delivery uses the TM-time port even if egress
+                # rewrites egress_spec; snapshot before the sweeps.
+                tm_vals = (
+                    live_spec.copy() if live_idx is None else live_spec
+                )
+                for sweep in egress_sweeps:
+                    sweep.run(state)
+                drop = batch.col(drop_key)
+                live2 = drop == 0
+                dropped = n - int(live2.sum())
+                recirc = batch.col("standard_metadata.recirculate_flag")
+                recirc_mask = live2 & (recirc != 0)
+                has_recirc = bool(recirc_mask.any())
+                deliver_mask = (
+                    live2 & ~recirc_mask if has_recirc else live2
+                )
+                tm_ports = np.full(n, -1, np.int64)
+                if live_idx is None:
+                    tm_ports[:] = tm_vals
+                else:
+                    tm_ports[live_idx] = tm_vals
+                if bool(deliver_mask.all()):
+                    del_ports = tm_ports
+                    del_sizes = batch.sizes
+                else:
+                    del_idx = np.nonzero(deliver_mask)[0]
+                    del_ports = tm_ports[del_idx]
+                    del_sizes = batch.sizes[del_idx]
+                if del_ports.size:
+                    tx_counts = np.bincount(del_ports, minlength=num_ports)
+                    tx_bytes = np.bincount(
+                        del_ports,
+                        weights=del_sizes.astype(np.float64),
+                        minlength=num_ports,
+                    )
+                    for port_id in np.nonzero(tx_counts)[0].tolist():
+                        port = ports[port_id]
+                        port.tx_packets += int(tx_counts[port_id])
+                        port.tx_bytes += int(tx_bytes[port_id])
+                packets = None
+                if collect or has_recirc:
+                    batch.flush()
+                    packets = batch.packets
+                if has_recirc:
+                    lanes = np.nonzero(recirc_mask)[0]
+                    state.mark_fallback(lanes, len(lanes), "recirc")
+                    for lane in lanes.tolist():
+                        t_now = clock_now if times is None else times[lane]
+                        ts = (
+                            shared_ts if stamps is None
+                            else int(stamps[lane])
+                        )
+                        extra, result = self._recirculate(
+                            packets[lane], t_now, ts
+                        )
+                        passes += extra
+                        if result is None:
+                            dropped += 1
+                            tm_ports[lane] = -1
+                        else:
+                            tm_ports[lane] = result[0]
+                        if collect:
+                            results[lane] = result
+                if collect:
+                    port_list = tm_ports.tolist()
+                    for lane, alive in enumerate(deliver_mask.tolist()):
+                        if alive:
+                            results[lane] = (port_list[lane], packets[lane])
+                    return results
+                return ColumnarResult(tm_ports, n - dropped, dropped)
+            # ---- scalar tail (exact _batch_major semantics) ----
+            executor.count_fallback(tail_reason, n)
+            batch.flush()
+            packets = batch.packets
+            egress_ops = executor.batch_ops("egress") or ()
+            lane_ports = None if collect else np.full(n, -1, np.int64)
+            index = -1
+            accounted = True
+            try:
+                for index, packet in enumerate(packets):
+                    accounted = False
+                    fields = packet.fields
+                    if stamps is None:
+                        t_now = clock_now
+                        ts = shared_ts
+                    else:
+                        t_now = times[index]
+                        ts = int(stamps[index])
+                    if fields[drop_key]:
+                        dropped += 1
+                        accounted = True
+                        if sink is not None:
+                            sink(index, None)
+                        continue
+                    port_id = fields["standard_metadata.egress_spec"]
+                    if not 0 <= port_id < num_ports:
+                        raise SwitchError(
+                            f"egress_spec {port_id} out of range"
+                        )
+                    fields["standard_metadata.egress_port"] = port_id
+                    if queue_model is not None:
+                        depth = queue_model(port_id, t_now)
+                    else:
+                        depth = ports[port_id].queue_depth
+                    fields["standard_metadata.enq_qdepth"] = depth
+                    fields["standard_metadata.deq_qdepth"] = depth
+                    fields["standard_metadata.egress_global_timestamp"] = ts
+                    for op in egress_ops:
+                        if fields[drop_key]:
+                            break
+                        op(packet)
+                    if fields[drop_key]:
+                        dropped += 1
+                        accounted = True
+                        if sink is not None:
+                            sink(index, None)
+                        continue
+                    if fields["standard_metadata.recirculate_flag"]:
+                        state.fallback[index] = True
+                        state.reasons["recirc"] = (
+                            state.reasons.get("recirc", 0) + 1
+                        )
+                        accounted = True
+                        extra, result = self._recirculate(packet, t_now, ts)
+                        passes += extra
+                        if result is None:
+                            dropped += 1
+                        if collect:
+                            results[index] = result
+                        elif result is not None:
+                            lane_ports[index] = result[0]
+                        if sink is not None:
+                            sink(index, result)
+                        continue
+                    accounted = True
+                    port = ports[port_id]
+                    port.tx_packets += 1
+                    port.tx_bytes += packet.size_bytes
+                    if collect:
+                        results[index] = (port_id, packet)
+                    else:
+                        lane_ports[index] = port_id
+                    if sink is not None:
+                        sink(index, (port_id, packet))
+            except SwitchError:
+                # Same bucketing as _batch_major: the failing lane
+                # counts slow, unreached lanes count by their
+                # ingress-time drop flag.
+                if not accounted:
+                    state.fallback[index] = True
+                for later_index in range(index + 1, n):
+                    if packets[later_index].fields[drop_key]:
+                        dropped += 1
+                    else:
+                        state.fallback[later_index] = True
+                raise
+            if collect:
+                return results
+            return ColumnarResult(lane_ports, n - dropped, dropped)
+        finally:
+            slow = int(state.fallback.sum())
+            self.packets_processed += processed
+            self.pipeline_passes += passes
+            self.packets_dropped += dropped
+            stats = self.batch_stats
+            stats.batches += 1
+            stats.packets += processed
+            stats.fused += processed - slow
+            stats.slow_path += slow
+            stats.columnar += processed
+            stats.columnar_fallback += slow
 
     def _batch_reference(
         self,

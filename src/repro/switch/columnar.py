@@ -1,0 +1,1212 @@
+"""Columnar (struct-of-arrays) batch engine.
+
+:class:`ColumnarPipeline` is the third execution engine
+(``MANTIS_PIPELINE=columnar``): it executes a burst of packets as a
+handful of numpy array operations instead of per-packet Python.  The
+model is the Packet Transactions wide-word machine -- compile the whole
+match-action program against a vector of packets, so table k sweeps
+every lane before table k+1 sees any:
+
+- a :class:`ColumnarBatch` holds one ``int64`` column per
+  ``"instance.field"`` key, materialized lazily from ``Packet`` dicts
+  (or sliced from a :class:`ColumnarPool` with no per-packet work at
+  all) and written back only for lanes a sweep actually wrote;
+- exact-match lookup packs each table's key fields into one ``int64``
+  and resolves entries via equality scans (few entries) or
+  ``np.searchsorted`` against a sorted key index cached per
+  :attr:`TableRuntime.generation`;
+- action bodies lower to vectorized programs: field stores become
+  masked column assignments, constant-index register read-modify-write
+  chains become prefix sums (each lane observes the running value the
+  scalar engine would have produced), dynamic-index register writes
+  become last-wins scatters, and counters become ``np.bincount``;
+- every program splits into a pure *prepare* phase (gathers, range
+  validation -- may raise :class:`_Unvectorizable`) and a *commit*
+  phase, so a lowering that proves unsound at run time downgrades to
+  the scalar op-major sweep with no partial effects.
+
+Lanes or whole tables that hit non-vectorizable features (RNG, hashes,
+dynamic register read-modify-write, non-exact matches, recirculation
+re-entry) drain through the existing scalar fused path, so the engine
+is always semantically total; the fallback counters in
+:attr:`ColumnarPipeline.fallback_counts` say how often and why.
+
+Admission reuses :meth:`CompiledPipeline.batch_major_ops`: columnar
+execution is op-major execution, so it is sound exactly when the
+op-major reordering is (straight-line exact-only ingress with
+pairwise-disjoint cross-packet footprints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY in both states
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from repro.errors import SwitchError
+from repro.p4 import ast
+from repro.switch.compiled import CompiledPipeline, _FLAG_KEYS
+from repro.switch.packet import (
+    Packet,
+    PacketTemplate,
+    collect_template_columns,
+)
+
+HAVE_NUMPY = np is not None
+
+_DROP = "standard_metadata.drop_flag"
+_SPEC = "standard_metadata.egress_spec"
+_RECIRC = "standard_metadata.recirculate_flag"
+
+# Conservative bit budget: every intermediate must fit int64 with
+# headroom for prefix sums over a full batch.
+_MAX_BITS = 62
+# Entry counts up to this size match via per-entry equality scans
+# (cheaper than sort+searchsorted for the sparse tables Mantis installs).
+_SCAN_ENTRIES = 8
+
+
+def require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise SwitchError(
+            "the columnar engine requires numpy (MANTIS_PIPELINE=columnar); "
+            "install numpy>=1.22 or select the compiled/interpreter engine"
+        )
+
+
+class _Unvectorizable(Exception):
+    """A lowering that looked sound at compile time failed a run-time
+    check (index range, int64 headroom).  Raised only from *prepare*
+    phases, before any state mutation, so the caller can rerun the
+    whole table through the scalar sweep."""
+
+
+class _GiveUp(Exception):
+    """Compile-time bail-out: the action body is outside the
+    vectorizable subset."""
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays batch
+
+
+class ColumnarBatch:
+    """One burst of packets as parallel ``int64`` columns.
+
+    Backed either by a list of :class:`Packet` objects (columns
+    materialize from and flush back to their field dicts) or by a
+    :class:`ColumnarPool` slice (columns are array copies; packets are
+    materialized only if a scalar fallback needs them)."""
+
+    __slots__ = (
+        "n", "sizes", "packets", "templates", "_pool_cols", "_pool_valid",
+        "_offset", "cols", "written",
+    )
+
+    def __init__(self, n: int, sizes, packets=None, templates=None,
+                 pool_cols=None, pool_valid=None, offset=0):
+        self.n = n
+        self.sizes = sizes
+        self.packets: Optional[List[Packet]] = packets
+        self.templates: Optional[List[PacketTemplate]] = templates
+        self._pool_cols = pool_cols
+        self._pool_valid = pool_valid
+        self._offset = offset
+        self.cols: Dict[str, "np.ndarray"] = {}
+        self.written: Dict[str, "np.ndarray"] = {}
+
+    @classmethod
+    def from_packets(cls, packets: List[Packet]) -> "ColumnarBatch":
+        require_numpy()
+        sizes = np.fromiter(
+            (p.size_bytes for p in packets), np.int64, count=len(packets)
+        )
+        return cls(len(packets), sizes, packets=list(packets))
+
+    # ---- columns --------------------------------------------------------
+
+    def col(self, key: str) -> "np.ndarray":
+        arr = self.cols.get(key)
+        if arr is None:
+            if self.packets is not None:
+                try:
+                    arr = np.fromiter(
+                        (p.fields.get(key, 0) for p in self.packets),
+                        np.int64, count=self.n,
+                    )
+                except OverflowError:
+                    raise _Unvectorizable(f"field {key} exceeds int64")
+            else:
+                pooled = self._pool_cols.get(key)
+                if pooled is None:
+                    arr = np.zeros(self.n, np.int64)
+                else:
+                    arr = pooled[self._offset:self._offset + self.n].copy()
+            self.cols[key] = arr
+        return arr
+
+    def valid_col(self, header: str) -> "np.ndarray":
+        if self.packets is not None:
+            return np.fromiter(
+                (1 if header in p.valid_headers else 0
+                 for p in self.packets),
+                np.int64, count=self.n,
+            )
+        pooled = self._pool_valid.get(header)
+        if pooled is None:
+            return np.zeros(self.n, np.int64)
+        return pooled[self._offset:self._offset + self.n].astype(np.int64)
+
+    def store(self, key: str, idx, values) -> None:
+        """Write ``values`` into lanes ``idx`` (``None`` = all lanes)
+        and remember which lanes were written, so flush-back creates
+        exactly the dict keys the scalar engine would have."""
+        col = self.col(key)
+        mask = self.written.get(key)
+        if mask is None:
+            mask = self.written[key] = np.zeros(self.n, bool)
+        if idx is None:
+            col[:] = values
+            mask[:] = True
+        else:
+            col[idx] = values
+            mask[idx] = True
+
+    # ---- scalar-fallback boundary ---------------------------------------
+
+    def ensure_packets(self) -> List[Packet]:
+        """Materialize real packets (pool-backed batches only): one
+        re-initialized packet per template plus every vector write so
+        far.  After this the batch behaves like a packet-backed one."""
+        if self.packets is None:
+            packets = [Packet().reinit(t) for t in self.templates]
+            for key, mask in self.written.items():
+                col = self.cols[key]
+                vals = col.tolist()
+                for lane, hit in enumerate(mask.tolist()):
+                    if hit:
+                        packets[lane].fields[key] = vals[lane]
+            self.packets = packets
+        return self.packets
+
+    def flush(self) -> None:
+        """Write vector results back into the packet dicts (written
+        lanes only -- untouched lanes keep their exact dict state)."""
+        if self.packets is None:
+            self.ensure_packets()
+            return
+        packets = self.packets
+        for key, mask in self.written.items():
+            vals = self.cols[key].tolist()
+            for lane, hit in enumerate(mask.tolist()):
+                if hit:
+                    packets[lane].fields[key] = vals[lane]
+        self.written.clear()
+
+    def resync(self) -> None:
+        """Drop all materialized columns: after a scalar phase the
+        packet dicts are authoritative and columns re-materialize
+        lazily on next touch."""
+        self.cols.clear()
+        self.written.clear()
+
+    def lane_flush(self, lane: int) -> None:
+        fields = self.packets[lane].fields
+        for key, mask in self.written.items():
+            if mask[lane]:
+                fields[key] = int(self.cols[key][lane])
+
+    def lane_resync(self, lane: int) -> None:
+        fields = self.packets[lane].fields
+        for key, col in self.cols.items():
+            col[lane] = fields.get(key, 0)
+
+
+class ColumnarPool:
+    """Template columns precomputed once, sliced into batches with no
+    per-packet work -- the columnar analogue of
+    :class:`~repro.switch.packet.PacketPool`."""
+
+    def __init__(self, templates: List[PacketTemplate]):
+        require_numpy()
+        self.templates = list(templates)
+        n = len(self.templates)
+        keys, headers = collect_template_columns(self.templates)
+        self.cols: Dict[str, "np.ndarray"] = {
+            key: np.fromiter(
+                (t.fields.get(key, 0) for t in self.templates),
+                np.int64, count=n,
+            )
+            for key in keys
+        }
+        self.valid: Dict[str, "np.ndarray"] = {
+            header: np.fromiter(
+                (header in t.valid_headers for t in self.templates),
+                bool, count=n,
+            )
+            for header in headers
+        }
+        self.sizes = np.fromiter(
+            (t.size_bytes for t in self.templates), np.int64, count=n
+        )
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def batch(self, start: int, stop: int) -> ColumnarBatch:
+        stop = min(stop, len(self.templates))
+        return ColumnarBatch(
+            stop - start,
+            self.sizes[start:stop],
+            templates=self.templates[start:stop],
+            pool_cols=self.cols,
+            pool_valid=self.valid,
+            offset=start,
+        )
+
+
+class ColumnarResult:
+    """Outcome of :meth:`SwitchAsic.process_batch_columnar`: per-lane
+    egress ports (``-1`` = dropped) without materializing packets."""
+
+    __slots__ = ("ports", "delivered", "dropped")
+
+    def __init__(self, ports, delivered: int, dropped: int):
+        self.ports = ports
+        self.delivered = delivered
+        self.dropped = dropped
+
+
+# ---------------------------------------------------------------------------
+# Compile-time values for the vectorizing action compiler
+
+
+class _Val:
+    """An abstract value: a constant, a lane vector (``fn(ctx)`` ->
+    ndarray), or an affine read of a register cell (``X[cell] +
+    delta``, coefficient exactly 1)."""
+
+    __slots__ = ("kind", "const", "fn", "cell", "delta", "bits")
+
+    def __init__(self, kind, const=0, fn=None, cell=None, delta=None,
+                 bits=1):
+        self.kind = kind  # 'c' | 'v' | 'a'
+        self.const = const
+        self.fn = fn
+        self.cell = cell
+        self.delta = delta
+        self.bits = bits
+
+
+def _vc(value: int) -> _Val:
+    return _Val("c", const=value, bits=max(1, value.bit_length()))
+
+
+def _vv(fn, bits: int) -> _Val:
+    if bits > _MAX_BITS:
+        raise _GiveUp("int64 headroom")
+    return _Val("v", fn=fn, bits=bits)
+
+
+def _resolve(val: _Val, ctx):
+    if val.kind == "c":
+        return val.const
+    if val.kind == "v":
+        return val.fn(ctx)
+    return ctx["X"][val.cell] + _resolve(val.delta, ctx)
+
+
+def _vadd(a: _Val, b: _Val, sign: int = 1) -> _Val:
+    """``a + sign*b`` with affine propagation: affine + concrete stays
+    affine on the same cell; anything that would scale or mix cells
+    bails."""
+    if a.kind == "a" and b.kind == "a":
+        raise _GiveUp("affine x affine")
+    if b.kind == "a":
+        if sign < 0:
+            raise _GiveUp("negated affine")
+        a, b = b, a
+    if a.kind == "a":
+        return _Val(
+            "a", cell=a.cell, delta=_vadd(a.delta, b, sign),
+            bits=min(_MAX_BITS, max(a.bits, b.bits) + 1),
+        )
+    bits = max(a.bits, b.bits) + 1
+    if a.kind == "c" and b.kind == "c":
+        return _vc(a.const + sign * b.const)
+    fa, fb = a, b
+
+    def fn(ctx, _a=fa, _b=fb, _s=sign):
+        return _resolve(_a, ctx) + _s * _resolve(_b, ctx)
+
+    return _vv(fn, bits)
+
+
+_NP_BIN = {
+    "bit_and": ("&", lambda l, r: l & r),
+    "bit_or": ("|", lambda l, r: l | r),
+    "bit_xor": ("^", lambda l, r: l ^ r),
+    "shift_left": ("<<", lambda l, r: l << r),
+    "shift_right": (">>", lambda l, r: l >> r),
+    "min": ("min", None),
+    "max": ("max", None),
+}
+
+
+def _vbin(op: str, a: _Val, b: _Val) -> _Val:
+    if op == "add":
+        return _vadd(a, b, 1)
+    if op == "subtract":
+        return _vadd(a, b, -1)
+    if a.kind == "a" or b.kind == "a":
+        raise _GiveUp("affine operand in non-additive op")
+    sym, py = _NP_BIN[op]
+    if op == "shift_left":
+        if b.kind != "c" or b.const < 0:
+            raise _GiveUp("dynamic shift")
+        bits = a.bits + b.const
+    elif op == "shift_right":
+        bits = a.bits
+    else:
+        # Operands may be negative (subtract chains), so bound by the
+        # larger magnitude even for bit_and.
+        bits = max(a.bits, b.bits) + (1 if op == "bit_xor" else 0)
+    if a.kind == "c" and b.kind == "c":
+        if op == "min":
+            return _vc(min(a.const, b.const))
+        if op == "max":
+            return _vc(max(a.const, b.const))
+        return _vc(py(a.const, b.const))
+    if bits > _MAX_BITS:
+        raise _GiveUp("int64 headroom")
+
+    def fn(ctx, _a=a, _b=b, _op=op):
+        left = _resolve(_a, ctx)
+        right = _resolve(_b, ctx)
+        if _op == "min":
+            return np.minimum(left, right)
+        if _op == "max":
+            return np.maximum(left, right)
+        if _op == "bit_and":
+            return left & right
+        if _op == "bit_or":
+            return left | right
+        if _op == "bit_xor":
+            return left ^ right
+        if _op == "shift_left":
+            return left << right
+        return left >> right
+
+    return _vv(fn, bits)
+
+
+def _vmask(val: _Val, mask: int) -> _Val:
+    if val.kind == "a":
+        raise _GiveUp("masking an affine value")
+    if val.kind == "c":
+        return _vc(val.const & mask)
+    # The masked result is in [0, mask] regardless of the (possibly
+    # negative) input, so the mask width is the bound.
+    bits = mask.bit_length()
+
+    def fn(ctx, _v=val, _m=mask):
+        return _resolve(_v, ctx) & _m
+
+    return _Val("v", fn=fn, bits=bits)
+
+
+class _CellState:
+    """One constant-index register slot touched by an action body."""
+
+    __slots__ = ("register", "index", "mode", "delta", "over", "has_reads")
+
+    def __init__(self, register, index: int):
+        self.register = register
+        self.index = index
+        self.mode = None  # None | 'a' (v0 + delta) | 'o' (overwritten)
+        self.delta: _Val = _vc(0)
+        self.over: Optional[_Val] = None
+        self.has_reads = False
+
+    def read(self) -> _Val:
+        if self.mode == "o":
+            return self.over
+        self.has_reads = True
+        if self.mode is None:
+            self.mode = "a"
+        return _Val(
+            "a", cell=(self.register.name, self.index), delta=self.delta,
+            bits=min(_MAX_BITS, self.register.width + 14),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized action programs
+
+
+class _VecProgram:
+    """A compiled, vectorized action body.
+
+    ``prepare(batch, idx, n, sizes)`` runs every gather, arithmetic
+    op, and range check without mutating anything (raising
+    :class:`_Unvectorizable` on failure) and returns a zero-argument
+    commit closure that applies all effects."""
+
+    __slots__ = ("stores", "cells", "scatters", "counts", "stateful")
+
+    def __init__(self, stores, cells, scatters, counts):
+        self.stores = stores        # [(key, val, commit_mask)]
+        self.cells = cells          # {(reg_name, idx): _CellState}
+        self.scatters = scatters    # [(register, idx_val, value_val)]
+        self.counts = counts        # [(counter_array, idx_val|int, bytes?)]
+        self.stateful = bool(cells or scatters or counts)
+
+    def prepare(self, batch: ColumnarBatch, idx, n: int, sizes):
+        ctx = {
+            "batch": batch, "idx": idx, "n": n, "sizes": sizes,
+            "X": {}, "gmemo": {},
+        }
+        # Register cells: resolve deltas, derive each lane's observed
+        # start value (exclusive prefix sum), and the final slot value.
+        cell_commits = []
+        for key, state in self.cells.items():
+            register = state.register
+            slot = state.index
+            if state.mode == "a":
+                v0 = register.values[slot]
+                delta = state.delta
+                if (max(register.width, delta.bits + n.bit_length()) + 1
+                        > _MAX_BITS):
+                    raise _Unvectorizable("prefix-sum headroom")
+                if delta.kind == "c":
+                    step = delta.const
+                    if state.has_reads:
+                        ctx["X"][key] = v0 + step * np.arange(
+                            n, dtype=np.int64
+                        )
+                    total = step * n
+                else:
+                    d = _resolve(delta, ctx)
+                    cs = np.cumsum(d)
+                    if state.has_reads:
+                        ctx["X"][key] = v0 + cs - d
+                    total = int(cs[-1]) if n else 0
+                final = (v0 + total) & register.mask
+            elif state.mode == "o":
+                value = _resolve(state.over, ctx)
+                last = int(value[-1]) if isinstance(
+                    value, np.ndarray
+                ) else int(value)
+                final = last & register.mask
+            else:  # read-only cell: no commit
+                continue
+            cell_commits.append((register, slot, final))
+        # Scatters: validate indices, resolve values, keep the last
+        # write per slot (ascending lane order == scalar order).
+        scatter_commits = []
+        for register, idx_val, value_val in self.scatters:
+            indices = _resolve(idx_val, ctx)
+            size = len(register.values)
+            if ((indices < 0) | (indices >= size)).any():
+                bad = int(
+                    indices[(indices < 0) | (indices >= size)][0]
+                )
+                raise _Unvectorizable(
+                    f"register {register.name}: index {bad} out of range"
+                )
+            values = _resolve(value_val, ctx)
+            rev = indices[::-1]
+            slots, first = np.unique(rev, return_index=True)
+            last_pos = n - 1 - first
+            if isinstance(values, np.ndarray):
+                vals = values[last_pos]
+            else:
+                vals = np.full(len(slots), values, np.int64)
+            scatter_commits.append(
+                (register, slots.tolist(), vals.tolist())
+            )
+        # Counters: pure sums, validated up front.
+        count_commits = []
+        for array, idx_val, by_bytes in self.counts:
+            weights = sizes if by_bytes else None
+            if isinstance(idx_val, int):
+                if by_bytes:
+                    total = int(sizes.sum())
+                else:
+                    total = n
+                count_commits.append((array, [idx_val], [total]))
+                continue
+            indices = _resolve(idx_val, ctx)
+            size = len(array.values)
+            if ((indices < 0) | (indices >= size)).any():
+                bad = int(
+                    indices[(indices < 0) | (indices >= size)][0]
+                )
+                raise _Unvectorizable(
+                    f"register {array.name}: index {bad} out of range"
+                )
+            if weights is None:
+                sums = np.bincount(indices, minlength=size)
+            else:
+                sums = np.bincount(
+                    indices, weights=weights, minlength=size
+                ).astype(np.int64)
+            slots = np.nonzero(sums)[0]
+            count_commits.append(
+                (array, slots.tolist(), sums[slots].tolist())
+            )
+        # Field stores: compute final values now (purely), write later.
+        store_commits = []
+        for key, val, commit_mask in self.stores:
+            value = _resolve(val, ctx)
+            if commit_mask is not None:
+                value = value & commit_mask
+            store_commits.append((key, value))
+
+        def commit() -> None:
+            for key, value in store_commits:
+                batch.store(key, idx, value)
+            for register, slot, final in cell_commits:
+                register.values[slot] = final
+            for register, slots, vals in scatter_commits:
+                register.bulk_write(slots, vals)
+            for array, slots, deltas in count_commits:
+                array.bulk_add(slots, deltas)
+
+        return commit
+
+
+class _VecActionCompiler:
+    """Lower one resolved ``(action, args)`` pair to a
+    :class:`_VecProgram`, or prove it non-vectorizable (``None``)."""
+
+    def __init__(self, pipeline: "ColumnarPipeline", decl: ast.ActionDecl,
+                 args: Tuple[int, ...]):
+        self.pipeline = pipeline
+        self.asic = pipeline.asic
+        self.decl = decl
+        self.params = dict(zip(decl.params, args))
+        self.env: Dict[str, Tuple[_Val, Optional[int]]] = {}
+        self.cells: Dict[Tuple[str, int], _CellState] = {}
+        self.scatters: List[tuple] = []
+        self.counts: List[tuple] = []
+        # How each register is used in this body; mixing kinds on one
+        # register defeats the per-kind soundness arguments.
+        self.reg_use: Dict[str, str] = {}
+
+    def compile(self) -> Optional[_VecProgram]:
+        if len(self.decl.params) != len(self.params):
+            return None
+        try:
+            for call in self.decl.body:
+                self._call(call)
+        except _GiveUp:
+            return None
+        stores = [
+            (key, val, mask) for key, (val, mask) in self.env.items()
+        ]
+        return _VecProgram(stores, self.cells, self.scatters, self.counts)
+
+    # ---- helpers --------------------------------------------------------
+
+    def _use_register(self, name: str, kind: str):
+        prior = self.reg_use.setdefault(name, kind)
+        if prior != kind:
+            raise _GiveUp(f"mixed register access on {name}")
+
+    def _const(self, arg) -> Optional[int]:
+        if isinstance(arg, int):
+            return arg
+        if isinstance(arg, str):
+            if arg not in self.params:
+                raise _GiveUp(f"unresolved parameter {arg}")
+            return self.params[arg]
+        return None
+
+    def _value(self, arg) -> _Val:
+        const = self._const(arg)
+        if const is not None:
+            return _vc(const)
+        if isinstance(arg, ast.FieldRef):
+            return self._read_field(f"{arg.header}.{arg.field}")
+        raise _GiveUp(f"unsupported argument {arg!r}")
+
+    def _read_field(self, key: str) -> _Val:
+        hit = self.env.get(key)
+        if hit is not None:
+            return hit[0]
+        mask = self.asic.field_masks.get(key)
+        if mask is None:
+            raise _GiveUp(f"unknown field width for {key}")
+        bits = mask.bit_length()
+        if bits > _MAX_BITS:
+            raise _GiveUp("wide field")
+
+        def fn(ctx, _key=key):
+            memo = ctx["gmemo"]
+            arr = memo.get(_key)
+            if arr is None:
+                col = ctx["batch"].col(_key)
+                idx = ctx["idx"]
+                arr = memo[_key] = col if idx is None else col[idx]
+            return arr
+
+        return _vv(fn, bits)
+
+    def _store_field(self, arg, val: _Val) -> None:
+        if not isinstance(arg, ast.FieldRef):
+            raise _GiveUp("destination is not a field")
+        key = f"{arg.header}.{arg.field}"
+        mask = self.asic.field_masks.get(key)
+        if mask is None:
+            raise _GiveUp(f"unknown field width for {key}")
+        if val.kind == "a":
+            cell_reg = self.cells[val.cell].register
+            if mask != cell_reg.mask:
+                raise _GiveUp("affine store under a different mask")
+            self.env[key] = (val, mask)
+        else:
+            self.env[key] = (_vmask(val, mask), None)
+
+    def _cell(self, register, index: int) -> _CellState:
+        if register.width > 48:
+            # Leave headroom for a full batch of prefix-summed deltas
+            # on top of the unreduced cell value.
+            raise _GiveUp("wide register cell")
+        self._use_register(register.name, "cell")
+        key = (register.name, index)
+        state = self.cells.get(key)
+        if state is None:
+            state = self.cells[key] = _CellState(register, index)
+        return state
+
+    # ---- one primitive --------------------------------------------------
+
+    def _call(self, call: ast.PrimitiveCall) -> None:
+        name = call.name
+        args = call.args
+        if name == "no_op":
+            return
+        if name == "drop":
+            self.env[_DROP] = (_vc(1), None)
+            return
+        if name in _FLAG_KEYS:
+            self.env[_FLAG_KEYS[name]] = (_vc(1), None)
+            return
+        if name == "modify_field":
+            value = self._value(args[1])
+            if len(args) > 2:
+                value = _vbin("bit_and", value, self._value(args[2]))
+            self._store_field(args[0], value)
+            return
+        if name in ("add", "subtract", "bit_and", "bit_or", "bit_xor",
+                    "shift_left", "shift_right", "min", "max"):
+            value = _vbin(name, self._value(args[1]), self._value(args[2]))
+            self._store_field(args[0], value)
+            return
+        if name in ("add_to_field", "subtract_from_field"):
+            if not isinstance(args[0], ast.FieldRef):
+                raise _GiveUp("destination is not a field")
+            current = self._read_field(f"{args[0].header}.{args[0].field}")
+            sign = 1 if name == "add_to_field" else -1
+            self._store_field(args[0], _vadd(current, self._value(args[1]),
+                                             sign))
+            return
+        if name == "register_read":
+            register = self.asic.get_register(args[1])
+            index = self._const(args[2])
+            if index is not None:
+                if not 0 <= index < len(register.values):
+                    raise _GiveUp("constant register index out of range")
+                self._store_field(args[0], self._cell(register, index).read())
+                return
+            if register.width > _MAX_BITS:
+                raise _GiveUp("wide register gather")
+            self._use_register(register.name, "gather")
+            idx_val = self._value(args[2])
+            values = register.values
+
+            def fn(ctx, _vals=values, _idx=idx_val, _reg=register):
+                memo = ctx["gmemo"]
+                snap = memo.get(_reg.name)
+                if snap is None:
+                    snap = memo[_reg.name] = np.array(_vals, np.int64)
+                indices = _resolve(_idx, ctx)
+                size = len(snap)
+                if ((indices < 0) | (indices >= size)).any():
+                    bad = int(
+                        indices[(indices < 0) | (indices >= size)][0]
+                    )
+                    raise _Unvectorizable(
+                        f"register {_reg.name}: index {bad} out of range"
+                    )
+                return snap[indices]
+
+            self._store_field(args[0], _vv(fn, register.width))
+            return
+        if name == "register_write":
+            register = self.asic.get_register(args[0])
+            value = self._value(args[2])
+            index = self._const(args[1])
+            if index is not None:
+                if not 0 <= index < len(register.values):
+                    raise _GiveUp("constant register index out of range")
+                state = self._cell(register, index)
+                if value.kind == "a":
+                    if value.cell != (register.name, index):
+                        raise _GiveUp("cross-cell affine write")
+                    state.mode = "a"
+                    state.delta = value.delta
+                else:
+                    if state.has_reads:
+                        raise _GiveUp("overwrite after read")
+                    state.mode = "o"
+                    state.over = value
+                return
+            self._use_register(register.name, "scatter")
+            for existing, _i, _v in self.scatters:
+                if existing is register:
+                    raise _GiveUp("double scatter on one register")
+            if value.kind == "a":
+                cell_reg = self.cells[value.cell].register
+                if register.mask & cell_reg.mask != register.mask:
+                    raise _GiveUp("widening affine scatter")
+            idx_val = self._value(args[1])
+            if idx_val.kind == "a":
+                raise _GiveUp("affine scatter index")
+            self.scatters.append((register, idx_val, value))
+            return
+        if name == "count":
+            counter = self.asic.get_counter(args[0])
+            by_bytes = counter.counter_type == "bytes"
+            index = self._const(args[1])
+            if index is not None:
+                if not 0 <= index < len(counter.array.values):
+                    raise _GiveUp("constant counter index out of range")
+                self.counts.append((counter.array, index, by_bytes))
+                return
+            idx_val = self._value(args[1])
+            if idx_val.kind == "a":
+                raise _GiveUp("affine counter index")
+            self.counts.append((counter.array, idx_val, by_bytes))
+            return
+        # RNG, hashes, and anything unrecognized keep scalar semantics.
+        raise _GiveUp(f"non-vectorizable primitive {name}")
+
+
+# ---------------------------------------------------------------------------
+# Per-table sweeps
+
+
+class _TableSweep:
+    """One table's columnar sweep over a batch.
+
+    Resolves match groups vectorially, runs a vectorized program per
+    group when the lowering is sound, drains non-vectorizable lanes
+    through the scalar fused steps in lane order, and downgrades the
+    whole table to the scalar op-major sweep when per-lane order could
+    become observable (more than one group touching cross-packet
+    state) or a run-time check fails."""
+
+    def __init__(self, pipeline: "ColumnarPipeline", runtime):
+        self.pipeline = pipeline
+        self.runtime = runtime
+        self.scalar_major = pipeline._compile_major_apply(runtime)
+        self.name = runtime.decl.name
+        reads = runtime.decl.reads
+        self.keyless = not reads
+        self.parts: List[tuple] = []
+        self.packable = True
+        total_bits = 0
+        for read, width in zip(reads, runtime.key_widths):
+            if read.match_type is ast.MatchType.VALID:
+                self.parts.append(("valid", read.ref.header, width, None))
+            else:
+                ref = read.ref
+                self.parts.append(
+                    ("field", f"{ref.header}.{ref.field}", width, read.mask)
+                )
+            total_bits += width
+        if total_bits > _MAX_BITS:
+            self.packable = False
+        self._index_gen = -1
+        self._index = None
+
+    # ---- entry index ----------------------------------------------------
+
+    def _entry_index(self):
+        runtime = self.runtime
+        if runtime.generation != self._index_gen:
+            self._index_gen = runtime.generation
+            packed_entries = []
+            usable = True
+            for key_tuple, entry in runtime._exact_index.items():
+                packed = 0
+                for part, (_kind, _k, width, _m) in zip(
+                    key_tuple, self.parts
+                ):
+                    value = int(part)
+                    if not 0 <= value < (1 << width):
+                        usable = False
+                        break
+                    packed = (packed << width) | value
+                if not usable:
+                    break
+                packed_entries.append((packed, entry))
+            if not usable:
+                self._index = None
+            else:
+                packed_entries.sort(key=lambda pair: pair[0])
+                keys = np.fromiter(
+                    (pk for pk, _e in packed_entries), np.int64,
+                    count=len(packed_entries),
+                )
+                entries = [e for _pk, e in packed_entries]
+                self._index = (keys, entries)
+        return self._index
+
+    def _pack(self, batch: ColumnarBatch, idx):
+        """The packed int64 key per live lane plus an out-of-range
+        mask (lanes whose raw field values exceed the key width can
+        never match an in-range entry -- they miss)."""
+        packed = None
+        oor = None
+        for kind, key, width, premask in self.parts:
+            if kind == "valid":
+                col = batch.valid_col(key)
+            else:
+                col = batch.col(key)
+            part = col if idx is None else col[idx]
+            if premask is not None:
+                part = part & premask
+            bad = (part < 0) | (part >= (1 << width))
+            oor = bad if oor is None else (oor | bad)
+            part = part & ((1 << width) - 1)
+            packed = part if packed is None else (
+                (packed << width) | part
+            )
+        return packed, oor
+
+    # ---- group resolution -----------------------------------------------
+
+    def _resolve_groups(self, batch, idx, count):
+        """``[(entry_or_None, lane_idx_or_None, lane_count)]`` covering
+        every live lane; ``None`` entry means miss (default action),
+        ``None`` idx means "all live lanes" (only when live == all)."""
+        index = self._entry_index()
+        if index is None:
+            return None  # oversized entry keys: scalar sweep
+        keys, entries = index
+        if self.keyless:
+            entry = self.runtime._exact_index.get(())
+            return [(entry, idx, count)]
+        if len(entries) == 0:
+            return [(None, idx, count)]
+        packed, oor = self._pack(batch, idx)
+        if len(entries) <= _SCAN_ENTRIES:
+            remaining = None
+            groups = []
+            for pk, entry in zip(keys.tolist(), entries):
+                hit = packed == pk
+                if oor is not None:
+                    hit &= ~oor
+                matched = int(hit.sum())
+                if not matched:
+                    continue
+                groups.append((entry, hit, matched))
+                remaining = ~hit if remaining is None else (
+                    remaining & ~hit
+                )
+        else:
+            positions = np.searchsorted(keys, packed)
+            positions[positions >= len(entries)] = 0
+            hit_mask = keys[positions] == packed
+            if oor is not None:
+                hit_mask &= ~oor
+            groups = []
+            remaining = ~hit_mask
+            if hit_mask.any():
+                matched_pos = positions[hit_mask]
+                for pos in np.unique(matched_pos):
+                    local = hit_mask & (positions == pos)
+                    groups.append((entries[pos], local, int(local.sum())))
+        miss_count = count - sum(g[2] for g in groups)
+        if miss_count:
+            if remaining is None:
+                remaining = np.ones(count, bool)
+            groups.append((None, remaining, miss_count))
+        # Convert local masks to global lane indices (single full
+        # group keeps idx=None for whole-column ops).
+        out = []
+        for entry, mask, n_lanes in groups:
+            if mask is None or not isinstance(mask, np.ndarray):
+                out.append((entry, mask, n_lanes))
+            elif n_lanes == count and idx is None:
+                out.append((entry, None, n_lanes))
+            else:
+                local = np.nonzero(mask)[0]
+                out.append(
+                    (entry,
+                     local if idx is None else idx[local],
+                     n_lanes)
+                )
+        return out
+
+    # ---- execution ------------------------------------------------------
+
+    def run(self, st: "_SweepState") -> None:
+        batch = st.batch
+        idx, count = st.live()
+        if count == 0:
+            return
+        if not self.packable:
+            self._run_scalar(st, idx, count, "unpackable")
+            return
+        try:
+            groups = self._resolve_groups(batch, idx, count)
+        except _Unvectorizable:
+            groups = None
+        if groups is None:
+            self._run_scalar(st, idx, count, "unpackable")
+            return
+        pipeline = self.pipeline
+        runtime = self.runtime
+        plans = []
+        stateful = 0
+        for entry, g_idx, g_count in groups:
+            if entry is None:
+                default = runtime.default_action
+                action, args = default if default else (None, ())
+                matched = False
+            else:
+                action = entry.action_name
+                args = entry.action_args
+                matched = True
+            program = pipeline.vec_program(action, tuple(args))
+            if program is None:
+                resources = (
+                    set() if action is None
+                    else pipeline._action_resources(action)
+                )
+                is_stateful = resources is None or bool(
+                    resources - {"recirc"}
+                )
+            else:
+                is_stateful = program.stateful
+            if is_stateful:
+                stateful += 1
+            plans.append(
+                (matched, action, args, program, g_idx, g_count)
+            )
+        if stateful > 1:
+            # Two groups interleave on shared state: only the scalar
+            # sweep preserves lane order across groups.
+            self._run_scalar(st, idx, count, "shared-state-groups")
+            return
+        # Prepare every vectorized group before committing anything,
+        # so a run-time bail-out leaves no partial effects.
+        commits = []
+        drains = []
+        try:
+            for matched, action, args, program, g_idx, g_count in plans:
+                if program is None:
+                    drains.append((matched, action, args, g_idx, g_count))
+                    continue
+                commit = program.prepare(
+                    batch, g_idx, g_count,
+                    st.sizes if g_idx is None else st.sizes[g_idx],
+                )
+                commits.append((matched, g_count, commit))
+        except _Unvectorizable:
+            self._run_scalar(st, idx, count, "runtime-check")
+            return
+        hits = 0
+        misses = 0
+        for matched, g_count, commit in commits:
+            commit()
+            if matched:
+                hits += g_count
+            else:
+                misses += g_count
+        if drains:
+            hits, misses = self._drain(st, drains, hits, misses)
+        runtime.hits += hits
+        runtime.misses += misses
+
+    def _run_scalar(self, st: "_SweepState", idx, count,
+                    reason: str) -> None:
+        """Whole-table fallback: flush columns, run the op-major scalar
+        sweep (its own hit/miss accounting), re-materialize."""
+        st.mark_fallback(idx, count, f"table:{self.name}:{reason}")
+        batch = st.batch
+        batch.flush()
+        self.scalar_major(batch.ensure_packets())
+        batch.resync()
+
+    def _drain(self, st: "_SweepState", drains, hits: int,
+               misses: int) -> Tuple[int, int]:
+        """Per-lane scalar execution for non-vectorizable groups, in
+        ascending lane order (at most one such group touches
+        cross-packet state, so interleaving with the already-committed
+        vector groups is unobservable)."""
+        batch = st.batch
+        packets = batch.ensure_packets()
+        resolve_steps = self.pipeline._resolve_steps
+        lanes: List[tuple] = []
+        for matched, action, args, g_idx, g_count in drains:
+            if action is None:
+                steps: tuple = ()
+            else:
+                steps = resolve_steps(action, list(args))
+            if g_idx is None:
+                g_idx = range(batch.n)
+            for lane in g_idx:
+                lanes.append((int(lane), matched, steps, args))
+        lanes.sort(key=lambda item: item[0])
+        st.mark_fallback(
+            np.fromiter((l[0] for l in lanes), np.int64, count=len(lanes)),
+            len(lanes), f"drain:{self.name}",
+        )
+        for lane, matched, steps, args in lanes:
+            if matched:
+                hits += 1
+            else:
+                misses += 1
+            batch.lane_flush(lane)
+            packet = packets[lane]
+            for step in steps:
+                step(args, packet)
+            batch.lane_resync(lane)
+        return hits, misses
+
+
+class _SweepState:
+    """Per-batch bookkeeping shared by the sweeps: live-lane
+    recomputation and fallback accounting."""
+
+    __slots__ = ("batch", "sizes", "fallback", "reasons")
+
+    def __init__(self, batch: ColumnarBatch, reasons: Dict[str, int]):
+        self.batch = batch
+        self.sizes = batch.sizes
+        self.fallback = np.zeros(batch.n, bool)
+        self.reasons = reasons
+
+    def live(self):
+        drop = self.batch.col(_DROP)
+        if not drop.any():
+            return None, self.batch.n
+        live = np.nonzero(drop == 0)[0]
+        return live, len(live)
+
+    def mark_fallback(self, idx, count: int, reason: str) -> None:
+        if count:
+            if idx is None:
+                self.fallback[:] = True
+            else:
+                self.fallback[idx] = True
+            self.reasons[reason] = self.reasons.get(reason, 0) + count
+
+
+# ---------------------------------------------------------------------------
+# The engine
+
+
+class ColumnarPipeline(CompiledPipeline):
+    """Compiled engine plus columnar batch plans.
+
+    Inherits every scalar path (per-packet closures, fused batch
+    plans, op-major sweeps) so any burst the vectorizer cannot take
+    still executes with compiled-engine semantics."""
+
+    def __init__(self, asic, rng=None, profile=None):
+        require_numpy()
+        super().__init__(asic, rng=rng, profile=profile)
+        self._vec_programs: Dict[Tuple[Optional[str], tuple], object] = {}
+        self.fallback_counts: Dict[str, int] = {}
+        self._columnar_plans: Dict[str, Optional[List[_TableSweep]]] = {}
+        if profile is None:
+            self._columnar_plans["ingress"] = self._build_columnar(
+                asic.program.controls.get("ingress")
+            )
+            self._columnar_plans["egress"] = self._build_columnar_egress(
+                asic.program.controls.get("egress")
+            )
+
+    def _build_columnar(self, decl) -> Optional[List[_TableSweep]]:
+        # Columnar execution is op-major execution: admit exactly what
+        # the op-major analysis proved safe.
+        if self._batch_major_plans.get("ingress") is None:
+            return None
+        body = decl.body if decl is not None else []
+        return [
+            _TableSweep(self, self.asic.tables[stmt.table])
+            for stmt in body
+        ]
+
+    def _build_columnar_egress(self, decl) -> Optional[List[_TableSweep]]:
+        """Egress sweeps, or ``None`` when egress must stay
+        packet-major (branches, non-exact tables, or egress tables
+        sharing cross-packet state *with each other* -- the ingress
+        admission only proved them disjoint from ingress)."""
+        if self._batch_major_plans.get("ingress") is None:
+            return None
+        if decl is None or not decl.body:
+            return []
+        runtimes = []
+        for stmt in decl.body:
+            if not isinstance(stmt, ast.ApplyCall):
+                return None
+            runtime = self.asic.tables.get(stmt.table)
+            if runtime is None or not runtime._exact_only:
+                return None
+            runtimes.append(runtime)
+        seen: set = set()
+        for runtime in runtimes:
+            resources = self._table_resources(runtime)
+            if resources is None or resources & seen:
+                return None
+            seen |= resources
+        return [_TableSweep(self, runtime) for runtime in runtimes]
+
+    def columnar_ops(
+        self, control_name: str
+    ) -> Optional[List[_TableSweep]]:
+        """The columnar plan for one control block, or ``None`` when
+        the burst must take a scalar path (profiling, or op-major
+        inadmissible)."""
+        if self.profile is not None:
+            return None
+        return self._columnar_plans.get(control_name)
+
+    def vec_program(
+        self, action_name: Optional[str], args: tuple
+    ) -> Optional[_VecProgram]:
+        """The vectorized program for a resolved (action, args) pair;
+        cached -- like the fused runners, the lowering depends only on
+        the action declaration and stable ASIC containers."""
+        key = (action_name, args)
+        hit = self._vec_programs.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        if action_name is None:
+            program: Optional[_VecProgram] = _VecProgram([], {}, [], [])
+        else:
+            decl = self.asic.program.actions.get(action_name)
+            if decl is None or len(decl.params) != len(args):
+                program = None
+            else:
+                program = _VecActionCompiler(self, decl, args).compile()
+        self._vec_programs[key] = program
+        return program
+
+    def count_fallback(self, reason: str, lanes: int) -> None:
+        self.fallback_counts[reason] = (
+            self.fallback_counts.get(reason, 0) + lanes
+        )
+
+
+_MISSING = object()

@@ -105,6 +105,10 @@ class TableRuntime:
         # hit/miss counters for observability and resource benches
         self.hits = 0
         self.misses = 0
+        # Bumped on every entry/default mutation; the columnar engine
+        # keys its packed lookup index on this to avoid rebuilding per
+        # batch while staying coherent with control-plane writes.
+        self.generation = 0
 
     # ---- entry management (atomic per call) -----------------------------
 
@@ -157,6 +161,7 @@ class TableRuntime:
             self._exact_index[normalized] = entry
         else:
             self._index_tcam_entry(entry)
+        self.generation += 1
         return entry.entry_id
 
     def modify_entry(
@@ -175,6 +180,7 @@ class TableRuntime:
             entry.action_name = action_name
         if action_args is not None:
             entry.action_args = list(action_args)
+        self.generation += 1
 
     def delete_entry(self, entry_id: int) -> None:
         entry = self._get(entry_id)
@@ -184,6 +190,7 @@ class TableRuntime:
                 del self._exact_index[entry.key]
         else:
             self._unindex_tcam_entry(entry)
+        self.generation += 1
 
     # ---- TCAM index maintenance -----------------------------------------
 
@@ -270,6 +277,7 @@ class TableRuntime:
                 f"table {self.name}: default action {action_name!r} not allowed"
             )
         self.default_action = (action_name, list(action_args))
+        self.generation += 1
 
     def find_entry(self, key: Sequence[KeyPart]) -> Optional[TableEntry]:
         """Find an installed entry with exactly this key (not a lookup)."""

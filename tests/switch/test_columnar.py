@@ -1,0 +1,389 @@
+"""Columnar (struct-of-arrays) engine: vectorized must be invisible.
+
+``ColumnarPipeline`` executes bursts as numpy array sweeps; these
+tests require the result to be bit-identical to the scalar engines --
+egress sequences, field maps, registers, counters, table statistics,
+and port counters -- across the full use-case corpus, the pool-backed
+``process_batch_columnar`` entry, forced fallbacks (recirculation,
+RNG, overlapping register footprints), randomized mixed bursts, and
+the batch-stats accounting invariant on error paths (satellite 6).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_batch import (  # noqa: E402  (corpus helpers)
+    APPS,
+    SHARED_REG_P4R,
+    _build,
+    _observable,
+    _run_batch,
+    _run_scalar,
+)
+
+from repro.errors import SwitchError
+from repro.switch import columnar
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.columnar import ColumnarPipeline, ColumnarPool
+from repro.switch.compiled import asic_state_snapshot
+from repro.switch.packet import Packet, PacketTemplate
+from repro.system import MantisSystem
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not columnar.HAVE_NUMPY, reason="columnar engine requires numpy"
+)
+
+
+def _run_batch_nosink(system, workload, batch_size: int) -> List[object]:
+    """Like test_batch._run_batch but without a sink, so the columnar
+    engine keeps the vectorized traffic-manager tail."""
+    observed: List[object] = []
+    for start in range(0, len(workload), batch_size):
+        chunk = [
+            Packet(fields, size_bytes=1000)
+            for fields in workload[start:start + batch_size]
+        ]
+        observed.extend(
+            _observable(r) for r in system.asic.process_batch(chunk)
+        )
+    return observed
+
+
+def _assert_same_state(reference, candidate) -> None:
+    state_ref = asic_state_snapshot(reference.asic)
+    state_new = asic_state_snapshot(candidate.asic)
+    for section in state_ref:
+        assert state_new[section] == state_ref[section], section
+
+
+class TestColumnarEquivalence:
+    """Tentpole: columnar == compiled == interpreter on every program."""
+
+    N_PACKETS = 96
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    @pytest.mark.parametrize("batch_size", [1, 7, 32])
+    def test_matches_compiled_with_sink(self, name: str, batch_size: int):
+        """A sink forces the scalar tail; vectorized ingress sweeps
+        still run above it."""
+        workload = APPS[name][2](self.N_PACKETS)
+        compiled = _build(name, "compiled")
+        compiled_obs = _run_batch(compiled, workload, batch_size)
+        col = _build(name, "columnar")
+        col_obs = _run_batch(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    @pytest.mark.parametrize("batch_size", [1, 7, 32])
+    def test_matches_compiled_vectorized_tail(
+        self, name: str, batch_size: int
+    ):
+        workload = APPS[name][2](self.N_PACKETS)
+        compiled = _build(name, "compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size)
+        col = _build(name, "columnar")
+        col_obs = _run_batch_nosink(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+
+    @pytest.mark.parametrize("name", ["dos", "ecmp", "recirc"])
+    def test_matches_interpreter(self, name: str):
+        workload = APPS[name][2](48)
+        interp = _build(name, "interpreter")
+        interp_obs = _run_scalar(interp, workload)
+        col = _build(name, "columnar")
+        col_obs = _run_batch_nosink(col, workload, batch_size=16)
+        assert col_obs == interp_obs
+        _assert_same_state(interp, col)
+
+    def test_dos_batch_counts_as_columnar(self):
+        system = _build("dos", "columnar")
+        assert isinstance(system.asic.executor, ColumnarPipeline)
+        assert system.asic.executor.columnar_ops("ingress") is not None
+        _run_batch_nosink(system, APPS["dos"][2](64), batch_size=32)
+        stats = system.asic.batch_stats
+        assert stats.columnar == 64
+        assert stats.columnar_fallback == 0
+        assert stats.packets == stats.fused + stats.slow_path
+
+
+class TestColumnarPoolPath:
+    """process_batch_columnar over a ColumnarPool: no Packet
+    materialization, same observable switch state."""
+
+    def test_pool_matches_packet_batches(self):
+        workload = APPS["dos"][2](128)
+        compiled = _build("dos", "compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size=32)
+        col = _build("dos", "columnar")
+        templates = [
+            PacketTemplate(fields, size_bytes=1000) for fields in workload
+        ]
+        pool = ColumnarPool(templates)
+        ports: List[int] = []
+        delivered = dropped = 0
+        for start in range(0, len(templates), 32):
+            result = col.asic.process_batch_columnar(
+                pool.batch(start, start + 32)
+            )
+            ports.extend(int(p) for p in result.ports)
+            delivered += result.delivered
+            dropped += result.dropped
+        expected_ports = [
+            -1 if obs is None else obs[0] for obs in compiled_obs
+        ]
+        assert ports == expected_ports
+        assert delivered == sum(1 for o in compiled_obs if o is not None)
+        assert dropped == sum(1 for o in compiled_obs if o is None)
+        _assert_same_state(compiled, col)
+
+    def test_pool_entry_requires_columnar_plans(self):
+        compiled = _build("dos", "compiled")
+        templates = [PacketTemplate({"ipv4.srcAddr": 1})]
+        pool = ColumnarPool(templates)
+        with pytest.raises(SwitchError):
+            compiled.asic.process_batch_columnar(pool.batch(0, 1))
+
+
+RNG_P4R = STANDARD_METADATA_P4 + """
+header_type h_t { fields { roll : 16; } }
+header h_t hdr;
+
+action sample() {
+    modify_field_rng_uniform(hdr.roll, 0, 1023);
+    modify_field(standard_metadata.egress_spec, 1);
+}
+table sampler { actions { sample; } default_action : sample(); }
+control ingress { apply(sampler); }
+"""
+
+
+class TestForcedFallbacks:
+    """Non-vectorizable shapes must drain scalar, never diverge."""
+
+    def _diff(self, source: str, workload, batch_size: int = 16):
+        kwargs = dict(num_ports=8)
+        compiled = MantisSystem.from_source(
+            source, execution_mode="compiled", **kwargs
+        )
+        compiled.agent.prologue()
+        col = MantisSystem.from_source(
+            source, execution_mode="columnar", **kwargs
+        )
+        col.agent.prologue()
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size)
+        col_obs = _run_batch_nosink(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        return col
+
+    def test_rng_action_drains_per_lane(self):
+        """Both engines seed random.Random(0), so the per-lane drain
+        must consume the stream in exactly the scalar order."""
+        workload = [{"hdr.roll": 0} for _ in range(48)]
+        col = self._diff(RNG_P4R, workload)
+        counts = col.asic.executor.fallback_counts
+        assert counts.get("drain:sampler") == 48
+        stats = col.asic.batch_stats
+        assert stats.columnar == 48
+        assert stats.columnar_fallback == 48
+        assert stats.packets == stats.fused + stats.slow_path
+
+    def test_overlapping_footprints_disable_columnar(self):
+        """Two tables RMW-ing one register: op-major inadmissible, so
+        no columnar plans; the generic batch path takes over."""
+        workload = [{"hdr.f": 0} for _ in range(24)]
+        col = self._diff(SHARED_REG_P4R, workload)
+        assert col.asic.executor.columnar_ops("ingress") is None
+        assert col.asic.batch_stats.columnar == 0
+
+    def test_recirculating_program_stays_scalar(self):
+        workload = APPS["recirc"][2](32)
+        compiled = _build("recirc", "compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size=8)
+        col = _build("recirc", "columnar")
+        col_obs = _run_batch_nosink(col, workload, batch_size=8)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        assert col.asic.executor.columnar_ops("ingress") is None
+
+    def test_mixed_burst_vectorized_and_drained(self):
+        """DoS + hash lanes interleaved: ecmp's hash action drains
+        while surrounding stores commit vectorially."""
+        workload = APPS["ecmp"][2](60)
+        compiled = _build("ecmp", "compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size=20)
+        col = _build("ecmp", "columnar")
+        col_obs = _run_batch_nosink(col, workload, batch_size=20)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        stats = col.asic.batch_stats
+        assert stats.packets == stats.fused + stats.slow_path
+
+
+class TestRandomizedDifferential:
+    """Hypothesis: arbitrary field mixes and batch splits through the
+    DoS pipeline agree with the compiled engine, state included."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),  # srcAddr
+                st.integers(min_value=0, max_value=2**32 - 1),  # dstAddr
+                st.integers(min_value=0, max_value=255),        # proto
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        batch_size=st.integers(min_value=1, max_value=17),
+        route_victim=st.booleans(),
+    )
+    def test_dos_random_workloads(self, seeds, batch_size, route_victim):
+        workload = [
+            {"ipv4.srcAddr": src, "ipv4.dstAddr": dst, "ipv4.proto": proto,
+             "tcp.seq": i}
+            for i, (src, dst, proto) in enumerate(seeds)
+        ]
+        if route_victim and workload:
+            workload[0]["ipv4.dstAddr"] = 0x0B000001
+        compiled = _build("dos", "compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size)
+        col = _build("dos", "columnar")
+        col_obs = _run_batch_nosink(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        stats = col.asic.batch_stats
+        assert stats.packets == stats.fused + stats.slow_path
+
+
+class TestEngineSelection:
+    """MANTIS_PIPELINE=columnar and the numpy fail-fast (satellite 1)."""
+
+    def test_env_selects_columnar(self, monkeypatch):
+        monkeypatch.setenv("MANTIS_PIPELINE", "columnar")
+        system = MantisSystem.from_source(APPS["dos"][0], num_ports=8)
+        assert isinstance(system.asic.executor, ColumnarPipeline)
+
+    def test_missing_numpy_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(columnar, "HAVE_NUMPY", False)
+        with pytest.raises(SwitchError, match="requires numpy"):
+            MantisSystem.from_source(
+                APPS["dos"][0], num_ports=8, execution_mode="columnar"
+            )
+
+    def test_profiling_disables_columnar_plans_not_correctness(self):
+        workload = APPS["dos"][2](36)
+        plain = _build("dos", "columnar")
+        plain_obs = _run_batch_nosink(plain, workload, batch_size=12)
+        profiled = _build("dos", "columnar")
+        profile = profiled.asic.enable_profiling()
+        assert isinstance(profiled.asic.executor, ColumnarPipeline)
+        assert profiled.asic.executor.columnar_ops("ingress") is None
+        profiled_obs = _run_batch_nosink(profiled, workload, batch_size=12)
+        assert profiled_obs == plain_obs
+        _assert_same_state(plain, profiled)
+        assert profile.snapshot()["control_runs"]["ingress"] == 36
+        assert profiled.asic.batch_stats.columnar == 0
+
+
+class TestNetworkSimBurst:
+    """The fabric's burst path on the columnar engine: coalesced
+    sends agree with the compiled engine packet-for-packet."""
+
+    @staticmethod
+    def _run(execution_mode: str):
+        from repro.apps.dos import DOS_P4R
+        from repro.net.hosts import SinkHost, UdpSender
+        from repro.net.sim import NetworkSim, PortConfig
+
+        system = MantisSystem.from_source(
+            DOS_P4R, num_ports=8, execution_mode=execution_mode
+        )
+        system.agent.prologue()
+        system.driver.add_entry("route", [0x0A00FFFF], "forward", [1])
+        sim = NetworkSim(system)
+        sim.configure_port(
+            1, PortConfig(bandwidth_gbps=2.0, queue_capacity_pkts=8)
+        )
+        sink = SinkHost("victim")
+        sim.attach_host(sink, 1)
+        sender = UdpSender(
+            "src",
+            {"ipv4.srcAddr": 0x0AFF0001, "ipv4.dstAddr": 0x0A00FFFF},
+            rate_gbps=8.0,
+            burst_size=16,
+        )
+        sim.attach_host(sender, 2)
+        sender.start(at_us=1.0)
+        sim.run_until(360.25, agent=False)
+        sender.stop()
+        sim.run_until(460.0, agent=False)
+        return system, sim, sink
+
+    def test_columnar_burst_matches_compiled(self):
+        ref_system, ref_sim, ref_sink = self._run("compiled")
+        system, sim, sink = self._run("columnar")
+        assert sink.rx_packets == ref_sink.rx_packets
+        assert sink.windows == ref_sink.windows
+        assert sim.delivered == ref_sim.delivered
+        assert sim.switch_drops == ref_sim.switch_drops
+        state = asic_state_snapshot(system.asic)
+        ref_state = asic_state_snapshot(ref_system.asic)
+        for section in state:
+            assert state[section] == ref_state[section], section
+        stats = system.asic.batch_stats
+        assert stats.packets == stats.fused + stats.slow_path
+        assert stats.columnar > 0  # vectorized ingress above the sink
+
+
+OOR_SPEC_P4R = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+
+action widecast() { modify_field(standard_metadata.egress_spec, 200); }
+table blast { actions { widecast; } default_action : widecast(); }
+control ingress { apply(blast); }
+"""
+
+
+class TestBatchStatsErrorAccounting:
+    """Satellite 6: a SwitchError mid-batch must leave
+    ``packets == fused + slow_path`` (every packet bucketed once)."""
+
+    @pytest.mark.parametrize("mode", ["compiled", "columnar"])
+    def test_oor_egress_spec_keeps_invariant(self, mode: str):
+        system = MantisSystem.from_source(
+            OOR_SPEC_P4R, num_ports=8, execution_mode=mode
+        )
+        system.agent.prologue()
+        packets = [Packet({"hdr.f": i}) for i in range(10)]
+        with pytest.raises(SwitchError, match="egress_spec"):
+            system.asic.process_batch(packets)
+        stats = system.asic.batch_stats
+        assert stats.packets == 10
+        assert stats.packets == stats.fused + stats.slow_path
+
+    @pytest.mark.parametrize("mode", ["compiled", "columnar"])
+    def test_oor_egress_spec_with_sink_keeps_invariant(self, mode: str):
+        system = MantisSystem.from_source(
+            OOR_SPEC_P4R, num_ports=8, execution_mode=mode
+        )
+        system.agent.prologue()
+        packets = [Packet({"hdr.f": i}) for i in range(6)]
+        with pytest.raises(SwitchError, match="egress_spec"):
+            system.asic.process_batch(packets, sink=lambda i, r: None)
+        stats = system.asic.batch_stats
+        assert stats.packets == 6
+        assert stats.packets == stats.fused + stats.slow_path
