@@ -12,6 +12,9 @@ the Mantis stack, plus the baselines they are compared against.
   via runtime reconfiguration of the ECMP hash inputs (MAD-driven).
 - :mod:`repro.apps.rl` -- use case #4: reinforcement learning
   (epsilon-greedy Q-learning) tuning of the DCTCP ECN marking threshold.
+- :mod:`repro.apps.linkguard` -- use case #6: LinkGuardian-style
+  lossy-link detection (sequence-gap probe counters) and protection
+  (reroute to the parallel link / disable the lossy port).
 """
 
 from repro.apps.sketch import (

@@ -428,6 +428,8 @@ def run_multihop_failover(
         },
         "rerouted": rerouted0 is not None,
         "sink_timeline_gbps": scenario.sink.timeline_gbps(fabric.clock.now),
+        "links": fabric.link_fault_summary(),
+        "drop_totals": fabric.drop_totals(),
     }
 
 

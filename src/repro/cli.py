@@ -17,7 +17,10 @@ Subcommands mirror the workflow of the paper's toolchain:
   Figure 15 DoS workload (tier-2 perf gate);
 - ``bench-agent`` -- measure the control-plane fast path: compiled vs
   interpreted reactions/sec, dirty-diff vs full commit op counts, and
-  the delta-polling skip rate (tier-2 perf gate).
+  the delta-polling skip rate (tier-2 perf gate);
+- ``bench-linkguard`` -- sweep lossy-link rates through the
+  LinkGuardian-style protection scenario and emit throughput/FCT
+  curves comparing no-protection vs Mantis protection.
 
 Usage:  python -m repro.cli compile prog.p4r -o build/
 """
@@ -213,6 +216,11 @@ def cmd_run_fabric(args) -> int:
               f"engine={agent_info['reaction_engine']}, "
               f"commits={agent_info['commit_mode']}, "
               f"dirty-diff hits={agent_info['dirty_diff_hit_rate']:.1%}")
+    for link in summary.get("links", []):
+        state = "up" if link["up"] else "DOWN"
+        print(f"link {link['name']:13s}: {state}, "
+              f"fault_dropped={link['fault_dropped']}, "
+              f"fault_corrupted={link['fault_corrupted']}")
     latency = detection["detection_latency_us"]
     if summary["rerouted"]:
         print(f"detection latency : {latency:.1f} us "
@@ -311,6 +319,65 @@ def cmd_bench_agent(args) -> int:
     if json_path:
         print(f"wrote {json_path}")
     return 0
+
+
+def cmd_bench_linkguard(args) -> int:
+    import json
+
+    from repro.apps.linkguard import run_linkguard_sweep
+
+    try:
+        loss_rates = tuple(
+            float(part) for part in args.loss.split(",") if part.strip()
+        )
+    except ValueError:
+        print(f"error: --loss expects comma-separated rates, "
+              f"got {args.loss!r}", file=sys.stderr)
+        return 1
+    if not loss_rates:
+        print("error: --loss expects at least one rate", file=sys.stderr)
+        return 1
+    result = run_linkguard_sweep(
+        loss_rates=loss_rates,
+        duration_us=args.duration,
+        probe_period_us=args.probe_period,
+        transfer_packets=args.transfer,
+    )
+    print(f"scenario          : linkguard loss sweep "
+          f"({args.duration:.0f} us per run, tcp transport)")
+    print(f"{'loss':>8s} {'base Gbps':>10s} {'prot Gbps':>10s} "
+          f"{'tput x':>7s} {'base FCT':>9s} {'prot FCT':>9s} "
+          f"{'FCT x':>6s} {'protect@us':>10s}")
+    for loss in loss_rates:
+        point = result["points"][repr(loss)]
+        base = point["baseline"]
+        prot = point["protected"]
+        def fmt(value, width, precision=2):
+            if value is None:
+                return f"{'-':>{width}s}"
+            return f"{value:>{width}.{precision}f}"
+
+        print(f"{loss:>8g} {base['throughput_gbps']:>10.2f} "
+              f"{prot['throughput_gbps']:>10.2f} "
+              f"{point['throughput_ratio']:>7.2f} "
+              f"{fmt(base['avg_fct_us'], 9, 1)} "
+              f"{fmt(prot['avg_fct_us'], 9, 1)} "
+              f"{fmt(point['fct_ratio'], 6)} "
+              f"{fmt(prot.get('protect_time_us'), 10, 1)}")
+    gate = result["gate"]
+    if gate["pass"] is not None:
+        verdict = "PASS" if gate["pass"] else "FAIL"
+        fct = (f"{gate['fct_ratio']:.2f}x"
+               if gate["fct_ratio"] is not None else "-")
+        print(f"gate @ {gate['loss_rate']:g} loss : {verdict} "
+              f"(throughput {gate['throughput_ratio']:.2f}x, "
+              f"FCT {fct}; need >=2x tput or <=0.5x FCT)")
+    json_path = args.bench_json or args.json
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(result, handle, indent=1)
+        print(f"wrote {json_path}")
+    return 0 if gate["pass"] in (True, None) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,6 +501,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default path: BENCH_agent.json at the "
                               "repo root)")
     p_agent.set_defaults(func=cmd_bench_agent)
+
+    p_guard = sub.add_parser(
+        "bench-linkguard",
+        help="sweep lossy-link rates: no-protection vs Mantis "
+             "linkguard protection (throughput + FCT curves)",
+    )
+    p_guard.add_argument("--loss", default="1e-4,1e-3,1e-2,1e-1",
+                         help="comma-separated loss rates to sweep")
+    p_guard.add_argument("--duration", type=float, default=4000.0,
+                         help="simulated microseconds per run")
+    p_guard.add_argument("--probe-period", type=float, default=1.0,
+                         help="probe period per link direction (us)")
+    p_guard.add_argument("--transfer", type=int, default=64,
+                         help="packets per transfer for FCT samples")
+    p_guard.add_argument("--json", default=None,
+                         help="write the result payload to this path")
+    p_guard.add_argument("--bench-json", nargs="?",
+                         const="BENCH_linkguard.json",
+                         default=None, metavar="PATH",
+                         help="write the tracked benchmark artifact "
+                              "(default path: BENCH_linkguard.json at "
+                              "the repo root)")
+    p_guard.set_defaults(func=cmd_bench_linkguard)
     return parser
 
 

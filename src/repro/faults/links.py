@@ -1,0 +1,68 @@
+"""Lowering link-fault specs onto fabric links.
+
+A :class:`~repro.faults.plan.FaultPlan` may carry specs whose kind is
+``link_drop`` or ``link_corrupt`` (see ``LINK_FAULT_KINDS``).  Those
+specs never intercept driver operations; instead this module expands
+them into :class:`~repro.net.sim.LinkFaultModel` instances attached to
+the fabric's inter-switch links -- the data-plane half of a mixed
+driver+link fault plan.
+
+Determinism contract: the per-model seed is a pure arithmetic function
+of ``(plan.seed, spec_index, link_index)``, so the same plan applied
+to the same topology yields bit-identical drop/corrupt sequences --
+across runs, across per-packet vs burst delivery, and across pipeline
+engines (the models draw from per-direction RNG streams; see
+``LinkFaultModel``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.net.sim import Link, LinkFaultModel, NetworkSim
+
+
+def link_fault_model_for(
+    plan_seed: int, spec: FaultSpec, spec_index: int,
+    link: Link, link_index: int,
+) -> LinkFaultModel:
+    """Build the deterministic :class:`LinkFaultModel` one link-fault
+    spec induces on one link."""
+    seed = plan_seed * 1000003 + spec_index * 9176 + link_index
+    drop_rate = spec.probability if spec.kind == "link_drop" else 0.0
+    corrupt_rate = spec.probability if spec.kind == "link_corrupt" else 0.0
+    return LinkFaultModel(
+        seed=seed,
+        drop_rate=drop_rate,
+        corrupt_rate=corrupt_rate,
+        corrupt_mask=spec.corrupt_mask,
+        window_us=spec.window_us,
+        max_drops=spec.max_triggers,
+        max_corrupts=spec.max_triggers,
+        name=f"spec{spec_index}:{link.name}",
+    )
+
+
+def install_link_fault_plan(
+    plan: FaultPlan, fabric: NetworkSim,
+    links: Optional[List[Link]] = None,
+) -> List[LinkFaultModel]:
+    """Attach every link-fault spec in ``plan`` to the fabric's links.
+
+    ``spec.targets`` (when set) filters by ``Link.name``; otherwise a
+    spec degrades every link.  ``links`` restricts the candidate set
+    (defaults to ``fabric.links``).  Returns the installed models.
+    """
+    candidates = fabric.links if links is None else links
+    installed: List[LinkFaultModel] = []
+    for spec_index, spec in plan.link_specs():
+        for link_index, link in enumerate(candidates):
+            if spec.targets is not None and link.name not in spec.targets:
+                continue
+            model = link_fault_model_for(
+                plan.seed, spec, spec_index, link, link_index
+            )
+            link.fault_models.append(model)
+            installed.append(model)
+    return installed

@@ -34,6 +34,15 @@ from typing import Callable, FrozenSet, List, Optional, Tuple
 
 FAULT_KINDS = ("transient", "latency", "drop", "corrupt")
 
+# Data-plane link fault kinds.  Specs with these kinds never match
+# driver operations -- they are lowered onto fabric links as
+# :class:`~repro.net.sim.LinkFaultModel` instances by
+# :func:`repro.faults.links.install_link_fault_plan`, sharing the
+# plan's seed and the same time-window semantics as driver faults.
+LINK_FAULT_KINDS = ("link_drop", "link_corrupt")
+
+ALL_FAULT_KINDS = FAULT_KINDS + LINK_FAULT_KINDS
+
 # Ops a `drop` fault may target: value writes with no return value.
 DROPPABLE_KINDS = frozenset(
     {"table_modify", "table_set_default", "register_write"}
@@ -65,10 +74,10 @@ class FaultSpec:
     predicate: Optional[Callable[[str, str, str], bool]] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of "
-                f"{FAULT_KINDS}"
+                f"{ALL_FAULT_KINDS}"
             )
         if self.op_kinds is not None:
             self.op_kinds = frozenset(self.op_kinds)
@@ -77,10 +86,16 @@ class FaultSpec:
         if self.channels is not None:
             self.channels = frozenset(self.channels)
 
+    @property
+    def is_link_fault(self) -> bool:
+        return self.kind in LINK_FAULT_KINDS
+
     def matches(
         self, op_kind: str, target: str, channel: str,
         op_index: int, now_us: float,
     ) -> bool:
+        if self.kind in LINK_FAULT_KINDS:
+            return False  # link specs never intercept driver ops
         if self.kind == "drop" and op_kind not in DROPPABLE_KINDS:
             return False
         if self.kind == "corrupt" and op_kind not in CORRUPTIBLE_KINDS:
@@ -120,6 +135,22 @@ class FaultPlan:
             (spec.window_us[1] for spec in self.specs if spec.window_us),
             default=0.0,
         )
+
+    def link_specs(self) -> List[Tuple[int, FaultSpec]]:
+        """``(spec_index, spec)`` pairs of the link-fault specs."""
+        return [
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if spec.is_link_fault
+        ]
+
+    def driver_specs(self) -> List[Tuple[int, FaultSpec]]:
+        """``(spec_index, spec)`` pairs of the driver-fault specs."""
+        return [
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if not spec.is_link_fault
+        ]
 
 
 @dataclass
@@ -215,6 +246,7 @@ def random_fault_plan(
     duration_us: float = 2000.0,
     max_specs: int = 6,
     kinds: Tuple[str, ...] = FAULT_KINDS,
+    link_fraction: float = 0.0,
 ) -> FaultPlan:
     """Generate a randomized, bounded fault plan.
 
@@ -222,10 +254,21 @@ def random_fault_plan(
     duration_us]`` and trigger-capped, so the plan is guaranteed to go
     quiet: after ``plan.end_us()`` the system must be able to converge
     back to healthy.  Identical seeds produce identical plans.
+
+    With ``link_fraction > 0`` each spec slot becomes a *link* fault
+    (``link_drop``/``link_corrupt``, lowered onto fabric links by
+    :func:`repro.faults.links.install_link_fault_plan`) with that
+    probability -- a mixed driver+link plan for the randomized sweep.
+    The ``link_fraction`` roll is short-circuited at 0.0 so the
+    default draw sequence (hence every existing seeded plan) is
+    unchanged.
     """
     rng = random.Random(seed)
     specs: List[FaultSpec] = []
     for _ in range(rng.randint(2, max_specs)):
+        if link_fraction > 0.0 and rng.random() < link_fraction:
+            specs.append(_random_link_spec(rng, start_us, duration_us))
+            continue
         kind = rng.choice(kinds)
         window_start = start_us + rng.random() * duration_us * 0.7
         window_len = duration_us * (0.05 + rng.random() * 0.3)
@@ -254,3 +297,42 @@ def random_fault_plan(
             )
         )
     return FaultPlan(seed=seed, specs=specs)
+
+
+def _random_link_spec(
+    rng: random.Random, start_us: float, duration_us: float
+) -> FaultSpec:
+    """One randomized link-fault spec.
+
+    ``probability`` is reinterpreted as the per-packet drop/corrupt
+    rate (log-uniform over ~1e-3..1e-1, the LinkGuardian regime);
+    ``max_triggers`` caps the damage so plans still go quiet.
+    """
+    kind = rng.choice(LINK_FAULT_KINDS)
+    window_start = start_us + rng.random() * duration_us * 0.7
+    window_len = duration_us * (0.05 + rng.random() * 0.3)
+    window_end = min(window_start + window_len, start_us + duration_us)
+    return FaultSpec(
+        kind=kind,
+        window_us=(window_start, window_end),
+        probability=10.0 ** rng.uniform(-3.0, -1.0),
+        max_triggers=rng.randint(5, 200),
+        corrupt_mask=1 << rng.randrange(0, 16),
+    )
+
+
+def random_mixed_fault_plan(
+    seed: int,
+    start_us: float = 0.0,
+    duration_us: float = 2000.0,
+    max_specs: int = 8,
+    link_fraction: float = 0.45,
+) -> FaultPlan:
+    """A mixed driver+link plan -- what the 50-seed CI sweep runs."""
+    return random_fault_plan(
+        seed,
+        start_us=start_us,
+        duration_us=duration_us,
+        max_specs=max_specs,
+        link_fraction=link_fraction,
+    )

@@ -171,3 +171,50 @@ class HeartbeatGenerator(Host):
             self.sim.send_to_switch(packet, self.port)
             self.tx_packets += 1
         self.sim.events.schedule(now + self.period_us, self._tick)
+
+
+class SeqProbeGenerator(Host):
+    """Emits sequence-numbered probe packets every ``period_us``.
+
+    The LinkGuardian-style loss detector: each probe carries a strictly
+    incrementing sequence number in ``seq_field``, so the receiving
+    switch can count delivered-vs-expected gaps per ingress port and
+    estimate the effective loss rate of the link the probes crossed
+    (see :mod:`repro.apps.linkguard`)."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: Dict[str, int],
+        period_us: float = 1.0,
+        size_bytes: int = 64,
+        seq_field: str = "guard.seq",
+        start_seq: int = 1,
+    ):
+        super().__init__(name)
+        self.fields = dict(fields)
+        self.period_us = period_us
+        self.size_bytes = size_bytes
+        self.seq_field = seq_field
+        self.next_seq = start_seq
+        self.tx_packets = 0
+        self._running = False
+
+    def start(self, at_us: Optional[float] = None) -> None:
+        self._running = True
+        start = self.sim.clock.now if at_us is None else at_us
+        self.sim.events.schedule(start, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self, now: float) -> None:
+        if not self._running:
+            return
+        fields = dict(self.fields)
+        fields[self.seq_field] = self.next_seq
+        self.next_seq += 1
+        packet = Packet(fields, size_bytes=self.size_bytes)
+        self.sim.send_to_switch(packet, self.port)
+        self.tx_packets += 1
+        self.sim.events.schedule(now + self.period_us, self._tick)

@@ -36,6 +36,8 @@ never blocks on the CPU).
 
 from __future__ import annotations
 
+import random
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -60,6 +62,116 @@ class PortConfig:
 
 
 @dataclass
+class LinkFaultModel:
+    """Seeded degradation of one link: probabilistic drops and bit
+    corruption (the LinkGuardian-style lossy-link failure mode, as
+    opposed to the binary cable kill of :attr:`Link.up`).
+
+    Attach to an inter-switch :class:`Link` (both directions) or to a
+    host-facing :class:`_PortState` (``FabricSwitch.set_port_fault``).
+    Every decision is drawn from seeded per-direction RNG streams, so
+    the drop/corrupt sequence for a given packet stream is a pure
+    function of ``(seed, direction, packet order)`` -- bit-identical
+    across per-packet and coalesced-burst delivery and across pipeline
+    engines (burst coalescing may reorder *foreign* events around a
+    burst, but never packets within one direction of one link, which
+    is why the streams are per-direction).
+
+    ``window_us`` bounds the degradation to a simulated-time interval
+    (gated on each packet's wire arrival instant, which is float-exact
+    across delivery paths); ``active`` is the on/off switch that
+    :meth:`NetworkSim.install_link_fault` toggles through scheduled
+    events.  ``max_drops``/``max_corrupts`` cap the damage so
+    randomized fault plans are guaranteed to go quiet.
+
+    Corruption flips one bit (``corrupt_mask``, or a random bit below
+    32 when ``None``) in one packet field drawn from
+    ``corrupt_fields`` -- by default any non-``standard_metadata``
+    field (wire corruption cannot touch switch-local intrinsic
+    metadata).  The corrupted packet continues; drops vanish and are
+    counted here, and only here (exactly-once accounting).
+    """
+
+    seed: int
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_fields: Optional[Tuple[str, ...]] = None
+    corrupt_mask: Optional[int] = None
+    window_us: Optional[Tuple[float, float]] = None
+    max_drops: Optional[int] = None
+    max_corrupts: Optional[int] = None
+    name: str = ""
+    active: bool = True
+    dropped: int = 0
+    corrupted: int = 0
+    # (time_us, direction, kind, detail) -- the deterministic event
+    # log the seeded-determinism tests compare bit-for-bit.
+    events: List[Tuple[float, str, str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rngs: Dict[str, random.Random] = {}
+
+    def _rng(self, direction: str) -> random.Random:
+        rng = self._rngs.get(direction)
+        if rng is None:
+            rng = random.Random(
+                self.seed * 0x9E3779B1 + zlib.crc32(direction.encode())
+            )
+            self._rngs[direction] = rng
+        return rng
+
+    def set_active(self, active: bool) -> None:
+        self.active = active
+
+    def admit(self, packet: Packet, now_us: float, direction: str) -> Optional[str]:
+        """Roll this packet's fate: ``"drop"``, ``"corrupt"`` (fields
+        already flipped in place), or ``None`` (unharmed)."""
+        if not self.active:
+            return None
+        if self.window_us is not None:
+            start, end = self.window_us
+            if not start <= now_us <= end:
+                return None
+        rng = self._rng(direction)
+        if self.drop_rate > 0.0 and (
+            self.max_drops is None or self.dropped < self.max_drops
+        ):
+            if rng.random() < self.drop_rate:
+                self.dropped += 1
+                self.events.append((now_us, direction, "drop", ""))
+                return "drop"
+        if self.corrupt_rate > 0.0 and (
+            self.max_corrupts is None or self.corrupted < self.max_corrupts
+        ):
+            if rng.random() < self.corrupt_rate:
+                return self._corrupt(packet, now_us, direction, rng)
+        return None
+
+    def _corrupt(
+        self, packet: Packet, now_us: float, direction: str,
+        rng: random.Random,
+    ) -> Optional[str]:
+        eligible = self.corrupt_fields
+        if eligible is None:
+            eligible = tuple(sorted(
+                key for key in packet.fields
+                if not key.startswith("standard_metadata.")
+            ))
+        if not eligible:
+            return None
+        field_name = eligible[rng.randrange(len(eligible))]
+        mask = self.corrupt_mask
+        if mask is None:
+            mask = 1 << rng.randrange(32)
+        packet.fields[field_name] = packet.fields.get(field_name, 0) ^ mask
+        self.corrupted += 1
+        self.events.append(
+            (now_us, direction, "corrupt", f"{field_name}^0x{mask:x}")
+        )
+        return "corrupt"
+
+
+@dataclass
 class _PortState:
     config: PortConfig
     busy_until: float = 0.0
@@ -68,6 +180,14 @@ class _PortState:
     tx_packets: int = 0
     tx_bytes: int = 0
     dropped: int = 0
+    # Host->switch wire losses: packets sent toward a down ingress
+    # port, or arriving after it went down mid-flight.  Kept separate
+    # from ``dropped`` (egress-side losses) so every lost packet lands
+    # in exactly one bucket (see NetworkSim.drop_totals).
+    rx_dropped: int = 0
+    # Optional lossy-link model for the host-facing cable (both
+    # directions); inter-switch cables carry theirs on the Link.
+    fault: Optional[LinkFaultModel] = None
     # bits-per-us denominator, precomputed once: serialization on the
     # per-packet path is then ``size * 8 / rate_bits_per_us`` -- the
     # same float operations (hence bit-identical results) as
@@ -97,10 +217,39 @@ class Link:
     switch_b: "FabricSwitch"
     port_b: int
     up: bool = True
+    # Degradation models applied (in order) to every packet crossing
+    # the cable in either direction; the first "drop" verdict wins.
+    fault_models: List[LinkFaultModel] = field(default_factory=list)
 
     def endpoints(self) -> Tuple[Tuple["FabricSwitch", int],
                                  Tuple["FabricSwitch", int]]:
         return (self.switch_a, self.port_a), (self.switch_b, self.port_b)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.switch_a.name}:{self.port_a}"
+            f"<->{self.switch_b.name}:{self.port_b}"
+        )
+
+    @property
+    def fault_dropped(self) -> int:
+        return sum(model.dropped for model in self.fault_models)
+
+    @property
+    def fault_corrupted(self) -> int:
+        return sum(model.corrupted for model in self.fault_models)
+
+    def admit(self, packet: Packet, now_us: float, direction: str) -> Optional[str]:
+        """Run the packet through every fault model on the cable."""
+        verdict = None
+        for model in self.fault_models:
+            result = model.admit(packet, now_us, direction)
+            if result == "drop":
+                return "drop"
+            if result is not None:
+                verdict = result
+        return verdict
 
 
 class FabricSwitch:
@@ -182,6 +331,14 @@ class FabricSwitch:
         Figure 16 experiment's 'switch API that disables ports')."""
         self._port(port).up = up
 
+    def set_port_fault(
+        self, port: int, model: Optional[LinkFaultModel]
+    ) -> Optional[LinkFaultModel]:
+        """Attach (or clear, with ``None``) a lossy-link model to a
+        host-facing port; applies to both directions of that cable."""
+        self._port(port).fault = model
+        return model
+
     def _add_peer(self, port: int, peer: "FabricSwitch", peer_port: int,
                   link: Link) -> None:
         if port in self.hosts:
@@ -226,15 +383,31 @@ class FabricSwitch:
         """A host puts a packet on the wire toward the switch."""
         port = self._port(ingress_port)
         if not port.up:
-            return  # link down: the packet never arrives
+            port.rx_dropped += 1  # link down: the packet never arrives
+            return
         arrival = (
             self.clock.now
             + delay_us
             + port.config.latency_us
             + packet.size_bytes * 8 / port.rate_bits_per_us
         )
+        if (
+            port.fault is not None
+            and port.fault.admit(packet, arrival, "in") == "drop"
+        ):
+            return  # lost on the wire; counted by the fault model
         packet.fields["standard_metadata.ingress_port"] = ingress_port
-        self.events.schedule(arrival, lambda now, p=packet: self._ingress(p, now))
+        self.events.schedule(
+            arrival, lambda now, p=packet, ps=port: self._arrive(ps, p, now)
+        )
+
+    def _arrive(self, port: _PortState, packet: Packet, now: float) -> None:
+        """Wire arrival of one host packet: re-check the ingress port
+        (it may have gone down mid-flight) before pipeline entry."""
+        if not port.up:
+            port.rx_dropped += 1
+            return
+        self._ingress(packet, now)
 
     def send_burst_to_switch(
         self,
@@ -260,19 +433,31 @@ class FabricSwitch:
             return
         port = self._port(ingress_port)
         if not port.up:
+            port.rx_dropped += len(packets)
             return
         latency = port.config.latency_us
         rate = port.rate_bits_per_us
+        fault = port.fault
         times: List[float] = []
+        batch: List[Packet] = []
         send = self.clock.now + delay_us
         for packet in packets:
-            packet.fields["standard_metadata.ingress_port"] = ingress_port
-            times.append(send + latency + packet.size_bytes * 8 / rate)
+            arrival = send + latency + packet.size_bytes * 8 / rate
             send += spacing_us
-        batch = list(packets)
+            # Same arrival-time gating and per-direction RNG order as
+            # the scalar path, so drop decisions are bit-identical.
+            if fault is not None and fault.admit(packet, arrival, "in") == "drop":
+                continue
+            packet.fields["standard_metadata.ingress_port"] = ingress_port
+            times.append(arrival)
+            batch.append(packet)
+        if not batch:
+            return
         self.events.schedule(
             times[0],
-            lambda _now, b=batch, t=times: self._ingress_burst(b, t),
+            lambda _now, b=batch, t=times, ps=port: self._ingress_burst(
+                b, t, ps
+            ),
         )
 
     def _ingress(self, packet: Packet, now: float) -> None:
@@ -283,7 +468,17 @@ class FabricSwitch:
         egress_port, packet = result
         self._enqueue(egress_port, packet, now)
 
-    def _ingress_burst(self, packets: List[Packet], times: List[float]) -> None:
+    def _ingress_burst(
+        self,
+        packets: List[Packet],
+        times: List[float],
+        port: Optional[_PortState] = None,
+    ) -> None:
+        if port is not None and not port.up:
+            # The ingress port went down between send and arrival; the
+            # whole in-flight burst is lost on the wire.
+            port.rx_dropped += len(packets)
+            return
         # The sink keeps queue accounting causal (packet i enqueued
         # before i+1 reads depths), which also pins the columnar engine
         # to its scalar traffic-manager tail: vectorized ingress sweeps
@@ -336,6 +531,10 @@ class FabricSwitch:
             if not link.up or not peer_switch._port(peer_port).up:
                 self._port(port_index).dropped += 1
                 return
+            if link.fault_models:
+                direction = "a2b" if link.switch_a is self else "b2a"
+                if link.admit(packet, now, direction) == "drop":
+                    return  # lost on the wire; the fault model counts it
             # Next hop: the wire traversal (serialization + latency)
             # was already paid at this switch's egress queue, so the
             # packet enters the peer's pipeline at the arrival instant.
@@ -343,6 +542,12 @@ class FabricSwitch:
             packet.fields["standard_metadata.ingress_port"] = peer_port
             peer_switch._ingress(packet, now)
             return
+        port_state = self._port(port_index)
+        if (
+            port_state.fault is not None
+            and port_state.fault.admit(packet, now, "out") == "drop"
+        ):
+            return  # lost on the last hop toward the host
         self.delivered += 1
         host = self.hosts.get(port_index)
         if host is not None:
@@ -485,6 +690,80 @@ class NetworkSim:
         self.scheduler.at(
             time_us, lambda _now: self.set_link_state(link, False)
         )
+
+    def restore_link_at(self, link: Link, time_us: float) -> None:
+        """Schedule a cable repair -- with :meth:`fail_link_at` this
+        models flap/repair timelines, not just permanent kills."""
+        self.scheduler.at(
+            time_us, lambda _now: self.set_link_state(link, True)
+        )
+
+    def install_link_fault(
+        self,
+        link: Link,
+        model: LinkFaultModel,
+        at_us: Optional[float] = None,
+        until_us: Optional[float] = None,
+    ) -> LinkFaultModel:
+        """Attach a :class:`LinkFaultModel` to a cable, optionally
+        scheduling its on/off window through the event queue (``at_us``
+        arms it, ``until_us`` disarms; either may be ``None``)."""
+        link.fault_models.append(model)
+        if at_us is not None:
+            model.active = False
+            self.scheduler.at(at_us, lambda _now: model.set_active(True))
+        if until_us is not None:
+            self.scheduler.at(until_us, lambda _now: model.set_active(False))
+        return model
+
+    # ---- accounting -------------------------------------------------------
+
+    def drop_totals(self) -> Dict[str, int]:
+        """Fabric-wide conservation ledger.  After the fabric quiesces,
+        every packet a host put on a wire is in exactly one bucket::
+
+            sent == delivered + switch_drops + egress_dropped
+                    + rx_dropped + port_fault_dropped + link_fault_dropped
+
+        (corruption does not consume packets -- corrupted packets keep
+        flowing and land in one of the buckets above)."""
+        totals = {
+            "delivered": 0,
+            "forwarded": 0,
+            "switch_drops": 0,
+            "egress_dropped": 0,
+            "rx_dropped": 0,
+            "port_fault_dropped": 0,
+            "port_fault_corrupted": 0,
+            "link_fault_dropped": 0,
+            "link_fault_corrupted": 0,
+        }
+        for switch in self._switch_order:
+            totals["delivered"] += switch.delivered
+            totals["forwarded"] += switch.forwarded
+            totals["switch_drops"] += switch.switch_drops
+            for port in switch.ports.values():
+                totals["egress_dropped"] += port.dropped
+                totals["rx_dropped"] += port.rx_dropped
+                if port.fault is not None:
+                    totals["port_fault_dropped"] += port.fault.dropped
+                    totals["port_fault_corrupted"] += port.fault.corrupted
+        for link in self.links:
+            totals["link_fault_dropped"] += link.fault_dropped
+            totals["link_fault_corrupted"] += link.fault_corrupted
+        return totals
+
+    def link_fault_summary(self) -> List[Dict[str, object]]:
+        """Per-link state for ``run-fabric``-style JSON summaries."""
+        return [
+            {
+                "name": link.name,
+                "up": link.up,
+                "fault_dropped": link.fault_dropped,
+                "fault_corrupted": link.fault_corrupted,
+            }
+            for link in self.links
+        ]
 
     # ---- time ------------------------------------------------------------
 

@@ -39,6 +39,7 @@ class TcpFlow(Host):
         dctcp_g: float = 0.0625,
         use_dctcp: bool = False,
         pace_interval_us: float = 0.0,
+        transfer_packets: Optional[int] = None,
     ):
         super().__init__(name)
         self.fields = dict(fields)
@@ -67,12 +68,23 @@ class TcpFlow(Host):
         self._window_marks = 0
         self._running = False
         self._outstanding: Dict[int, float] = {}  # seq -> send time
+        # FCT instrumentation: with ``transfer_packets`` set, the flow
+        # is a back-to-back series of fixed-size transfers; every time
+        # that many packets are cumulatively ACKed, one flow-completion
+        # time is recorded and the next transfer starts immediately
+        # (cwnd carries over -- the steady-state FCT the loss-rate
+        # benchmark curves plot).
+        self.transfer_packets = transfer_packets
+        self.fct_samples: list = []
+        self._transfer_start = 0.0
+        self._transfer_acked = 0
 
     # ---- control ----------------------------------------------------------
 
     def start(self, at_us: Optional[float] = None) -> None:
         self._running = True
         start = self.sim.clock.now if at_us is None else at_us
+        self._transfer_start = start
         self.sim.events.schedule(start, lambda now: self._pump(now))
 
     def stop(self) -> None:
@@ -81,6 +93,16 @@ class TcpFlow(Host):
     @property
     def goodput_packets(self) -> int:
         return self.acked
+
+    @property
+    def transfers_completed(self) -> int:
+        return len(self.fct_samples)
+
+    @property
+    def avg_fct_us(self) -> Optional[float]:
+        if not self.fct_samples:
+            return None
+        return sum(self.fct_samples) / len(self.fct_samples)
 
     # ---- sending -----------------------------------------------------------
 
@@ -141,6 +163,12 @@ class TcpFlow(Host):
         del self._outstanding[seq]
         self.in_flight = max(0, self.in_flight - 1)
         self.acked += 1
+        if self.transfer_packets:
+            self._transfer_acked += 1
+            if self._transfer_acked >= self.transfer_packets:
+                self.fct_samples.append(now - self._transfer_start)
+                self._transfer_start = now
+                self._transfer_acked = 0
         self._window_acks += 1
         if marked:
             self._window_marks += 1

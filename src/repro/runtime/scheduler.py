@@ -106,6 +106,12 @@ class AgentActor(Actor):
 
     ``max_iterations`` bounds the iterations of one arming (one
     ``run_until`` call), mirroring the legacy busy-loop's guard.
+
+    ``resilient=True`` absorbs :class:`~repro.errors.DriverError`
+    raised by an iteration (counted in :attr:`errors`) instead of
+    letting it unwind the whole fabric run -- the hardware agent's
+    stance under fault injection: log, stay scheduled, retry next
+    turn.  Other exceptions still propagate.
     """
 
     def __init__(
@@ -114,11 +120,14 @@ class AgentActor(Actor):
         period_us: Optional[float] = None,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         name: str = "agent",
+        resilient: bool = False,
     ):
         self.agent = agent
         self.period_us = period_us
         self.max_iterations = max_iterations
         self.name = name
+        self.resilient = resilient
+        self.errors = 0
         self._budget = max_iterations
         self._armed_at = 0.0
 
@@ -130,7 +139,15 @@ class AgentActor(Actor):
         if self._budget <= 0:
             return None
         self._budget -= 1
-        self.agent.run_iteration()
+        if self.resilient:
+            from repro.errors import DriverError
+
+            try:
+                self.agent.run_iteration()
+            except DriverError:
+                self.errors += 1
+        else:
+            self.agent.run_iteration()
         clock_now = self.agent.driver.clock.now
         if self._budget <= 0:
             return None

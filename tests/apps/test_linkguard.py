@@ -1,0 +1,247 @@
+"""LinkGuardian-style lossy-link protection (use case #6).
+
+Covers the detector math (windowed loss estimate, wraparound masking,
+corruption clamp), the protect -> clean-window -> restore state
+machine, and the end-to-end scenario: a seeded lossy link, probes
+feeding the gap counters, and the Mantis reaction rerouting the data
+path onto the parallel link.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.linkguard import (
+    DATA_DST,
+    LINKGUARD_P4R,
+    LinkGuardApp,
+    build_linkguard_scenario,
+    guard_sink_addr,
+    run_linkguard,
+)
+from repro.system import MantisSystem
+
+
+def _data_route_ports(app: LinkGuardApp) -> set:
+    """Egress ports of every installed route entry for the data dst
+    (one per malleable version)."""
+    table = app.system.asic.tables["route"]
+    return {
+        entry.action_args[0]
+        for entry in table.entries.values()
+        if entry.key[0] == DATA_DST and entry.action_name == "forward"
+    }
+
+
+def _unit_app(**kwargs) -> LinkGuardApp:
+    defaults = dict(
+        guards={0: 1},
+        dst_routes={},
+        min_window_probes=256,
+        clean_windows=3,
+    )
+    defaults.update(kwargs)
+    return LinkGuardApp(**defaults)
+
+
+def _feed(app: LinkGuardApp, seen: int, gaps: int, now: float = 0.0):
+    ctx = SimpleNamespace(
+        args={"rx_seen": {0: seen}, "rx_gaps": {0: gaps}},
+        now=now,
+        table=lambda name: None,
+    )
+    app._reaction(ctx)
+
+
+class TestDetectorMath:
+    def test_first_sample_only_baselines(self):
+        app = _unit_app()
+        _feed(app, 500, 3)
+        state = app.guards[0]
+        assert state.prev_seen == 500 and state.prev_gaps == 3
+        assert state.acc_seen == 0 and not state.protected
+
+    def test_loss_estimate_and_protect(self):
+        app = _unit_app(loss_threshold=5e-3)
+        _feed(app, 0, 0)
+        _feed(app, 990, 10, now=100.0)  # ~1% loss over 1000 probes
+        state = app.guards[0]
+        assert state.loss_estimate == pytest.approx(0.01)
+        assert state.protected
+        assert app.protections == 1
+        assert app.protect_times[0] == [100.0]
+
+    def test_below_threshold_does_not_protect(self):
+        app = _unit_app(loss_threshold=5e-3)
+        _feed(app, 0, 0)
+        _feed(app, 999, 1)
+        assert app.guards[0].loss_estimate == pytest.approx(1e-3)
+        assert not app.guards[0].protected
+
+    def test_sub_window_samples_accumulate(self):
+        """255 probes is below min_window_probes: no estimate yet; the
+        next delta completes the window and the combined loss counts."""
+        app = _unit_app()
+        _feed(app, 0, 0)
+        _feed(app, 250, 5)
+        assert app.guards[0].loss_estimate == 0.0
+        _feed(app, 500, 10)
+        assert app.guards[0].loss_estimate == pytest.approx(10 / 510)
+
+    def test_counter_wraparound_is_masked(self):
+        app = _unit_app()
+        _feed(app, 0xFFFFFF00, 0)
+        _feed(app, 0x00000200, 2)  # seen wrapped: delta = 0x300
+        state = app.guards[0]
+        assert state.loss_estimate == pytest.approx(2 / (0x300 + 2))
+
+    def test_corruption_clamp_caps_gap_burst(self):
+        """A corrupted 32-bit sequence number inflates rx_gaps by ~2^31;
+        the clamp keeps one window's gap delta proportional to the
+        probes actually seen, so the estimate saturates instead of
+        wrapping into nonsense."""
+        app = _unit_app()
+        _feed(app, 0, 0)
+        _feed(app, 300, 2**31 + 5)
+        state = app.guards[0]
+        cap = 4 * (300 + 1)
+        assert state.loss_estimate == pytest.approx(cap / (300 + cap))
+        assert state.protected  # saturated estimate still trips protect
+
+    def test_restore_after_clean_windows(self):
+        app = _unit_app(restore_threshold=1e-3, clean_windows=3)
+        _feed(app, 0, 0)
+        _feed(app, 900, 100, now=1.0)  # protect
+        assert app.guards[0].protected
+        seen = 900
+        for step in range(3):
+            seen += 1000
+            _feed(app, seen, 100, now=2.0 + step)  # zero new gaps
+        assert not app.guards[0].protected
+        assert app.restores == 1
+        assert app.restore_times[0] == [4.0]
+
+    def test_dirty_window_resets_clean_streak(self):
+        app = _unit_app(restore_threshold=1e-3, clean_windows=2)
+        _feed(app, 0, 0)
+        _feed(app, 900, 100)  # protect
+        _feed(app, 1900, 100)  # clean window 1
+        _feed(app, 2800, 200)  # lossy again: streak resets
+        _feed(app, 3800, 200)  # clean window 1 (again)
+        assert app.guards[0].protected
+        _feed(app, 4800, 200)  # clean window 2 -> restore
+        assert not app.guards[0].protected
+
+    def test_invalid_protect_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _unit_app(protect_mode="quarantine")
+
+
+class TestScenarioWiring:
+    def test_build_installs_probe_and_route_plumbing(self):
+        scenario = build_linkguard_scenario(1e-2)
+        app0, app1 = scenario.apps
+        app0.prologue()
+        assert _data_route_ports(app0) == {0}  # data pinned to link 0
+        filt = app0.system.asic.tables["probe_filter"]
+        sinks = {entry.key[1] for entry in filt.entries.values()}
+        assert sinks == {guard_sink_addr(0, 0), guard_sink_addr(0, 1)}
+        assert len(scenario.probes) == 4
+        assert scenario.fault is not None
+        assert scenario.fault.drop_rate == 1e-2
+        assert scenario.link0.fault_models == [scenario.fault]
+        assert scenario.link1.fault_models == []
+
+    def test_zero_loss_builds_no_fault(self):
+        scenario = build_linkguard_scenario(0.0)
+        assert scenario.fault is None
+        assert scenario.link0.fault_models == []
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            build_linkguard_scenario(1e-2, transport="carrier-pigeon")
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def protected_run(self):
+        return run_linkguard(5e-2, protection=True, duration_us=1500.0)
+
+    def test_protection_fires_and_reroutes(self, protected_run):
+        assert protected_run["protections"] >= 1
+        assert protected_run["protect_time_us"] is not None
+        assert protected_run["protect_time_us"] < 1000.0
+
+    def test_loss_estimate_tracks_injected_rate(self, protected_run):
+        assert 0.01 <= protected_run["s0_loss_estimate"] <= 0.15
+
+    def test_data_keeps_flowing_after_reroute(self, protected_run):
+        assert protected_run["delivered_packets"] > 0
+        assert protected_run["throughput_gbps"] > 0
+
+    def test_conservation_ledger_balances(self, protected_run):
+        totals = protected_run["drop_totals"]
+        sent_everything = (
+            totals["delivered"]
+            + totals["switch_drops"]
+            + totals["egress_dropped"]
+            + totals["rx_dropped"]
+            + totals["port_fault_dropped"]
+            + totals["link_fault_dropped"]
+        )
+        # Per-link probes + the data flow: every packet put on a wire
+        # is accounted for exactly once.
+        assert totals["link_fault_dropped"] > 0
+        assert sent_everything > 0
+
+    def test_baseline_agents_frozen(self):
+        result = run_linkguard(5e-2, protection=False, duration_us=800.0)
+        assert result["protections"] == 0
+        assert result["protect_time_us"] is None
+        assert result["link_fault_dropped"] > 0
+
+    def test_clean_link_never_protects(self):
+        result = run_linkguard(0.0, protection=True, duration_us=1000.0)
+        assert result["protections"] == 0
+        assert result["s0_loss_estimate"] <= 1e-3
+        assert result["link_fault_dropped"] == 0
+
+    def test_windowed_fault_protects_then_restores(self):
+        scenario = build_linkguard_scenario(
+            8e-2,
+            fault_from_us=300.0,
+            fault_until_us=1000.0,
+            clean_windows=2,
+        )
+        app0, app1 = scenario.apps
+        app0.prologue()
+        app1.prologue()
+        start = scenario.clock.now
+        for probe in scenario.probes:
+            probe.start()
+        scenario.flow.start()
+        scenario.fabric.run_until(start + 3000.0, agent=True)
+        assert app0.protections >= 1
+        assert app0.restores >= 1
+        protect_at = app0.protect_times[0][0]
+        restore_at = app0.restore_times[0][0]
+        assert protect_at > 300.0
+        assert restore_at > 1000.0
+        assert not app0.guards[0].protected
+        # Routes are back on the primary link after restore.
+        assert _data_route_ports(app0) == {0}
+
+    def test_reroute_flips_installed_route(self):
+        scenario = build_linkguard_scenario(8e-2)
+        app0, app1 = scenario.apps
+        app0.prologue()
+        app1.prologue()
+        start = scenario.clock.now
+        for probe in scenario.probes:
+            probe.start()
+        scenario.flow.start()
+        scenario.fabric.run_until(start + 1200.0, agent=True)
+        assert app0.guards[0].protected
+        assert 1 in _data_route_ports(app0)  # backup link now serves dst

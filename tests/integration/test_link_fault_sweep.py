@@ -1,0 +1,118 @@
+"""Randomized MIXED fault sweep: driver faults + lossy/corrupting
+links on the two-switch linkguard fabric.
+
+Each seed builds the full scenario (two Mantis systems with retries
+and commit verification, probes, a UDP data flow), draws one
+:func:`random_mixed_fault_plan`, lowers its driver specs onto BOTH
+control channels and its link specs onto every fabric link, and runs
+the fabric with resilient scheduled agents.  The plan's windows close
+partway through; after a clean tail the run must show:
+
+(a) serializable isolation held on both switches throughout
+    (``VersionInvariantChecker`` clean);
+(b) the packet ledger balances on every path: everything a host put
+    on a wire is delivered or charged to exactly one drop bucket;
+(c) both agents are scheduled and healthy again after the faults
+    clear (resilient actors absorbed any exhausted retries).
+
+``MANTIS_FAULT_SEED`` offsets the seed block so CI can run disjoint
+matrices: base ``B`` covers seeds ``B*1000 .. B*1000+49``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps.linkguard import build_linkguard_scenario
+from repro.faults import (
+    FaultInjector,
+    VersionInvariantChecker,
+    install_link_fault_plan,
+    random_mixed_fault_plan,
+)
+from repro.switch.driver import RetryPolicy
+
+BASE_SEED = int(os.environ.get("MANTIS_FAULT_SEED", "0"))
+NUM_PLANS = 50
+SEEDS = range(BASE_SEED * 1000, BASE_SEED * 1000 + NUM_PLANS)
+
+FAULTY_US = 1100.0
+CLEAN_TAIL_US = 500.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_linkguard_fabric_survives_mixed_plan(seed):
+    scenario = build_linkguard_scenario(
+        loss_rate=0.0,  # the plan injects the link faults
+        transport="udp",
+        data_rate_gbps=2.0,
+        probe_period_us=2.0,
+        pacing_sleep_us=10.0,
+        system_kwargs=dict(retry_policy=RetryPolicy(), verify_commits=True),
+    )
+    fabric = scenario.fabric
+    app0, app1 = scenario.apps
+    checkers = [VersionInvariantChecker(app.system) for app in (app0, app1)]
+    app0.prologue()
+    app1.prologue()
+
+    start = fabric.clock.now
+    plan = random_mixed_fault_plan(seed, start_us=start, duration_us=FAULTY_US)
+    injectors = [
+        FaultInjector(plan).attach(app.system.driver) for app in (app0, app1)
+    ]
+    models = install_link_fault_plan(plan, fabric)
+
+    for switch_name in ("s0", "s1"):
+        fabric.switch(switch_name).agent_actor.resilient = True
+
+    for probe in scenario.probes:
+        probe.start()
+    scenario.sender.start()
+    fabric.run_until(start + FAULTY_US, agent=True)
+
+    # The plan goes quiet: driver injectors off, link models off.
+    for injector in injectors:
+        injector.enabled = False
+    for model in models:
+        model.active = False
+    scenario.sender.stop()
+    for probe in scenario.probes:
+        probe.stop()
+    fabric.run_until(start + FAULTY_US + CLEAN_TAIL_US, agent=True)
+
+    # (a) isolation on both switches: the active-version entry set
+    # only ever changed at vv flips, even mid-fault.
+    for name, checker in zip(("s0", "s1"), checkers):
+        assert checker.violations == [], (
+            f"seed {seed}: {name} isolation violated: {checker.violations}"
+        )
+
+    # (b) conservation: every packet a host sent is delivered or
+    # charged to exactly one drop bucket (corruption never consumes).
+    totals = fabric.drop_totals()
+    host_tx = scenario.sender.tx_packets + sum(
+        probe.tx_packets for probe in scenario.probes
+    )
+    accounted = (
+        totals["delivered"]
+        + totals["switch_drops"]
+        + totals["egress_dropped"]
+        + totals["rx_dropped"]
+        + totals["port_fault_dropped"]
+        + totals["link_fault_dropped"]
+    )
+    assert host_tx == accounted, (
+        f"seed {seed}: ledger off by {host_tx - accounted}: {totals}"
+    )
+
+    # (c) both agents survived and report healthy after the tail.
+    for name, app in (("s0", app0), ("s1", app1)):
+        actor = fabric.switch(name).agent_actor
+        health = app.system.agent.health()
+        assert health.healthy, (
+            f"seed {seed}: {name} degraded after clean tail "
+            f"(actor errors={actor.errors}): {health}"
+        )
