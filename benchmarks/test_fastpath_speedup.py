@@ -10,8 +10,10 @@ columnar struct-of-arrays sweep (``process_batch_columnar`` over a
 ``ColumnarPool``, best of the batch-size sweep), and asserts the
 compiled engine is at least 3x the interpreter's packet rate, the
 batch path at least 2x the compiled per-packet rate, and the columnar
-path at least 5x the batch rate.  All numbers land in a JSON artifact
-so the speedups are tracked across PRs.
+path at least 5x the batch rate.  The ECMP rotating-hash workload
+(vectorized crc16 + dynamic-index egress counter) must also hit 5x
+over batch with no ``drain:`` fallbacks.  All numbers land in a JSON
+artifact so the speedups are tracked across PRs.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ N_PACKETS = 12_000
 MIN_SPEEDUP = 3.0
 MIN_BATCH_SPEEDUP = 2.0
 MIN_COLUMNAR_SPEEDUP = 5.0
+MIN_ECMP_COLUMNAR_SPEEDUP = 5.0
 
 
 def test_fastpath_speedup(bench_once, bench_json_path):
@@ -44,6 +47,8 @@ def test_fastpath_speedup(bench_once, bench_json_path):
              f"{result['batch_pps']:,.0f}",
              f"{result['batch_elapsed_sec']:.4f}"],
         ] + columnar_rows + [
+            ["ecmp batch", f"{result['ecmp_batch_pps']:,.0f}", ""],
+            ["ecmp columnar", f"{result['ecmp_columnar_pps']:,.0f}", ""],
             ["speedup", f"{result['speedup']:.2f}x", ""],
             ["batch speedup", f"{result['batch_speedup_vs_compiled']:.2f}x",
              ""],
@@ -69,4 +74,21 @@ def test_fastpath_speedup(bench_once, bench_json_path):
     assert result["columnar_speedup_vs_batch"] >= MIN_COLUMNAR_SPEEDUP, (
         f"columnar path only {result['columnar_speedup_vs_batch']:.2f}x "
         f"over batch (target {MIN_COLUMNAR_SPEEDUP}x): {result}"
+    )
+    # ECMP's crc16-over-malleable-inputs action and the dynamic-index
+    # egress counter must lower into the vectorized sweeps: any
+    # ``drain:`` reason means the hash/'g'-kind lowering regressed to
+    # per-lane scalar drains.
+    ecmp_fallbacks = result["fallbacks_by_workload"]["ecmp-rotating-hash"]
+    hash_drains = {
+        reason: count
+        for reason, count in ecmp_fallbacks.items()
+        if reason.startswith("drain:")
+    }
+    assert not hash_drains, ecmp_fallbacks
+    assert result["ecmp_columnar_speedup_vs_batch"] >= (
+        MIN_ECMP_COLUMNAR_SPEEDUP
+    ), (
+        f"ecmp columnar only {result['ecmp_columnar_speedup_vs_batch']:.2f}x "
+        f"over batch (target {MIN_ECMP_COLUMNAR_SPEEDUP}x): {result}"
     )

@@ -14,7 +14,8 @@ Subcommands mirror the workflow of the paper's toolchain:
   JSON summary;
 - ``bench-fastpath`` -- measure packets/sec of the interpreter vs the
   compiled vs the columnar pipeline (with a batch-size sweep) on the
-  Figure 15 DoS workload (tier-2 perf gate);
+  Figure 15 DoS workload plus the ECMP rotating-hash workload, with
+  per-workload columnar fallback counts (tier-2 perf gate);
 - ``bench-agent`` -- measure the control-plane fast path: compiled vs
   interpreted reactions/sec, dirty-diff vs full commit op counts, and
   the delta-polling skip rate (tier-2 perf gate);
@@ -268,12 +269,18 @@ def cmd_bench_fastpath(args) -> int:
     print(f"columnar speedup  : "
           f"{result['columnar_speedup_vs_batch']:.2f}x "
           "(columnar vs batch)")
-    fallbacks = result["columnar_fallbacks"]
-    if args.profile or fallbacks:
+    print(f"ecmp batch        : {result['ecmp_batch_pps']:>12,.1f} pkt/s")
+    print(f"ecmp columnar     : {result['ecmp_columnar_pps']:>12,.1f} pkt/s")
+    print(f"ecmp speedup      : "
+          f"{result['ecmp_columnar_speedup_vs_batch']:.2f}x "
+          "(columnar vs batch)")
+    for workload, fallbacks in sorted(
+        result["fallbacks_by_workload"].items()
+    ):
         rendered = ", ".join(
             f"{reason}={count}" for reason, count in sorted(fallbacks.items())
         ) or "none"
-        print(f"columnar fallbacks: {rendered}")
+        print(f"fallbacks [{workload}]: {rendered}")
     if args.profile:
         profile = result["profile"]
         print("-- hot loops (data plane) --")

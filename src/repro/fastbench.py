@@ -17,6 +17,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.apps.dos import DOS_P4R, DosMitigationApp
+from repro.apps.ecmp import ECMP_P4R, HashPolarizationApp
 from repro.switch.columnar import ColumnarPool
 from repro.switch.packet import Packet, PacketPool, PacketTemplate
 from repro.system import MantisSystem
@@ -26,6 +27,12 @@ ATTACKER_ADDR = 0x0AFF0001
 DST_PORT = 1
 DEFAULT_BATCH_SIZE = 256
 COLUMNAR_SWEEP_SIZES = (256, 1024, 4096)
+
+#: Fallback reasons the DoS columnar run is allowed to report.  The
+#: Figure 15 ingress is fully vectorizable, so the set is empty; any
+#: entry means a lowering regression and the bench run fails loudly
+#: rather than silently timing the scalar drain.
+DOS_EXPECTED_FALLBACKS: frozenset = frozenset()
 
 
 def build_dos_system(
@@ -42,6 +49,36 @@ def build_dos_system(
     app.prologue()
     app.add_route(DST_ADDR, DST_PORT)
     return app
+
+
+def build_ecmp_system(execution_mode: str) -> HashPolarizationApp:
+    """The Section 8.3.3 ECMP switch: crc16 over two malleable hash
+    inputs picks a bucket, an exact match forwards it, and the egress
+    counter does a dynamic-index register read-modify-write -- the
+    workload that exercises the vectorized hash + 'g'-kind lowering."""
+    system = MantisSystem.from_source(
+        ECMP_P4R, num_ports=16, execution_mode=execution_mode
+    )
+    app = HashPolarizationApp(system=system)
+    app.prologue()
+    return app
+
+
+def make_ecmp_workload(n_packets: int) -> List[Dict[str, int]]:
+    """Field maps for the ECMP mix: flows with rotating addresses and
+    ports so the crc16 buckets actually spread across paths."""
+    workload = []
+    for index in range(n_packets):
+        workload.append(
+            {
+                "ipv4.srcAddr": 0x0A000001 + (index * 7919) % 65536,
+                "ipv4.dstAddr": 0x0B000001 + index % 251,
+                "ipv4.proto": 6,
+                "l4.sport": 1000 + (index * 13) % 50000,
+                "l4.dport": 443,
+            }
+        )
+    return workload
 
 
 def make_workload(n_packets: int, n_benign: int = 12) -> List[Dict[str, int]]:
@@ -90,11 +127,12 @@ def measure_batch_mode(
     workload: List[Dict[str, int]],
     batch_size: int = DEFAULT_BATCH_SIZE,
     warmup: int = 200,
+    builder=build_dos_system,
 ) -> Dict[str, float]:
     """Pump the workload through ``SwitchAsic.process_batch`` on the
     compiled engine, ``batch_size`` packets per call, reusing pooled
     packets (the burst-mode fast path)."""
-    app = build_dos_system("compiled")
+    app = builder("compiled")
     process_batch = app.system.asic.process_batch
     templates = [
         PacketTemplate(fields, size_bytes=1500) for fields in workload
@@ -116,13 +154,14 @@ def measure_columnar_mode(
     workload: List[Dict[str, int]],
     batch_size: int = DEFAULT_BATCH_SIZE,
     warmup: int = 200,
+    builder=build_dos_system,
 ) -> Dict[str, object]:
     """Pump the workload through ``SwitchAsic.process_batch_columnar``
     on the columnar engine: templates become a :class:`ColumnarPool`
     (one numpy array per field, built outside the timed region), and
     each timed call slices one struct-of-arrays batch and runs the
     vectorized op-major sweeps with no Packet materialization."""
-    app = build_dos_system("columnar")
+    app = builder("columnar")
     asic = app.system.asic
     process = asic.process_batch_columnar
     templates = [
@@ -198,21 +237,43 @@ def run_fastpath_benchmark(
     if full:
         interpreter = measure_mode("interpreter", workload)
         compiled = measure_mode("compiled", workload)
-    batch = measure_batch_mode(workload, batch_size=batch_size)
     sweep_sizes = sorted(
         {min(size, max(n_packets, 1)) for size in COLUMNAR_SWEEP_SIZES}
     )
-    columnar_sweep = {
-        size: measure_columnar_mode(workload, batch_size=size)
-        for size in sweep_sizes
-    }
-    columnar = max(
-        columnar_sweep.values(), key=lambda r: r["packets_per_sec"]
+
+    def sweep(packets, builder):
+        """Batch baseline plus the columnar batch-size sweep for one
+        workload; returns (batch, best columnar, sweep dict, speedup)."""
+        base = measure_batch_mode(
+            packets, batch_size=batch_size, builder=builder
+        )
+        by_size = {
+            size: measure_columnar_mode(
+                packets, batch_size=size, builder=builder
+            )
+            for size in sweep_sizes
+        }
+        best = max(by_size.values(), key=lambda r: r["packets_per_sec"])
+        ratio = (
+            best["packets_per_sec"] / base["packets_per_sec"]
+            if base["packets_per_sec"]
+            else float("inf")
+        )
+        return base, best, by_size, ratio
+
+    batch, columnar, columnar_sweep, columnar_speedup = sweep(
+        workload, build_dos_system
     )
-    columnar_speedup = (
-        columnar["packets_per_sec"] / batch["packets_per_sec"]
-        if batch["packets_per_sec"]
-        else float("inf")
+    unexpected = set(columnar["fallbacks"]) - DOS_EXPECTED_FALLBACKS
+    if unexpected:
+        raise RuntimeError(
+            "unexpected columnar fallbacks on the DoS workload "
+            f"(lowering regression): {sorted(unexpected)} "
+            f"-> {columnar['fallbacks']}"
+        )
+    ecmp_workload = make_ecmp_workload(n_packets)
+    ecmp_batch, ecmp_columnar, _, ecmp_speedup = sweep(
+        ecmp_workload, build_ecmp_system
     )
     payload: Dict[str, object] = {
         "workload": "figure15-dos",
@@ -228,6 +289,13 @@ def run_fastpath_benchmark(
         "batch_elapsed_sec": round(batch["elapsed_sec"], 6),
         "columnar_elapsed_sec": round(columnar["elapsed_sec"], 6),
         "columnar_speedup_vs_batch": round(columnar_speedup, 3),
+        "ecmp_batch_pps": round(ecmp_batch["packets_per_sec"], 1),
+        "ecmp_columnar_pps": round(ecmp_columnar["packets_per_sec"], 1),
+        "ecmp_columnar_speedup_vs_batch": round(ecmp_speedup, 3),
+        "fallbacks_by_workload": {
+            "figure15-dos": columnar["fallbacks"],
+            "ecmp-rotating-hash": ecmp_columnar["fallbacks"],
+        },
     }
     if full:
         speedup = (

@@ -45,8 +45,14 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.errors import SimulationError
 from repro.runtime import AgentActor, Scheduler
 from repro.switch.clock import SimClock
+from repro.switch.compiled import _tables_in
 from repro.switch.packet import Packet
 from repro.system import MantisSystem
+
+try:  # numpy backs the vectorized burst tail; optional like columnar
+    import numpy as np
+except ImportError:  # pragma: no cover - burst TM then runs per lane
+    np = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -252,6 +258,251 @@ class Link:
         return verdict
 
 
+def _prim_touches(prim, field_name: str) -> bool:
+    """Conservative: does the primitive mention this standard-metadata
+    field at all?"""
+    for arg in prim.args:
+        ref = getattr(arg, "header", None)
+        if ref == "standard_metadata" and getattr(
+            arg, "field", None
+        ) == field_name:
+            return True
+    return False
+
+
+def _burst_vec_ok(system: MantisSystem) -> bool:
+    """Static gate for the vectorized burst traffic manager.
+
+    The batched tail commits enqueues at the TM point, *before* the
+    egress sweeps run; that reorder is unobservable only when no
+    reachable egress action can drop and nothing anywhere can
+    recirculate (a recirculated packet would re-enter ingress instead
+    of staying enqueued).  The program is fixed at load and the
+    control plane can only select among declared actions, so the scan
+    over every table's action list (plus defaults) covers all runtime
+    behavior."""
+    program = system.asic.program
+
+    def reachable_actions(control_name: str):
+        decl = program.controls.get(control_name)
+        names: set = set()
+        if decl is None:
+            return names
+        for table_name in _tables_in(decl.body):
+            table = program.tables.get(table_name)
+            if table is None:
+                return None
+            names.update(table.action_names)
+            if table.default_action is not None:
+                names.add(table.default_action[0])
+        return names
+
+    ingress = reachable_actions("ingress")
+    egress = reachable_actions("egress")
+    if ingress is None or egress is None:
+        return False
+    for name in ingress | egress:
+        action = program.actions.get(name)
+        if action is None:
+            return False
+        for prim in action.body:
+            if prim.name == "recirculate" or _prim_touches(
+                prim, "recirculate_flag"
+            ):
+                return False
+            if name in egress and (
+                prim.name == "drop"
+                or _prim_touches(prim, "drop_flag")
+            ):
+                return False
+    return True
+
+
+class _BurstTM:
+    """Columnar traffic-manager tail for one coalesced burst.
+
+    Passed to :meth:`SwitchAsic.process_batch` instead of the
+    per-packet ``sink`` when :func:`_burst_vec_ok` holds for the
+    switch's program.  ``admit`` performs, for all live lanes at once,
+    exactly the state transitions the scalar sink interleaves per
+    packet -- lazy departure drains, depth reads, capacity drops,
+    the busy-until serialization chain, departure-deque appends, port
+    counters, and delivery-event scheduling in lane order -- so burst
+    delivery is bit-identical to the scalar path.  Per port the depth
+    accounting runs as a prefix sum over arrival instants whenever the
+    port stays continuously busy; otherwise that port's lanes replay
+    the per-lane loop (still with the pipeline fully vectorized
+    above)."""
+
+    __slots__ = ("switch", "packets", "times")
+
+    def __init__(self, switch: "FabricSwitch", packets, times):
+        self.switch = switch
+        self.packets = packets
+        self.times = times
+
+    # ---- scalar fallback (engine bailed out of the columnar tail) ----
+
+    def sink(self, index: int, result) -> None:
+        if result is not None:
+            egress_port, packet = result
+            self.switch._enqueue(egress_port, packet, self.times[index])
+
+    # ---- batched traffic manager -------------------------------------
+
+    def admit(self, lanes, ports_arr, times, sizes):
+        """Enqueue the live lanes (``lanes is None`` = all) headed to
+        ``ports_arr`` and return the queue depth each lane observed at
+        its own arrival instant."""
+        switch = self.switch
+        times_arr = np.asarray(times, np.float64)
+        if lanes is None:
+            lane_idx = np.arange(len(ports_arr), dtype=np.int64)
+        else:
+            lane_idx = lanes
+        t_all = times_arr[lane_idx]
+        m = len(ports_arr)
+        depths = np.zeros(m, np.int64)
+        # (lane, arrival, egress_port, packet): deliveries are
+        # scheduled after all ports commit, sorted by lane, so event
+        # insertion order matches the scalar per-lane interleaving.
+        pending: List[Tuple[int, float, int, Packet]] = []
+        for port_index in np.unique(ports_arr).tolist():
+            sel = np.nonzero(ports_arr == port_index)[0]
+            self._admit_port(
+                int(port_index), sel, lane_idx[sel], t_all[sel],
+                sizes[sel], depths, pending,
+            )
+        pending.sort(key=lambda entry: entry[0])
+        events = switch.events
+        deliver = switch._deliver
+        for _lane, arrival, port_index, packet in pending:
+            events.schedule(
+                arrival,
+                lambda now2, p=packet, port_=port_index: deliver(
+                    port_, p, now2
+                ),
+            )
+        return depths
+
+    def _admit_port(
+        self, port_index, sel, lane_sel, t, sizes, depths, pending
+    ) -> None:
+        switch = self.switch
+        port = switch._port(port_index)
+        k = len(sel)
+        old = (
+            np.asarray(port.departs, np.float64)
+            if port.departs else np.empty(0, np.float64)
+        )
+        old_live = len(old) - np.searchsorted(old, t, side="right")
+        peer = switch.peers.get(port_index)
+        down = not port.up or (peer is not None and not peer[2].up)
+        rate = port.rate_bits_per_us
+        capacity = port.config.queue_capacity_pkts
+        if down:
+            # The depth reads (and their drains) still happen; every
+            # enqueue is then refused on the dead link.
+            depths[sel] = old_live
+            port.dropped += k
+            self._commit(port_index, port, old, float(t[-1]), None)
+            return
+        ser = sizes * 8 / rate
+        if rate > 0 and bool((sizes > 0).all()) and (
+            k == 1 or bool((np.diff(t) >= 0).all())
+        ):
+            # Continuously-busy chain: depart[j] = depart[j-1] + ser[j]
+            # degenerates to a prefix sum (np.cumsum accumulates left
+            # to right, so the doubles match the scalar loop exactly).
+            first = max(float(t[0]), port.busy_until) + float(ser[0])
+            departs = np.cumsum(np.concatenate(([first], ser[1:])))
+            busy_chain = k == 1 or bool(
+                (t[1:] <= departs[:-1]).all()
+            )
+            if busy_chain:
+                burst_live = np.arange(k) - np.searchsorted(
+                    departs, t, side="right"
+                )
+                port_depths = old_live + burst_live
+                if not bool((port_depths >= capacity).any()):
+                    depths[sel] = port_depths
+                    self._commit(
+                        port_index, port, old, float(t[-1]), departs
+                    )
+                    port.busy_until = float(departs[-1])
+                    port.tx_packets += k
+                    port.tx_bytes += int(sizes.sum())
+                    latency = port.config.latency_us
+                    packets = self.packets
+                    for pos in range(k):
+                        pending.append((
+                            int(lane_sel[pos]),
+                            float(departs[pos]) + latency,
+                            port_index,
+                            packets[int(lane_sel[pos])],
+                        ))
+                    return
+        # Generic per-lane replay: non-monotone arrivals, an idle gap
+        # in the busy chain, or a capacity hit -- exact scalar
+        # semantics, delivery still deferred to the sorted pass.
+        self._admit_port_scalar(
+            port_index, port, sel, lane_sel, t, sizes, depths, pending
+        )
+
+    def _admit_port_scalar(
+        self, port_index, port, sel, lane_sel, t, sizes, depths, pending
+    ) -> None:
+        switch = self.switch
+        drain = switch._drain_port
+        capacity = port.config.queue_capacity_pkts
+        rate = port.rate_bits_per_us
+        latency = port.config.latency_us
+        packets = self.packets
+        for pos in range(len(sel)):
+            now = float(t[pos])
+            if port.departs:
+                drain(port_index, port, now)
+            depths[sel[pos]] = port.queued
+            if port.queued >= capacity:
+                port.dropped += 1
+                continue
+            size = int(sizes[pos])
+            serialization = size * 8 / rate
+            depart = max(now, port.busy_until) + serialization
+            port.busy_until = depart
+            port.queued += 1
+            port.departs.append(depart)
+            switch._departing.add(port_index)
+            port.tx_packets += 1
+            port.tx_bytes += size
+            lane = int(lane_sel[pos])
+            pending.append(
+                (lane, depart + latency, port_index, packets[lane])
+            )
+        asic_ports = switch.system.asic.ports
+        if port_index < len(asic_ports):
+            asic_ports[port_index].queue_depth = port.queued
+
+    def _commit(self, port_index, port, old, t_last, departs) -> None:
+        """Fold a whole-port fast path into the lazy-queue state:
+        retire everything due by the last arrival, splice the new
+        departures on, republish the snapshot."""
+        switch = self.switch
+        keep_old = old[old > t_last]
+        remaining = deque(keep_old.tolist())
+        if departs is not None:
+            remaining.extend(departs[departs > t_last].tolist())
+        port.departs = remaining
+        port.queued = len(remaining)
+        if remaining:
+            switch._departing.add(port_index)
+        else:
+            switch._departing.discard(port_index)
+        asic_ports = switch.system.asic.ports
+        if port_index < len(asic_ports):
+            asic_ports[port_index].queue_depth = port.queued
+
+
 class FabricSwitch:
     """One emulated Mantis switch inside a fabric.
 
@@ -298,6 +549,10 @@ class FabricSwitch:
         # The ASIC pulls live depths (lazy-drained to the exact packet
         # timestamp) instead of relying on pushed snapshots.
         system.asic.queue_model = self._queue_depth_at
+        # Static per-program gate for the vectorized burst tail: when
+        # no egress action can drop and nothing recirculates, burst
+        # delivery runs through _BurstTM instead of a per-packet sink.
+        self._burst_vec = np is not None and _burst_vec_ok(system)
         # The agent as a schedulable actor; armed by the fabric's
         # run_until(agent=True).
         self.agent_actor = AgentActor(system.agent, name=f"{name}.agent")
@@ -478,6 +733,17 @@ class FabricSwitch:
             # The ingress port went down between send and arrival; the
             # whole in-flight burst is lost on the wire.
             port.rx_dropped += len(packets)
+            return
+        if self._burst_vec:
+            # Batched traffic manager: the columnar engine keeps its
+            # vectorized tail (causal depths as a per-port prefix sum)
+            # and scalar engines use the same object's per-lane sink.
+            results = self._process_batch(
+                packets, times=times, tm=_BurstTM(self, packets, times)
+            )
+            self.switch_drops += sum(
+                1 for result in results if result is None
+            )
             return
         # The sink keeps queue accounting causal (packet i enqueued
         # before i+1 reads depths), which also pins the columnar engine

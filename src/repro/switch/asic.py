@@ -355,6 +355,7 @@ class SwitchAsic:
         packets: Sequence[Packet],
         times: Optional[Sequence[float]] = None,
         sink: Optional[Callable[[int, ProcessResult], None]] = None,
+        tm: Optional[object] = None,
     ) -> List[ProcessResult]:
         """Run a burst of packets through the pipeline in one call.
 
@@ -372,10 +373,21 @@ class SwitchAsic:
         ``(index, result)`` immediately after each packet, letting a
         caller interleave per-packet work -- queue accounting must see
         packet ``i`` enqueued before packet ``i + 1`` reads depths.
+
+        ``tm`` is the columnar alternative to ``sink``: a traffic
+        manager with ``admit(lanes, ports, times, sizes)`` (causal
+        batched queue accounting at the TM point) and a per-lane
+        ``sink`` fallback.  Only pass it when the caller has proved
+        statically that no reachable egress action drops and nothing
+        recirculates -- ``admit`` commits enqueues before the egress
+        sweeps run, which is exactly the scalar interleaving only
+        under that guarantee (the vectorized tail enforces it).
         """
         executor = self.executor
         get_plan = getattr(executor, "batch_ops", None)
         if get_plan is None:
+            if tm is not None and sink is None:
+                sink = tm.sink
             return self._batch_reference(packets, times, sink)
         get_columnar = getattr(executor, "columnar_ops", None)
         if get_columnar is not None:
@@ -385,7 +397,12 @@ class SwitchAsic:
                 batch = ColumnarBatch.from_packets(
                     packets if isinstance(packets, list) else list(packets)
                 )
-                return self._batch_columnar(batch, times, sink, sweeps, True)
+                return self._batch_columnar(
+                    batch, times, sink, sweeps, True, tm
+                )
+        if tm is not None and sink is None:
+            # Scalar engines take the traffic manager's per-lane view.
+            sink = tm.sink
         get_major = getattr(executor, "batch_major_ops", None)
         if get_major is not None:
             major_ops = get_major("ingress")
@@ -682,13 +699,15 @@ class SwitchAsic:
         sink: Optional[Callable[[int, ProcessResult], None]],
         sweeps,
         collect: bool,
+        tm: Optional[object] = None,
     ):
         """Columnar burst execution: vectorized op-major ingress
         sweeps, then either a vectorized traffic-manager/egress tail
-        (no sink, no queue model, vectorizable egress, in-range
-        specs) or the scalar per-lane tail with exact
-        :meth:`_batch_major` semantics.  Returns per-packet results
-        (``collect``) or a :class:`ColumnarResult`."""
+        (no sink, vectorizable egress, in-range specs, and either no
+        queue model or a caller-provided batched ``tm``) or the
+        scalar per-lane tail with exact :meth:`_batch_major`
+        semantics.  Returns per-packet results (``collect``) or a
+        :class:`ColumnarResult`."""
         np = columnar_engine.np
         executor = self.executor
         n = batch.n
@@ -730,7 +749,7 @@ class SwitchAsic:
             live_mask = drop == 0
             if sink is not None:
                 tail_reason = "tail:sink"
-            elif queue_model is not None:
+            elif queue_model is not None and (tm is None or times is None):
                 tail_reason = "tail:queue-model"
             elif egress_sweeps is None:
                 tail_reason = "tail:egress-plan"
@@ -758,13 +777,23 @@ class SwitchAsic:
                 batch.store(
                     "standard_metadata.egress_port", live_idx, live_spec
                 )
-                depths = np.fromiter(
-                    (port.queue_depth for port in ports),
-                    np.int64, count=num_ports,
-                )
-                depth_vals = (
-                    depths[live_spec] if live_spec.size else live_spec
-                )
+                if tm is not None:
+                    # Caller-provided traffic manager: causal batched
+                    # queue accounting (enqueues committed now; the
+                    # caller guaranteed egress cannot drop them).
+                    depth_vals = tm.admit(
+                        live_idx, live_spec, times,
+                        batch.sizes if live_idx is None
+                        else batch.sizes[live_idx],
+                    )
+                else:
+                    depths = np.fromiter(
+                        (port.queue_depth for port in ports),
+                        np.int64, count=num_ports,
+                    )
+                    depth_vals = (
+                        depths[live_spec] if live_spec.size else live_spec
+                    )
                 batch.store(
                     "standard_metadata.enq_qdepth", live_idx, depth_vals
                 )
@@ -794,6 +823,15 @@ class SwitchAsic:
                 recirc = batch.col("standard_metadata.recirculate_flag")
                 recirc_mask = live2 & (recirc != 0)
                 has_recirc = bool(recirc_mask.any())
+                if tm is not None and (
+                    has_recirc or dropped != n - int(live_mask.sum())
+                ):
+                    # The caller's static no-drop/no-recirc guarantee
+                    # was violated after enqueues were committed.
+                    raise SwitchError(
+                        "burst traffic manager requires egress without "
+                        "drops or recirculation"
+                    )
                 deliver_mask = (
                     live2 & ~recirc_mask if has_recirc else live2
                 )
@@ -825,25 +863,25 @@ class SwitchAsic:
                     batch.flush()
                     packets = batch.packets
                 if has_recirc:
+                    # Columnar recirculation: compact the flagged
+                    # lanes into a sub-batch and re-run the vectorized
+                    # sweeps per pass instead of draining each lane.
                     lanes = np.nonzero(recirc_mask)[0]
-                    state.mark_fallback(lanes, len(lanes), "recirc")
-                    for lane in lanes.tolist():
-                        t_now = clock_now if times is None else times[lane]
-                        ts = (
-                            shared_ts if stamps is None
-                            else int(stamps[lane])
-                        )
-                        extra, result = self._recirculate(
-                            packets[lane], t_now, ts
-                        )
-                        passes += extra
-                        if result is None:
+                    extra, lane_ports = self._recirculate_columnar(
+                        batch, lanes, times, stamps, shared_ts,
+                        clock_now, sweeps, egress_sweeps, state,
+                    )
+                    passes += extra
+                    tm_ports[lanes] = lane_ports
+                    port_vals = lane_ports.tolist()
+                    for pos, lane in enumerate(lanes.tolist()):
+                        port_id = port_vals[pos]
+                        if port_id < 0:
                             dropped += 1
-                            tm_ports[lane] = -1
-                        else:
-                            tm_ports[lane] = result[0]
-                        if collect:
-                            results[lane] = result
+                            if collect:
+                                results[lane] = None
+                        elif collect:
+                            results[lane] = (port_id, packets[lane])
                 if collect:
                     port_list = tm_ports.tolist()
                     for lane, alive in enumerate(deliver_mask.tolist()):
@@ -852,6 +890,8 @@ class SwitchAsic:
                     return results
                 return ColumnarResult(tm_ports, n - dropped, dropped)
             # ---- scalar tail (exact _batch_major semantics) ----
+            if tm is not None and sink is None:
+                sink = tm.sink
             executor.count_fallback(tail_reason, n)
             batch.flush()
             packets = batch.packets
@@ -1038,6 +1078,178 @@ class SwitchAsic:
         port.tx_packets += 1
         port.tx_bytes += packet.size_bytes
         return extra, (port_id, packet)
+
+    def _recirculate_tail(
+        self, packet: Packet, now: float, ts: int, budget: int
+    ) -> Tuple[int, ProcessResult]:
+        """Finish one recirculation pass from the traffic manager
+        onward (the columnar loop already ran this pass's ingress),
+        then continue for up to ``budget`` further full passes;
+        mirrors :meth:`_recirculate` statement for statement.  Returns
+        ``(extra_full_passes, result)``."""
+        executor = self.executor
+        fields = packet.fields
+        extra = 0
+        while True:
+            self._traffic_manager_at(packet, now, ts)
+            executor.run_control("egress", packet)
+            if (
+                fields["standard_metadata.drop_flag"]
+                or not fields["standard_metadata.recirculate_flag"]
+            ):
+                break
+            fields["standard_metadata.recirculate_flag"] = 0
+            if budget == 0:
+                break
+            budget -= 1
+            extra += 1
+            fields["standard_metadata.ingress_global_timestamp"] = ts
+            executor.run_control("ingress", packet)
+            if fields["standard_metadata.drop_flag"]:
+                break
+        if fields["standard_metadata.drop_flag"]:
+            return extra, None
+        port_id = fields["standard_metadata.egress_port"]
+        port = self.ports[port_id]
+        port.tx_packets += 1
+        port.tx_bytes += packet.size_bytes
+        return extra, (port_id, packet)
+
+    def _recirculate_columnar(
+        self,
+        parent: ColumnarBatch,
+        lanes,
+        times,
+        stamps,
+        shared_ts: int,
+        clock_now: float,
+        sweeps,
+        egress_sweeps,
+        parent_state,
+    ):
+        """Columnar recirculation: compact the recirculate-flagged
+        lanes into a sub-batch (sharing the parent's packet objects)
+        and re-run the vectorized sweeps pass by pass instead of
+        draining each lane through the fused scalar steps.
+
+        Only reachable for programs whose admitted footprint is
+        recirc-alone -- no registers, counters, or RNG anywhere -- so
+        sweeping all still-recirculating lanes together each pass is
+        unobservable.  Lanes that need scalar semantics mid-flight (an
+        out-of-range ``egress_spec`` must raise at its exact lane
+        position with per-lane partial effects) drain in ascending
+        lane order and count as fallbacks; everything else stays
+        vectorized.  Returns ``(extra_passes, lane_ports)`` where
+        ``lane_ports[k] == -1`` marks a dropped lane."""
+        np = columnar_engine.np
+        executor = self.executor
+        ports = self.ports
+        num_ports = self.num_ports
+        packets = parent.packets
+        sub_packets = [packets[int(lane)] for lane in lanes.tolist()]
+        sub = ColumnarBatch.from_packets(sub_packets)
+        m = sub.n
+        state = columnar_engine._SweepState(sub, executor.fallback_counts)
+        active = np.ones(m, bool)
+        lane_ports = np.full(m, -1, np.int64)
+        vec_tx = np.zeros(m, bool)
+        tm_latest = np.full(m, -1, np.int64)
+        extra_passes = 0
+        sub_ts = None if stamps is None else stamps[lanes]
+        drop_key = "standard_metadata.drop_flag"
+        recirc_key = "standard_metadata.recirculate_flag"
+        for pass_no in range(MAX_RECIRCULATIONS):
+            act_idx = np.nonzero(active)[0]
+            if not act_idx.size:
+                break
+            extra_passes += int(act_idx.size)
+            sub.store(recirc_key, act_idx, 0)
+            sub.store(
+                "standard_metadata.ingress_global_timestamp", act_idx,
+                shared_ts if sub_ts is None else sub_ts[act_idx],
+            )
+            for sweep in sweeps:
+                sweep.run(state, active)
+            drop = sub.col(drop_key)
+            alive = active & (drop == 0)
+            active = alive  # ingress-dropped lanes finish as None
+            if not bool(alive.any()):
+                continue
+            alive_idx = np.nonzero(alive)[0]
+            spec = sub.col("standard_metadata.egress_spec")
+            aspec = spec[alive_idx]
+            if bool(((aspec < 0) | (aspec >= num_ports)).any()):
+                # Scalar continuation: the bad lane must raise at its
+                # own position, with earlier lanes fully committed.
+                parent_state.mark_fallback(
+                    lanes[alive_idx], int(alive_idx.size), "recirc"
+                )
+                sub.flush()
+                budget = MAX_RECIRCULATIONS - pass_no - 1
+                for k in alive_idx.tolist():
+                    lane = int(lanes[k])
+                    t_now = clock_now if times is None else times[lane]
+                    ts = shared_ts if sub_ts is None else int(sub_ts[k])
+                    tail_extra, result = self._recirculate_tail(
+                        sub_packets[k], t_now, ts, budget
+                    )
+                    extra_passes += tail_extra
+                    lane_ports[k] = -1 if result is None else result[0]
+                active[:] = False
+                sub.resync()  # the packet dicts are authoritative now
+                break
+            # Vectorized traffic manager: static depth snapshot (the
+            # queue model is statically absent on this tail).
+            sub.store("standard_metadata.egress_port", alive_idx, aspec)
+            depths = np.fromiter(
+                (port.queue_depth for port in ports),
+                np.int64, count=num_ports,
+            )
+            depth_vals = depths[aspec]
+            sub.store("standard_metadata.enq_qdepth", alive_idx, depth_vals)
+            sub.store("standard_metadata.deq_qdepth", alive_idx, depth_vals)
+            sub.store(
+                "standard_metadata.egress_global_timestamp", alive_idx,
+                shared_ts if sub_ts is None else sub_ts[alive_idx],
+            )
+            tm_latest[alive_idx] = aspec
+            for sweep in egress_sweeps:
+                sweep.run(state, alive)
+            drop = sub.col(drop_key)
+            alive = active & (drop == 0)
+            recirc = sub.col(recirc_key)
+            again = alive & (recirc != 0)
+            deliver = alive & ~again
+            if bool(deliver.any()):
+                didx = np.nonzero(deliver)[0]
+                lane_ports[didx] = tm_latest[didx]
+                vec_tx[didx] = True
+            active = again
+        if bool(active.any()):
+            # Budget exhausted with the flag still raised: the scalar
+            # loop clears it on its way out and delivers at the final
+            # pass's traffic-manager port.
+            aidx = np.nonzero(active)[0]
+            sub.store(recirc_key, aidx, 0)
+            lane_ports[aidx] = tm_latest[aidx]
+            vec_tx[aidx] = True
+        sub.flush()
+        if bool(vec_tx.any()):
+            vidx = np.nonzero(vec_tx)[0]
+            vports = lane_ports[vidx]
+            tx_counts = np.bincount(vports, minlength=num_ports)
+            tx_bytes = np.bincount(
+                vports,
+                weights=sub.sizes[vidx].astype(np.float64),
+                minlength=num_ports,
+            )
+            for port_id in np.nonzero(tx_counts)[0].tolist():
+                port = ports[port_id]
+                port.tx_packets += int(tx_counts[port_id])
+                port.tx_bytes += int(tx_bytes[port_id])
+        if bool(state.fallback.any()):
+            parent_state.fallback[lanes[np.nonzero(state.fallback)[0]]] = True
+        return extra_passes, lane_ports
 
     def process_stepped(self, packet: Packet) -> Iterator[Tuple[str, str]]:
         """Stepped variant of :meth:`process`; yields

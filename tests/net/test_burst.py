@@ -5,8 +5,10 @@ A burst sender folds ``burst_size`` packets into ONE event-queue entry
 per-packet arrival times, queue accounting, and drop decisions stay
 those of a scalar sender.  These tests pin the equal-timestamp FIFO
 contract of the event queue itself, then the exactness of the
-coalescing for a single sender, and the aggregate agreement for the
-multi-sender Figure 15 scenario.
+coalescing for a single sender, the aggregate agreement for the
+multi-sender Figure 15 scenario, and the bit-identity of the
+vectorized traffic-manager tail (``_BurstTM``) against the per-packet
+sink closure.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import pytest
 from repro.apps.dos import DOS_P4R, build_dos_scenario
 from repro.net.events import EventQueue
 from repro.net.hosts import SinkHost, UdpSender
-from repro.net.sim import NetworkSim, PortConfig
+from repro.net.sim import LinkFaultModel, NetworkSim, PortConfig
 from repro.switch.compiled import asic_state_snapshot
 from repro.system import MantisSystem
 
@@ -205,6 +207,166 @@ class TestMultiSenderBurstAggregate:
         stats = app.system.asic.batch_stats
         assert stats.batches > 0
         assert stats.packets >= stats.batches
+
+
+class _TimedSink(SinkHost):
+    """SinkHost that also logs (receive time, fields) per packet so
+    delivery *timestamps* can be compared bit-for-bit."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.log = []
+
+    def receive(self, packet, now):
+        super().receive(packet, now)
+        self.log.append((now, tuple(sorted(packet.fields.items()))))
+
+
+class TestVectorizedBurstTail:
+    """Tentpole: the vectorized traffic-manager tail (``_BurstTM``,
+    prefix-sum queue accounting over the burst's arrival instants)
+    must be bit-identical to the per-packet sink closure -- delivery
+    ports, timestamps, queue stats, and the whole drop ledger --
+    across engines, capacity hits, idle gaps, down ports, and link
+    fault plans."""
+
+    @staticmethod
+    def _run(
+        execution_mode: str,
+        vectorized: bool,
+        rate_gbps: float = 8.0,
+        burst: int = 16,
+        down_window=None,
+        fault_seed=None,
+    ):
+        system = MantisSystem.from_source(
+            DOS_P4R, num_ports=8, execution_mode=execution_mode
+        )
+        system.agent.prologue()
+        system.driver.add_entry("route", [0x0A00FFFF], "forward", [1])
+        sim = NetworkSim(system)
+        if not vectorized:
+            sim._default_switch._burst_vec = False
+        sim.configure_port(
+            1, PortConfig(bandwidth_gbps=2.0, queue_capacity_pkts=8)
+        )
+        sink = _TimedSink("victim")
+        sim.attach_host(sink, 1)
+        if fault_seed is not None:
+            sim.port_stats(2)
+            fault = LinkFaultModel(
+                seed=fault_seed, drop_rate=0.15, corrupt_rate=0.1,
+                corrupt_fields=("ipv4.srcAddr",), corrupt_mask=0x8,
+            )
+            sim._default_switch.set_port_fault(2, fault)
+        sender = UdpSender(
+            "src",
+            {"ipv4.srcAddr": 0x0AFF0001, "ipv4.dstAddr": 0x0A00FFFF},
+            rate_gbps=rate_gbps,
+            burst_size=burst,
+        )
+        sim.attach_host(sender, 2)
+        sender.start(at_us=1.0)
+        if down_window is not None:
+            start, end = down_window
+            sim.events.schedule(
+                start, lambda _n: sim.set_link_up(1, False)
+            )
+            sim.events.schedule(end, lambda _n: sim.set_link_up(1, True))
+        sim.run_until(360.25, agent=False)
+        sender.stop()
+        sim.run_until(600.0, agent=False)
+        return system, sim, sink
+
+    @classmethod
+    def _observe(cls, system, sim, sink):
+        port = sim.port_stats(1)
+        return {
+            "rx": sink.rx_packets,
+            "windows": sink.windows,
+            "log": sink.log,
+            "delivered": sim.delivered,
+            "switch_drops": sim.switch_drops,
+            "dropped": port.dropped,
+            "tx_packets": port.tx_packets,
+            "tx_bytes": port.tx_bytes,
+            "rx_dropped": port.rx_dropped,
+            "busy_until": port.busy_until,
+            "totals": sim.drop_totals(),
+            "state": asic_state_snapshot(system.asic),
+        }
+
+    @pytest.mark.parametrize("execution_mode", ["compiled", "columnar"])
+    def test_bottleneck_matches_scalar_sink(self, execution_mode: str):
+        """Queueing + tail drops: capacity hits exercise the per-lane
+        replay inside the vectorized admit."""
+        if execution_mode == "columnar":
+            pytest.importorskip("numpy")
+        ref = self._observe(*self._run(execution_mode, vectorized=False))
+        vec = self._observe(*self._run(execution_mode, vectorized=True))
+        assert vec == ref
+        assert ref["dropped"] > 0  # the scenario actually tail-drops
+
+    def test_idle_gaps_match_scalar_sink(self):
+        """Arrival slower than drain: the queue empties inside each
+        burst, breaking the continuous-busy prefix-sum fast path."""
+        pytest.importorskip("numpy")
+        ref = self._observe(
+            *self._run("columnar", vectorized=False, rate_gbps=1.0, burst=8)
+        )
+        vec = self._observe(
+            *self._run("columnar", vectorized=True, rate_gbps=1.0, burst=8)
+        )
+        assert vec == ref
+        assert ref["dropped"] == 0
+
+    def test_down_port_matches_scalar_sink(self):
+        pytest.importorskip("numpy")
+        ref = self._observe(*self._run(
+            "columnar", vectorized=False, down_window=(50.0, 120.0)
+        ))
+        vec = self._observe(*self._run(
+            "columnar", vectorized=True, down_window=(50.0, 120.0)
+        ))
+        assert vec == ref
+        assert ref["dropped"] > 0  # packets died on the dead cable
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_link_fault_plan_matches_scalar_sink(self, seed: int):
+        pytest.importorskip("numpy")
+        ref = self._observe(
+            *self._run("columnar", vectorized=False, fault_seed=seed)
+        )
+        vec = self._observe(
+            *self._run("columnar", vectorized=True, fault_seed=seed)
+        )
+        assert vec == ref
+
+    def test_gate_accepts_dos_and_rejects_recirculation(self):
+        """``_burst_vec_ok`` is a static reachability check: the DoS
+        program qualifies (drops are ingress-only), a recirculating
+        program does not."""
+        pytest.importorskip("numpy")
+        from repro.net.sim import _burst_vec_ok
+        from repro.switch.asic import STANDARD_METADATA_P4
+
+        dos = MantisSystem.from_source(DOS_P4R, num_ports=8)
+        assert _burst_vec_ok(dos) is True
+        recirc_src = STANDARD_METADATA_P4 + """
+        header_type h_t { fields { hops : 8; } }
+        header h_t hdr;
+        action bounce() {
+            add_to_field(hdr.hops, 1);
+            modify_field(standard_metadata.egress_spec, 1);
+            recirculate();
+        }
+        table hopper { actions { bounce; } default_action : bounce(); }
+        control ingress { apply(hopper); }
+        """
+        recirc = MantisSystem.from_source(recirc_src, num_ports=8)
+        assert _burst_vec_ok(recirc) is False
+        sim = NetworkSim(recirc)
+        assert sim._default_switch._burst_vec is False
 
 
 class TestSerializationPrecompute:

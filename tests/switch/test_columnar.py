@@ -218,9 +218,9 @@ class TestForcedFallbacks:
         _assert_same_state(compiled, col)
         assert col.asic.executor.columnar_ops("ingress") is None
 
-    def test_mixed_burst_vectorized_and_drained(self):
-        """DoS + hash lanes interleaved: ecmp's hash action drains
-        while surrounding stores commit vectorially."""
+    def test_ecmp_burst_fully_vectorized(self):
+        """ecmp's hash action used to drain per lane; the vectorized
+        crc16 lowering now keeps the whole burst columnar."""
         workload = APPS["ecmp"][2](60)
         compiled = _build("ecmp", "compiled")
         compiled_obs = _run_batch_nosink(compiled, workload, batch_size=20)
@@ -228,6 +228,7 @@ class TestForcedFallbacks:
         col_obs = _run_batch_nosink(col, workload, batch_size=20)
         assert col_obs == compiled_obs
         _assert_same_state(compiled, col)
+        assert not col.asic.executor.fallback_counts
         stats = col.asic.batch_stats
         assert stats.packets == stats.fused + stats.slow_path
 
@@ -266,6 +267,60 @@ class TestRandomizedDifferential:
         _assert_same_state(compiled, col)
         stats = col.asic.batch_stats
         assert stats.packets == stats.fused + stats.slow_path
+
+
+class TestRotatedHashRandomized:
+    """Hypothesis: ECMP traffic with the malleable hash inputs rotated
+    between batches -- the vectorized crc16 must track every staged
+    alt configuration exactly like the compiled engine."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        flows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),  # srcAddr
+                st.integers(min_value=0, max_value=2**32 - 1),  # dstAddr
+                st.integers(min_value=0, max_value=255),        # proto
+                st.integers(min_value=0, max_value=2**16 - 1),  # sport
+                st.integers(min_value=0, max_value=2**16 - 1),  # dport
+            ),
+            min_size=1,
+            max_size=48,
+        ),
+        rotations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),  # hash_in1 alt
+                st.integers(min_value=0, max_value=2),  # hash_in2 alt
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        batch_size=st.integers(min_value=1, max_value=19),
+    )
+    def test_ecmp_rotated_inputs(self, flows, rotations, batch_size):
+        workload = [
+            {"ipv4.srcAddr": src, "ipv4.dstAddr": dst, "ipv4.proto": proto,
+             "l4.sport": sport, "l4.dport": dport}
+            for src, dst, proto, sport, dport in flows
+        ]
+
+        def run(mode):
+            system = _build("ecmp", mode)
+            observed: List[object] = []
+            for index, (alt1, alt2) in enumerate(rotations):
+                system.agent.write_malleable("hash_in1", alt1)
+                system.agent.write_malleable("hash_in2", alt2)
+                system.agent.run_iteration()  # vv flip commits the alts
+                observed.append(
+                    _run_batch_nosink(system, workload, batch_size)
+                )
+            return system, observed
+
+        compiled, compiled_obs = run("compiled")
+        col, col_obs = run("columnar")
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        assert not col.asic.executor.fallback_counts
 
 
 class TestEngineSelection:
@@ -346,6 +401,196 @@ class TestNetworkSimBurst:
         stats = system.asic.batch_stats
         assert stats.packets == stats.fused + stats.slow_path
         assert stats.columnar > 0  # vectorized ingress above the sink
+
+
+class TestVectorizedAdmission:
+    """The hash / masked-select / dynamic-index lowerings must admit
+    every vectorizable corpus app with zero runtime fallbacks."""
+
+    VECTORIZABLE = ("dos", "ecmp", "failover", "sketch", "rl")
+
+    @pytest.mark.parametrize("name", VECTORIZABLE)
+    def test_zero_fallbacks(self, name: str):
+        col = _build(name, "columnar")
+        assert col.asic.executor.columnar_ops("ingress") is not None
+        _run_batch_nosink(col, APPS[name][2](96), batch_size=32)
+        assert not col.asic.executor.fallback_counts, (
+            name, dict(col.asic.executor.fallback_counts)
+        )
+        stats = col.asic.batch_stats
+        assert stats.columnar == 96
+        assert stats.columnar_fallback == 0
+
+    @pytest.mark.parametrize("name", ["ecmp", "rl"])
+    def test_egress_plan_admits(self, name: str):
+        """ecmp's dynamic-index egress counter and rl's queue-depth
+        conditional both lower into vectorized egress sweeps."""
+        col = _build(name, "columnar")
+        assert col.asic.executor.columnar_ops("egress") is not None
+
+
+COND_P4R = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 16; g : 16; } }
+header h_t hdr;
+action to_a() { modify_field(standard_metadata.egress_spec, 1); }
+action to_b() { modify_field(standard_metadata.egress_spec, 2); }
+table ta { actions { to_a; } default_action : to_a(); }
+table tb { actions { to_b; } default_action : to_b(); }
+control ingress {
+    if (hdr.f > 100) { apply(ta); } else { apply(tb); }
+}
+"""
+
+COND_NESTED_P4R = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 16; g : 16; } }
+header h_t hdr;
+action to_a() { modify_field(standard_metadata.egress_spec, 1); }
+action to_b() { modify_field(standard_metadata.egress_spec, 2); }
+table ta { actions { to_a; } default_action : to_a(); }
+table tb { actions { to_b; } default_action : to_b(); }
+control ingress {
+    if (hdr.f > 100) {
+        if (hdr.g == 7) { apply(ta); } else { apply(tb); }
+    } else { apply(tb); }
+}
+"""
+
+
+class TestMaskedSelectConditional:
+    """Control-level if/if-else lowers to lane-masked sweeps."""
+
+    def _workload(self, n: int):
+        return [{"hdr.f": (i * 37) % 256, "hdr.g": i % 9} for i in range(n)]
+
+    @pytest.mark.parametrize("batch_size", [1, 9, 32])
+    def test_if_else_matches_compiled(self, batch_size: int):
+        workload = self._workload(64)
+        compiled = MantisSystem.from_source(
+            COND_P4R, num_ports=8, execution_mode="compiled"
+        )
+        compiled.agent.prologue()
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size)
+        col = MantisSystem.from_source(
+            COND_P4R, num_ports=8, execution_mode="columnar"
+        )
+        col.agent.prologue()
+        assert col.asic.executor.columnar_ops("ingress") is not None
+        col_obs = _run_batch_nosink(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        assert not col.asic.executor.fallback_counts
+        # Both arms actually fire in this workload.
+        ports = {obs[0] for obs in col_obs if obs is not None}
+        assert ports == {1, 2}
+
+    def test_nested_if_stays_scalar_but_agrees(self):
+        """Deeper nesting is outside the masked-select lowering: the
+        program must downgrade to a scalar path, never diverge."""
+        workload = self._workload(40)
+        compiled = MantisSystem.from_source(
+            COND_NESTED_P4R, num_ports=8, execution_mode="compiled"
+        )
+        compiled.agent.prologue()
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size=10)
+        col = MantisSystem.from_source(
+            COND_NESTED_P4R, num_ports=8, execution_mode="columnar"
+        )
+        col.agent.prologue()
+        assert col.asic.executor.columnar_ops("ingress") is None
+        col_obs = _run_batch_nosink(col, workload, batch_size=10)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+
+
+BOUNCE_P4R = STANDARD_METADATA_P4 + """
+header_type h_t { fields { hops : 8; } }
+header h_t hdr;
+action bounce() {
+    add_to_field(hdr.hops, 1);
+    modify_field(standard_metadata.egress_spec, 1);
+    recirculate();
+}
+action finish() { modify_field(standard_metadata.egress_spec, 3); }
+action fling() { modify_field(standard_metadata.egress_spec, 200); }
+table hopper {
+    reads { hdr.hops : exact; }
+    actions { bounce; finish; fling; }
+    default_action : finish();
+}
+control ingress { apply(hopper); }
+"""
+
+
+def _bounce_build(mode: str, bounce_until: int = 2):
+    system = MantisSystem.from_source(
+        BOUNCE_P4R, num_ports=8, execution_mode=mode
+    )
+    system.agent.prologue()
+    for hops in range(bounce_until):
+        system.driver.add_entry("hopper", [hops], "bounce", [])
+    return system
+
+
+class TestColumnarRecirculation:
+    """Tentpole: recirculate-flagged lanes re-run as a compacted
+    sub-batch instead of draining per lane."""
+
+    def _workload(self, n: int):
+        return [{"hdr.hops": i % 2, "ipv4.srcAddr": i} for i in range(n)]
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 24])
+    def test_stateless_bounce_matches_compiled(self, batch_size: int):
+        workload = self._workload(48)
+        compiled = _bounce_build("compiled")
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size)
+        col = _bounce_build("columnar")
+        assert col.asic.executor.columnar_ops("ingress") is not None
+        col_obs = _run_batch_nosink(col, workload, batch_size)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        # Columnar recirculation never takes the per-lane drain, so no
+        # "recirc" fallback is recorded.
+        assert not col.asic.executor.fallback_counts
+        stats = col.asic.batch_stats
+        ref = compiled.asic.batch_stats
+        assert stats.packets == stats.fused + stats.slow_path
+        assert (stats.packets, stats.columnar) == (48, 48)
+        assert col.asic.pipeline_passes == compiled.asic.pipeline_passes
+
+    def test_budget_exhaustion_matches_compiled(self):
+        """Every pass re-bounces: the budget runs out and the packet
+        delivers from its final pass with the flag cleared -- same as
+        the scalar loop."""
+        workload = self._workload(16)
+        compiled = _bounce_build("compiled", bounce_until=16)
+        compiled_obs = _run_batch_nosink(compiled, workload, batch_size=8)
+        col = _bounce_build("columnar", bounce_until=16)
+        col_obs = _run_batch_nosink(col, workload, batch_size=8)
+        assert col_obs == compiled_obs
+        _assert_same_state(compiled, col)
+        assert col.asic.pipeline_passes == compiled.asic.pipeline_passes
+        for obs in col_obs:
+            assert obs is not None
+            port, fields, _headers = obs
+            assert port == 1  # bounce's egress_spec
+            assert fields["standard_metadata.recirculate_flag"] == 0
+
+    def test_oor_spec_mid_recirc_raises_in_both_engines(self):
+        """A lane that recirculates into an out-of-range egress_spec
+        falls to the scalar continuation and raises exactly like the
+        compiled loop; the stats invariant survives."""
+        workload = [{"hdr.hops": 0, "ipv4.srcAddr": i} for i in range(12)]
+        for mode in ("compiled", "columnar"):
+            system = MantisSystem.from_source(
+                BOUNCE_P4R, num_ports=8, execution_mode=mode
+            )
+            system.agent.prologue()
+            system.driver.add_entry("hopper", [0], "bounce", [])
+            system.driver.add_entry("hopper", [1], "fling", [])
+            with pytest.raises(SwitchError, match="egress_spec"):
+                _run_batch_nosink(system, workload, batch_size=12)
+            stats = system.asic.batch_stats
+            assert stats.packets == stats.fused + stats.slow_path
 
 
 OOR_SPEC_P4R = STANDARD_METADATA_P4 + """

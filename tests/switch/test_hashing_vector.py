@@ -1,0 +1,148 @@
+"""Vectorized hash primitives: batch variants must be bit-identical
+to the scalar ``ALGORITHMS`` entries, and the table-based
+``crc32_lsb`` bit reversal must pin the retired string round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import pytest
+
+from repro.switch import hashing
+from repro.switch.hashing import (
+    ALGORITHMS,
+    compute_hash,
+    crc32_lsb,
+    fields_to_bytes,
+    reverse_bits32,
+    vector_hash_fn,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def _string_reverse_bits32(value: int) -> int:
+    """The retired hot-path implementation (satellite: pinned here so
+    the table-based replacement can never drift from it)."""
+    return int(f"{value:032b}"[::-1], 2)
+
+
+def _string_crc32_lsb(data: bytes) -> int:
+    return _string_reverse_bits32(zlib.crc32(data[::-1]) & 0xFFFFFFFF)
+
+
+class TestCrc32LsbReversal:
+    """Satellite: table-based reversal == string round-trip."""
+
+    def test_reverse_bits32_matches_string_reversal(self):
+        rng = random.Random(0xC3C3)
+        values = [0, 1, 0xFFFFFFFF, 0x80000000, 0xA5A5A5A5]
+        values += [rng.getrandbits(32) for _ in range(512)]
+        for value in values:
+            assert reverse_bits32(value) == _string_reverse_bits32(value)
+
+    def test_crc32_lsb_matches_old_implementation(self):
+        rng = random.Random(0x1D0)
+        for _ in range(256):
+            data = bytes(
+                rng.getrandbits(8) for _ in range(rng.randrange(0, 24))
+            )
+            assert crc32_lsb(data) == _string_crc32_lsb(data)
+
+
+# Width signatures covering the corpus shapes: byte-aligned, sub-byte,
+# multi-byte, and mixed field lists.
+SIGNATURES = [
+    (32,),
+    (32, 32),
+    (32, 8),
+    (16, 16),
+    (9, 32),
+    (7,),
+    (12, 3, 48),
+    (8, 8, 8, 8),
+]
+
+
+class TestVectorHashBitIdentity:
+    """Tentpole: ``vector_hash_fn`` == scalar per-lane hashing."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("widths", SIGNATURES)
+    def test_matches_scalar(self, algorithm: str, widths):
+        fn = vector_hash_fn(algorithm, tuple(widths))
+        if algorithm == "identity" and sum(
+            max(1, (w + 7) // 8) * 8 for w in widths
+        ) > 62:
+            assert fn is None  # packed value would overflow int64
+            return
+        assert fn is not None, (algorithm, widths)
+        rng = random.Random(hash((algorithm, widths)) & 0xFFFF)
+        n = 65
+        columns = [
+            np.array(
+                [rng.getrandbits(width) for _ in range(n)], dtype=np.int64
+            )
+            for width in widths
+        ]
+        raw = fn(columns)
+        scalar = ALGORITHMS[algorithm]
+        for lane in range(n):
+            values = [
+                (int(columns[i][lane]), width)
+                for i, width in enumerate(widths)
+            ]
+            assert int(raw[lane]) == scalar(fields_to_bytes(values)), (
+                algorithm, widths, lane
+            )
+
+    @pytest.mark.parametrize("algorithm", ["crc16", "crc32", "crc32_lsb"])
+    def test_matches_compute_hash_truncation(self, algorithm: str):
+        """End-to-end: truncated like the primitive does it."""
+        widths = (32, 16)
+        fn = vector_hash_fn(algorithm, widths)
+        rng = random.Random(7)
+        columns = [
+            np.array([rng.getrandbits(w) for _ in range(32)], dtype=np.int64)
+            for w in widths
+        ]
+        out_width = 14
+        truncated = fn(columns) & ((1 << out_width) - 1)
+        for lane in range(32):
+            expected = compute_hash(
+                algorithm,
+                [(int(columns[i][lane]), w) for i, w in enumerate(widths)],
+                out_width,
+            )
+            assert int(truncated[lane]) == expected
+
+    def test_masks_out_of_range_column_values(self):
+        """Columns may carry stale high bits; the vector fn must mask
+        to the field width exactly like fields_to_bytes does."""
+        fn = vector_hash_fn("crc16", (8,))
+        dirty = np.array([0x1FF, 0xFF, 0x100], dtype=np.int64)
+        raw = fn([dirty])
+        assert int(raw[0]) == ALGORITHMS["crc16"](fields_to_bytes([(0x1FF, 8)]))
+        assert int(raw[0]) == int(raw[1])  # 0x1FF & 0xFF == 0xFF
+        assert int(raw[2]) == ALGORITHMS["crc16"](bytes([0]))
+
+    def test_unsupported_shapes_return_none(self):
+        assert vector_hash_fn("crc16", (63,)) is None
+        assert vector_hash_fn("crc16", (0,)) is None
+        assert vector_hash_fn("nope", (8,)) is None
+        assert vector_hash_fn("identity", (32, 32, 32)) is None  # > 62 bits
+
+    def test_cached_per_signature(self):
+        assert vector_hash_fn("crc16", (8, 8)) is vector_hash_fn(
+            "crc16", (8, 8)
+        )
+
+    def test_numpy_gate(self, monkeypatch):
+        monkeypatch.setattr(hashing, "np", None)
+        vector_hash_fn.cache_clear()
+        try:
+            assert vector_hash_fn("crc16", (13, 8)) is None
+        finally:
+            vector_hash_fn.cache_clear()
