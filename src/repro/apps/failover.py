@@ -430,6 +430,8 @@ def run_multihop_failover(
         "sink_timeline_gbps": scenario.sink.timeline_gbps(fabric.clock.now),
         "links": fabric.link_fault_summary(),
         "drop_totals": fabric.drop_totals(),
+        "per_switch": fabric.switch_summaries(),
+        "per_agent_fires": fabric.scheduler.actor_stats(),
     }
 
 

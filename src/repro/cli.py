@@ -12,6 +12,12 @@ Subcommands mirror the workflow of the paper's toolchain:
 - ``run-fabric`` -- run the two-switch multi-hop failover scenario on
   the fabric runtime (both agents as scheduled actors) and emit a
   JSON summary;
+- ``run-fattree`` -- run the FatTree(k) fleet rebalancing scenario:
+  one scheduler driving a per-switch agent on every edge/agg/core
+  switch against an adversarially polarized traffic matrix;
+- ``bench-fabric`` -- fabric scaling benchmark: events/sec on a
+  2-switch pair vs the FatTree fleet plus the rebalance-vs-static
+  max-link-utilization headline (tier-2 perf gate);
 - ``bench-fastpath`` -- measure packets/sec of the interpreter vs the
   compiled vs the columnar pipeline (with a batch-size sweep) on the
   Figure 15 DoS workload plus the ECMP rotating-hash workload, with
@@ -222,6 +228,13 @@ def cmd_run_fabric(args) -> int:
         print(f"link {link['name']:13s}: {state}, "
               f"fault_dropped={link['fault_dropped']}, "
               f"fault_corrupted={link['fault_corrupted']}")
+    fires = summary.get("per_agent_fires", {})
+    for name, stats in summary.get("per_switch", {}).items():
+        print(f"switch {name:11s}: delivered={stats['delivered']} "
+              f"forwarded={stats['forwarded']} "
+              f"tx={stats['tx_packets']} "
+              f"drops={stats['switch_drops']} "
+              f"agent_fires={fires.get(f'{name}.agent', 0)}")
     latency = detection["detection_latency_us"]
     if summary["rerouted"]:
         print(f"detection latency : {latency:.1f} us "
@@ -236,6 +249,88 @@ def cmd_run_fabric(args) -> int:
             json.dump(summary, handle, indent=1)
         print(f"wrote {args.json}")
     return 0 if summary["rerouted"] else 1
+
+
+def cmd_run_fattree(args) -> int:
+    import json
+
+    from repro.apps.fabric_lb import compare_fattree, run_fattree_rebalance
+
+    if args.compare:
+        result = compare_fattree(
+            k=args.k, duration_us=args.duration,
+            flows_per_host=args.flows_per_host,
+            rate_gbps_per_flow=args.rate,
+        )
+        static, mantis = result["static"], result["mantis"]
+        print(f"scenario          : {result['scenario']} (k={args.k})")
+        print(f"fleet             : {mantis['switches']} switches, "
+              f"{mantis['hosts']} hosts, {mantis['flows']} flows")
+        print(f"static max util   : {result['static_max_utilization']:.4f} "
+              f"(hot: {', '.join(static['hot_links'])})")
+        print(f"mantis max util   : {result['mantis_max_utilization']:.4f} "
+              f"({mantis['shifting_switches']} switches shifted "
+              f"{mantis['total_shifts']}x)")
+        print(f"improvement       : {result['improvement']:.1%}")
+        summary = result
+    else:
+        summary = run_fattree_rebalance(
+            k=args.k, duration_us=args.duration, mantis=not args.static,
+            mode=args.mode, flows_per_host=args.flows_per_host,
+            rate_gbps_per_flow=args.rate,
+        )
+        print(f"scenario          : {summary['scenario']} (k={args.k}, "
+              f"mode={summary['mode']}, "
+              f"{'mantis' if summary['mantis'] else 'static'})")
+        print(f"fleet             : {summary['switches']} switches, "
+              f"{summary['hosts']} hosts, {summary['flows']} flows")
+        print(f"delivered         : {summary['received_packets']} / "
+              f"{summary['sent_packets']} packets "
+              f"({summary['delivery_rate']:.1%})")
+        print(f"max link util     : {summary['max_link_utilization']:.4f} "
+              f"(mean {summary['mean_link_utilization']:.4f})")
+        print(f"hot links         : {', '.join(summary['hot_links'])}")
+        if summary["mantis"]:
+            print(f"shifts            : {summary['total_shifts']} across "
+                  f"{summary['shifting_switches']} switches "
+                  f"(first @ +{summary['first_shift_us'] or 0:.1f} us)"
+                  if summary["total_shifts"]
+                  else "shifts            : none")
+            print(f"agent fires       : {summary['agent_actor_fires']} "
+                  f"across {len(summary['per_agent_fires'])} agents")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_bench_fabric(args) -> int:
+    from repro.fastbench import run_fabric_benchmark
+
+    json_path = args.bench_json or args.json
+    result = run_fabric_benchmark(
+        duration_us=args.duration, k=args.k, json_path=json_path,
+    )
+    print(f"workload          : {result['workload']} (k={result['k']})")
+    for count, point in sorted(
+        result["scaling"].items(), key=lambda kv: int(kv[0])
+    ):
+        print(f"{count:>2s} switches       : "
+              f"{point['events_per_sec']:>12,.1f} events/s "
+              f"({point['events']} events, {point['wall_sec']:.3f} s wall, "
+              f"{point['actor_fires']} actor fires)")
+    print(f"scaling ratio     : {result['scaling_ratio']:.2f}x "
+          "(fleet vs pair events/s)")
+    print(f"static max util   : {result['static_max_utilization']:.4f}")
+    print(f"mantis max util   : {result['mantis_max_utilization']:.4f} "
+          f"({result['shifting_switches']} switches shifted "
+          f"{result['total_shifts']}x)")
+    print(f"improvement       : {result['improvement']:.1%}")
+    print(f"delivery (mantis) : {result['mantis_delivery_rate']:.1%}")
+    if json_path:
+        print(f"wrote {json_path}")
+    return 0
 
 
 def cmd_bench_fastpath(args) -> int:
@@ -464,6 +559,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_fabric.add_argument("--json", default=None,
                           help="write the JSON summary to this path")
     p_fabric.set_defaults(func=cmd_run_fabric)
+
+    p_tree = sub.add_parser(
+        "run-fattree",
+        help="run the FatTree(k) fleet rebalancing scenario (one "
+             "scheduler, ~20 per-switch agents)",
+    )
+    p_tree.add_argument("--k", type=int, default=4,
+                        help="fat-tree arity (k pods, k^2*5/4 switches)")
+    p_tree.add_argument("--duration", type=float, default=1200.0,
+                        help="simulated microseconds to run")
+    p_tree.add_argument("--mode",
+                        choices=("hashed", "round_robin", "random"),
+                        default="hashed",
+                        help="ECMP install mode (hashed is the "
+                             "Mantis-rebalanceable path)")
+    p_tree.add_argument("--static", action="store_true",
+                        help="freeze the control plane after route "
+                             "install (baseline)")
+    p_tree.add_argument("--compare", action="store_true",
+                        help="run static and mantis back to back and "
+                             "report the utilization improvement")
+    p_tree.add_argument("--flows-per-host", type=int, default=4,
+                        help="flows per sending host")
+    p_tree.add_argument("--rate", type=float, default=1.0,
+                        help="rate per flow (Gbps)")
+    p_tree.add_argument("--json", default=None,
+                        help="write the JSON summary to this path")
+    p_tree.set_defaults(func=cmd_run_fattree)
+
+    p_fab_bench = sub.add_parser(
+        "bench-fabric",
+        help="fabric scaling benchmark: events/sec on a 2-switch pair "
+             "vs the FatTree fleet, plus rebalance-vs-static max-link "
+             "utilization",
+    )
+    p_fab_bench.add_argument("--duration", type=float, default=1200.0,
+                             help="simulated microseconds per run")
+    p_fab_bench.add_argument("--k", type=int, default=4,
+                             help="fat-tree arity for the fleet point")
+    p_fab_bench.add_argument("--json", default=None,
+                             help="write the result payload to this path")
+    p_fab_bench.add_argument("--bench-json", nargs="?",
+                             const="BENCH_fabric.json",
+                             default=None, metavar="PATH",
+                             help="write the tracked benchmark artifact "
+                                  "(default path: BENCH_fabric.json at "
+                                  "the repo root)")
+    p_fab_bench.set_defaults(func=cmd_bench_fabric)
 
     p_bench = sub.add_parser(
         "bench-fastpath",

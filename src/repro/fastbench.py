@@ -555,3 +555,150 @@ def write_json(path: str, payload: Dict[str, object]) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Fabric-scale benchmark: events/sec vs switch count plus the
+# rebalance-vs-static headline (the fleet-scale refactor gate).
+
+FABRIC_PAIR_ADDRS = (0x0A000001, 0x0A000002)
+
+
+def build_pair_fabric():
+    """The 2-switch scaling anchor: one cable, one multi-flow sender
+    per side, agents armed (idle rebalancers -- no uplink fan-out to
+    watch, same polling cost)."""
+    from repro.apps.fabric_lb import FABRIC_P4R, FabricLbApp, MultiFlowSender
+    from repro.net.fabric_builder import FabricSpec
+    from repro.net.routing import install_routes
+
+    spec = FabricSpec("bench-pair")
+    spec.add_switch("s0")
+    spec.add_switch("s1")
+    spec.add_link("s0", 0, "s1", 0)
+    spec.add_host("hA", "s0", 1, addr=FABRIC_PAIR_ADDRS[0])
+    spec.add_host("hB", "s1", 1, addr=FABRIC_PAIR_ADDRS[1])
+    built = spec.build(FABRIC_P4R)
+    apps = [
+        FabricLbApp(switch.system, (), name=name)
+        for name, switch in built.switches.items()
+    ]
+    for app in apps:
+        app.system.agent.prologue()
+    install_routes(built, mode="hashed")
+    for app in apps:
+        app.system.agent.run_iteration()
+    senders = []
+    for src, src_addr, dst_addr in (
+        ("hA", *FABRIC_PAIR_ADDRS), ("hB", *reversed(FABRIC_PAIR_ADDRS)),
+    ):
+        sender = MultiFlowSender(src)
+        for index in range(4):
+            sender.add_flow(
+                {
+                    "ipv4.srcAddr": src_addr,
+                    "ipv4.dstAddr": dst_addr,
+                    "ipv4.proto": 17,
+                    "l4.sport": 1000 + index,
+                    "l4.dport": 443,
+                },
+                rate_gbps=1.0,
+            )
+        built.attach_host(src, sender)
+        senders.append(sender)
+    return built.fabric, senders, len(built.switches)
+
+
+def build_fattree_fabric(k: int = 4):
+    """The fleet scaling point: the full rebalance scenario."""
+    from repro.apps.fabric_lb import build_fattree_rebalance
+
+    scenario = build_fattree_rebalance(k=k)
+    return scenario.fabric, scenario.senders, len(scenario.built.switches)
+
+
+def measure_fabric_point(
+    factory, duration_us: float, reps: int = 2
+) -> Dict[str, object]:
+    """Run ``factory``'s fabric for ``duration_us`` with all agents as
+    scheduled actors; events/sec counts packet events plus actor fires
+    over wall time.  Best of ``reps`` fresh builds (wall-clock noise)."""
+    best: Optional[Dict[str, object]] = None
+    for _ in range(max(1, reps)):
+        fabric, senders, n_switches = factory()
+        events_before = fabric.events.processed
+        fires_before = fabric.scheduler.actor_fires
+        start = fabric.clock.now
+        for sender in senders:
+            sender.start()
+        wall_start = time.perf_counter()
+        fabric.run_until(start + duration_us, agent=True)
+        wall = time.perf_counter() - wall_start
+        events = (
+            fabric.events.processed - events_before
+            + fabric.scheduler.actor_fires - fires_before
+        )
+        point = {
+            "switches": n_switches,
+            "events": events,
+            "actor_fires": fabric.scheduler.actor_fires - fires_before,
+            "wall_sec": round(wall, 6),
+            "events_per_sec": round(events / wall, 1) if wall else 0.0,
+            "simulated_us": round(fabric.clock.now - start, 3),
+        }
+        if best is None or point["events_per_sec"] > best["events_per_sec"]:
+            best = point
+    return best
+
+
+def run_fabric_benchmark(
+    duration_us: float = 1200.0,
+    k: int = 4,
+    json_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """The BENCH_fabric.json payload.
+
+    Two halves: the scaling curve (events/sec on a 2-switch pair vs
+    the FatTree(k) fleet -- the O(1)-per-event core must not fall off
+    a cliff with 10x the switches) and the rebalancing headline
+    (max-link utilization, Mantis fleet vs static hashing, same
+    adversarially polarized traffic matrix)."""
+    from repro.apps.fabric_lb import compare_fattree
+
+    pair = measure_fabric_point(build_pair_fabric, duration_us)
+    tree = measure_fabric_point(lambda: build_fattree_fabric(k), duration_us)
+    scaling_ratio = (
+        tree["events_per_sec"] / pair["events_per_sec"]
+        if pair["events_per_sec"]
+        else float("inf")
+    )
+    comparison = compare_fattree(k=k, duration_us=duration_us)
+    payload: Dict[str, object] = {
+        "bench": "fabric",
+        "workload": "fabric-scaling+rebalance",
+        "k": k,
+        "duration_us": duration_us,
+        "scaling": {
+            str(pair["switches"]): pair,
+            str(tree["switches"]): tree,
+        },
+        "pair_events_per_sec": pair["events_per_sec"],
+        "fattree_events_per_sec": tree["events_per_sec"],
+        "scaling_ratio": round(scaling_ratio, 3),
+        "static_max_utilization": round(
+            comparison["static_max_utilization"], 4
+        ),
+        "mantis_max_utilization": round(
+            comparison["mantis_max_utilization"], 4
+        ),
+        "improvement": round(comparison["improvement"], 4),
+        "shifting_switches": comparison["mantis"]["shifting_switches"],
+        "total_shifts": comparison["mantis"]["total_shifts"],
+        "mantis_delivery_rate": round(
+            comparison["mantis"]["delivery_rate"], 4
+        ),
+        "agent_actor_fires": comparison["mantis"]["agent_actor_fires"],
+    }
+    if json_path:
+        write_json(json_path, payload)
+    return payload

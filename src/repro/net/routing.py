@@ -1,0 +1,150 @@
+"""Static fabric routing: shortest paths over a :class:`FabricSpec`,
+installed as table entries on every switch of a built fabric.
+
+``equal_cost_ports`` computes, per switch, the set of egress ports on
+*all* shortest paths to every addressed destination -- the ECMP group.
+``install_routes`` writes them into the data plane in one of three
+modes:
+
+- ``hashed``    -- multi-port destinations are steered through the
+  program's hashing action into a bucket-indexed select table (the
+  Mantis-rebalanceable path: the hash inputs are malleable fields).
+  Single-port destinations forward directly and tag the sentinel
+  bucket so the select stage passes them through untouched.
+- ``round_robin`` -- each multi-port destination is pinned to one port,
+  rotating through its group in address order (deterministic spread,
+  no per-packet hashing).
+- ``random``    -- each multi-port destination is pinned to a port
+  drawn from a per-switch seeded RNG (deterministic per seed).
+
+The table/action names parameterize so any program with the
+forward/hash/skip idiom can be routed; the defaults match
+``repro.apps.fabric_lb.FABRIC_P4R``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import SimulationError
+from repro.net.fabric_builder import BuiltFabric, FabricSpec
+
+#: ``forward`` writes this bucket so the select table skips hashing.
+SENTINEL_BUCKET = 0xFFFF
+
+ROUTE_MODES = ("hashed", "round_robin", "random")
+
+
+def equal_cost_ports(
+    spec: FabricSpec,
+    switch_name: str,
+    extra_dests: Optional[Dict[int, str]] = None,
+) -> Dict[int, List[int]]:
+    """Address -> sorted list of egress ports on all shortest paths.
+
+    ``extra_dests`` maps additional addresses (service aliases) onto
+    existing host nodes; they route exactly like the host's primary
+    address.
+    """
+    view = spec.switch_view(switch_name)
+    graph = view.graph
+    dests: Dict[int, str] = {}
+    for host in spec.hosts.values():
+        if host.addr is not None:
+            dests[host.addr] = host.name
+    for addr, node in (extra_dests or {}).items():
+        if node not in graph:
+            raise SimulationError(f"alias target {node!r} not in fabric")
+        dests[addr] = node
+    routes: Dict[int, List[int]] = {}
+    for addr in sorted(dests):
+        node = dests[addr]
+        if node == switch_name:
+            continue
+        try:
+            paths = nx.all_shortest_paths(graph, switch_name, node)
+            ports = sorted({
+                view.port_map[path[1]] for path in paths if len(path) > 1
+            })
+        except nx.NetworkXNoPath:
+            ports = []
+        if ports:
+            routes[addr] = ports
+    return routes
+
+
+def install_routes(
+    built: BuiltFabric,
+    mode: str = "hashed",
+    seed: int = 0,
+    extra_dests: Optional[Dict[int, str]] = None,
+    table: str = "route",
+    forward_action: str = "forward",
+    hash_action: str = "to_upper",
+    select_table: str = "up_select",
+    skip_action: str = "skip",
+    num_buckets: int = 4,
+) -> Dict[str, Dict[str, object]]:
+    """Install shortest-path routes on every switch of ``built``.
+
+    Returns a per-switch summary: route count, direct count, and the
+    ECMP group (hashed mode).  In ``hashed`` mode every multi-port
+    destination on a given switch must share one port group (true on
+    fat-trees and leaf-spines, where the group is always the full
+    uplink set) because the program carries a single select table.
+    """
+    if mode not in ROUTE_MODES:
+        raise SimulationError(
+            f"unknown routing mode {mode!r} (choose from {ROUTE_MODES})"
+        )
+    summary: Dict[str, Dict[str, object]] = {}
+    for name, switch in built.switches.items():
+        driver = switch.system.driver
+        routes = equal_cost_ports(built.spec, name, extra_dests)
+        rng = random.Random(f"{seed}:{name}")
+        group: Optional[List[int]] = None
+        direct = 0
+        rr_next = 0
+        for addr in sorted(routes):
+            ports = routes[addr]
+            if len(ports) == 1:
+                driver.add_entry(table, [addr], forward_action, [ports[0]])
+                direct += 1
+            elif mode == "hashed":
+                if group is None:
+                    group = ports
+                elif group != ports:
+                    raise SimulationError(
+                        f"{name}: hashed mode needs one ECMP group per "
+                        f"switch, got {group} and {ports} "
+                        f"(use round_robin/random)"
+                    )
+                driver.add_entry(table, [addr], hash_action, [])
+            elif mode == "round_robin":
+                driver.add_entry(
+                    table, [addr], forward_action,
+                    [ports[rr_next % len(ports)]],
+                )
+                rr_next += 1
+            else:  # random
+                driver.add_entry(
+                    table, [addr], forward_action, [rng.choice(ports)]
+                )
+        if group is not None:
+            for bucket in range(num_buckets):
+                driver.add_entry(
+                    select_table, [bucket], forward_action,
+                    [group[bucket % len(group)]],
+                )
+        # Every directly-forwarded packet carries the sentinel bucket;
+        # the select stage must pass it through on every switch.
+        driver.add_entry(select_table, [SENTINEL_BUCKET], skip_action, [])
+        summary[name] = {
+            "routes": len(routes),
+            "direct": direct,
+            "ecmp_group": list(group) if group else [],
+        }
+    return summary

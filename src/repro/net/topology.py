@@ -71,6 +71,12 @@ def ring_of_neighbors(
 def fabric_pair(n_links: int = 2) -> Tuple[SwitchTopology, SwitchTopology]:
     """Two switches joined by ``n_links`` parallel links, one host each.
 
+    .. deprecated:: since the fleet-scale refactor this is a thin
+       wrapper over :class:`repro.net.fabric_builder.FabricSpec`; new
+       scenarios should declare a spec directly (and get ``build()``
+       and routing for free).  Kept because the two-switch failover
+       golden runs pin its exact node naming and edge order.
+
     A simple ``nx.Graph`` cannot carry parallel edges, so each physical
     link ``i`` is an intermediate node ``l<i>`` on the path
     ``s0 - l<i> - s1``: shortest-path routing then distinguishes the
@@ -82,25 +88,24 @@ def fabric_pair(n_links: int = 2) -> Tuple[SwitchTopology, SwitchTopology]:
     Returns the two per-switch views of the shared graph (the inputs
     of two :class:`repro.apps.failover.RouteManager` instances).
     """
+    from repro.net.fabric_builder import FabricSpec
+
     if n_links < 2:
         raise SimulationError("fabric_pair needs >= 2 links for a detour")
-    graph = nx.Graph()
-    link_ports = {}
+    spec = FabricSpec("fabric-pair")
+    spec.add_switch("s0")
+    spec.add_switch("s1")
     for index in range(n_links):
-        node = f"l{index}"
-        graph.add_edge("s0", node)
-        graph.add_edge(node, "s1")
-        link_ports[node] = index
-    graph.add_edge("s0", "h0")
-    graph.add_edge("s1", "h1")
-    view0 = SwitchTopology(
-        graph, "s0", port_map={**link_ports, "h0": n_links}
-    )
-    view1 = SwitchTopology(
-        graph, "s1", port_map={**link_ports, "h1": n_links}
-    )
-    view0.validate()
-    view1.validate()
+        spec.add_link("s0", index, "s1", index)
+    spec.add_host("h0", "s0", n_links)
+    spec.add_host("h1", "s1", n_links)
+
+    def link_node(a: str, b: str, index: int) -> str:
+        return f"l{index}"
+
+    graph = spec.graph(link_node=link_node)
+    view0 = spec.switch_view("s0", link_node=link_node, graph=graph)
+    view1 = spec.switch_view("s1", link_node=link_node, graph=graph)
     return view0, view1
 
 
@@ -109,20 +114,32 @@ def leaf_spine(
 ) -> SwitchTopology:
     """The Mantis switch as one leaf of a leaf-spine fabric.
 
+    .. deprecated:: thin wrapper over
+       :class:`repro.net.fabric_builder.FabricSpec` -- new scenarios
+       should declare a spec directly.  The destination addresses live
+       on the *other leaves themselves* (scenario-level addressing), so
+       the dest map is grafted onto the derived view here rather than
+       declared as spec hosts.
+
     Ports 0..n_spines-1 face the spines; destinations live under the
     *other* leaves and are reachable through any spine.
     """
+    from repro.net.fabric_builder import FabricSpec
+
     if n_leaves < 2:
         raise SimulationError("leaf_spine needs at least 2 leaves")
-    graph = nx.Graph()
-    spines = [f"sp{index}" for index in range(n_spines)]
+    spec = FabricSpec("leaf-spine")
     leaves = ["s0"] + [f"leaf{index}" for index in range(1, n_leaves)]
+    spines = [f"sp{index}" for index in range(n_spines)]
     for leaf in leaves:
-        for spine in spines:
-            graph.add_edge(leaf, spine)
-    topology = SwitchTopology(graph, "s0")
-    for index, spine in enumerate(spines):
-        topology.port_map[spine] = index
+        spec.add_switch(leaf, role="leaf",
+                        uplink_ports=tuple(range(n_spines)))
+    for spine in spines:
+        spec.add_switch(spine, role="spine")
+    for leaf_index, leaf in enumerate(leaves):
+        for spine_index, spine in enumerate(spines):
+            spec.add_link(leaf, spine_index, spine, leaf_index)
+    topology = spec.switch_view("s0")
     for index, leaf in enumerate(leaves[1:]):
         topology.dest_map[base_addr + index] = leaf
     topology.validate()

@@ -1,0 +1,120 @@
+"""FatTree(4) fleet rebalancing: 16 hosts, 20 switches, one scheduler
+driving every per-switch agent; Mantis rebalancing must measurably
+beat static ECMP hashing on max-link utilization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.fabric_lb import (
+    DATA_PROTO,
+    NUM_BUCKETS,
+    _hash_bucket,
+    build_fattree_rebalance,
+    compare_fattree,
+    find_colliding_addr,
+    find_spreading_sport,
+    run_fattree_rebalance,
+)
+
+DURATION_US = 800.0
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_fattree(duration_us=DURATION_US)
+
+
+class TestAdversarialSearch:
+    def test_colliding_addr_lands_in_bucket(self):
+        for base in (0x0B000000, 0x0B012300):
+            addr = find_colliding_addr(base, bucket=0)
+            assert _hash_bucket(addr, DATA_PROTO) == 0
+            assert addr >= base
+
+    def test_spreading_sport_lands_in_bucket(self):
+        addr = find_colliding_addr(0x0B000000, bucket=0)
+        for bucket in range(NUM_BUCKETS):
+            sport = find_spreading_sport(addr, bucket=bucket)
+            assert _hash_bucket(addr, sport) == bucket
+
+
+class TestScenarioShape:
+    def test_fleet_scale(self):
+        scenario = build_fattree_rebalance()
+        assert len(scenario.built.switches) == 20
+        assert len(scenario.spec.hosts) == 16
+        assert len(scenario.senders) == 8
+        assert len(scenario.sinks) == 8
+        assert sum(len(s.flows) for s in scenario.senders) == 32
+        # Every flow's service address collides into bucket 0 under the
+        # initial (dstAddr, proto) hash inputs -- total polarization.
+        for sender in scenario.senders:
+            for flow in sender.flows:
+                fields = flow["fields"]
+                assert _hash_bucket(
+                    fields["ipv4.dstAddr"], fields["ipv4.proto"]
+                ) == 0
+
+    def test_one_scheduler_drives_all_agents(self, comparison):
+        mantis = comparison["mantis"]
+        fires = mantis["per_agent_fires"]
+        assert len(fires) == 20
+        assert all(count > 0 for count in fires.values())
+        assert mantis["agent_actor_fires"] == sum(fires.values())
+
+
+class TestRebalancing:
+    def test_static_run_is_polarized(self, comparison):
+        static = comparison["static"]
+        assert static["max_link_utilization"] >= 0.5
+        assert static["total_shifts"] == 0
+        assert static["delivery_rate"] > 0.95
+        assert static["drop_totals"]["switch_drops"] == 0
+
+    def test_mantis_beats_static(self, comparison):
+        """The acceptance gate: the reactive fleet's max-link
+        utilization must beat static hashing by a clear margin."""
+        static_max = comparison["static_max_utilization"]
+        mantis_max = comparison["mantis_max_utilization"]
+        assert mantis_max <= 0.75 * static_max
+        assert comparison["improvement"] >= 0.25
+        mantis = comparison["mantis"]
+        assert mantis["shifting_switches"] >= 8
+        assert mantis["delivery_rate"] > 0.95
+
+    def test_rebalancing_converges(self):
+        """After the shifts settle, every shifting switch's imbalance
+        is far below the detection threshold (window-boundary jitter of
+        a packet or two is fine; re-polarization is not)."""
+        scenario = build_fattree_rebalance()
+        fabric = scenario.fabric
+        start = fabric.clock.now
+        for sender in scenario.senders:
+            sender.start()
+        fabric.run_until(start + 1200.0, agent=True)
+        shifted = [a for a in scenario.apps.values() if a.shift_times]
+        assert len(shifted) >= 8
+        for app in shifted:
+            assert app.samples[-1].imbalance < 0.1
+            # No shift in the last stretch of the run: settled.
+            assert app.shift_times[-1] < start + 900.0
+
+    def test_per_switch_summaries_present(self, comparison):
+        per_switch = comparison["mantis"]["per_switch"]
+        assert len(per_switch) == 20
+        core_forwarded = sum(
+            per_switch[f"c{x}"]["forwarded"] for x in range(4)
+        )
+        assert core_forwarded > 0
+        for stats in per_switch.values():
+            assert stats["tx_packets"] >= stats["forwarded"] >= 0
+
+
+class TestPinnedModes:
+    def test_round_robin_mode_runs(self):
+        summary = run_fattree_rebalance(
+            duration_us=200.0, mantis=False, mode="round_robin"
+        )
+        assert summary["delivery_rate"] > 0.9
+        assert summary["route_summary"]["e0_0"]["ecmp_group"] == []

@@ -1,0 +1,231 @@
+"""FabricSpec / FatTree builder and the routing layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import topology as topo
+from repro.net.fabric_builder import FabricSpec, FatTree
+from repro.net.routing import (
+    SENTINEL_BUCKET,
+    equal_cost_ports,
+    install_routes,
+)
+
+
+def small_spec() -> FabricSpec:
+    """Two leaves, two spines, one addressed host per leaf."""
+    spec = FabricSpec("mini")
+    spec.add_switch("leaf0", role="leaf", uplink_ports=(0, 1))
+    spec.add_switch("leaf1", role="leaf", uplink_ports=(0, 1))
+    spec.add_switch("spine0", role="spine")
+    spec.add_switch("spine1", role="spine")
+    for li in range(2):
+        for si in range(2):
+            spec.add_link(f"leaf{li}", si, f"spine{si}", li)
+    spec.add_host("hA", "leaf0", 2, addr=0x0A000001)
+    spec.add_host("hB", "leaf1", 2, addr=0x0A000002)
+    return spec
+
+
+class TestFabricSpec:
+    def test_validation(self):
+        spec = FabricSpec()
+        spec.add_switch("s0")
+        with pytest.raises(SimulationError):
+            spec.add_switch("s0")
+        with pytest.raises(SimulationError):
+            spec.add_link("s0", 0, "nope", 0)
+        spec.add_switch("s1")
+        spec.add_link("s0", 0, "s1", 0)
+        with pytest.raises(SimulationError):  # port already cabled
+            spec.add_link("s0", 0, "s1", 1)
+        with pytest.raises(SimulationError):  # host on a cabled port
+            spec.add_host("h", "s0", 0)
+        spec.add_host("h", "s0", 1, addr=7)
+        with pytest.raises(SimulationError):  # duplicate address
+            spec.add_host("h2", "s1", 1, addr=7)
+        with pytest.raises(SimulationError):  # name collides with switch
+            spec.add_host("s1", "s0", 2)
+
+    def test_graph_and_views(self):
+        spec = small_spec()
+        graph = spec.graph()
+        assert set(graph.nodes) == {
+            "leaf0", "leaf1", "spine0", "spine1", "hA", "hB"
+        }
+        view = spec.switch_view("leaf0")
+        assert view.port_map == {"spine0": 0, "spine1": 1, "hA": 2}
+        assert view.dest_map == {0x0A000001: "hA", 0x0A000002: "hB"}
+        spine_view = spec.switch_view("spine1")
+        assert spine_view.port_map == {"leaf0": 0, "leaf1": 1}
+
+    def test_parallel_links_get_intermediate_nodes(self):
+        spec = FabricSpec()
+        spec.add_switch("s0")
+        spec.add_switch("s1")
+        spec.add_link("s0", 0, "s1", 0)
+        spec.add_link("s0", 1, "s1", 1)
+        graph = spec.graph()
+        assert not graph.has_edge("s0", "s1")
+        view = spec.switch_view("s0")
+        assert sorted(view.port_map.values()) == [0, 1]
+        for node in view.port_map:
+            assert graph.has_edge("s0", node)
+            assert graph.has_edge(node, "s1")
+
+    def test_build_materializes_fleet(self):
+        from repro.apps.fabric_lb import FABRIC_P4R
+
+        spec = small_spec()
+        built = spec.build(FABRIC_P4R)
+        assert set(built.switches) == set(spec.switches)
+        clock = built.clock
+        for switch in built.switches.values():
+            assert switch.system.clock is clock
+        assert built.link("leaf0", 0) is built.link("spine0", 0)
+        with pytest.raises(SimulationError):
+            built.link("leaf0", 5)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SimulationError):
+            FabricSpec().build("")
+
+
+class TestLegacyWrappers:
+    """fabric_pair / leaf_spine are now thin wrappers over FabricSpec;
+    their historical surface is pinned exactly."""
+
+    def test_fabric_pair_surface(self):
+        view0, view1 = topo.fabric_pair(n_links=2)
+        assert view0.graph is view1.graph
+        assert view0.port_map == {"l0": 0, "l1": 1, "h0": 2}
+        assert view1.port_map == {"l0": 0, "l1": 1, "h1": 2}
+        assert view0.dest_map == {}
+        edges = {frozenset(edge) for edge in view0.graph.edges}
+        assert edges == {
+            frozenset(e) for e in [
+                ("s0", "l0"), ("s0", "l1"), ("s0", "h0"),
+                ("l0", "s1"), ("l1", "s1"), ("s1", "h1"),
+            ]
+        }
+        # Adjacency order (what shortest-path tie-breaking sees) must
+        # match the historical imperative builder.
+        assert list(view0.graph.adj["s0"]) == ["l0", "l1", "h0"]
+        assert list(view0.graph.adj["s1"]) == ["l0", "l1", "h1"]
+
+    def test_leaf_spine_surface(self):
+        view = topo.leaf_spine(3, 2, base_addr=0x0A000100)
+        assert view.port_map == {"sp0": 0, "sp1": 1}
+        assert view.dest_map == {0x0A000100: "leaf1", 0x0A000101: "leaf2"}
+
+
+class TestFatTreeSpec:
+    def test_k4_shape(self):
+        tree = FatTree(4)
+        assert len(tree.switches) == 20
+        assert len(tree.hosts) == 16
+        assert len(tree.links) == 32
+        roles = {}
+        for spec in tree.switches.values():
+            roles[spec.role] = roles.get(spec.role, 0) + 1
+        assert roles == {"core": 4, "agg": 8, "edge": 8}
+        assert tree.host_addr(2, 1, 0) == 0x0A020102
+        assert tree.hosts["h2_1_0"].addr == 0x0A020102
+        assert len(tree.pod_hosts(0)) == 4
+        assert {h.name for h in tree.pod_hosts(3)} == {
+            "h3_0_0", "h3_0_1", "h3_1_0", "h3_1_1"
+        }
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(SimulationError):
+            FatTree(3)
+
+    def test_k6_scales(self):
+        tree = FatTree(6)
+        assert len(tree.switches) == 6 * 6 + 9  # 36 pod switches + 9 cores
+        assert len(tree.hosts) == 6 * 3 * 3
+
+
+class TestEqualCostPorts:
+    def test_fat_tree_groups(self):
+        tree = FatTree(4)
+        edge_routes = equal_cost_ports(tree, "e0_0")
+        # Local hosts: direct ports; everything else: both uplinks.
+        assert edge_routes[tree.host_addr(0, 0, 0)] == [2]
+        assert edge_routes[tree.host_addr(0, 0, 1)] == [3]
+        for pod, i, m in ((0, 1, 0), (1, 0, 0), (3, 1, 1)):
+            assert edge_routes[tree.host_addr(pod, i, m)] == [0, 1]
+        agg_routes = equal_cost_ports(tree, "a0_0")
+        assert agg_routes[tree.host_addr(0, 1, 0)] == [3]  # down to e0_1
+        assert agg_routes[tree.host_addr(2, 0, 0)] == [0, 1]  # via cores
+        core_routes = equal_cost_ports(tree, "c0")
+        for addr, ports in core_routes.items():
+            assert len(ports) == 1  # cores always one pod-facing port
+
+    def test_aliases_route_like_their_host(self):
+        tree = FatTree(4)
+        alias = 0x0B000123
+        routes = equal_cost_ports(
+            tree, "e0_0", extra_dests={alias: "h2_0_0"}
+        )
+        assert routes[alias] == routes[tree.host_addr(2, 0, 0)]
+        with pytest.raises(SimulationError):
+            equal_cost_ports(tree, "e0_0", extra_dests={1: "ghost"})
+
+
+class TestInstallRoutes:
+    def test_unknown_mode_rejected(self):
+        from repro.apps.fabric_lb import FABRIC_P4R
+
+        built = FatTree(4).build(FABRIC_P4R)
+        with pytest.raises(SimulationError):
+            install_routes(built, mode="magic")
+
+    def test_hashed_summary(self):
+        from repro.apps.fabric_lb import FABRIC_P4R
+
+        tree = FatTree(4)
+        built = tree.build(FABRIC_P4R)
+        for switch in built.switches.values():
+            switch.system.agent.prologue()
+        summary = install_routes(built, mode="hashed")
+        assert summary["e0_0"]["ecmp_group"] == [0, 1]
+        assert summary["e0_0"]["direct"] == 2  # the two local hosts
+        assert summary["a0_0"]["ecmp_group"] == [0, 1]
+        assert summary["c0"]["ecmp_group"] == []  # cores only go down
+        assert summary["c0"]["routes"] == 16
+        assert SENTINEL_BUCKET == 0xFFFF
+
+    @pytest.mark.parametrize("mode", ["round_robin", "random"])
+    def test_pinned_modes_deliver(self, mode):
+        """Single-path modes must deliver a packet across the fabric."""
+        from repro.apps.fabric_lb import FABRIC_P4R
+        from repro.net.hosts import Host, SinkHost
+        from repro.switch.packet import Packet
+
+        tree = FatTree(4)
+        built = tree.build(FABRIC_P4R)
+        for switch in built.switches.values():
+            switch.system.agent.prologue()
+        install_routes(built, mode=mode, seed=3)
+        for switch in built.switches.values():
+            switch.system.agent.run_iteration()
+
+        src = Host("src")
+        built.attach_host("h0_0_0", src)
+        sink = SinkHost("dst")
+        built.attach_host("h3_1_1", sink)
+        dst_addr = tree.host_addr(3, 1, 1)
+        for n in range(4):
+            src.send({
+                "ipv4.srcAddr": tree.host_addr(0, 0, 0),
+                "ipv4.dstAddr": dst_addr,
+                "ipv4.proto": 17,
+                "l4.sport": 1000 + n,
+                "l4.dport": 53,
+            })
+        fabric = built.fabric
+        fabric.run_until(fabric.clock.now + 50.0, agent=False)
+        assert sink.rx_packets == 4

@@ -1,0 +1,81 @@
+"""Golden differential runs pinning the refactored Scheduler/NetworkSim
+core to the pre-refactor behavior.
+
+The values below were captured on the PR 4 fabric runtime (multi-hop
+failover) and the PR 7 linkguard scenario *before* the fleet-scale
+refactor split ``net/sim.py`` into fabric + façade layers and indexed
+the scheduler.  Every float is compared exactly: the refactor must be
+bit-identical, not merely close -- timestamps come out of the same
+float operations in the same order or something changed semantically.
+"""
+
+from __future__ import annotations
+
+from repro.apps.failover import run_multihop_failover
+from repro.apps.linkguard import run_linkguard
+
+
+class TestMultihopGolden:
+    """PR 4 two-switch multi-hop failover, default parameters."""
+
+    def test_bit_identical_summary(self):
+        summary = run_multihop_failover()
+
+        assert summary["start_us"] == 60.440000000000005
+        assert summary["fail_time_us"] == 260.44
+        assert summary["end_us"] == 667.140000000002
+        assert summary["sender_tx_packets"] == 203
+        assert summary["sink_rx_packets"] == 186
+        assert summary["s0_forwarded"] == 988
+        assert summary["s0_link0_dropped"] == 423
+        assert summary["agent_actor_fires"] == 93
+        assert summary["agent_iterations"] == {"s0": 48, "s1": 47}
+
+        detection = summary["detection"]
+        assert detection["s0_port0_detected_us"] == 300.93999999999994
+        assert detection["s1_port0_detected_us"] == 291.51999999999987
+        assert detection["s0_rerouted_us"] == 302.41999999999996
+        assert detection["detection_latency_us"] == 40.49999999999994
+        assert summary["recomputations"] == {"s0": 1, "s1": 1}
+        assert summary["rerouted"] is True
+
+        totals = summary["drop_totals"]
+        assert totals["delivered"] == 186
+        assert totals["forwarded"] == 1790
+        assert totals["switch_drops"] == 1604
+        assert totals["egress_dropped"] == 831
+        assert totals["rx_dropped"] == 0
+        assert totals["port_fault_dropped"] == 0
+        assert totals["link_fault_dropped"] == 0
+
+
+class TestLinkguardGolden:
+    """PR 7 linkguard protection run at 1e-2 loss, 2000 us."""
+
+    def test_bit_identical_summary(self):
+        result = run_linkguard(1e-2, protection=True, duration_us=2000.0)
+
+        assert result["sent_packets"] == 3418
+        assert result["delivered_packets"] == 3340
+        assert result["throughput_gbps"] == 20.04
+        assert result["avg_fct_us"] == 38.626390769230504
+        assert result["transfers_completed"] == 52
+        assert result["retransmits"] == 2
+        assert result["protections"] == 1
+        assert result["restores"] == 0
+        assert result["s0_loss_estimate"] == 0.015444015444015444
+        assert result["protect_time_us"] == 339.9600000000001
+        assert result["link_fault_dropped"] == 46
+        assert result["link_fault_corrupted"] == 0
+
+        totals = result["drop_totals"]
+        assert totals["delivered"] == 3391
+        assert totals["forwarded"] == 11394
+        assert totals["switch_drops"] == 8000
+        assert totals["egress_dropped"] == 0
+        assert totals["rx_dropped"] == 0
+        assert totals["link_fault_dropped"] == 46
+
+        links = {entry["name"]: entry for entry in result["links"]}
+        assert links["s0:0<->s1:0"]["fault_dropped"] == 46
+        assert links["s0:1<->s1:1"]["fault_dropped"] == 0
