@@ -1,0 +1,106 @@
+"""Control-plane service sustained throughput (the ``bench-ctrl``
+gates, at CI-friendly scale).
+
+The speedup ratios are pure simulated-time ratios of the identical
+update stream, so they are deterministic and independent of the op
+count -- a small stream here must show exactly the gates the full
+1M-entry ``BENCH_ctrl.json`` artifact is held to: pipelined >= 2x
+sync, bulk >= 5x sync.  The contended scenario and the fleet
+route-install ride along at reduced scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import report, report_json
+from repro.ctrl.bench import (
+    BULK_GATE,
+    PIPELINED_GATE,
+    measure_bulk_updates,
+    measure_contended,
+    measure_pipelined_updates,
+    measure_route_install,
+    measure_sync_updates,
+)
+
+ENTRIES = 30_000
+WINDOW = 4_096
+
+
+def run_modes():
+    sync = measure_sync_updates(ENTRIES, WINDOW)
+    pipelined = measure_pipelined_updates(ENTRIES, WINDOW)
+    bulk = measure_bulk_updates(ENTRIES, WINDOW)
+    return sync, pipelined, bulk
+
+
+def test_ctrl_throughput_gates(bench_once, bench_json_path):
+    sync, pipelined, bulk = bench_once(run_modes)
+    pipelined_speedup = sync["sim_us"] / pipelined["sim_us"]
+    bulk_speedup = sync["sim_us"] / bulk["sim_us"]
+
+    report(
+        "Control-plane sustained update throughput (sync-pipelined-bulk)",
+        ["mode", "sim us/op", "sim updates/s", "speedup", "gate"],
+        [
+            ("sync", f"{sync['us_per_op']:.3f}",
+             f"{sync['sim_updates_per_sec']:,.0f}", "1.00x", "-"),
+            ("pipelined", f"{pipelined['us_per_op']:.3f}",
+             f"{pipelined['sim_updates_per_sec']:,.0f}",
+             f"{pipelined_speedup:.2f}x", f">={PIPELINED_GATE:.0f}x"),
+            ("bulk", f"{bulk['us_per_op']:.3f}",
+             f"{bulk['sim_updates_per_sec']:,.0f}",
+             f"{bulk_speedup:.2f}x", f">={BULK_GATE:.0f}x"),
+        ],
+    )
+    report_json(
+        {
+            "entries": ENTRIES,
+            "modes": {"sync": sync, "pipelined": pipelined, "bulk": bulk},
+            "pipelined_speedup": pipelined_speedup,
+            "bulk_speedup": bulk_speedup,
+        },
+        bench_json_path,
+        name="ctrl_throughput",
+    )
+
+    # The CI gates, at any op count.
+    assert pipelined_speedup >= PIPELINED_GATE
+    assert bulk_speedup >= BULK_GATE
+    # Pipelined throughput is device-bound: us/op collapses to the
+    # memoized table-modify device cost.
+    assert pipelined["us_per_op"] == pytest.approx(0.5, rel=0.01)
+    # The window kept the device saturated.
+    assert pipelined["channel_utilization"] > 0.95
+    # The bounded timeline ring held across the million^-scale stream.
+    assert sync["timeline_records"] <= 8_192
+    assert sync["timeline_total"] > sync["timeline_records"]
+
+
+def test_ctrl_contended_latency_is_sane(bench_once):
+    contended = bench_once(
+        measure_contended, duration_us=8_000.0, loader_ops=10_000
+    )
+    assert contended["agent_iterations"] > 100
+    assert contended["legacy_updates"] > 500
+    assert contended["loader_ops_completed"] == 10_000
+    # Legacy keeps its Fig. 12-scale latency despite a saturating
+    # bulk loader underneath: arbitration holds the p99 within the
+    # in-flight window's worth of bulk chunks, not unbounded queueing.
+    assert contended["legacy_p50_us"] < 5.0
+    assert contended["legacy_p99_us"] < 60.0
+    # Backpressure engaged on the loader session (bounded queue).
+    assert contended["loader_parked"] > 0
+    # The offline Fig. 12 model stays in the same regime at p50.
+    assert contended["offline_p50_us"] == pytest.approx(
+        contended["legacy_p50_us"], abs=1.0
+    )
+
+
+def test_fleet_route_install_is_fast(bench_once):
+    install = bench_once(measure_route_install, k=4)
+    assert install["bulk"]["bulk_txns"] == install["bulk"]["switches"]
+    assert install["bulk"]["driver_ops"] == \
+        install["per_entry"]["driver_ops"]
+    assert install["sub_second"]
+    # Coalescing wins an order of magnitude of simulated install time.
+    assert install["sim_speedup"] >= 5.0

@@ -118,3 +118,68 @@ class LegacyClient:
         return legacy_latencies(
             [], self.arrivals(start_us, end_us), self.op_cost_us
         )
+
+
+class LiveLegacyClient:
+    """A *live* legacy controller: real driver ops through a
+    control-plane service session (``repro.ctrl``).
+
+    Where :class:`LegacyClient` replays the Figure 12 queueing model
+    offline against a recorded Mantis timeline, this client issues one
+    un-memoized ``table_modify`` per arrival as a scheduler *event* --
+    exact arrival timing, even mid-agent-iteration -- and measures the
+    completion latency the session observes.  The offline model stays
+    the golden cross-check: on the same run's recorded timeline it must
+    reproduce this client's latency distribution within a small
+    tolerance (the offline model serializes prep after the wait, the
+    live channel overlaps prep *under* the wait, so offline is a few
+    hundred ns conservative on contended arrivals).
+    """
+
+    def __init__(
+        self,
+        session,
+        table: str,
+        interval_us: float = 11.0,
+        action: str = None,
+    ):
+        self.session = session
+        self.table = table
+        self.interval_us = interval_us
+        self.action = action
+        self.entry_id: int = -1
+        self.arrival_times: List[float] = []
+        self.latencies: List[float] = []
+        self._tick = 0
+
+    def setup(self, key: Sequence[int], action: str,
+              args: Sequence[int] = ()) -> None:
+        """Install the entry this client will keep updating (blocking,
+        before the measurement window)."""
+        self.action = self.action or action
+        self.entry_id = self.session.driver.add_entry(
+            self.table, list(key), action, list(args)
+        )
+
+    def start(self, scheduler, start_us: float, end_us: float) -> None:
+        """Arm one submit event per arrival over the window."""
+        t = start_us
+        while t < end_us:
+            scheduler.at(t, self._fire)
+            t += self.interval_us
+
+    def _fire(self, now_us: float) -> None:
+        self._tick += 1
+        self.arrival_times.append(now_us)
+        self.session.submit_modify(
+            self.table, self.entry_id, self.action,
+            [self._tick % 2 ** 16],
+            on_done=self._on_done,
+        )
+
+    def _on_done(self, ticket) -> None:
+        if ticket.error is None:
+            self.latencies.append(ticket.latency_us)
+
+    def stats(self) -> LegacyStats:
+        return LegacyStats.from_latencies(self.latencies)

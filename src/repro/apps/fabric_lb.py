@@ -281,6 +281,7 @@ def build_fattree_rebalance(
     persistence: int = 2,
     min_window_packets: int = 8,
     seed: int = 0,
+    route_bulk: bool = True,
 ) -> FatTreeScenario:
     """FatTree(k) with the polarized inter-pod traffic matrix.
 
@@ -327,7 +328,7 @@ def build_fattree_rebalance(
         app.system.agent.prologue()
     route_summary = install_routes(
         built, mode=mode, seed=seed, extra_dests=aliases,
-        num_buckets=NUM_BUCKETS,
+        num_buckets=NUM_BUCKETS, bulk=route_bulk,
     )
     for app in apps.values():
         app.system.agent.run_iteration()
@@ -382,6 +383,7 @@ def run_fattree_rebalance(
     flows_per_host: int = 4,
     rate_gbps_per_flow: float = 1.0,
     seed: int = 0,
+    route_bulk: bool = True,
 ) -> Dict[str, object]:
     """One fat-tree run; returns the JSON-able summary.
 
@@ -391,6 +393,7 @@ def run_fattree_rebalance(
     scenario = build_fattree_rebalance(
         k=k, mode=mode, flows_per_host=flows_per_host,
         rate_gbps_per_flow=rate_gbps_per_flow, seed=seed,
+        route_bulk=route_bulk,
     )
     fabric = scenario.fabric
     start = fabric.clock.now
@@ -436,6 +439,18 @@ def run_fattree_rebalance(
         "per_agent_fires": fabric.scheduler.actor_stats() if mantis else {},
         "per_switch": fabric.switch_summaries(),
         "route_summary": scenario.route_summary,
+        # Install-path op accounting: logical entries vs coalesced
+        # DMA-burst transactions actually issued per mode.
+        "route_install": {
+            "mode": mode,
+            "bulk": route_bulk,
+            "driver_ops": sum(
+                s["driver_ops"] for s in scenario.route_summary.values()
+            ),
+            "bulk_txns": sum(
+                s["bulk_txns"] for s in scenario.route_summary.values()
+            ),
+        },
         "drop_totals": fabric.drop_totals(),
     }
 

@@ -27,7 +27,11 @@ Subcommands mirror the workflow of the paper's toolchain:
   the delta-polling skip rate (tier-2 perf gate);
 - ``bench-linkguard`` -- sweep lossy-link rates through the
   LinkGuardian-style protection scenario and emit throughput/FCT
-  curves comparing no-protection vs Mantis protection.
+  curves comparing no-protection vs Mantis protection;
+- ``bench-ctrl`` -- control-plane service sustained-throughput
+  benchmark: sync vs pipelined vs DMA-bulk table updates at 1M+
+  entries, contended multi-client latency percentiles, and the
+  FatTree(k=8) fleet route-install timing (tier-2 perf gate).
 
 Usage:  python -m repro.cli compile prog.p4r -o build/
 """
@@ -278,6 +282,7 @@ def cmd_run_fattree(args) -> int:
             k=args.k, duration_us=args.duration, mantis=not args.static,
             mode=args.mode, flows_per_host=args.flows_per_host,
             rate_gbps_per_flow=args.rate,
+            route_bulk=not args.route_per_entry,
         )
         print(f"scenario          : {summary['scenario']} (k={args.k}, "
               f"mode={summary['mode']}, "
@@ -290,6 +295,11 @@ def cmd_run_fattree(args) -> int:
         print(f"max link util     : {summary['max_link_utilization']:.4f} "
               f"(mean {summary['mean_link_utilization']:.4f})")
         print(f"hot links         : {', '.join(summary['hot_links'])}")
+        install = summary["route_install"]
+        print(f"route install     : {install['driver_ops']} entries as "
+              f"{install['bulk_txns']} bulk txns"
+              if install["bulk"] else
+              f"route install     : {install['driver_ops']} per-entry ops")
         if summary["mantis"]:
             print(f"shifts            : {summary['total_shifts']} across "
                   f"{summary['shifting_switches']} switches "
@@ -482,6 +492,59 @@ def cmd_bench_linkguard(args) -> int:
     return 0 if gate["pass"] in (True, None) else 1
 
 
+def cmd_bench_ctrl(args) -> int:
+    from repro.ctrl.bench import run_ctrl_benchmark
+
+    if args.entries < 1:
+        print("error: --entries expects a positive update count",
+              file=sys.stderr)
+        return 1
+    json_path = args.bench_json or args.json
+    result = run_ctrl_benchmark(
+        entries=args.entries,
+        contended_duration_us=args.duration,
+        install_k=args.k,
+        json_path=json_path,
+    )
+    modes = result["modes"]
+    print(f"update stream     : {result['entries']:,} table modifies "
+          f"over a {result['update_window']:,}-entry window")
+    print(f"{'mode':>10s} {'sim us/op':>10s} {'sim ops/s':>14s} "
+          f"{'wall ops/s':>12s}")
+    for name in ("sync", "pipelined", "bulk"):
+        mode = modes[name]
+        print(f"{name:>10s} {mode['us_per_op']:>10.3f} "
+              f"{mode['sim_updates_per_sec']:>14,.0f} "
+              f"{mode['wall_updates_per_sec']:>12,.0f}")
+    speedup = result["speedup"]
+    gates = result["gates"]
+    print(f"pipelined speedup : {speedup['pipelined_vs_sync']:.2f}x "
+          f"(gate >= {gates['pipelined_min']:.1f}x: "
+          f"{'PASS' if gates['pipelined_pass'] else 'FAIL'})")
+    print(f"bulk speedup      : {speedup['bulk_vs_sync']:.2f}x "
+          f"(gate >= {gates['bulk_min']:.1f}x: "
+          f"{'PASS' if gates['bulk_pass'] else 'FAIL'})")
+    contended = result["contended"]
+    print(f"contended legacy  : p50={contended['legacy_p50_us']:.2f} us "
+          f"p99={contended['legacy_p99_us']:.2f} us "
+          f"({contended['legacy_updates']} updates vs "
+          f"{contended['agent_iterations']} agent iterations + "
+          f"{contended['loader_ops_completed']:,} bulk-loader ops)")
+    print(f"offline cross-chk : p50={contended['offline_p50_us']:.2f} us "
+          f"p99={contended['offline_p99_us']:.2f} us")
+    install = result["route_install"]
+    print(f"route install k={install['k']} : bulk "
+          f"{install['bulk']['install_wall_sec']:.2f}s wall / "
+          f"{install['bulk']['install_sim_us']:.0f} sim us vs per-entry "
+          f"{install['per_entry']['install_sim_us']:.0f} sim us "
+          f"({install['sim_speedup']:.1f}x, "
+          f"{install['bulk']['driver_ops']:,} entries, "
+          f"{install['bulk']['bulk_txns']} txns)")
+    if json_path:
+        print(f"wrote {json_path}")
+    return 0 if gates["pipelined_pass"] and gates["bulk_pass"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mantis",
@@ -584,6 +647,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="flows per sending host")
     p_tree.add_argument("--rate", type=float, default=1.0,
                         help="rate per flow (Gbps)")
+    p_tree.add_argument("--route-per-entry", action="store_true",
+                        help="install routes one driver op per entry "
+                             "instead of coalesced DMA-burst "
+                             "transactions (bulk is the default)")
     p_tree.add_argument("--json", default=None,
                         help="write the JSON summary to this path")
     p_tree.set_defaults(func=cmd_run_fattree)
@@ -674,6 +741,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default path: BENCH_linkguard.json at "
                               "the repo root)")
     p_guard.set_defaults(func=cmd_bench_linkguard)
+
+    p_ctrl = sub.add_parser(
+        "bench-ctrl",
+        help="control-plane service sustained-throughput benchmark: "
+             "sync vs pipelined vs bulk table updates, contended-client "
+             "latency, fleet route-install timing",
+    )
+    p_ctrl.add_argument("--entries", type=int, default=1_048_576,
+                        help="table updates per throughput mode")
+    p_ctrl.add_argument("--duration", type=float, default=30_000.0,
+                        help="contended-scenario window (simulated us)")
+    p_ctrl.add_argument("--k", type=int, default=8,
+                        help="fat-tree arity for the route-install "
+                             "timing")
+    p_ctrl.add_argument("--json", default=None,
+                        help="write the result payload to this path")
+    p_ctrl.add_argument("--bench-json", nargs="?", const="BENCH_ctrl.json",
+                        default=None, metavar="PATH",
+                        help="write the tracked benchmark artifact "
+                             "(default path: BENCH_ctrl.json at the "
+                             "repo root)")
+    p_ctrl.set_defaults(func=cmd_bench_ctrl)
     return parser
 
 

@@ -1,0 +1,356 @@
+"""The ``bench-ctrl`` sustained-throughput benchmark (BENCH_ctrl.json).
+
+Measures sustained table-update throughput over the same update
+stream in three control-plane modes:
+
+- **sync**      -- the bare synchronous driver, one memoized
+  ``modify_entry`` at a time (``prep + pcie + device`` per op);
+- **pipelined** -- the same ops submitted through a
+  :class:`~repro.ctrl.service.CtrlService` session with an in-flight
+  window, so prep and PCIe transfers overlap device windows and
+  throughput is bounded by device cost alone;
+- **bulk**      -- the stream coalesced into DMA-burst
+  ``write_batch`` transactions (RBFRT-style bulk insert).
+
+Speedups are ratios of *simulated* time for the identical op stream,
+so the CI gates (pipelined >= 2x, bulk >= 5x) are deterministic;
+wall-clock numbers ride along for context.  The payload also carries
+the contended-client scenario (agent + live legacy + bulk loader with
+latency percentiles and fairness accounting) and the FatTree(k) bulk
+route-install timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.agent.legacy import LegacyClient, LiveLegacyClient, legacy_latencies
+from repro.analysis.stats import percentile
+from repro.ctrl.clients import BulkLoader
+from repro.runtime.scheduler import AgentActor, Scheduler
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.system import MantisSystem
+
+#: Entries cycled by the sustained-update phases (the working set);
+#: the op *count* is the benchmark's ``entries`` parameter.
+UPDATE_WINDOW = 65_536
+
+#: Timeline ring size for the million-op runs (exercises the bounded
+#: ring: memory stays flat no matter how many ops run).
+TIMELINE_RING = 8_192
+
+DEFAULT_ENTRIES = 1_048_576
+
+#: CI gate thresholds on simulated-time speedup over sync.
+PIPELINED_GATE = 2.0
+BULK_GATE = 5.0
+
+CTRL_BENCH_P4R = STANDARD_METADATA_P4 + """
+header_type ipv4_t { fields { dstAddr : 32; } }
+header ipv4_t ipv4;
+register heartbeat { width : 32; instance_count : 16; }
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table route {
+    reads { ipv4.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop();
+    size : 1048576;
+}
+control ingress { apply(route); }
+"""
+
+#: The contended scenario's program -- the Fig. 12 shape: a busy
+#: Mantis dialogue (malleable knob + register poll) plus a legacy
+#: table for the live legacy controller.
+CONTENDED_P4R = STANDARD_METADATA_P4 + """
+header_type hdr_t { fields { a : 32; } }
+header hdr_t hdr;
+register probe { width : 32; instance_count : 8; }
+register shadow { width : 32; instance_count : 64; }
+malleable value knob { width : 32; init : 0; }
+action stamp() { modify_field(hdr.a, ${knob}); }
+table t { actions { stamp; } default_action : stamp(); }
+action set_a(v) { modify_field(hdr.a, v); }
+action nop() { no_op(); }
+table legacy_table {
+    reads { hdr.a : exact; }
+    actions { set_a; nop; }
+    default_action : nop();
+    size : 128;
+}
+control ingress { apply(t); apply(legacy_table); }
+
+reaction tick(reg probe[0:7]) {
+    ${knob} = ${knob} + 1;
+}
+"""
+
+
+def _build_update_stack(ctrl_service: bool, window: int):
+    """A system with ``window`` pre-installed route entries (untimed
+    setup via bulk load) and a memoized route-table handle."""
+    system = MantisSystem.from_source(
+        CTRL_BENCH_P4R,
+        ctrl_service=ctrl_service,
+        record_timeline=True,
+        timeline_limit=TIMELINE_RING,
+    )
+    driver = system.driver
+    entry_ids: List[int] = []
+    chunk = 4096
+    for base in range(0, window, chunk):
+        ops = [
+            ("add", "route", [addr], "forward", [addr % 64])
+            for addr in range(base, min(base + chunk, window))
+        ]
+        entry_ids.extend(driver.write_batch(ops))
+    memo = driver.memoize("table", "route")
+    return system, entry_ids, memo
+
+
+def _mode_result(mode: str, ops: int, sim_us: float, wall_sec: float,
+                 **extra) -> Dict[str, object]:
+    result = {
+        "mode": mode,
+        "ops": ops,
+        "sim_us": sim_us,
+        "us_per_op": sim_us / ops if ops else 0.0,
+        "sim_updates_per_sec": ops / (sim_us / 1e6) if sim_us else 0.0,
+        "wall_sec": wall_sec,
+        "wall_updates_per_sec": ops / wall_sec if wall_sec else 0.0,
+    }
+    result.update(extra)
+    return result
+
+
+def measure_sync_updates(
+    entries: int = DEFAULT_ENTRIES, window: int = UPDATE_WINDOW
+) -> Dict[str, object]:
+    system, entry_ids, memo = _build_update_stack(False, window)
+    driver, clock = system.driver, system.clock
+    count = len(entry_ids)
+    sim0 = clock.now
+    wall0 = time.perf_counter()
+    for i in range(entries):
+        driver.modify_entry(
+            "route", entry_ids[i % count], args=[i % 64], memo=memo
+        )
+    return _mode_result(
+        "sync", entries, clock.now - sim0, time.perf_counter() - wall0,
+        timeline_records=len(driver.timeline),
+        timeline_total=driver.timeline_total,
+    )
+
+
+def measure_pipelined_updates(
+    entries: int = DEFAULT_ENTRIES,
+    window: int = UPDATE_WINDOW,
+    in_flight_window: int = 8,
+) -> Dict[str, object]:
+    system, entry_ids, memo = _build_update_stack(True, window)
+    system.ctrl.channel.window = in_flight_window
+    driver, clock = system.driver, system.clock
+    scheduler = Scheduler(clock)
+    system.ctrl.attach_scheduler(scheduler)
+    session = system.ctrl.open_session("updater", priority="mantis")
+    count = len(entry_ids)
+    sim0 = clock.now
+    wall0 = time.perf_counter()
+    submitted = 0
+    while submitted < entries:
+        ticket = session.try_submit_modify(
+            "route", entry_ids[submitted % count],
+            args=[submitted % 64], memo=memo,
+        )
+        if ticket is not None:
+            submitted += 1
+            continue
+        # Queue full: let simulated time run to the next completion.
+        next_time = scheduler.events.peek_time()
+        if next_time is None:
+            raise RuntimeError("pipelined feeder stalled")
+        if next_time > clock.now:
+            clock.advance_to(next_time)
+        else:
+            scheduler.events.drain(clock.now)
+    session.drain()
+    sim_us = clock.now - sim0
+    return _mode_result(
+        "pipelined", entries, sim_us, time.perf_counter() - wall0,
+        in_flight_window=in_flight_window,
+        channel_utilization=system.ctrl.channel.utilization(sim_us),
+        timeline_records=len(driver.timeline),
+        timeline_total=driver.timeline_total,
+    )
+
+
+def measure_bulk_updates(
+    entries: int = DEFAULT_ENTRIES,
+    window: int = UPDATE_WINDOW,
+    chunk: int = 512,
+) -> Dict[str, object]:
+    system, entry_ids, memo = _build_update_stack(True, window)
+    driver, clock = system.driver, system.clock
+    count = len(entry_ids)
+    txns0 = driver.bulk_txns
+    sim0 = clock.now
+    wall0 = time.perf_counter()
+    for base in range(0, entries, chunk):
+        ops = [
+            ("modify", "route", entry_ids[i % count], None, [i % 64])
+            for i in range(base, min(base + chunk, entries))
+        ]
+        driver.write_batch(ops)
+    return _mode_result(
+        "bulk", entries, clock.now - sim0, time.perf_counter() - wall0,
+        chunk=chunk,
+        bulk_txns=driver.bulk_txns - txns0,
+        timeline_records=len(driver.timeline),
+        timeline_total=driver.timeline_total,
+    )
+
+
+def measure_contended(
+    duration_us: float = 30_000.0,
+    legacy_interval_us: float = 11.0,
+    loader_ops: int = 40_000,
+    loader_chunk: int = 64,
+) -> Dict[str, object]:
+    """Agent + live legacy + bulk loader on one switch: contended
+    latency percentiles, fairness accounting, and the offline Fig. 12
+    model as the golden cross-check on the same recorded timeline."""
+    system = MantisSystem.from_source(
+        CONTENDED_P4R, ctrl_service=True, record_timeline=True
+    )
+    system.agent.prologue()
+    scheduler = Scheduler(system.clock)
+    system.ctrl.attach_scheduler(scheduler)
+
+    legacy_session = system.ctrl.open_session("legacy", priority="legacy")
+    legacy = LiveLegacyClient(
+        legacy_session, "legacy_table", interval_us=legacy_interval_us
+    )
+    legacy.setup([1], "set_a", [0])
+
+    loader_session = system.ctrl.open_session(
+        "loader", priority="bulk", queue_limit=8
+    )
+    loader = BulkLoader(
+        loader_session,
+        [("write_register", "shadow", i % 64, i) for i in range(loader_ops)],
+        chunk_size=loader_chunk,
+    )
+
+    start = system.clock.now
+    legacy.start(scheduler, start, start + duration_us)
+    loader.start()
+    scheduler.spawn(AgentActor(system.agent, name="mantis-agent"))
+    scheduler.run_until(start + duration_us)
+    system.ctrl.drain()
+
+    live = legacy.latencies
+    # Offline golden: the queueing model replayed against this same
+    # run's recorded timeline of *competing* ops -- agent dialogue plus
+    # the loader's bulk transactions (sorted by window start; async
+    # completions can append slightly out of order).
+    contender_window = sorted(
+        (
+            op for op in system.driver.timeline
+            if op.channel != legacy_session.channel and op.end_us > start
+            and op.start_us < start + duration_us
+        ),
+        key=lambda op: op.excl_start_us,
+    )
+    offline_model = LegacyClient(
+        system.driver, interval_us=legacy_interval_us
+    )
+    offline = legacy_latencies(
+        contender_window, legacy.arrival_times, offline_model.op_cost_us
+    )
+    return {
+        "duration_us": duration_us,
+        "legacy_interval_us": legacy_interval_us,
+        "agent_iterations": system.agent.iterations,
+        "legacy_updates": len(live),
+        "legacy_p50_us": percentile(live, 50) if live else 0.0,
+        "legacy_p99_us": percentile(live, 99) if live else 0.0,
+        "legacy_mean_us": sum(live) / len(live) if live else 0.0,
+        "offline_p50_us": percentile(offline, 50) if offline else 0.0,
+        "offline_p99_us": percentile(offline, 99) if offline else 0.0,
+        "loader_ops_completed": loader.ops_completed,
+        "loader_chunks": loader.chunks_completed,
+        "loader_parked": loader.parked,
+        "service": system.ctrl.stats(),
+    }
+
+
+def measure_route_install(k: int = 8, mode: str = "hashed") -> Dict[str, object]:
+    """FatTree(k) fleet route install, bulk vs per-entry, wall-clock."""
+    from repro.apps.fabric_lb import FABRIC_P4R
+    from repro.net.fabric_builder import FatTree
+    from repro.net.routing import install_routes
+
+    results: Dict[str, object] = {"k": k, "mode": mode}
+    for label, bulk in (("bulk", True), ("per_entry", False)):
+        wall0 = time.perf_counter()
+        built = FatTree(k).build(FABRIC_P4R)
+        build_wall = time.perf_counter() - wall0
+        wall0 = time.perf_counter()
+        summary = install_routes(built, mode=mode, bulk=bulk)
+        install_wall = time.perf_counter() - wall0
+        results[label] = {
+            "build_wall_sec": build_wall,
+            "install_wall_sec": install_wall,
+            "switches": len(summary),
+            "driver_ops": sum(s["driver_ops"] for s in summary.values()),
+            "bulk_txns": sum(s["bulk_txns"] for s in summary.values()),
+            "install_sim_us":
+                sum(s["install_sim_us"] for s in summary.values()),
+        }
+    results["sub_second"] = results["bulk"]["install_wall_sec"] < 1.0
+    results["sim_speedup"] = (
+        results["per_entry"]["install_sim_us"]
+        / results["bulk"]["install_sim_us"]
+    )
+    return results
+
+
+def run_ctrl_benchmark(
+    entries: int = DEFAULT_ENTRIES,
+    window: int = UPDATE_WINDOW,
+    contended_duration_us: float = 30_000.0,
+    install_k: int = 8,
+    json_path: Optional[str] = None,
+) -> Dict[str, object]:
+    sync = measure_sync_updates(entries, window)
+    pipelined = measure_pipelined_updates(entries, window)
+    bulk = measure_bulk_updates(entries, window)
+    contended = measure_contended(duration_us=contended_duration_us)
+    install = measure_route_install(k=install_k)
+    speedup = {
+        "pipelined_vs_sync": sync["sim_us"] / pipelined["sim_us"],
+        "bulk_vs_sync": sync["sim_us"] / bulk["sim_us"],
+    }
+    payload = {
+        "benchmark": "ctrl",
+        "entries": entries,
+        "update_window": window,
+        "modes": {"sync": sync, "pipelined": pipelined, "bulk": bulk},
+        "speedup": speedup,
+        "gates": {
+            "pipelined_min": PIPELINED_GATE,
+            "bulk_min": BULK_GATE,
+            "pipelined_pass":
+                speedup["pipelined_vs_sync"] >= PIPELINED_GATE,
+            "bulk_pass": speedup["bulk_vs_sync"] >= BULK_GATE,
+        },
+        "contended": contended,
+        "route_install": install,
+    }
+    if json_path:
+        from repro.fastbench import write_json
+
+        write_json(json_path, payload)
+    return payload

@@ -1,0 +1,65 @@
+"""Canned control-plane clients.
+
+:class:`BulkLoader` streams a large write list through a low-priority
+session as chunked DMA-burst transactions, respecting backpressure:
+when its session queue fills it parks and resumes from the
+``on_drain`` notification.  This is the route-installer / table-mirror
+workload of the contended benchmark scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ctrl.service import CtrlSession, OpTicket
+
+
+class BulkLoader:
+    """Streams ``ops`` through ``session`` in bulk chunks."""
+
+    def __init__(self, session: CtrlSession, ops: Sequence[Tuple],
+                 chunk_size: Optional[int] = None):
+        self.session = session
+        self.ops = list(ops)
+        self.chunk_size = chunk_size or session.service.bulk_chunk
+        self.cursor = 0
+        self.chunks_submitted = 0
+        self.chunks_completed = 0
+        self.ops_completed = 0
+        self.parked = 0
+        self.started_us: Optional[float] = None
+        self.finished_us: Optional[float] = None
+        session.on_drain = self._resume
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.cursor >= len(self.ops)
+            and self.chunks_completed == self.chunks_submitted
+        )
+
+    def start(self) -> None:
+        self.started_us = self.session.service.clock.now
+        self._feed()
+
+    def _feed(self) -> None:
+        session = self.session
+        while self.cursor < len(self.ops):
+            chunk = self.ops[self.cursor:self.cursor + self.chunk_size]
+            tickets = session.try_submit_batch(chunk, on_done=self._on_chunk)
+            if tickets is None:
+                # Queue full: park until the drain notification.
+                self.parked += 1
+                return
+            self.cursor += len(chunk)
+            self.chunks_submitted += len(tickets)
+
+    def _resume(self) -> None:
+        self._feed()
+
+    def _on_chunk(self, ticket: OpTicket) -> None:
+        self.chunks_completed += 1
+        if ticket.error is None:
+            self.ops_completed += ticket.op_count
+        if self.done:
+            self.finished_us = self.session.service.clock.now

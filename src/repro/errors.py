@@ -61,6 +61,17 @@ class TransientDriverError(DriverError):
     """
 
 
+class BackpressureError(DriverError):
+    """A control-plane session's bounded submit queue is full.
+
+    Raised by the pipelined control-plane service
+    (``repro.ctrl.CtrlService``) when a client submits faster than the
+    channel drains and its per-session queue hits its limit.  The
+    rejected operation was *not* enqueued and has no effect; the client
+    should retry after a drain notification (``on_drain``).
+    """
+
+
 class DriverTimeoutError(DriverError):
     """A driver operation exhausted its :class:`RetryPolicy` budget
     (max attempts or per-op deadline) without succeeding.

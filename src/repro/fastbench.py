@@ -702,3 +702,15 @@ def run_fabric_benchmark(
     if json_path:
         write_json(json_path, payload)
     return payload
+
+
+def run_ctrl_benchmark(*args, **kwargs) -> Dict[str, object]:
+    """Control-plane service throughput benchmark (BENCH_ctrl.json).
+
+    Thin re-export so every tracked benchmark artifact has a
+    ``fastbench`` entry point; the implementation lives in
+    :mod:`repro.ctrl.bench`.
+    """
+    from repro.ctrl.bench import run_ctrl_benchmark as _run
+
+    return _run(*args, **kwargs)

@@ -17,6 +17,16 @@ modes:
 - ``random``    -- each multi-port destination is pinned to a port
   drawn from a per-switch seeded RNG (deterministic per seed).
 
+Scaling: route computation shares one BFS distance map per
+*destination* across every switch (a neighbor ``n`` of switch ``s``
+is on a shortest path to ``d`` iff ``dist(d, n) == dist(d, s) - 1``),
+so a FatTree(k=8) fleet costs ``O(dests * edges)`` instead of
+``O(switches * dests * paths)``.  Installation streams all of a
+switch's entries through :meth:`Driver.write_batch` DMA-burst
+transactions by default (``bulk=True``), which is what keeps an
+80-switch k=8 install sub-second; ``bulk=False`` restores one driver
+op per entry.
+
 The table/action names parameterize so any program with the
 forward/hash/skip idiom can be routed; the defaults match
 ``repro.apps.fabric_lb.FABRIC_P4R``.
@@ -25,7 +35,7 @@ forward/hash/skip idiom can be routed; the defaults match
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -36,6 +46,71 @@ from repro.net.fabric_builder import BuiltFabric, FabricSpec
 SENTINEL_BUCKET = 0xFFFF
 
 ROUTE_MODES = ("hashed", "round_robin", "random")
+
+
+def _dest_map(
+    spec: FabricSpec,
+    graph,
+    extra_dests: Optional[Dict[int, str]],
+) -> Dict[int, str]:
+    """Address -> destination node, hosts plus service aliases."""
+    dests: Dict[int, str] = {}
+    for host in spec.hosts.values():
+        if host.addr is not None:
+            dests[host.addr] = host.name
+    for addr, node in (extra_dests or {}).items():
+        if node not in graph:
+            raise SimulationError(f"alias target {node!r} not in fabric")
+        dests[addr] = node
+    return dests
+
+
+def compute_fabric_routes(
+    spec: FabricSpec,
+    switch_names: Sequence[str],
+    extra_dests: Optional[Dict[int, str]] = None,
+) -> Dict[str, Dict[int, List[int]]]:
+    """ECMP groups for every switch in one sweep.
+
+    One BFS per *destination node* (shared by all switches) replaces
+    the per-(switch, dest) all-shortest-paths enumeration: a neighbor
+    lies on a shortest path exactly when it is one hop closer to the
+    destination.
+    """
+    switch_names = list(switch_names)
+    if not switch_names:
+        return {}
+    views = {name: spec.switch_view(name) for name in switch_names}
+    shared_graph = views[switch_names[0]].graph
+    dests = _dest_map(spec, shared_graph, extra_dests)
+    distance: Dict[str, Dict[str, int]] = {}
+    for node in set(dests.values()):
+        distance[node] = nx.single_source_shortest_path_length(
+            shared_graph, node
+        )
+    routes: Dict[str, Dict[int, List[int]]] = {}
+    for name in switch_names:
+        view = views[name]
+        graph = view.graph
+        neighbors = list(graph.neighbors(name)) if name in graph else []
+        switch_routes: Dict[int, List[int]] = {}
+        for addr in sorted(dests):
+            node = dests[addr]
+            if node == name:
+                continue
+            dist = distance[node]
+            here = dist.get(name)
+            if here is None:
+                continue  # unreachable (severed fabric)
+            ports = sorted({
+                view.port_map[neighbor]
+                for neighbor in neighbors
+                if dist.get(neighbor) == here - 1
+            })
+            if ports:
+                switch_routes[addr] = ports
+        routes[name] = switch_routes
+    return routes
 
 
 def equal_cost_ports(
@@ -49,31 +124,63 @@ def equal_cost_ports(
     existing host nodes; they route exactly like the host's primary
     address.
     """
-    view = spec.switch_view(switch_name)
-    graph = view.graph
-    dests: Dict[int, str] = {}
-    for host in spec.hosts.values():
-        if host.addr is not None:
-            dests[host.addr] = host.name
-    for addr, node in (extra_dests or {}).items():
-        if node not in graph:
-            raise SimulationError(f"alias target {node!r} not in fabric")
-        dests[addr] = node
-    routes: Dict[int, List[int]] = {}
-    for addr in sorted(dests):
-        node = dests[addr]
-        if node == switch_name:
-            continue
-        try:
-            paths = nx.all_shortest_paths(graph, switch_name, node)
-            ports = sorted({
-                view.port_map[path[1]] for path in paths if len(path) > 1
-            })
-        except nx.NetworkXNoPath:
-            ports = []
-        if ports:
-            routes[addr] = ports
-    return routes
+    return compute_fabric_routes(spec, [switch_name], extra_dests)[
+        switch_name
+    ]
+
+
+def _plan_switch_entries(
+    routes: Dict[int, List[int]],
+    mode: str,
+    rng: random.Random,
+    table: str,
+    forward_action: str,
+    hash_action: str,
+    select_table: str,
+    skip_action: str,
+    num_buckets: int,
+    switch_name: str,
+) -> Tuple[List[Tuple], int, Optional[List[int]]]:
+    """The full ordered entry list for one switch as bulk-op tuples."""
+    ops: List[Tuple] = []
+    group: Optional[List[int]] = None
+    direct = 0
+    rr_next = 0
+    for addr in sorted(routes):
+        ports = routes[addr]
+        if len(ports) == 1:
+            ops.append(("add", table, [addr], forward_action, [ports[0]]))
+            direct += 1
+        elif mode == "hashed":
+            if group is None:
+                group = ports
+            elif group != ports:
+                raise SimulationError(
+                    f"{switch_name}: hashed mode needs one ECMP group per "
+                    f"switch, got {group} and {ports} "
+                    f"(use round_robin/random)"
+                )
+            ops.append(("add", table, [addr], hash_action, []))
+        elif mode == "round_robin":
+            ops.append((
+                "add", table, [addr], forward_action,
+                [ports[rr_next % len(ports)]],
+            ))
+            rr_next += 1
+        else:  # random
+            ops.append(
+                ("add", table, [addr], forward_action, [rng.choice(ports)])
+            )
+    if group is not None:
+        for bucket in range(num_buckets):
+            ops.append((
+                "add", select_table, [bucket], forward_action,
+                [group[bucket % len(group)]],
+            ))
+    # Every directly-forwarded packet carries the sentinel bucket;
+    # the select stage must pass it through on every switch.
+    ops.append(("add", select_table, [SENTINEL_BUCKET], skip_action, []))
+    return ops, direct, group
 
 
 def install_routes(
@@ -87,64 +194,50 @@ def install_routes(
     select_table: str = "up_select",
     skip_action: str = "skip",
     num_buckets: int = 4,
+    bulk: bool = True,
+    channel: str = "bulk-loader",
 ) -> Dict[str, Dict[str, object]]:
     """Install shortest-path routes on every switch of ``built``.
 
-    Returns a per-switch summary: route count, direct count, and the
-    ECMP group (hashed mode).  In ``hashed`` mode every multi-port
-    destination on a given switch must share one port group (true on
-    fat-trees and leaf-spines, where the group is always the full
-    uplink set) because the program carries a single select table.
+    Returns a per-switch summary: route count, direct count, the ECMP
+    group (hashed mode), and the install's driver op accounting
+    (``driver_ops`` logical entries, ``bulk_txns`` coalesced
+    transactions -- 0 when ``bulk=False``).  In ``hashed`` mode every
+    multi-port destination on a given switch must share one port group
+    (true on fat-trees and leaf-spines, where the group is always the
+    full uplink set) because the program carries a single select table.
     """
     if mode not in ROUTE_MODES:
         raise SimulationError(
             f"unknown routing mode {mode!r} (choose from {ROUTE_MODES})"
         )
+    all_routes = compute_fabric_routes(
+        built.spec, list(built.switches), extra_dests
+    )
     summary: Dict[str, Dict[str, object]] = {}
     for name, switch in built.switches.items():
         driver = switch.system.driver
-        routes = equal_cost_ports(built.spec, name, extra_dests)
+        routes = all_routes[name]
         rng = random.Random(f"{seed}:{name}")
-        group: Optional[List[int]] = None
-        direct = 0
-        rr_next = 0
-        for addr in sorted(routes):
-            ports = routes[addr]
-            if len(ports) == 1:
-                driver.add_entry(table, [addr], forward_action, [ports[0]])
-                direct += 1
-            elif mode == "hashed":
-                if group is None:
-                    group = ports
-                elif group != ports:
-                    raise SimulationError(
-                        f"{name}: hashed mode needs one ECMP group per "
-                        f"switch, got {group} and {ports} "
-                        f"(use round_robin/random)"
-                    )
-                driver.add_entry(table, [addr], hash_action, [])
-            elif mode == "round_robin":
-                driver.add_entry(
-                    table, [addr], forward_action,
-                    [ports[rr_next % len(ports)]],
-                )
-                rr_next += 1
-            else:  # random
-                driver.add_entry(
-                    table, [addr], forward_action, [rng.choice(ports)]
-                )
-        if group is not None:
-            for bucket in range(num_buckets):
-                driver.add_entry(
-                    select_table, [bucket], forward_action,
-                    [group[bucket % len(group)]],
-                )
-        # Every directly-forwarded packet carries the sentinel bucket;
-        # the select stage must pass it through on every switch.
-        driver.add_entry(select_table, [SENTINEL_BUCKET], skip_action, [])
+        ops, direct, group = _plan_switch_entries(
+            routes, mode, rng, table, forward_action, hash_action,
+            select_table, skip_action, num_buckets, name,
+        )
+        txns_before = driver.bulk_txns
+        sim_before = driver.clock.now
+        if bulk:
+            driver.write_batch(ops, channel=channel)
+        else:
+            for op in ops:
+                _, op_table, key, action, args = op[:5]
+                driver.add_entry(op_table, key, action, args, channel=channel)
         summary[name] = {
             "routes": len(routes),
             "direct": direct,
             "ecmp_group": list(group) if group else [],
+            "driver_ops": len(ops),
+            "bulk_txns": driver.bulk_txns - txns_before,
+            "bulk": bulk,
+            "install_sim_us": driver.clock.now - sim_before,
         }
     return summary

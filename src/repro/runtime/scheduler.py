@@ -12,13 +12,16 @@ the packet events of the queue.
 
 Actors and events split the timeline by role:
 
-- **events** (the :class:`EventQueue`) are the data plane: packet
-  arrivals, departures, host timers.  They run whenever the clock
-  passes their timestamp -- including *mid-actor*, because every clock
-  advance (each driver operation inside an agent iteration) notifies
-  the queue via a clock listener.  This is how a table update can
-  commit between two packets of the same burst, exactly as in the
-  single-switch simulator this layer generalizes.
+- **events** (the :class:`EventQueue`) are the data plane plus
+  anything needing *exact* timestamps: packet arrivals, departures,
+  host timers, and the control-plane service's op applies/completions
+  (``repro.ctrl``).  They run whenever the clock passes their
+  timestamp -- including *mid-actor*, because every clock advance
+  (each driver operation inside an agent iteration) notifies the
+  queue via a clock listener.  This is how a table update can commit
+  between two packets of the same burst, and how a pipelined driver
+  op can complete (and a live legacy client can arrive) in the middle
+  of an agent iteration.
 - **actors** are the control plane: an actor's :meth:`Actor.fire`
   runs once at its scheduled time and returns the absolute time of its
   next turn (or ``None`` to retire).  An agent actor fires one
@@ -211,6 +214,13 @@ class Scheduler:
         if delay_us < 0:
             raise SimulationError(f"cannot schedule {delay_us} us in the past")
         self.events.schedule(self.clock.now + delay_us, fn)
+
+    def call_soon(self, fn: Callable[[float], None]) -> None:
+        """One-shot event at the current instant, deferred to the next
+        event drain -- lets code running inside an event callback (a
+        control-plane completion, a backpressure drain notification)
+        queue follow-up work without re-entering mid-callback."""
+        self.events.schedule(self.clock.now, fn)
 
     # ---- actors ------------------------------------------------------------
 

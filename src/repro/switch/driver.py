@@ -32,6 +32,7 @@ microseconds and converts exhausted budgets into
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +62,23 @@ class DriverCostModel:
     register_read_base_us: float = 0.5
     register_read_per_byte_us: float = 0.012
     register_write_us: float = 0.4
+    # Bulk/streamed writes (RBFRT-style): a whole heterogeneous batch
+    # of table/register writes coalesces into one DMA-burst-priced
+    # transaction -- one setup charge, then a small per-entry
+    # increment, instead of a full device op per entry.
+    bulk_setup_us: float = 1.5
+    bulk_table_entry_us: float = 0.12
+    bulk_register_entry_us: float = 0.03
+
+    def bulk_write_cost(self, table_entries: int, register_writes: int = 0) -> float:
+        """Device cost of one coalesced bulk-write transaction
+        carrying ``table_entries`` table ops and ``register_writes``
+        register writes (excluding PCIe/prep)."""
+        return (
+            self.bulk_setup_us
+            + table_entries * self.bulk_table_entry_us
+            + register_writes * self.bulk_register_entry_us
+        )
 
     def register_read_cost(self, entries: int, width_bits: int) -> float:
         """Device cost of a burst read of ``entries`` consecutive
@@ -109,6 +127,9 @@ class OpRecord:
     channel: str
     excl_start_us: float = 0.0
     excl_end_us: float = 0.0
+    #: Logical operations covered by this record (1 for normal ops,
+    #: the batch size for one coalesced ``bulk_write`` transaction).
+    ops: int = 1
 
 
 @dataclass
@@ -132,14 +153,33 @@ class Driver:
         model: Optional[DriverCostModel] = None,
         record_timeline: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        timeline_limit: Optional[int] = None,
     ):
         self.asic = asic
         self.clock = asic.clock
         self.model = model or DriverCostModel()
         self.record_timeline = record_timeline
         self.retry_policy = retry_policy
-        self.timeline: List[OpRecord] = []
+        # With a limit, the timeline is a bounded ring: million-op
+        # benchmark runs keep only the most recent ``timeline_limit``
+        # records instead of accumulating memory forever.  Without one
+        # (the Fig. 12 path) it stays a plain unbounded list.
+        self.timeline_limit = timeline_limit
+        if timeline_limit is not None:
+            if timeline_limit <= 0:
+                raise DriverError(
+                    f"timeline_limit must be positive, got {timeline_limit}"
+                )
+            self.timeline = deque(maxlen=timeline_limit)
+        else:
+            self.timeline: List[OpRecord] = []
+        #: Total records ever produced (monotonic even when the ring
+        #: has evicted old entries).
+        self.timeline_total = 0
         self.ops_issued = 0
+        #: Coalesced bulk-write transactions issued (each counts its
+        #: batch size into ``ops_issued``).
+        self.bulk_txns = 0
         # Ablation knob: when False, every operation pays the full
         # (unmemoized) software preparation cost.
         self.memoization_enabled = True
@@ -203,6 +243,47 @@ class Driver:
         self.last_error = message
         self.last_error_us = self.clock.now
 
+    def _record_op(self, record: OpRecord) -> None:
+        self.timeline_total += 1
+        if self.record_timeline:
+            self.timeline.append(record)
+
+    # ---- control-plane service hooks --------------------------------------
+    #
+    # The pipelined service (repro.ctrl) schedules device windows
+    # itself, in simulated time, and funnels accounting back through
+    # these helpers so ops_issued / timeline / fault and error counters
+    # mean the same thing on both paths.
+
+    def admit_fault(self, kind: str, target: str, channel: str):
+        """Fault admission for one attempt (service async path)."""
+        self.op_attempts += 1
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.intercept(
+            kind, target, channel, self.op_attempts, self.clock.now
+        )
+
+    def note_error(self, kind: str, message: str) -> None:
+        self._record_error(kind, message)
+
+    def note_retry(self, kind: str) -> None:
+        self.retries_total += 1
+        self.op_retries[kind] = self.op_retries.get(kind, 0) + 1
+
+    def note_timeout(self) -> None:
+        self.timeouts_total += 1
+
+    def complete_op(
+        self, kind: str, target: str, channel: str,
+        record: OpRecord, op_count: int = 1,
+    ) -> None:
+        """Account one successfully applied op (service async path)."""
+        self.ops_issued += op_count
+        self._record_op(record)
+        for hook in self.post_op_hooks:
+            hook(kind, target, channel)
+
     def _execute(
         self,
         kind: str,
@@ -211,6 +292,8 @@ class Driver:
         memo: Optional[MemoHandle],
         channel: str,
         apply: Optional[Callable[[], object]] = None,
+        session=None,
+        op_count: int = 1,
     ) -> object:
         """Run one operation: fault admission, then the ASIC mutation
         (``apply``), then cost accounting.
@@ -235,7 +318,12 @@ class Driver:
                 else self.model.op_prep_us
             )
             pcie = 0.0
-            if self._batch_depth == 0:
+            if session is not None:
+                # Session-scoped batching: a concurrent client's op
+                # must not be mispriced by another session's open
+                # batch, so each session carries its own batch state.
+                pcie = session.next_pcie_us()
+            elif self._batch_depth == 0:
                 pcie = self.model.pcie_rtt_us
             elif not self._batch_pcie_paid:
                 pcie = self.model.pcie_rtt_us
@@ -288,21 +376,46 @@ class Driver:
                 if fault is not None and fault.kind == "latency"
                 else 0.0
             )
-            self.clock.advance(prep + device_cost + pcie + extra)
+            if session is not None:
+                # Blocking session op: the shared channel may hold the
+                # device for another client, so the exclusive window
+                # starts at the later of prep-done and device-free.
+                # Uncontended, this degenerates to exactly the
+                # synchronous timing below (same total, same window,
+                # bit-identical float arithmetic).
+                sched = session.reserve(start, prep, device_cost, extra, pcie)
+                excl_start = sched.excl_start_us
+                excl_end = sched.excl_end_us
+                self.clock.advance_to(sched.done_us)
+            else:
+                self.clock.advance(prep + device_cost + pcie + extra)
+                excl_start = start + prep
+                excl_end = start + prep + device_cost + extra
             if fault is not None and fault.kind == "corrupt":
                 result = fault.corrupt(result)
-            self.ops_issued += 1
-            if self.record_timeline:
-                self.timeline.append(
-                    OpRecord(
-                        start, self.clock.now, kind, target, channel,
-                        excl_start_us=start + prep,
-                        excl_end_us=start + prep + device_cost + extra,
-                    )
+            self.ops_issued += op_count
+            self._record_op(
+                OpRecord(
+                    start, self.clock.now, kind, target, channel,
+                    excl_start_us=excl_start,
+                    excl_end_us=excl_end,
+                    ops=op_count,
                 )
+            )
             for hook in self.post_op_hooks:
                 hook(kind, target, channel)
             return result
+
+    def prep_cost(
+        self, memo_kind: str, name: str, memo: Optional[MemoHandle] = None
+    ) -> float:
+        """Software prep cost one op on ``name`` would pay right now
+        (memoized if a handle exists) -- the service prices prep at
+        submit time with this."""
+        memo = self._use_memo(memo, memo_kind, name)
+        if memo is not None and self.memoization_enabled:
+            return self.model.memoized_prep_us
+        return self.model.op_prep_us
 
     def _use_memo(
         self, memo: Optional[MemoHandle], kind: str, name: str
@@ -326,12 +439,14 @@ class Driver:
         priority: int = 0,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> int:
         memo = self._use_memo(memo, "table", table)
         runtime = self.asic.get_table(table)
         return self._execute(
             "table_add", table, self.model.table_add_us, memo, channel,
             apply=lambda: runtime.add_entry(key, action, args, priority),
+            session=session,
         )
 
     def modify_entry(
@@ -342,12 +457,14 @@ class Driver:
         args: Optional[Sequence[int]] = None,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> None:
         memo = self._use_memo(memo, "table", table)
         runtime = self.asic.get_table(table)
         self._execute(
             "table_modify", table, self.model.table_modify_us, memo, channel,
             apply=lambda: runtime.modify_entry(entry_id, action, args),
+            session=session,
         )
 
     def delete_entry(
@@ -356,12 +473,14 @@ class Driver:
         entry_id: int,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> None:
         memo = self._use_memo(memo, "table", table)
         runtime = self.asic.get_table(table)
         self._execute(
             "table_delete", table, self.model.table_delete_us, memo, channel,
             apply=lambda: runtime.delete_entry(entry_id),
+            session=session,
         )
 
     def set_default(
@@ -371,6 +490,7 @@ class Driver:
         args: Sequence[int] = (),
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> None:
         memo = self._use_memo(memo, "table", table)
         runtime = self.asic.get_table(table)
@@ -378,6 +498,7 @@ class Driver:
             "table_set_default", table, self.model.table_set_default_us,
             memo, channel,
             apply=lambda: runtime.set_default(action, args),
+            session=session,
         )
 
     # ---- table read-back (crash recovery / commit verification) ------------
@@ -387,6 +508,7 @@ class Driver:
         table: str,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> List[Tuple[int, Tuple[KeyPart, ...], str, List[int], int]]:
         """Read back every installed entry of one table as
         ``(entry_id, key, action, args, priority)`` tuples."""
@@ -407,7 +529,8 @@ class Driver:
 
         device_cost = self.model.table_read_cost(len(runtime.entries))
         return self._execute(
-            "table_read", table, device_cost, memo, channel, apply=apply
+            "table_read", table, device_cost, memo, channel, apply=apply,
+            session=session,
         )
 
     def read_entry(
@@ -416,6 +539,7 @@ class Driver:
         entry_id: int,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> Optional[Tuple[int, Tuple[KeyPart, ...], str, List[int], int]]:
         """Read back one installed entry by id (or None if absent).
 
@@ -439,7 +563,7 @@ class Driver:
 
         return self._execute(
             "table_read", table, self.model.table_read_cost(1), memo, channel,
-            apply=apply,
+            apply=apply, session=session,
         )
 
     def read_default(
@@ -447,6 +571,7 @@ class Driver:
         table: str,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> Optional[Tuple[str, List[int]]]:
         """Read back a table's default action as ``(action, args)``."""
         memo = self._use_memo(memo, "table", table)
@@ -458,7 +583,7 @@ class Driver:
 
         return self._execute(
             "table_read", table, self.model.table_read_cost(0), memo, channel,
-            apply=apply,
+            apply=apply, session=session,
         )
 
     # ---- register operations ----------------------------------------------------------
@@ -470,6 +595,7 @@ class Driver:
         hi: Optional[int] = None,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> List[int]:
         """Burst-read entries ``lo..hi`` (inclusive) of one array."""
         memo = self._use_memo(memo, "register", name)
@@ -480,6 +606,7 @@ class Driver:
         return self._execute(
             "register_read", name, device_cost, memo, channel,
             apply=lambda: register.read_range(lo, hi),
+            session=session,
         )
 
     def write_register(
@@ -489,12 +616,14 @@ class Driver:
         value: int,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> None:
         memo = self._use_memo(memo, "register", name)
         register = self.asic.get_register(name)
         self._execute(
             "register_write", name, self.model.register_write_us, memo, channel,
             apply=lambda: register.write(index, value),
+            session=session,
         )
 
     def read_counter(
@@ -503,6 +632,7 @@ class Driver:
         index: int,
         memo: Optional[MemoHandle] = None,
         channel: str = "mantis",
+        session=None,
     ) -> int:
         memo = self._use_memo(memo, "counter", name)
         counter = self.asic.get_counter(name)
@@ -513,7 +643,102 @@ class Driver:
             memo,
             channel,
             apply=lambda: counter.array.read(index),
+            session=session,
         )
+
+
+    # ---- bulk/streamed writes ---------------------------------------------
+
+    def write_batch(
+        self,
+        ops: Sequence[Tuple],
+        channel: str = "mantis",
+        session=None,
+    ) -> List[object]:
+        """Apply a heterogeneous batch of writes as ONE coalesced
+        DMA-burst transaction (RBFRT-style bulk insert).
+
+        ``ops`` is a sequence of tuples:
+
+        - ``("add", table, key, action, args[, priority])``
+        - ``("modify", table, entry_id, action, args)``
+        - ``("delete", table, entry_id)``
+        - ``("set_default", table, action, args)``
+        - ``("write_register", name, index, value)``
+
+        The whole batch pays one software prep, one PCIe round trip and
+        one bulk-priced device window (`DriverCostModel.bulk_write_cost`),
+        occupies a single device-exclusive slot in the timeline, and
+        counts ``len(ops)`` into ``ops_issued`` so op-count parity with
+        per-entry execution holds.  Fault admission happens once per
+        transaction: a transient failure rejects (and retries) the
+        batch *as a whole* before any mutation lands -- bulk writes are
+        all-or-nothing, never partially applied.
+
+        Returns the per-op results in order (entry ids for adds, else
+        ``None``).
+        """
+        ops = list(ops)
+        if not ops:
+            return []
+        applies: List[Callable[[], object]] = []
+        table_entries = 0
+        register_writes = 0
+        for op in ops:
+            verb = op[0]
+            if verb == "add":
+                _, table, key, action, args = op[:5]
+                priority = op[5] if len(op) > 5 else 0
+                runtime = self.asic.get_table(table)
+                applies.append(
+                    lambda r=runtime, k=key, a=action, g=args, p=priority:
+                        r.add_entry(k, a, g, p)
+                )
+                table_entries += 1
+            elif verb == "modify":
+                _, table, entry_id, action, args = op
+                runtime = self.asic.get_table(table)
+                applies.append(
+                    lambda r=runtime, e=entry_id, a=action, g=args:
+                        r.modify_entry(e, a, g)
+                )
+                table_entries += 1
+            elif verb == "delete":
+                _, table, entry_id = op
+                runtime = self.asic.get_table(table)
+                applies.append(
+                    lambda r=runtime, e=entry_id: r.delete_entry(e)
+                )
+                table_entries += 1
+            elif verb == "set_default":
+                _, table, action, args = op
+                runtime = self.asic.get_table(table)
+                applies.append(
+                    lambda r=runtime, a=action, g=args: r.set_default(a, g)
+                )
+                table_entries += 1
+            elif verb == "write_register":
+                _, name, index, value = op
+                register = self.asic.get_register(name)
+                applies.append(
+                    lambda r=register, i=index, v=value: r.write(i, v)
+                )
+                register_writes += 1
+            else:
+                raise DriverError(f"unknown bulk op verb {verb!r}")
+        device_cost = self.model.bulk_write_cost(table_entries, register_writes)
+        result = self._execute(
+            "bulk_write",
+            f"bulk[{len(ops)}]",
+            device_cost,
+            None,
+            channel,
+            apply=lambda: [fn() for fn in applies],
+            session=session,
+            op_count=len(ops),
+        )
+        self.bulk_txns += 1
+        return result
 
 
 class _BatchContext:

@@ -51,6 +51,10 @@ class MantisSystem:
         reaction_engine: Optional[str] = None,
         commit_mode: str = "diff",
         delta_polling: bool = False,
+        ctrl_service: bool = False,
+        ctrl_window: int = 8,
+        timeline_limit: Optional[int] = None,
+        commit_pipelining: bool = False,
     ):
         self.artifacts = artifacts
         self.clock = clock or SimClock()
@@ -63,18 +67,33 @@ class MantisSystem:
         )
         self.driver = Driver(
             self.asic, model=cost_model, record_timeline=record_timeline,
-            retry_policy=retry_policy,
+            retry_policy=retry_policy, timeline_limit=timeline_limit,
         )
         self.fault_injector = None
         if fault_plan is not None:
             from repro.faults import FaultInjector
 
             self.fault_injector = FaultInjector(fault_plan).attach(self.driver)
+        # With the control-plane service enabled, the agent becomes one
+        # client session ("mantis" priority, "mantis" channel so the
+        # Fig. 12 timeline filter keeps working) and other clients --
+        # live legacy controllers, bulk loaders -- can open their own
+        # sessions against ``self.ctrl``.
+        self.ctrl = None
+        agent_driver = self.driver
+        if ctrl_service:
+            from repro.ctrl import CtrlService
+
+            self.ctrl = CtrlService(self.driver, window=ctrl_window)
+            self.agent_session = self.ctrl.open_session(
+                "agent", priority="mantis", channel="mantis"
+            )
+            agent_driver = self.agent_session.driver
         self.agent = MantisAgent(
-            artifacts, self.driver, pacing_sleep_us=pacing_sleep_us,
+            artifacts, agent_driver, pacing_sleep_us=pacing_sleep_us,
             verify_commits=verify_commits, poll_batching=poll_batching,
             reaction_engine=reaction_engine, commit_mode=commit_mode,
-            delta_polling=delta_polling,
+            delta_polling=delta_polling, commit_pipelining=commit_pipelining,
         )
 
     def process_batch(self, packets, times=None, sink=None):

@@ -1,0 +1,242 @@
+"""Differential tests: the control-plane service must be *invisible*
+to correctness.
+
+- Blocking ops through a session leave bit-identical ASIC state,
+  identical ``ops_issued``, and an identical clock versus the bare
+  synchronous driver -- across every app program in the repo, and
+  under a seeded fault plan (fault decisions replay identically
+  because op timing is identical).
+- Pipelined and bulk submission of the same logical op stream reach
+  the same final state and the same ``ops_issued`` as synchronous
+  execution.
+- A seeded fault-plan sweep over the pipelined path proves
+  exactly-once application: retries and backpressure rejections never
+  double-apply a mutation.
+"""
+
+import pytest
+
+from repro.apps.dos import DOS_P4R
+from repro.apps.ecmp import ECMP_P4R
+from repro.apps.fabric_lb import FABRIC_P4R
+from repro.apps.failover import FAILOVER_P4R
+from repro.apps.linkguard import LINKGUARD_P4R
+from repro.apps.rl import RL_P4R
+from repro.apps.sketch import SKETCH_P4R
+from repro.faults import FaultPlan, FaultSpec
+from repro.runtime.scheduler import Scheduler
+from repro.switch.asic import STANDARD_METADATA_P4
+from repro.switch.compiled import asic_state_snapshot
+from repro.switch.driver import RetryPolicy
+from repro.system import MantisSystem
+
+APP_PROGRAMS = {
+    "dos": DOS_P4R,
+    "ecmp": ECMP_P4R,
+    "fabric_lb": FABRIC_P4R,
+    "failover": FAILOVER_P4R,
+    "linkguard": LINKGUARD_P4R,
+    "rl": RL_P4R,
+    "sketch": SKETCH_P4R,
+}
+
+STREAM_PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { a : 32; } }
+header h_t h;
+register acc { width : 32; instance_count : 128; }
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+action nop() { no_op(); }
+table t {
+    reads { h.a : exact; }
+    actions { fwd; nop; }
+    default_action : nop();
+    size : 1024;
+}
+control ingress { apply(t); }
+"""
+
+
+def run_agent(program, iterations=25, **kwargs):
+    system = MantisSystem.from_source(
+        program, record_timeline=True, **kwargs
+    )
+    system.agent.prologue()
+    for _ in range(iterations):
+        system.agent.run_iteration()
+    return system
+
+
+def timeline_tuples(driver):
+    return [
+        (op.start_us, op.end_us, op.kind, op.target, op.channel,
+         op.excl_start_us, op.excl_end_us, op.ops)
+        for op in driver.timeline
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(APP_PROGRAMS))
+def test_blocking_session_is_bit_identical_across_apps(name):
+    plain = run_agent(APP_PROGRAMS[name])
+    routed = run_agent(APP_PROGRAMS[name], ctrl_service=True)
+    assert routed.driver.ops_issued == plain.driver.ops_issued
+    assert routed.clock.now == plain.clock.now  # bit-identical, no approx
+    assert asic_state_snapshot(routed.asic) == asic_state_snapshot(plain.asic)
+    assert timeline_tuples(routed.driver) == timeline_tuples(plain.driver)
+
+
+def test_blocking_session_is_bit_identical_under_faults():
+    plan = FaultPlan(seed=7, specs=[
+        FaultSpec(kind="transient", probability=0.08),
+        FaultSpec(kind="latency", probability=0.1, extra_us=5.0),
+        FaultSpec(kind="drop", probability=0.05),
+    ])
+    policy = RetryPolicy()
+    plain = run_agent(
+        DOS_P4R, iterations=40, fault_plan=plan, retry_policy=policy
+    )
+    routed = run_agent(
+        DOS_P4R, iterations=40, fault_plan=plan, retry_policy=policy,
+        ctrl_service=True,
+    )
+    assert plain.driver.op_attempts > plain.driver.ops_issued  # faults fired
+    assert routed.driver.op_attempts == plain.driver.op_attempts
+    assert routed.driver.ops_issued == plain.driver.ops_issued
+    assert routed.clock.now == plain.clock.now
+    assert asic_state_snapshot(routed.asic) == asic_state_snapshot(plain.asic)
+
+
+def make_stream_ops(count=200):
+    """A deterministic heterogeneous op stream over STREAM_PROGRAM."""
+    ops = []
+    for i in range(count):
+        if i % 3 == 0:
+            ops.append(("write_register", "acc", i % 128, i * 7))
+        else:
+            ops.append(("add", "t", [i], "fwd", [i % 16]))
+    return ops
+
+
+def apply_sync(ops):
+    system = MantisSystem.from_source(STREAM_PROGRAM)
+    driver = system.driver
+    for op in ops:
+        if op[0] == "write_register":
+            driver.write_register(op[1], op[2], op[3])
+        else:
+            driver.add_entry(op[1], op[2], op[3], op[4])
+    return system
+
+
+def test_pipelined_stream_matches_sync_state_and_op_count():
+    ops = make_stream_ops()
+    sync = apply_sync(ops)
+
+    system = MantisSystem.from_source(STREAM_PROGRAM, ctrl_service=True)
+    scheduler = Scheduler(system.clock)
+    system.ctrl.attach_scheduler(scheduler)
+    session = system.ctrl.open_session("writer", priority="mantis")
+    for op in ops:
+        if op[0] == "write_register":
+            session.submit_write_register(op[1], op[2], op[3])
+        else:
+            session.submit_add(op[1], op[2], op[3], op[4])
+    session.drain()
+
+    assert system.driver.ops_issued == sync.driver.ops_issued == len(ops)
+    assert asic_state_snapshot(system.asic) == asic_state_snapshot(sync.asic)
+
+
+def test_bulk_stream_matches_sync_state_and_op_count():
+    ops = make_stream_ops()
+    sync = apply_sync(ops)
+
+    system = MantisSystem.from_source(STREAM_PROGRAM)
+    chunk = 32
+    for base in range(0, len(ops), chunk):
+        system.driver.write_batch(ops[base:base + chunk])
+
+    assert system.driver.ops_issued == sync.driver.ops_issued == len(ops)
+    assert system.driver.bulk_txns == (len(ops) + chunk - 1) // chunk
+    assert asic_state_snapshot(system.asic) == asic_state_snapshot(sync.asic)
+    # Bulk took strictly less simulated time for the same stream.
+    assert system.clock.now < sync.clock.now
+
+
+def test_fault_sweep_pipelined_path_applies_exactly_once():
+    """Seeded transient/latency faults + tiny queue (backpressure) on
+    the async path: every accepted add lands exactly once -- no
+    duplicates from retries, no losses from queue rejections that the
+    feeder resubmits."""
+    plan = FaultPlan(seed=3, specs=[
+        FaultSpec(kind="transient", probability=0.25,
+                  op_kinds=frozenset({"table_add"})),
+        FaultSpec(kind="latency", probability=0.2, extra_us=4.0),
+    ])
+    system = MantisSystem.from_source(
+        STREAM_PROGRAM, fault_plan=plan, retry_policy=RetryPolicy(),
+        ctrl_service=True,
+    )
+    scheduler = Scheduler(system.clock)
+    system.ctrl.attach_scheduler(scheduler)
+    session = system.ctrl.open_session(
+        "writer", priority="mantis", queue_limit=4
+    )
+    clock, events = system.clock, scheduler.events
+    tickets = []
+    keys = list(range(300))
+    cursor = 0
+    from repro.errors import BackpressureError
+
+    while cursor < len(keys):
+        key = keys[cursor]
+        try:
+            ticket = session.submit_add("t", [key], "fwd", [key % 16])
+        except BackpressureError:
+            next_time = events.peek_time()
+            assert next_time is not None
+            if next_time > clock.now:
+                clock.advance_to(next_time)
+            else:
+                events.drain(clock.now)
+            continue  # resubmit the same key
+        tickets.append((key, ticket))
+        cursor += 1
+    session.drain()
+
+    succeeded = [key for key, t in tickets if t.error is None]
+    failed = [key for key, t in tickets if t.error is not None]
+    assert system.driver.errors_total > 0, "sweep must actually inject"
+    retried = system.ctrl.class_stats["mantis"].retried
+    assert retried > 0, "sweep must actually retry"
+
+    table = system.asic.get_table("t")
+    entries = table.entries
+    installed_keys = sorted(
+        entry.key[0] if isinstance(entry.key, (list, tuple)) else entry.key
+        for entry in entries.values()
+    )
+    # Exactly-once: each successful key appears exactly once, failed
+    # keys not at all, and ops_issued counts successes only (retries
+    # and rejections never double-count).
+    assert installed_keys == sorted(succeeded)
+    assert not set(failed) & set(installed_keys)
+    assert system.driver.ops_issued == len(succeeded)
+
+
+def test_bulk_transactions_are_all_or_nothing_under_transients():
+    """A transient fault on a bulk txn rejects the whole chunk before
+    any mutation lands; the retry then applies it exactly once."""
+    plan = FaultPlan(seed=11, specs=[
+        FaultSpec(kind="transient", probability=1.0, max_triggers=1,
+                  op_kinds=frozenset({"bulk_write"})),
+    ])
+    system = MantisSystem.from_source(
+        STREAM_PROGRAM, fault_plan=plan, retry_policy=RetryPolicy()
+    )
+    ops = [("write_register", "acc", i, i + 1) for i in range(16)]
+    system.driver.write_batch(ops)
+    register = system.asic.registers["acc"]
+    assert [register.read(i) for i in range(16)] == list(range(1, 17))
+    assert system.driver.ops_issued == 16
+    assert system.driver.bulk_txns == 1
+    assert system.driver.op_attempts == 2  # one rejected + one landed

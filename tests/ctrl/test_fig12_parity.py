@@ -1,0 +1,120 @@
+"""Figure 12 parity: the *live* legacy client through the
+control-plane service must reproduce the *offline* queueing model.
+
+The offline :func:`repro.agent.legacy.legacy_latencies` model replays
+legacy arrivals against a recorded Mantis op timeline (each arrival
+waits for the op holding the device, then runs).  The live
+:class:`~repro.agent.legacy.LiveLegacyClient` issues real driver ops
+through a service session at exactly those arrival times.  On the same
+run they must agree: the offline model stays the golden cross-check
+for the live path.
+
+Known modeling delta: the offline model serializes software prep
+*after* the device wait, while the live channel overlaps prep under
+the wait -- so on contended arrivals the offline latency is up to one
+prep time (0.6 us) higher.  The tolerances below absorb exactly that.
+"""
+
+from benchmarks.test_fig12_legacy import (
+    LEGACY_INTERVAL_US,
+    PROGRAM,
+)
+from repro.agent.legacy import LegacyClient, LiveLegacyClient, legacy_latencies
+from repro.analysis.stats import percentile
+from repro.runtime.scheduler import AgentActor, Scheduler
+from repro.system import MantisSystem
+
+WINDOW_US = 12_000.0
+
+
+def run_live_experiment():
+    system = MantisSystem.from_source(
+        PROGRAM, ctrl_service=True, record_timeline=True
+    )
+    system.agent.prologue()
+    scheduler = Scheduler(system.clock)
+    system.ctrl.attach_scheduler(scheduler)
+
+    session = system.ctrl.open_session("legacy", priority="legacy")
+    live = LiveLegacyClient(
+        session, "legacy_table", interval_us=LEGACY_INTERVAL_US
+    )
+    live.setup([1], "set_a", [0])
+
+    start = system.clock.now
+    live.start(scheduler, start, start + WINDOW_US)
+    scheduler.spawn(AgentActor(system.agent, name="mantis-agent"))
+    scheduler.run_until(start + WINDOW_US)
+    system.ctrl.drain()
+    return system, live, start
+
+
+def test_live_legacy_matches_offline_model():
+    system, live, start = run_live_experiment()
+    assert len(live.latencies) > 1000  # a real 12 ms window at 11 us
+
+    # Replay the offline model against this same run's recorded Mantis
+    # timeline (async completion records can land slightly out of
+    # excl-window order, so sort by window start first).
+    window = sorted(
+        (
+            op for op in system.driver.timeline
+            if op.channel == "mantis" and op.end_us > start
+            and op.start_us < start + WINDOW_US
+        ),
+        key=lambda op: op.excl_start_us,
+    )
+    model = LegacyClient(system.driver, interval_us=LEGACY_INTERVAL_US)
+    offline = legacy_latencies(window, live.arrival_times, model.op_cost_us)
+
+    assert len(offline) == len(live.latencies)
+    live_median = percentile(live.latencies, 50)
+    live_p99 = percentile(live.latencies, 99)
+    offline_median = percentile(offline, 50)
+    offline_p99 = percentile(offline, 99)
+
+    # The offline model may over-estimate by up to one prep time per
+    # contended arrival, and back-to-back queued arrivals chain
+    # through ``previous_done`` -- so allow one prep at the median and
+    # two at the tail.  It must never under-estimate the shape.
+    prep = system.driver.model.op_prep_us
+    assert abs(live_median - offline_median) <= prep + 1e-9
+    assert abs(live_p99 - offline_p99) <= 2 * prep + 1e-9
+    # Mean agreement within half a prep: most arrivals are uncontended
+    # and exact there.
+    live_mean = sum(live.latencies) / len(live.latencies)
+    offline_mean = sum(offline) / len(offline)
+    assert abs(live_mean - offline_mean) <= 0.5 * prep
+
+    # Both distributions show the Fig. 12 bimodal shape: an
+    # uncontended op costs exactly prep + pcie + device.
+    floor = model.op_cost_us
+    assert min(live.latencies) >= floor - 1e-9
+    assert percentile(live.latencies, 40) == floor
+    assert max(live.latencies) > floor  # some arrivals did queue
+
+
+def test_live_legacy_uncontended_floor_without_agent():
+    """With no Mantis agent running, every live legacy update costs
+    exactly the uncontended op cost -- the no-Mantis baseline of
+    Fig. 12 reproduced live."""
+    system = MantisSystem.from_source(
+        PROGRAM, ctrl_service=True, record_timeline=True
+    )
+    scheduler = Scheduler(system.clock)
+    system.ctrl.attach_scheduler(scheduler)
+    session = system.ctrl.open_session("legacy", priority="legacy")
+    live = LiveLegacyClient(
+        session, "legacy_table", interval_us=LEGACY_INTERVAL_US
+    )
+    live.setup([1], "set_a", [0])
+    start = system.clock.now
+    live.start(scheduler, start, start + 2_000.0)
+    scheduler.run_until(start + 2_000.0)
+    system.ctrl.drain()
+
+    model = LegacyClient(system.driver, interval_us=LEGACY_INTERVAL_US)
+    assert live.latencies
+    assert all(
+        abs(lat - model.op_cost_us) < 1e-9 for lat in live.latencies
+    )

@@ -1,0 +1,148 @@
+"""Driver bulk transactions (``write_batch``) and the bounded
+timeline ring (``timeline_limit``)."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.p4.parser import parse_p4
+from repro.switch.asic import STANDARD_METADATA_P4, SwitchAsic
+from repro.switch.driver import Driver
+
+PROGRAM = STANDARD_METADATA_P4 + """
+header_type h_t { fields { f : 32; } }
+header h_t hdr;
+
+register wide { width : 32; instance_count : 64; }
+
+action set_f(v) { modify_field(hdr.f, v); }
+action nop() { no_op(); }
+
+table t1 {
+    reads { hdr.f : exact; }
+    actions { set_f; nop; }
+    default_action : nop();
+    size : 256;
+}
+control ingress { apply(t1); }
+"""
+
+
+def make_driver(**kwargs):
+    asic = SwitchAsic(parse_p4(PROGRAM))
+    return Driver(asic, record_timeline=True, **kwargs)
+
+
+class TestWriteBatch:
+    def test_heterogeneous_batch_applies_in_order(self):
+        driver = make_driver()
+        results = driver.write_batch([
+            ("add", "t1", [1], "set_f", [10]),
+            ("add", "t1", [2], "set_f", [20]),
+            ("write_register", "wide", 3, 33),
+            ("set_default", "t1", "set_f", [7]),
+        ])
+        entry_id_1, entry_id_2 = results[0], results[1]
+        table = driver.asic.get_table("t1")
+        assert tuple(table.entries[entry_id_1].key) == (1,)
+        assert tuple(table.entries[entry_id_2].key) == (2,)
+        assert driver.asic.registers["wide"].read(3) == 33
+        assert table.default_action == ("set_f", [7])
+        # Deletes and modifies round-trip through the same verb table.
+        driver.write_batch([
+            ("modify", "t1", entry_id_1, None, [11]),
+            ("delete", "t1", entry_id_2),
+        ])
+        assert table.entries[entry_id_1].action_args == [11]
+        assert entry_id_2 not in table.entries
+
+    def test_one_transaction_one_timeline_slot_n_ops(self):
+        driver = make_driver()
+        ops = [("write_register", "wide", i, i) for i in range(32)]
+        driver.write_batch(ops)
+        assert driver.ops_issued == 32
+        assert driver.bulk_txns == 1
+        assert len(driver.timeline) == 1
+        record = driver.timeline[0]
+        assert record.kind == "bulk_write"
+        assert record.ops == 32
+        model = driver.model
+        width = record.excl_end_us - record.excl_start_us
+        assert width == pytest.approx(model.bulk_write_cost(0, 32))
+
+    def test_bulk_is_cheaper_than_per_op_beyond_small_batches(self):
+        driver_bulk = make_driver()
+        driver_solo = make_driver()
+        ops = [("write_register", "wide", i % 64, i) for i in range(64)]
+        driver_bulk.write_batch(ops)
+        for op in ops:
+            driver_solo.write_register(op[1], op[2], op[3])
+        assert driver_bulk.clock.now < driver_solo.clock.now
+        assert driver_bulk.ops_issued == driver_solo.ops_issued == 64
+
+    def test_bulk_cost_model_components(self):
+        model = make_driver().model
+        assert model.bulk_write_cost(0, 0) == pytest.approx(
+            model.bulk_setup_us
+        )
+        assert model.bulk_write_cost(10, 4) == pytest.approx(
+            model.bulk_setup_us
+            + 10 * model.bulk_table_entry_us
+            + 4 * model.bulk_register_entry_us
+        )
+
+    def test_empty_batch_is_a_no_op(self):
+        driver = make_driver()
+        before = driver.clock.now
+        assert driver.write_batch([]) == []
+        assert driver.clock.now == before
+        assert driver.bulk_txns == 0
+
+    def test_unknown_verb_rejected_before_any_mutation(self):
+        driver = make_driver()
+        with pytest.raises(DriverError):
+            driver.write_batch([
+                ("add", "t1", [1], "set_f", [10]),
+                ("upsert", "t1", [2], "set_f", [20]),
+            ])
+        assert len(driver.asic.get_table("t1").entries) == 0
+        assert driver.ops_issued == 0
+
+
+class TestTimelineRing:
+    def test_ring_bounds_memory_and_counts_total(self):
+        driver = make_driver(timeline_limit=16)
+        for i in range(100):
+            driver.write_register("wide", i % 64, i)
+        assert len(driver.timeline) == 16
+        assert driver.timeline_total == 100
+        # The ring keeps the newest records.
+        targets = [op.start_us for op in driver.timeline]
+        assert targets == sorted(targets)
+        assert driver.timeline[-1].end_us == driver.clock.now
+
+    def test_unlimited_timeline_still_counts_total(self):
+        driver = make_driver()
+        for i in range(10):
+            driver.write_register("wide", i, i)
+        assert len(driver.timeline) == 10
+        assert driver.timeline_total == 10
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(DriverError):
+            make_driver(timeline_limit=0)
+        with pytest.raises(DriverError):
+            make_driver(timeline_limit=-5)
+
+    def test_fig12_analysis_unaffected_by_generous_ring(self):
+        """A ring larger than the op count records exactly what the
+        unbounded timeline records."""
+        bounded = make_driver(timeline_limit=1000)
+        unbounded = make_driver()
+        for driver in (bounded, unbounded):
+            for i in range(50):
+                driver.write_register("wide", i % 64, i, channel="mantis")
+        as_tuples = lambda d: [
+            (op.start_us, op.end_us, op.kind, op.target, op.channel)
+            for op in d.timeline
+        ]
+        assert as_tuples(bounded) == as_tuples(unbounded)
